@@ -1,0 +1,41 @@
+"""Shared machinery for the paper-reproduction benchmarks.
+
+Every benchmark measures **simulated** performance: the workload runs on
+the virtual clock, so ops/s numbers reflect the modelled system (device
+latencies, mount churn, FUSE round trips, swap) rather than the host
+Python interpreter.  pytest-benchmark still wraps the runs so wall-clock
+cost of the simulation itself is tracked, but the paper-shape assertions
+are on the simulated metrics.
+
+Results are collected into a module-level table and printed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only | tee ...``
+captures the reproduced figures alongside pytest-benchmark's own table.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from pathlib import Path
+
+# make `helpers` importable from the benchmark modules
+sys.path.insert(0, str(Path(__file__).parent))
+
+_RESULTS: "OrderedDict[str, list]" = OrderedDict()
+
+
+def record_result(experiment: str, row: str) -> None:
+    """Register one formatted result row for the end-of-run summary."""
+    _RESULTS.setdefault(experiment, []).append(row)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "MCFS paper-reproduction results")
+    for experiment, rows in _RESULTS.items():
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {experiment} ---")
+        for row in rows:
+            terminalreporter.write_line(row)
+    terminalreporter.write_line("")

@@ -1,0 +1,147 @@
+"""Builders for the benchmark configurations of the paper's evaluation.
+
+Each configuration mirrors one bar of Figure 2 / one row of the §6
+experiments: two file systems, their devices, their checkpoint strategies,
+and (where relevant) a RAM/swap memory model sized so the concrete-state
+footprint matters the way it did on the paper's 64 GB / 128 GB machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    HDDBlockDevice,
+    Jffs2FileSystemType,
+    MCFS,
+    MCFSOptions,
+    MTDDevice,
+    NoRemountStrategy,
+    RAMBlockDevice,
+    SSDBlockDevice,
+    SimClock,
+    VeriFS1,
+    VeriFS2,
+    XfsFileSystemType,
+)
+from repro.mc.memory import MemoryModel
+
+SMALL_DEV = 256 * 1024
+XFS_DEV = 16 * 1024 * 1024
+
+#: the paper's evaluation VM: 64 GB RAM + 128 GB swap.  The model is run
+#: at 1/256 scale so the phase transitions appear within laptop budgets.
+PAPER_RAM = 64 << 30
+PAPER_SWAP = 128 << 30
+SCALE = 1024
+
+
+@dataclass
+class PairSpec:
+    """One benchmark configuration (a Figure 2 bar)."""
+
+    key: str
+    label: str
+
+    def build(self, remount: bool = True) -> MCFS:
+        clock = SimClock()
+        options = MCFSOptions(include_extended_operations=False)
+        mcfs = MCFS(clock, options)
+        add = _BUILDERS[self.key]
+        add(mcfs, clock, remount)
+        options.memory_model = MemoryModel(
+            clock=clock,
+            ram_bytes=PAPER_RAM // SCALE,
+            swap_bytes=PAPER_SWAP // SCALE,
+            state_bytes=_state_bytes(mcfs),
+            locality=0.72,
+        )
+        return mcfs
+
+
+def _state_bytes(mcfs: MCFS) -> int:
+    """Concrete snapshot footprint: the sum of the device image sizes
+    (VeriFS states are small in-memory copies)."""
+    total = 0
+    for fut in mcfs.futs:
+        if fut.device is not None:
+            total += fut.device.size_bytes
+        else:
+            total += 64 * 1024
+    return total
+
+
+def _strategy(remount: bool):
+    from repro.mc.strategies import RemountStrategy
+    return RemountStrategy() if remount else NoRemountStrategy()
+
+
+def _add_ext2_ext4(device_cls):
+    def add(mcfs, clock, remount):
+        mcfs.add_block_filesystem("ext2", Ext2FileSystemType(),
+                                  device_cls(SMALL_DEV, clock=clock, name="dev0"),
+                                  strategy=_strategy(remount))
+        mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                                  device_cls(SMALL_DEV, clock=clock, name="dev1"),
+                                  strategy=_strategy(remount))
+    return add
+
+
+def _add_ext4_xfs(mcfs, clock, remount):
+    mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                              RAMBlockDevice(SMALL_DEV, clock=clock, name="dev0"),
+                              strategy=_strategy(remount))
+    mcfs.add_block_filesystem("xfs", XfsFileSystemType(),
+                              RAMBlockDevice(XFS_DEV, clock=clock, name="dev1"),
+                              strategy=_strategy(remount))
+
+
+def _add_ext4_jffs2(mcfs, clock, remount):
+    mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                              RAMBlockDevice(SMALL_DEV, clock=clock, name="dev0"),
+                              strategy=_strategy(remount))
+    mcfs.add_block_filesystem("jffs2", Jffs2FileSystemType(),
+                              MTDDevice(SMALL_DEV, clock=clock, name="mtd0"),
+                              strategy=_strategy(remount))
+
+
+def _add_verifs_pair(mcfs, clock, remount):
+    mcfs.add_verifs("verifs1", VeriFS1())
+    mcfs.add_verifs("verifs2", VeriFS2())
+
+
+def _add_ext4_verifs1(mcfs, clock, remount):
+    mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                              RAMBlockDevice(SMALL_DEV, clock=clock, name="dev0"),
+                              strategy=_strategy(remount))
+    mcfs.add_verifs("verifs1", VeriFS1())
+
+
+_BUILDERS = {
+    "ext2-ext4-ram": _add_ext2_ext4(RAMBlockDevice),
+    "ext2-ext4-ssd": _add_ext2_ext4(SSDBlockDevice),
+    "ext2-ext4-hdd": _add_ext2_ext4(HDDBlockDevice),
+    "ext4-xfs": _add_ext4_xfs,
+    "ext4-jffs2": _add_ext4_jffs2,
+    "verifs1-verifs2": _add_verifs_pair,
+    "ext4-verifs1": _add_ext4_verifs1,
+}
+
+FIG2_SPECS = [
+    PairSpec("verifs1-verifs2", "VeriFS1 vs VeriFS2"),
+    PairSpec("ext2-ext4-ram", "Ext2 vs Ext4 (RAM)"),
+    PairSpec("ext2-ext4-ssd", "Ext2 vs Ext4 (SSD)"),
+    PairSpec("ext2-ext4-hdd", "Ext2 vs Ext4 (HDD)"),
+    PairSpec("ext4-xfs", "Ext4 vs XFS"),
+    PairSpec("ext4-jffs2", "Ext4 vs JFFS2"),
+]
+
+
+def measure_ops_per_second(mcfs: MCFS, operations: int = 400, seed: int = 42) -> float:
+    """Run a randomized checking segment; return simulated ops/s."""
+    result = mcfs.run_random(max_operations=operations, seed=seed)
+    assert not result.found_discrepancy, str(result.report)
+    return result.ops_per_second

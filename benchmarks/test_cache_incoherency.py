@@ -1,0 +1,83 @@
+"""Section 3.2: tracking only persistent state corrupts file systems.
+
+Paper: "Doing so allowed MCFS to run without crashing, but our
+experiments encountered corrupted file systems.  A typical symptom was
+directory entries with corrupted or zeroed inodes, caused by Spin
+backtracking and restoring a persistent state" -- while the kernel's
+caches still described the pre-restore history.  Unmount/remount is the
+only full fix.
+
+Reproduction: the same search, once with the naive disk-only strategy
+(must corrupt) and once with the remount strategy (must stay clean).
+Cache pressure (small buffer/inode caches) makes the stale/fresh mix
+reach disk, exactly as real memory pressure does.
+"""
+
+import pytest
+
+from conftest import record_result
+from repro import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    MCFS,
+    MCFSOptions,
+    NaiveDiskStrategy,
+    ParameterPool,
+    RAMBlockDevice,
+    SimClock,
+)
+
+PRESSURE_POOL = ParameterPool(
+    file_paths=("/f0", "/f1", "/f2", "/f3", "/d0/f4", "/d1/f5"),
+    dir_paths=("/d0", "/d1", "/d2"),
+    write_offsets=(0,),
+    write_sizes=(512, 3000),
+    truncate_sizes=(0, 100),
+)
+
+
+def build(naive: bool) -> MCFS:
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(
+        include_extended_operations=False,
+        pool=PRESSURE_POOL,
+        consistency_check_every=1 if naive else 25,
+    ))
+    strategy = NaiveDiskStrategy() if naive else None
+    for label, fstype in (
+        ("ext2", Ext2FileSystemType(cache_blocks=6, inode_cache_capacity=6)),
+        ("ext4", Ext4FileSystemType(cache_blocks=6, inode_cache_capacity=6)),
+    ):
+        mcfs.add_block_filesystem(
+            label, fstype, RAMBlockDevice(256 * 1024, clock=clock),
+            strategy=NaiveDiskStrategy() if naive else None,
+        )
+    return mcfs
+
+
+def test_naive_disk_only_restore_corrupts(benchmark):
+    def run():
+        return build(naive=True).run_dfs(max_depth=4, max_operations=50_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.found_discrepancy, "naive restore should corrupt the fs"
+    assert result.report.kind in ("corruption", "state")
+    benchmark.extra_info["ops_to_corruption"] = result.operations
+    record_result(
+        "Section 3.2: cache incoherency",
+        f"naive disk-only restore: CORRUPTED after {result.operations} ops "
+        f"({result.report.kind}: {result.report.summary[:70]})",
+    )
+
+
+def test_remount_strategy_stays_clean(benchmark):
+    def run():
+        return build(naive=False).run_dfs(max_depth=2, max_operations=3_000)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.found_discrepancy, str(result.report)
+    record_result(
+        "Section 3.2: cache incoherency",
+        f"remount-per-operation:   clean after {result.operations} ops "
+        f"({result.stats.stopped_reason})",
+    )

@@ -1,0 +1,121 @@
+"""Section 3.4: the false-positive workarounds, individually ablated.
+
+Each workaround suppresses one class of non-bug discrepancy between
+file systems with implementation-specific behaviour:
+
+* directory-size reporting (ext: block multiples; xfs: entry sums;
+  jffs2: zero) -- ignored;
+* getdents ordering (insertion vs name-hash vs log order) -- sorted;
+* special folders (ext's lost+found) -- exception list;
+* differing usable capacity -- free-space equalization.
+
+Reproduction: with all workarounds on, a clean cross-fs search reports
+nothing; disabling any single workaround produces an immediate false
+positive on healthy file systems.
+"""
+
+import pytest
+
+from conftest import record_result
+from repro import (
+    AbstractionOptions,
+    Ext2FileSystemType,
+    MCFS,
+    MCFSOptions,
+    RAMBlockDevice,
+    SimClock,
+    XfsFileSystemType,
+)
+from repro.core.abstraction import DEFAULT_EXCEPTIONS
+
+
+def build(abstraction: AbstractionOptions) -> MCFS:
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                   abstraction=abstraction))
+    mcfs.add_block_filesystem("ext2", Ext2FileSystemType(),
+                              RAMBlockDevice(256 * 1024, clock=clock))
+    mcfs.add_block_filesystem("xfs", XfsFileSystemType(),
+                              RAMBlockDevice(16 * 1024 * 1024, clock=clock))
+    return mcfs
+
+
+CASES = [
+    ("all workarounds on", AbstractionOptions(), False),
+    ("dir sizes compared", AbstractionOptions(ignore_dir_sizes=False), True),
+    ("no exception list", AbstractionOptions(exception_list=frozenset()), True),
+]
+
+
+@pytest.mark.parametrize("label,abstraction,expect_false_positive", CASES,
+                         ids=[case[0].replace(" ", "-") for case in CASES])
+def test_workaround_ablation(benchmark, label, abstraction, expect_false_positive):
+    def run():
+        return build(abstraction).run_dfs(max_depth=2, max_operations=600)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    verdict = "FALSE POSITIVE" if result.found_discrepancy else "clean"
+    record_result(
+        "Section 3.4: false-positive workarounds (healthy ext2 vs xfs)",
+        f"{label:24s} -> {verdict}"
+        + (f" after {result.operations} ops" if result.found_discrepancy else ""),
+    )
+    assert result.found_discrepancy == expect_false_positive, str(result.report)
+
+
+def test_unsorted_comparison_would_differ(benchmark):
+    """Raw getdents orders genuinely differ; the sort hides only ordering."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    clock = SimClock()
+    from repro.core.futs import make_block_fut
+    ext2 = make_block_fut("ext2", Ext2FileSystemType(),
+                          RAMBlockDevice(256 * 1024, clock=clock, name="a"), clock)
+    xfs = make_block_fut("xfs", XfsFileSystemType(),
+                         RAMBlockDevice(16 * 1024 * 1024, clock=clock, name="b"), clock)
+    from repro.kernel.fdtable import O_CREAT
+    names = ["zebra", "alpha", "m1", "m2", "q7"]
+    for fut in (ext2, xfs):
+        for name in names:
+            fut.kernel.close(fut.kernel.open(f"{fut.mountpoint}/{name}", O_CREAT))
+    raw_ext2 = [e.name for e in ext2.kernel.getdents(ext2.mountpoint)
+                if e.name != "lost+found"]
+    raw_xfs = [e.name for e in xfs.kernel.getdents(xfs.mountpoint)]
+    assert raw_ext2 != raw_xfs
+    assert sorted(raw_ext2) == sorted(raw_xfs)
+    record_result(
+        "Section 3.4: false-positive workarounds (healthy ext2 vs xfs)",
+        f"getdents orders differ:  ext2 {raw_ext2} vs xfs {raw_xfs}",
+    )
+
+
+def test_equalization_removes_capacity_false_positive(benchmark):
+    """Near-full devices: a write succeeds on one fs and fails on the
+    other unless free space was equalized first (section 3.4)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro import Ext4FileSystemType, equalize_free_space
+    from repro.core.futs import make_block_fut
+    from repro.core.ops import Operation, OperationCatalog
+    clock = SimClock()
+    futs = [
+        make_block_fut("ext2", Ext2FileSystemType(),
+                       RAMBlockDevice(256 * 1024, clock=clock, name="a"), clock),
+        make_block_fut("ext4", Ext4FileSystemType(),
+                       RAMBlockDevice(256 * 1024, clock=clock, name="b"), clock),
+    ]
+    catalog = OperationCatalog(include_extended=False)
+    equalize_free_space(futs, tolerance_bytes=2048)
+    # fill to near-full, then attempt one more large write on both
+    free = min(fut.statfs().bytes_free for fut in futs)
+    fill = Operation("write_file", ("/filler", 0, max(0, free - 16 * 1024), 65))
+    probe = Operation("write_file", ("/probe", 0, 12 * 1024, 66))
+    outcomes = []
+    for fut in futs:
+        catalog.execute(fut, fill)
+        outcomes.append(catalog.execute(fut, probe))
+    # equalized: both succeed or both fail with the same errno
+    assert outcomes[0].matches(outcomes[1]), [o.describe() for o in outcomes]
+    record_result(
+        "Section 3.4: false-positive workarounds (healthy ext2 vs xfs)",
+        f"near-full probe after equalization: "
+        f"{outcomes[0].describe()} == {outcomes[1].describe()}",
+    )

@@ -1,0 +1,69 @@
+"""Figure 2: model-checking speed across file-system combinations.
+
+Paper results reproduced (shape):
+
+* VeriFS1 vs VeriFS2 is ~5.8x faster than Ext2 vs Ext4 on RAM disks
+  (checkpoint/restore ioctls, no remounts, no device-state tracking);
+* Ext2 vs Ext4 on HDD is ~20x slower than on RAM, on SSD ~18x slower;
+* Ext4 vs XFS is ~11x slower than Ext2 vs Ext4 (the checker's concrete
+  states are 16 MB device images -- swap time dominates).
+"""
+
+import pytest
+
+from conftest import record_result
+from helpers import FIG2_SPECS, measure_ops_per_second
+
+OPERATIONS = 300
+
+#: paper-shape bands: (min_ratio, max_ratio) vs the Ext2-vs-Ext4 RAM baseline
+EXPECTED = {
+    "verifs1-verifs2": ("faster", 3.0, 12.0, "5.8x faster"),
+    "ext2-ext4-ssd": ("slower", 9.0, 36.0, "18x slower"),
+    "ext2-ext4-hdd": ("slower", 10.0, 40.0, "20x slower"),
+    "ext4-xfs": ("slower", 5.5, 22.0, "11x slower"),
+}
+
+_rates = {}
+
+
+@pytest.mark.parametrize("spec", FIG2_SPECS, ids=lambda spec: spec.key)
+def test_fig2_speed(benchmark, spec):
+    def run():
+        mcfs = spec.build()
+        return measure_ops_per_second(mcfs, operations=OPERATIONS)
+
+    ops_per_second = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rates[spec.key] = ops_per_second
+    benchmark.extra_info["sim_ops_per_second"] = round(ops_per_second, 1)
+    record_result(
+        "Figure 2: model-checking speed (simulated ops/s)",
+        f"{spec.label:24s} {ops_per_second:10.1f} ops/s",
+    )
+    assert ops_per_second > 0
+
+
+def test_fig2_shape(benchmark):
+    """The who-wins-by-how-much assertions, after all bars measured."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for spec in FIG2_SPECS:
+        if spec.key not in _rates:
+            _rates[spec.key] = measure_ops_per_second(spec.build(), operations=OPERATIONS)
+    baseline = _rates["ext2-ext4-ram"]
+    rows = []
+    for key, (direction, low, high, paper) in EXPECTED.items():
+        if direction == "faster":
+            ratio = _rates[key] / baseline
+        else:
+            ratio = baseline / _rates[key]
+        rows.append(f"{key:20s} measured {ratio:5.1f}x {direction} (paper: {paper})")
+        assert low <= ratio <= high, (
+            f"{key}: expected {direction} ratio in [{low}, {high}] "
+            f"(paper: {paper}), measured {ratio:.1f}x"
+        )
+    for row in rows:
+        record_result("Figure 2: ratios vs Ext2-vs-Ext4 (RAM)", row)
+    # ordering of the whole figure
+    assert _rates["verifs1-verifs2"] > _rates["ext2-ext4-ram"]
+    assert _rates["ext2-ext4-ram"] > _rates["ext4-xfs"]
+    assert _rates["ext4-xfs"] > _rates["ext2-ext4-ssd"] > _rates["ext2-ext4-hdd"]

@@ -1,0 +1,46 @@
+"""Section 6 ablation: checking speed without the inter-operation remounts.
+
+Paper: "The average speed for Ext2 vs Ext4 (in RAM disks) was 316 ops/s,
+38% faster than that when remounts and unmounts were used; and for Ext4
+vs XFS it was 34 ops/s, which is 70% faster."
+"""
+
+import pytest
+
+from conftest import record_result
+from helpers import PairSpec, measure_ops_per_second
+
+OPERATIONS = 300
+
+CASES = [
+    # (key, label, paper_gain_percent, accepted band)
+    ("ext2-ext4-ram", "Ext2 vs Ext4 (RAM)", 38, (15, 120)),
+    ("ext4-xfs", "Ext4 vs XFS", 70, (30, 160)),
+]
+
+
+@pytest.mark.parametrize("key,label,paper_gain,band", CASES,
+                         ids=[case[0] for case in CASES])
+def test_remount_ablation(benchmark, key, label, paper_gain, band):
+    def run():
+        with_remounts = measure_ops_per_second(
+            PairSpec(key, label).build(remount=True), operations=OPERATIONS)
+        without_remounts = measure_ops_per_second(
+            PairSpec(key, label).build(remount=False), operations=OPERATIONS)
+        return with_remounts, without_remounts
+
+    with_remounts, without_remounts = benchmark.pedantic(run, rounds=1, iterations=1)
+    gain = 100.0 * (without_remounts / with_remounts - 1.0)
+    benchmark.extra_info["with_remounts_ops_s"] = round(with_remounts, 1)
+    benchmark.extra_info["without_remounts_ops_s"] = round(without_remounts, 1)
+    record_result(
+        "Remount ablation (section 6)",
+        f"{label:20s} remounts {with_remounts:7.1f} ops/s | "
+        f"no remounts {without_remounts:7.1f} ops/s | "
+        f"gain +{gain:.0f}% (paper +{paper_gain}%)",
+    )
+    assert without_remounts > with_remounts, "removing remounts must speed checking up"
+    assert band[0] <= gain <= band[1], (
+        f"{label}: gain {gain:.0f}% outside accepted band {band} "
+        f"(paper +{paper_gain}%)"
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Cross-checking kernel file systems: Ext2 vs Ext4 vs XFS vs JFFS2.
+
+Demonstrates:
+
+* MCFS's universality: block file systems on RAM disks and a
+  log-structured flash file system on an MTD device, all checked with
+  the remount-per-operation strategy;
+* the section 3.4 false-positive workarounds in action (these file
+  systems report different directory sizes, different getdents orders,
+  and ext creates lost+found -- yet a clean run reports nothing);
+* the cost of the remount workaround, visible in the ops/s numbers.
+
+Run:  python examples/compare_kernel_fs.py
+"""
+
+from repro import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    Jffs2FileSystemType,
+    MCFS,
+    MCFSOptions,
+    MTDDevice,
+    RAMBlockDevice,
+    SimClock,
+    XfsFileSystemType,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def run_pair(name_a, fs_a, dev_a, name_b, fs_b, dev_b):
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                   equalize_free_space=True))
+    mcfs.add_block_filesystem(name_a, fs_a, dev_a(clock))
+    mcfs.add_block_filesystem(name_b, fs_b, dev_b(clock))
+    result = mcfs.run_dfs(max_depth=2, max_operations=2_000)
+    verdict = "DISCREPANCY" if result.found_discrepancy else "clean"
+    print(f"  {name_a:6s} vs {name_b:6s}: {verdict:12s} "
+          f"{result.operations:5d} ops at {result.ops_per_second:7.1f} ops/s "
+          f"({result.stats.stopped_reason})")
+    if result.found_discrepancy:
+        print(result.report)
+    return result
+
+
+def main() -> None:
+    print("Cross-checking kernel file systems (remount strategy, RAM disks):")
+    run_pair(
+        "ext2", Ext2FileSystemType(), lambda c: RAMBlockDevice(256 * KB, clock=c),
+        "ext4", Ext4FileSystemType(), lambda c: RAMBlockDevice(256 * KB, clock=c),
+    )
+    run_pair(
+        "ext4", Ext4FileSystemType(), lambda c: RAMBlockDevice(256 * KB, clock=c),
+        # XFS needs a 16 MB device -- the reason the paper patched brd
+        "xfs", XfsFileSystemType(), lambda c: RAMBlockDevice(16 * MB, clock=c),
+    )
+    run_pair(
+        "ext4", Ext4FileSystemType(), lambda c: RAMBlockDevice(256 * KB, clock=c),
+        # JFFS2 mounts an MTD flash device (mtdram analogue), not a block device
+        "jffs2", Jffs2FileSystemType(), lambda c: MTDDevice(256 * KB, clock=c),
+    )
+    print("\nAll healthy pairs are clean despite visibly different on-disk")
+    print("behaviour (dir sizes, entry order, special folders, capacity) --")
+    print("the section 3.4 workarounds absorb exactly the sanctioned")
+    print("differences and nothing else.")
+
+
+if __name__ == "__main__":
+    main()

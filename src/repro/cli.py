@@ -1,0 +1,232 @@
+"""Command-line interface: run MCFS checks without writing a script.
+
+Examples::
+
+    python -m repro list
+    python -m repro check --fs ext2 --fs ext4 --mode dfs --depth 2
+    python -m repro check --fs verifs1 --fs verifs2 --mode random --max-ops 2000
+    python -m repro check --fs verifs1 --fs ext4 --fs verifs2 --voting
+    python -m repro bugdemo --bug write-hole-stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.clock import SimClock
+from repro.core.mcfs import MCFS, MCFSOptions
+from repro.fs import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    Jffs2FileSystemType,
+    XfsFileSystemType,
+)
+from repro.mc.strategies import (
+    IoctlStrategy,
+    NoRemountStrategy,
+    RemountStrategy,
+    VfsCheckpointStrategy,
+    VMSnapshotStrategy,
+)
+from repro.storage import RAMBlockDevice
+from repro.storage.mtd import MTDDevice
+from repro.verifs import VeriFS1, VeriFS2, VeriFSBug
+from repro.workload import PRESETS, preset
+
+KB = 1024
+MB = 1024 * KB
+
+FILESYSTEMS = ("ext2", "ext4", "xfs", "jffs2", "verifs1", "verifs2")
+STRATEGIES = {
+    "remount": RemountStrategy,
+    "no-remount": NoRemountStrategy,
+    "vfs-api": VfsCheckpointStrategy,
+    "ioctl": IoctlStrategy,
+    "vm-snapshot": VMSnapshotStrategy,
+}
+#: default strategy per fs kind: ioctl for VeriFS, remount for kernel fs
+KERNEL_FS = ("ext2", "ext4", "xfs", "jffs2")
+
+BUG_PAIRS = {
+    VeriFSBug.TRUNCATE_STALE_DATA.value: ("ext4", "verifs1", 4),
+    VeriFSBug.MISSING_CACHE_INVALIDATION.value: ("ext4", "verifs1", 3),
+    VeriFSBug.WRITE_HOLE_STALE.value: ("verifs1", "verifs2", 3),
+    VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY.value: ("verifs1", "verifs2", 3),
+}
+
+
+def _add_filesystem(mcfs: MCFS, clock: SimClock, name: str, label: str,
+                    strategy_name: Optional[str],
+                    verifs_bugs: Optional[List[VeriFSBug]] = None) -> None:
+    strategy = STRATEGIES[strategy_name]() if strategy_name else None
+    bugs = verifs_bugs or []
+    if name == "verifs1":
+        mcfs.add_verifs(label, VeriFS1(bugs=bugs), strategy=strategy)
+    elif name == "verifs2":
+        mcfs.add_verifs(label, VeriFS2(bugs=bugs), strategy=strategy)
+    elif name == "ext2":
+        mcfs.add_block_filesystem(label, Ext2FileSystemType(),
+                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "ext4":
+        mcfs.add_block_filesystem(label, Ext4FileSystemType(),
+                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "xfs":
+        mcfs.add_block_filesystem(label, XfsFileSystemType(),
+                                  RAMBlockDevice(16 * MB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "jffs2":
+        mcfs.add_block_filesystem(label, Jffs2FileSystemType(),
+                                  MTDDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    else:
+        raise SystemExit(f"unknown file system {name!r}; see 'repro list'")
+
+
+def _unique_labels(names: List[str]) -> List[str]:
+    labels: List[str] = []
+    for name in names:
+        label = name
+        suffix = 2
+        while label in labels:
+            label = f"{name}{suffix}"
+            suffix += 1
+        labels.append(label)
+    return labels
+
+
+def cmd_list(_args) -> int:
+    print("file systems:")
+    for name in FILESYSTEMS:
+        kind = "kernel" if name in KERNEL_FS else "FUSE (userspace)"
+        print(f"  {name:10s} {kind}")
+    print("strategies:")
+    for name in STRATEGIES:
+        print(f"  {name}")
+    print("workload presets:")
+    for name in sorted(PRESETS):
+        print(f"  {name}")
+    print("injectable VeriFS bugs (for bugdemo):")
+    for bug in VeriFSBug:
+        print(f"  {bug.value}")
+    return 0
+
+
+def cmd_check(args) -> int:
+    if len(args.fs) < 2:
+        print("error: --fs must be given at least twice (MCFS compares "
+              "file systems)", file=sys.stderr)
+        return 2
+    clock = SimClock()
+    extended = all(name != "verifs1" for name in args.fs)
+    options = MCFSOptions(
+        include_extended_operations=extended,
+        pool=preset(args.pool),
+        equalize_free_space=args.equalize,
+        majority_voting=args.voting,
+        track_coverage=args.coverage,
+    )
+    mcfs = MCFS(clock, options)
+    for name, label in zip(args.fs, _unique_labels(args.fs)):
+        _add_filesystem(mcfs, clock, name, label, args.strategy)
+    if args.mode == "dfs":
+        result = mcfs.run_dfs(max_depth=args.depth,
+                              max_operations=args.max_ops,
+                              state_file=args.state_file,
+                              por=args.por)
+    else:
+        result = mcfs.run_random(max_operations=args.max_ops or 1000,
+                                 seed=args.seed,
+                                 state_file=args.state_file)
+    print(f"operations : {result.operations}")
+    print(f"new states : {result.unique_states}")
+    print(f"sim time   : {result.sim_time:.3f}s "
+          f"({result.ops_per_second:.1f} ops/s)")
+    print(f"stopped    : {result.stats.stopped_reason}")
+    if args.coverage:
+        print("\ncoverage:")
+        print(mcfs.coverage_report().render())
+    if result.found_discrepancy:
+        print("\n" + str(result.report))
+        return 1
+    print("\nno discrepancies found")
+    return 0
+
+
+def cmd_bugdemo(args) -> int:
+    if args.bug not in BUG_PAIRS:
+        print(f"unknown bug {args.bug!r}; see 'repro list'", file=sys.stderr)
+        return 2
+    reference, buggy, depth = BUG_PAIRS[args.bug]
+    bug = VeriFSBug(args.bug)
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False))
+    _add_filesystem(mcfs, clock, reference, reference, None)
+    _add_filesystem(mcfs, clock, buggy, f"buggy-{buggy}", None,
+                    verifs_bugs=[bug])
+    print(f"hunting {args.bug} in {buggy} (reference: {reference}) ...")
+    result = mcfs.run_dfs(max_depth=depth, max_operations=400_000)
+    if result.found_discrepancy:
+        print(f"found after {result.operations} operations\n")
+        print(result.report)
+        return 1
+    print("bug not found within the bounded search (unexpected)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MCFS: model-check file systems against each other",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list file systems, strategies, bugs") \
+        .set_defaults(func=cmd_list)
+
+    check = subparsers.add_parser("check", help="run a checking campaign")
+    check.add_argument("--fs", action="append", default=[],
+                       help=f"file system to check (repeatable); one of "
+                            f"{', '.join(FILESYSTEMS)}")
+    check.add_argument("--mode", choices=("dfs", "random"), default="dfs")
+    check.add_argument("--depth", type=int, default=2,
+                       help="DFS depth bound (default 2)")
+    check.add_argument("--max-ops", type=int, default=None,
+                       help="operation budget")
+    check.add_argument("--seed", type=int, default=0, help="random-walk seed")
+    check.add_argument("--strategy", choices=tuple(STRATEGIES), default=None,
+                       help="checkpoint strategy for every fs (default: "
+                            "remount for kernel fs, ioctl for VeriFS)")
+    check.add_argument("--equalize", action="store_true",
+                       help="equalize free space at startup (§3.4)")
+    check.add_argument("--voting", action="store_true",
+                       help="majority voting with >= 3 file systems (§7)")
+    check.add_argument("--coverage", action="store_true",
+                       help="print behavioural coverage at the end (§7)")
+    check.add_argument("--state-file", default=None,
+                       help="persist/resume the visited-state table (§7)")
+    check.add_argument("--por", action="store_true",
+                       help="sleep-set partial-order reduction (DFS only)")
+    check.add_argument("--pool", choices=sorted(PRESETS), default="default",
+                       help="workload preset (see repro.workload)")
+    check.set_defaults(func=cmd_check)
+
+    bugdemo = subparsers.add_parser(
+        "bugdemo", help="reproduce one of the paper's §6 historical bugs")
+    bugdemo.add_argument("--bug", required=True,
+                         help="bug id (see 'repro list')")
+    bugdemo.set_defaults(func=cmd_bugdemo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""A programmatic POSIX-conformance check for file-system drivers.
+
+``docs/extending.md`` tells new file-system authors to add their driver
+to the pytest suite; this module is the zero-infrastructure variant: a
+callable battery of conformance checks that returns structured failures
+instead of asserting.  MCFS itself compares implementations against each
+other; this battery compares one implementation against hand-written
+POSIX expectations -- useful before a second implementation exists.
+
+    from repro.conformance import check_conformance
+    failures = check_conformance(lambda: MyFsType(),
+                                 lambda clock: RAMBlockDevice(1 << 20, clock=clock))
+    for failure in failures:
+        print(failure.check, failure.detail)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.clock import SimClock
+from repro.errors import (
+    EEXIST,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    ENOTSUP,
+    ENOSYS,
+    FsError,
+)
+from repro.kernel.fdtable import O_CREAT, O_EXCL, O_RDWR, O_WRONLY
+from repro.kernel.kernel import Kernel
+
+#: errnos that signal "feature not implemented" rather than misbehaviour
+_FEATURE_ABSENT = (ENOTSUP, ENOSYS)
+
+
+@dataclass
+class ConformanceFailure:
+    """One violated expectation."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.check}: {self.detail}"
+
+
+class _Session:
+    """One mounted instance plus the failure collector."""
+
+    def __init__(self, fstype_factory, device_factory):
+        self.clock = SimClock()
+        self.kernel = Kernel(self.clock)
+        fstype = fstype_factory()
+        if device_factory is not None:
+            device = device_factory(self.clock)
+            fstype.mkfs(device)
+            self.kernel.mount(fstype, device, "/m")
+        else:
+            # FUSE-style: the factory is expected to have mounted itself
+            raise ValueError("device_factory is required")
+        self.failures: List[ConformanceFailure] = []
+
+    def expect(self, check: str, condition: bool, detail: str = "") -> None:
+        if not condition:
+            self.failures.append(ConformanceFailure(check, detail or "expectation failed"))
+
+    def expect_errno(self, check: str, errno: int, call) -> None:
+        try:
+            call()
+        except FsError as error:
+            if error.code in _FEATURE_ABSENT:
+                return  # feature not implemented: skip, don't fail
+            self.expect(check, error.code == errno,
+                        f"expected errno {errno}, got {error.code}")
+        else:
+            self.failures.append(
+                ConformanceFailure(check, f"expected errno {errno}, call succeeded"))
+
+
+def check_conformance(
+    fstype_factory: Callable[[], object],
+    device_factory: Callable[[SimClock], object],
+) -> List[ConformanceFailure]:
+    """Run the battery; return the (possibly empty) failure list.
+
+    Optional features (rename, links, symlinks, xattrs) are skipped when
+    the driver reports ENOTSUP/ENOSYS; everything else must conform.
+    """
+    session = _Session(fstype_factory, device_factory)
+    kernel, expect = session.kernel, session.expect
+
+    # --- files and data ------------------------------------------------------
+    fd = kernel.open("/m/f", O_CREAT | O_RDWR)
+    kernel.write(fd, b"hello world")
+    kernel.lseek(fd, 0, 0)
+    expect("read-after-write", kernel.read(fd, 64) == b"hello world")
+    kernel.close(fd)
+    expect("size-after-write", kernel.stat("/m/f").st_size == 11)
+
+    fd = kernel.open("/m/f", O_WRONLY)
+    kernel.pwrite(fd, b"XY", 2)
+    kernel.close(fd)
+    fd = kernel.open("/m/f")
+    expect("overwrite-in-place", kernel.read(fd, 64) == b"heXYo world")
+    kernel.close(fd)
+
+    kernel.truncate("/m/f", 4)
+    expect("truncate-shrinks", kernel.stat("/m/f").st_size == 4)
+    kernel.truncate("/m/f", 10)
+    fd = kernel.open("/m/f")
+    expect("truncate-grow-zeroes",
+           kernel.read(fd, 64) == b"heXY" + b"\x00" * 6,
+           "expanding truncate must expose zeros (the VeriFS1 bug)")
+    kernel.close(fd)
+
+    fd = kernel.open("/m/sparse", O_CREAT | O_WRONLY)
+    kernel.pwrite(fd, b"end", 5000)
+    kernel.close(fd)
+    fd = kernel.open("/m/sparse")
+    data = kernel.read(fd, 6000)
+    expect("hole-reads-zeros",
+           data[:5000] == b"\x00" * 5000 and data[5000:] == b"end",
+           "write past EOF must leave a zero-filled hole")
+    kernel.close(fd)
+
+    # --- errno surface ----------------------------------------------------------
+    session.expect_errno("open-missing-enoent", ENOENT,
+                         lambda: kernel.open("/m/missing"))
+    session.expect_errno("excl-on-existing-eexist", EEXIST,
+                         lambda: kernel.open("/m/f", O_CREAT | O_EXCL))
+    session.expect_errno("unlink-missing-enoent", ENOENT,
+                         lambda: kernel.unlink("/m/missing"))
+    kernel.mkdir("/m/d")
+    session.expect_errno("mkdir-existing-eexist", EEXIST,
+                         lambda: kernel.mkdir("/m/d"))
+    session.expect_errno("unlink-dir-eisdir", EISDIR,
+                         lambda: kernel.unlink("/m/d"))
+    session.expect_errno("rmdir-file-enotdir", ENOTDIR,
+                         lambda: kernel.rmdir("/m/f"))
+    kernel.close(kernel.open("/m/d/child", O_CREAT))
+    session.expect_errno("rmdir-nonempty-enotempty", ENOTEMPTY,
+                         lambda: kernel.rmdir("/m/d"))
+    session.expect_errno("truncate-dir-eisdir", EISDIR,
+                         lambda: kernel.truncate("/m/d", 0))
+
+    # --- namespace ----------------------------------------------------------------
+    names = {entry.name for entry in kernel.getdents("/m")}
+    expect("getdents-lists-children", {"f", "sparse", "d"} <= names,
+           f"missing entries in {sorted(names)}")
+    expect("getdents-hides-dots", "." not in names and ".." not in names)
+    expect("dir-nlink-counts-subdirs",
+           kernel.stat("/m/d").st_nlink == 2,
+           "empty dir must have nlink 2 (self + '.')")
+    kernel.mkdir("/m/d/sub")
+    expect("dir-nlink-grows", kernel.stat("/m/d").st_nlink == 3)
+    kernel.rmdir("/m/d/sub")
+
+    # --- optional: rename ------------------------------------------------------------
+    try:
+        kernel.rename("/m/f", "/m/renamed")
+        expect("rename-moves", kernel.stat("/m/renamed").st_size == 10)
+        session.expect_errno("rename-source-gone-enoent", ENOENT,
+                             lambda: kernel.stat("/m/f"))
+        kernel.rename("/m/renamed", "/m/f")
+    except FsError as error:
+        if error.code not in _FEATURE_ABSENT:
+            session.failures.append(ConformanceFailure("rename", str(error)))
+
+    # --- optional: hard links -----------------------------------------------------------
+    try:
+        kernel.link("/m/f", "/m/hard")
+        expect("link-shares-inode",
+               kernel.stat("/m/f").st_ino == kernel.stat("/m/hard").st_ino)
+        expect("link-bumps-nlink", kernel.stat("/m/f").st_nlink == 2)
+        kernel.unlink("/m/hard")
+        expect("unlink-drops-nlink", kernel.stat("/m/f").st_nlink == 1)
+    except FsError as error:
+        if error.code not in _FEATURE_ABSENT:
+            session.failures.append(ConformanceFailure("hard-links", str(error)))
+
+    # --- optional: symlinks ------------------------------------------------------------
+    try:
+        kernel.symlink("f", "/m/lnk")
+        expect("symlink-readlink", kernel.readlink("/m/lnk") == "f")
+        expect("symlink-follows",
+               kernel.stat("/m/lnk").st_ino == kernel.stat("/m/f").st_ino)
+        expect("lstat-does-not-follow", kernel.lstat("/m/lnk").is_symlink)
+    except FsError as error:
+        if error.code not in _FEATURE_ABSENT:
+            session.failures.append(ConformanceFailure("symlinks", str(error)))
+
+    # --- optional: xattrs ---------------------------------------------------------------
+    try:
+        kernel.setxattr("/m/f", "user.conf", b"v")
+        expect("xattr-roundtrip", kernel.getxattr("/m/f", "user.conf") == b"v")
+        expect("xattr-listed", "user.conf" in kernel.listxattr("/m/f"))
+        kernel.removexattr("/m/f", "user.conf")
+        expect("xattr-removed", kernel.listxattr("/m/f") == [])
+    except FsError as error:
+        if error.code not in _FEATURE_ABSENT:
+            session.failures.append(ConformanceFailure("xattrs", str(error)))
+
+    # --- persistence ----------------------------------------------------------------------
+    try:
+        kernel.remount("/m")
+        expect("data-survives-remount", kernel.stat("/m/f").st_size == 10)
+        expect("dirs-survive-remount", kernel.stat("/m/d").is_dir)
+    except FsError as error:
+        session.failures.append(ConformanceFailure("remount", str(error)))
+
+    # --- internal consistency ---------------------------------------------------------------
+    problems = kernel.mount_at("/m").fs.check_consistency()
+    expect("fsck-clean", problems == [], "; ".join(problems[:3]))
+
+    return session.failures

@@ -1,0 +1,46 @@
+"""MCFS: the model-checking framework for file systems (the paper's core).
+
+The public surface a user needs:
+
+* :class:`~repro.core.mcfs.MCFS` -- the harness: register file systems
+  under test, pick a checkpoint strategy per fs, run exhaustive or
+  randomized exploration, get back statistics and (when behaviour
+  diverges) a precise :class:`~repro.core.report.DiscrepancyReport`.
+* :func:`~repro.core.abstraction.abstract_state` -- Algorithm 1.
+* :class:`~repro.core.ops.ParameterPool` / ``OperationCatalog`` -- the
+  bounded nondeterministic operation/parameter space.
+"""
+
+from repro.core.abstraction import (
+    AbstractionOptions,
+    EntryRecord,
+    abstract_state,
+    collect_entries,
+)
+from repro.core.futs import FilesystemUnderTest, make_block_fut, make_verifs_fut
+from repro.core.integrity import DiscrepancyError, IntegrityChecker, Outcome
+from repro.core.mcfs import MCFS, MCFSOptions, MCFSResult
+from repro.core.ops import OperationCatalog, Operation, ParameterPool
+from repro.core.report import DiscrepancyReport
+from repro.core.equalize import equalize_free_space
+
+__all__ = [
+    "MCFS",
+    "MCFSOptions",
+    "MCFSResult",
+    "AbstractionOptions",
+    "EntryRecord",
+    "abstract_state",
+    "collect_entries",
+    "FilesystemUnderTest",
+    "make_block_fut",
+    "make_verifs_fut",
+    "DiscrepancyError",
+    "DiscrepancyReport",
+    "IntegrityChecker",
+    "Outcome",
+    "Operation",
+    "OperationCatalog",
+    "ParameterPool",
+    "equalize_free_space",
+]

@@ -1,0 +1,225 @@
+"""Abstraction functions: Algorithm 1 plus the section 3.4 workarounds.
+
+The abstraction function converts a file system's concrete state into a
+128-bit MD5 hash that captures exactly the *logically important* content:
+
+1. recursively walk the mount point collecting every file and directory;
+2. sort the paths (file systems return directory entries in different
+   orders -- the getdents workaround);
+3. for each entry, hash its pathname, its content (file data or symlink
+   target), and the important metadata: **mode, size, nlink, UID, GID**
+   -- deliberately omitting noisy attributes such as atime and block
+   placement, which differ without indicating bugs.
+
+Workarounds folded in (all section 3.4):
+
+* **directory sizes are ignored** by default (ext reports block-multiple
+  sizes, XFS reports entry-record sums, JFFS2 reports 0);
+* an **exception list** of special paths (``lost+found``, the free-space
+  equalization dummy file) is skipped entirely;
+* entry ordering is normalised by the sort in step 2.
+
+None of these introduce false negatives because they only cover
+behaviour POSIX leaves unspecified.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.errors import FsError
+from repro.kernel.stat import DT_DIR, DT_LNK, S_IFMT
+from repro.util.paths import join_path
+
+#: special paths ignored by default: ext's lost+found and the dummy file
+#: created by free-space equalization.
+DEFAULT_EXCEPTIONS = frozenset({"lost+found", ".mcfs_equalize"})
+
+
+@dataclass(frozen=True)
+class AbstractionOptions:
+    """Knobs for the abstraction function (each is a §3.4 workaround)."""
+
+    ignore_dir_sizes: bool = True
+    sort_entries: bool = True
+    exception_list: FrozenSet[str] = DEFAULT_EXCEPTIONS
+    include_owner: bool = True
+    #: include symlink targets in the content hash
+    include_symlink_targets: bool = True
+    #: include extended attributes in the state (fs without xattr support
+    #: contribute an empty set, so mixed comparisons stay sound)
+    include_xattrs: bool = True
+    #: hash timestamps too -- the section 3.3 anti-pattern.  This models
+    #: raw ``c_track`` buffer tracking, where "any change in a buffer is
+    #: considered a new state": atime updates alone make almost every
+    #: state unique and the search explodes.
+    track_timestamps: bool = False
+
+    def without_workarounds(self) -> "AbstractionOptions":
+        """The naive abstraction (used by the false-positive ablation)."""
+        return replace(
+            self,
+            ignore_dir_sizes=False,
+            sort_entries=False,
+            exception_list=frozenset(),
+        )
+
+
+@dataclass(frozen=True)
+class EntryRecord:
+    """One walked entry: everything the abstraction hashes, plus the
+    relative path -- also used by integrity checks to produce readable
+    diffs between file systems."""
+
+    path: str  # relative to the mount point, e.g. "/d0/f1"
+    mode: int
+    size: int
+    nlink: int
+    uid: int
+    gid: int
+    content_md5: str
+    xattr_md5: str = ""
+    atime: float = 0.0
+    mtime: float = 0.0
+
+    def important_attributes(self, options: AbstractionOptions) -> Tuple:
+        attrs: List = [self.mode & S_IFMT, self.mode & 0o7777, self.nlink]
+        is_dir = (self.mode & S_IFMT) == 0o040000
+        if not (is_dir and options.ignore_dir_sizes):
+            attrs.append(self.size)
+        if options.include_owner:
+            attrs.extend([self.uid, self.gid])
+        if options.track_timestamps:
+            attrs.extend([self.atime, self.mtime])
+        return tuple(attrs)
+
+
+def collect_entries(
+    kernel,
+    mountpoint: str,
+    options: AbstractionOptions = AbstractionOptions(),
+) -> List[EntryRecord]:
+    """Walk the mount point and return the entry records, sorted by path.
+
+    Reads go through the kernel's real syscall surface (open/read/stat),
+    so the walk pays the same costs MCFS pays when it hashes states --
+    and sees exactly the state an application would see, including any
+    corruption.
+    """
+    records: List[EntryRecord] = []
+    # iterative DFS over directories; entries are relative paths
+    stack: List[str] = ["/"]
+    while stack:
+        rel_dir = stack.pop()
+        abs_dir = mountpoint if rel_dir == "/" else mountpoint + rel_dir
+        for dirent in kernel.getdents(abs_dir):
+            if dirent.name in options.exception_list:
+                continue
+            rel_path = (rel_dir if rel_dir != "/" else "") + "/" + dirent.name
+            abs_path = mountpoint + rel_path
+            attrs = kernel.lstat(abs_path)
+            if attrs.is_symlink:
+                target = kernel.readlink(abs_path)
+                content = (
+                    hashlib.md5(target.encode("utf-8")).hexdigest()
+                    if options.include_symlink_targets
+                    else ""
+                )
+            elif attrs.is_dir:
+                content = ""
+                stack.append(rel_path)
+            else:
+                content = _hash_file_content(kernel, abs_path, attrs.st_size)
+            xattr_digest = ""
+            if options.include_xattrs and not attrs.is_symlink:
+                xattr_digest = _hash_xattrs(kernel, abs_path)
+            records.append(
+                EntryRecord(
+                    path=rel_path,
+                    mode=attrs.st_mode,
+                    size=attrs.st_size,
+                    nlink=attrs.st_nlink,
+                    uid=attrs.st_uid,
+                    gid=attrs.st_gid,
+                    content_md5=content,
+                    xattr_md5=xattr_digest,
+                    atime=attrs.st_atime,
+                    mtime=attrs.st_mtime,
+                )
+            )
+    if options.sort_entries:
+        records.sort(key=lambda record: record.path)
+    return records
+
+
+def _hash_xattrs(kernel, path: str) -> str:
+    """Digest of an entry's xattrs; empty when there are none or the fs
+    has no xattr support (ENOTSUP/ENOSYS are feature absences, not bugs
+    in themselves -- a capability mismatch already shows up as an outcome
+    discrepancy on the setxattr operation itself)."""
+    from repro.errors import ENOSYS, ENOTSUP
+
+    try:
+        keys = kernel.listxattr(path)
+    except FsError as error:
+        if error.code in (ENOTSUP, ENOSYS):
+            return ""
+        raise
+    if not keys:
+        return ""
+    ctx = hashlib.md5()
+    for key in sorted(keys):
+        ctx.update(key.encode("utf-8"))
+        ctx.update(b"\x00")
+        ctx.update(kernel.getxattr(path, key))
+        ctx.update(b"\x01")
+    return ctx.hexdigest()
+
+
+def _hash_file_content(kernel, path: str, size: int) -> str:
+    """MD5 of a file's full content, read through the syscall surface."""
+    ctx = hashlib.md5()
+    fd = kernel.open(path)
+    try:
+        offset = 0
+        chunk_size = 64 * 1024
+        while offset < size:
+            data = kernel.pread(fd, min(chunk_size, size - offset), offset)
+            if not data:
+                break
+            ctx.update(data)
+            offset += len(data)
+    finally:
+        kernel.close(fd)
+    return ctx.hexdigest()
+
+
+def hash_entries(records, options: AbstractionOptions) -> str:
+    """Hash already-collected entry records (steps 6-15 of Algorithm 1).
+
+    Split out from :func:`abstract_state` so one walk can feed several
+    abstraction variants (e.g. the state-matching hash and the integrity
+    comparison hash in the section 3.3 ablation).
+    """
+    ctx = hashlib.md5()
+    for record in records:
+        ctx.update(record.content_md5.encode("ascii"))
+        if options.include_xattrs:
+            ctx.update(record.xattr_md5.encode("ascii"))
+        for attr in record.important_attributes(options):
+            ctx.update(str(attr).encode("ascii"))
+            ctx.update(b"\x00")
+        ctx.update(record.path.encode("utf-8"))
+        ctx.update(b"\x00")
+    return ctx.hexdigest()
+
+
+def abstract_state(
+    kernel,
+    mountpoint: str,
+    options: AbstractionOptions = AbstractionOptions(),
+) -> str:
+    """Algorithm 1: the 128-bit abstract-state hash of one file system."""
+    return hash_entries(collect_entries(kernel, mountpoint, options), options)

@@ -1,0 +1,120 @@
+"""Coverage tracking while model-checking (§7 future work).
+
+The paper: "We are exploring methods to track code coverage while
+model-checking."  Without source-level instrumentation of a real kernel,
+the meaningful coverage units for a black-box checker are *behavioural*:
+
+* **operation coverage** -- which operations from the catalog ran;
+* **outcome coverage** -- which (operation, result) pairs were seen,
+  where result is "ok" or a specific errno.  Error paths are where bugs
+  lurk (§2), so a checker that never drove ``mkdir`` into ``ENOSPC``
+  has not exercised that path;
+* **per-file-system divergence** -- outcome pairs seen on one fs but
+  never on another hint at behavioural corners the comparison masked.
+
+The tracker plugs into the syscall engine and renders a report table.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.integrity import Outcome
+from repro.core.ops import Operation, OperationCatalog
+from repro.errors import errno_name
+
+OutcomeKey = Tuple[str, str]  # (operation name, "ok" or errno name)
+
+
+def _outcome_key(operation: Operation, outcome: Outcome) -> OutcomeKey:
+    result = "ok" if outcome.ok else errno_name(outcome.errno)
+    return operation.name, result
+
+
+@dataclass
+class CoverageReport:
+    """Summary of behavioural coverage for one checking run."""
+
+    operations_total: int
+    operations_covered: int
+    outcome_pairs: Dict[OutcomeKey, int]
+    per_fs_pairs: Dict[str, Set[OutcomeKey]]
+
+    @property
+    def operation_coverage(self) -> float:
+        if self.operations_total == 0:
+            return 0.0
+        return self.operations_covered / self.operations_total
+
+    @property
+    def error_paths_seen(self) -> int:
+        return sum(1 for (_op, result) in self.outcome_pairs if result != "ok")
+
+    def divergent_pairs(self) -> Dict[str, Set[OutcomeKey]]:
+        """Outcome pairs seen on some file systems but not others."""
+        if not self.per_fs_pairs:
+            return {}
+        union: Set[OutcomeKey] = set()
+        for pairs in self.per_fs_pairs.values():
+            union |= pairs
+        return {
+            label: union - pairs
+            for label, pairs in self.per_fs_pairs.items()
+            if union - pairs
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"operation coverage : {self.operations_covered}/{self.operations_total} "
+            f"({self.operation_coverage:.0%})",
+            f"outcome pairs seen : {len(self.outcome_pairs)} "
+            f"({self.error_paths_seen} error paths)",
+        ]
+        by_operation: Dict[str, List[str]] = defaultdict(list)
+        for (op_name, result), count in sorted(self.outcome_pairs.items()):
+            by_operation[op_name].append(f"{result}x{count}")
+        for op_name in sorted(by_operation):
+            lines.append(f"  {op_name:14s} {', '.join(by_operation[op_name])}")
+        divergent = self.divergent_pairs()
+        if divergent:
+            lines.append("never seen on:")
+            for label, missing in sorted(divergent.items()):
+                rendered = ", ".join(f"{op}:{res}" for op, res in sorted(missing))
+                lines.append(f"  {label:12s} {rendered}")
+        return "\n".join(lines)
+
+
+class CoverageTracker:
+    """Accumulates behavioural coverage from engine callbacks."""
+
+    def __init__(self, catalog: Optional[OperationCatalog] = None):
+        self._catalog_operations: Set[Operation] = (
+            set(catalog.operations()) if catalog is not None else set()
+        )
+        self._operations_run: Set[Operation] = set()
+        self._outcome_counts: Dict[OutcomeKey, int] = defaultdict(int)
+        self._per_fs: Dict[str, Set[OutcomeKey]] = defaultdict(set)
+
+    def record(self, operation: Operation, outcomes: Dict[str, Outcome]) -> None:
+        """Called by the engine after every executed operation."""
+        self._operations_run.add(operation)
+        for label, outcome in outcomes.items():
+            key = _outcome_key(operation, outcome)
+            self._outcome_counts[key] += 1
+            self._per_fs[label].add(key)
+
+    def report(self) -> CoverageReport:
+        total = len(self._catalog_operations) or len(self._operations_run)
+        covered = (
+            len(self._operations_run & self._catalog_operations)
+            if self._catalog_operations
+            else len(self._operations_run)
+        )
+        return CoverageReport(
+            operations_total=total,
+            operations_covered=covered,
+            outcome_pairs=dict(self._outcome_counts),
+            per_fs_pairs={label: set(pairs) for label, pairs in self._per_fs.items()},
+        )

@@ -1,0 +1,240 @@
+"""The file-system syscall engine: MCFS's nondeterministic test driver.
+
+The engine is the analogue of the paper's Promela ``do .. od`` loop with
+embedded C: it executes one selected operation on *every* file system
+under test, runs the per-operation remounts the active strategies demand,
+performs the integrity checks, and maintains the operation log that makes
+discrepancy reports replayable.
+
+Combined with an :class:`~repro.mc.explorer.Explorer`, it forms the
+:class:`MCFSTarget` -- the ExplorationTarget MCFS hands to the model
+checker.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.abstraction import AbstractionOptions
+from repro.core.integrity import DiscrepancyError, IntegrityChecker, Outcome, diff_entries
+from repro.core.ops import Operation, OperationCatalog
+from repro.core.report import DiscrepancyReport, LoggedOperation
+from repro.errors import FsError
+from repro.mc.explorer import ExplorationTarget
+
+
+class SyscallEngine:
+    """Executes operations across all FUTs and enforces integrity."""
+
+    def __init__(
+        self,
+        futs: Sequence,
+        strategies: Dict[str, Any],
+        catalog: OperationCatalog,
+        options: AbstractionOptions = AbstractionOptions(),
+        consistency_check_every: Optional[int] = None,
+        memory_model=None,
+        matching_options: Optional[AbstractionOptions] = None,
+        majority_voting: bool = False,
+        coverage=None,
+    ):
+        #: optional RAM/swap model; checkpoint/restore charge one state
+        #: touch each (Spin writes/reads the concrete state store too)
+        self.memory_model = memory_model
+        #: abstraction used for *visited-state matching*; defaults to the
+        #: integrity abstraction.  The section 3.3 ablation passes a
+        #: timestamp-tracking variant here to model raw c_track buffers.
+        self.matching_options = matching_options
+        #: with >= 3 file systems, vote to identify the outlier (§7)
+        self.majority_voting = majority_voting
+        #: optional CoverageTracker recording behavioural coverage (§7)
+        self.coverage = coverage
+        if len(futs) < 2:
+            raise ValueError("MCFS compares file systems: register at least two")
+        self.futs = list(futs)
+        self.strategies = strategies
+        self.catalog = catalog
+        self.options = options
+        self.checker = IntegrityChecker(options)
+        self.consistency_check_every = consistency_check_every
+        self.operation_log: List[LoggedOperation] = []
+        self.operations_executed = 0
+        self.starting_state = ""
+
+    def strategy_for(self, fut):
+        return self.strategies[fut.label]
+
+    # ------------------------------------------------------------ execution --
+    def run_operation(self, operation: Operation) -> LoggedOperation:
+        """Execute one operation everywhere; check outcomes; log it."""
+        outcomes: Dict[str, Outcome] = {}
+        for fut in self.futs:
+            outcomes[fut.label] = self.catalog.execute(fut, operation)
+            self.strategy_for(fut).after_operation(fut)
+        logged = LoggedOperation(operation=operation, outcomes=outcomes)
+        self.operation_log.append(logged)
+        self.operations_executed += 1
+        if self.coverage is not None:
+            self.coverage.record(operation, outcomes)
+
+        labels = [fut.label for fut in self.futs]
+        mismatch = self.checker.compare_outcomes(
+            labels, [outcomes[label] for label in labels]
+        )
+        if mismatch is not None:
+            suspects: List[str] = []
+            if self.majority_voting and len(self.futs) >= 3:
+                from repro.core.voting import describe_verdict, vote_on_outcomes
+
+                verdict = vote_on_outcomes(outcomes)
+                mismatch += f" | {describe_verdict(verdict)}"
+                suspects = verdict.suspects if verdict.decisive else []
+            raise DiscrepancyError(
+                self._report("outcome", mismatch, suspects=suspects)
+            )
+
+        if (
+            self.consistency_check_every
+            and self.operations_executed % self.consistency_check_every == 0
+        ):
+            self._run_consistency_checks()
+        return logged
+
+    def _run_consistency_checks(self) -> None:
+        for fut in self.futs:
+            problems = fut.check_consistency()
+            if problems:
+                raise DiscrepancyError(
+                    self._report(
+                        "corruption",
+                        f"{fut.label} failed fsck-style checks: "
+                        + "; ".join(problems[:5]),
+                    )
+                )
+
+    # -------------------------------------------------------------- hashing --
+    def combined_abstract_state(self) -> str:
+        """Hash all FUT states together, asserting they match.
+
+        This *is* the per-operation state integrity check: the walk that
+        produces the visited-state hash is the same walk that compares
+        the file systems, so each costs one traversal per fs, like MCFS.
+        """
+        from repro.core.abstraction import hash_entries
+
+        matching = self.matching_options or self.options
+        hashes: List[str] = []
+        match_hashes: List[str] = []
+        for fut in self.futs:
+            try:
+                records = fut.collect_entries(self.options)
+            except FsError as error:
+                raise DiscrepancyError(
+                    self._report(
+                        "corruption",
+                        f"{fut.label} unreadable while hashing state: {error}",
+                    )
+                )
+            hashes.append(hash_entries(records, self.options))
+            match_hashes.append(
+                hash_entries(records, matching)
+                if matching is not self.options
+                else hashes[-1]
+            )
+        reference = hashes[0]
+        for fut, state_hash in zip(self.futs[1:], hashes[1:]):
+            if state_hash != reference:
+                diff = diff_entries(
+                    self.futs[0].collect_entries(self.options),
+                    fut.collect_entries(self.options),
+                    self.options,
+                )
+                summary = f"abstract states differ: {self.futs[0].label} vs {fut.label}"
+                suspects: List[str] = []
+                if self.majority_voting and len(self.futs) >= 3:
+                    from repro.core.voting import describe_verdict, vote_on_states
+
+                    verdict = vote_on_states(
+                        dict(zip([f.label for f in self.futs], hashes))
+                    )
+                    summary += f" | {describe_verdict(verdict)}"
+                    suspects = verdict.suspects if verdict.decisive else []
+                raise DiscrepancyError(
+                    self._report(
+                        "state",
+                        summary,
+                        diff=diff,
+                        ending_states=dict(
+                            zip([f.label for f in self.futs], hashes)
+                        ),
+                        suspects=suspects,
+                    )
+                )
+        self.checker.state_checks += 1
+        return hashlib.md5("|".join(match_hashes).encode("ascii")).hexdigest()
+
+    # ------------------------------------------------------------- reports --
+    def _report(self, kind: str, summary: str, diff=None, ending_states=None,
+                suspects=None) -> DiscrepancyReport:
+        ending = ending_states or {}
+        if not ending:
+            for fut in self.futs:
+                try:
+                    ending[fut.label] = fut.abstract_state(self.options)
+                except FsError:
+                    ending[fut.label] = "(unreadable)"
+        return DiscrepancyReport(
+            kind=kind,
+            summary=summary,
+            operation_log=list(self.operation_log),
+            state_diff=diff,
+            starting_state=self.starting_state,
+            ending_states=ending,
+            operations_executed=self.operations_executed,
+            sim_time=self.futs[0].clock.now,
+            suspects=list(suspects or []),
+        )
+
+
+class MCFSTarget(ExplorationTarget):
+    """Adapts the engine + strategies to the explorer's target interface."""
+
+    def __init__(self, engine: SyscallEngine):
+        self.engine = engine
+        self._initialized = False
+
+    def actions(self) -> Sequence[Operation]:
+        return self.engine.catalog.operations()
+
+    def apply(self, action: Operation) -> None:
+        self.engine.run_operation(action)
+
+    def checkpoint(self) -> Tuple[Dict[str, Any], int]:
+        tokens = {
+            fut.label: self.engine.strategy_for(fut).checkpoint(fut)
+            for fut in self.engine.futs
+        }
+        if self.engine.memory_model is not None:
+            self.engine.memory_model.touch_state()
+        return tokens, len(self.engine.operation_log)
+
+    def restore(self, token: Tuple[Dict[str, Any], int]) -> None:
+        tokens, log_length = token
+        for fut in self.engine.futs:
+            self.engine.strategy_for(fut).restore(fut, tokens[fut.label])
+        if self.engine.memory_model is not None:
+            self.engine.memory_model.touch_state()
+        del self.engine.operation_log[log_length:]
+
+    def abstract_state(self) -> str:
+        state = self.engine.combined_abstract_state()
+        if not self._initialized:
+            self.engine.starting_state = state
+            self._initialized = True
+        return state
+
+    def independent(self, first: Operation, second: Operation) -> bool:
+        """Path-disjointness independence for partial-order reduction."""
+        return self.engine.catalog.independent(first, second)

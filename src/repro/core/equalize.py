@@ -1,0 +1,65 @@
+"""Free-space equalization (section 3.4, "Differing data capacity").
+
+File systems formatted onto identical devices still expose different
+usable capacities (journals, inode tables, chunk indexes...).  Near the
+full mark, a write can succeed on one file system and fail ENOSPC on the
+other -- a false positive.  The workaround: when MCFS starts, query every
+file system's free space, find the smallest (S_L), and on each file
+system with free space S_n write a dummy file of S_n - S_L zero bytes.
+
+The dummy file lives on the abstraction exception list
+(``.mcfs_equalize``), so it never participates in state comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import ENOSPC, FsError
+from repro.kernel.fdtable import O_CREAT, O_WRONLY
+
+EQUALIZE_FILENAME = "/.mcfs_equalize"
+_CHUNK = 64 * 1024
+
+
+def equalize_free_space(futs: Sequence, tolerance_bytes: int = 8192) -> Dict[str, int]:
+    """Pad every FUT down to the smallest free space among them.
+
+    Returns {label: bytes_written}.  Equalization is iterative: writing N
+    bytes consumes more than N of free space once metadata overhead is
+    counted, so each file system is padded until its free space is within
+    ``tolerance_bytes`` of the smallest (or it cannot be shrunk further).
+    """
+    free: Dict[str, int] = {fut.label: fut.statfs().bytes_free for fut in futs}
+    smallest = min(free.values())
+    written: Dict[str, int] = {fut.label: 0 for fut in futs}
+    for fut in futs:
+        if free[fut.label] - smallest <= tolerance_bytes:
+            continue
+        written[fut.label] = _pad_filesystem(fut, smallest, tolerance_bytes)
+    return written
+
+
+def _pad_filesystem(fut, target_free: int, tolerance_bytes: int) -> int:
+    path = fut.mountpoint + EQUALIZE_FILENAME
+    fd = fut.kernel.open(path, O_CREAT | O_WRONLY, 0o600)
+    total = 0
+    try:
+        offset = 0
+        for _ in range(10_000):  # hard stop against pathological loops
+            current_free = fut.statfs().bytes_free
+            gap = current_free - target_free
+            if gap <= tolerance_bytes:
+                break
+            chunk = min(_CHUNK, gap)
+            try:
+                wrote = fut.kernel.pwrite(fd, b"\x00" * chunk, offset)
+            except FsError as error:
+                if error.code == ENOSPC:
+                    break  # cannot shrink further; close enough
+                raise
+            offset += wrote
+            total += wrote
+    finally:
+        fut.kernel.close(fd)
+    return total

@@ -1,0 +1,244 @@
+"""The MCFS harness: wire file systems, strategies, and the explorer.
+
+Typical use::
+
+    clock = SimClock()
+    mcfs = MCFS(clock)
+    mcfs.add_block_filesystem("ext2", Ext2FileSystemType(),
+                              RAMBlockDevice(256 * 1024, clock=clock),
+                              strategy=RemountStrategy())
+    mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                              RAMBlockDevice(256 * 1024, clock=clock),
+                              strategy=RemountStrategy())
+    result = mcfs.run_dfs(max_depth=3)
+    if result.found_discrepancy:
+        print(result.report)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.clock import SimClock
+from repro.core.abstraction import AbstractionOptions
+from repro.core.engine import MCFSTarget, SyscallEngine
+from repro.core.equalize import equalize_free_space
+from repro.core.futs import FilesystemUnderTest, make_block_fut, make_verifs_fut
+from repro.core.integrity import DiscrepancyError
+from repro.core.ops import OperationCatalog, ParameterPool
+from repro.core.report import DiscrepancyReport
+from repro.mc.explorer import ExplorationStats, Explorer
+from repro.mc.hashtable import VisitedStateTable
+from repro.mc.memory import MemoryModel
+from repro.mc.strategies import CheckpointStrategy, IoctlStrategy, RemountStrategy
+
+
+@dataclass
+class MCFSOptions:
+    """Configuration for a checking run."""
+
+    abstraction: AbstractionOptions = field(default_factory=AbstractionOptions)
+    pool: ParameterPool = field(default_factory=ParameterPool)
+    #: include rename/symlink/link/xattr ops (off when VeriFS1 is tested)
+    include_extended_operations: bool = True
+    #: periodic fsck-style sweeps; None disables (they are expensive)
+    consistency_check_every: Optional[int] = None
+    #: equalize free space at startup (section 3.4 workaround)
+    equalize_free_space: bool = False
+    #: attach a RAM/swap memory model to the visited-state table
+    memory_model: Optional[MemoryModel] = None
+    #: abstraction for visited-state *matching* only (None = same as
+    #: ``abstraction``); the §3.3 ablation passes a timestamp-tracking
+    #: variant to model raw c_track buffer matching
+    matching_abstraction: Optional[AbstractionOptions] = None
+    #: with >= 3 file systems, vote on discrepancies to name the outlier
+    #: (§7 future work)
+    majority_voting: bool = False
+    #: record behavioural coverage (operation/outcome pairs, §7)
+    track_coverage: bool = False
+
+
+@dataclass
+class MCFSResult:
+    """Outcome of one checking run."""
+
+    stats: ExplorationStats
+    report: Optional[DiscrepancyReport]
+    sim_time: float
+    operations: int
+    unique_states: int
+
+    @property
+    def found_discrepancy(self) -> bool:
+        return self.report is not None
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.sim_time if self.sim_time > 0 else 0.0
+
+
+class MCFS:
+    """The model-checking framework for file systems."""
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 options: Optional[MCFSOptions] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.options = options if options is not None else MCFSOptions()
+        self.futs: List[FilesystemUnderTest] = []
+        self.strategies: Dict[str, CheckpointStrategy] = {}
+        self._engine: Optional[SyscallEngine] = None
+
+    # ------------------------------------------------------------- registry --
+    def add_filesystem(self, fut: FilesystemUnderTest,
+                       strategy: CheckpointStrategy) -> FilesystemUnderTest:
+        if any(existing.label == fut.label for existing in self.futs):
+            raise ValueError(f"duplicate file system label {fut.label!r}")
+        self.futs.append(fut)
+        self.strategies[fut.label] = strategy
+        self._engine = None
+        return fut
+
+    def add_block_filesystem(self, label: str, fstype, device,
+                             strategy: Optional[CheckpointStrategy] = None,
+                             format_device: bool = True) -> FilesystemUnderTest:
+        """Register a block/MTD file system (default strategy: remount)."""
+        fut = make_block_fut(label, fstype, device, self.clock,
+                             format_device=format_device)
+        return self.add_filesystem(fut, strategy or RemountStrategy())
+
+    def add_verifs(self, label: str, filesystem,
+                   strategy: Optional[CheckpointStrategy] = None) -> FilesystemUnderTest:
+        """Register a VeriFS instance (default strategy: ioctl)."""
+        fut = make_verifs_fut(label, filesystem, self.clock)
+        return self.add_filesystem(fut, strategy or IoctlStrategy())
+
+    # ---------------------------------------------------------------- setup --
+    def engine(self) -> SyscallEngine:
+        if self._engine is None:
+            catalog = OperationCatalog(
+                pool=self.options.pool,
+                include_extended=self.options.include_extended_operations,
+            )
+            coverage = None
+            if self.options.track_coverage:
+                from repro.core.coverage import CoverageTracker
+
+                coverage = CoverageTracker(catalog)
+            self._engine = SyscallEngine(
+                futs=self.futs,
+                strategies=self.strategies,
+                catalog=catalog,
+                options=self.options.abstraction,
+                consistency_check_every=self.options.consistency_check_every,
+                memory_model=self.options.memory_model,
+                matching_options=self.options.matching_abstraction,
+                majority_voting=self.options.majority_voting,
+                coverage=coverage,
+            )
+        return self._engine
+
+    def coverage_report(self):
+        """Behavioural coverage of the run so far (requires
+        ``MCFSOptions.track_coverage=True``)."""
+        tracker = self.engine().coverage
+        if tracker is None:
+            raise ValueError("coverage tracking is off; set "
+                             "MCFSOptions.track_coverage=True")
+        return tracker.report()
+
+    def _prepare(self) -> MCFSTarget:
+        if len(self.futs) < 2:
+            raise ValueError("register at least two file systems before running")
+        if self.options.equalize_free_space:
+            equalize_free_space(self.futs)
+        return MCFSTarget(self.engine())
+
+    def _make_explorer(self, target: MCFSTarget,
+                       state_file: Optional[str] = None, **kwargs) -> Explorer:
+        visited: Optional[VisitedStateTable] = None
+        self._resumed_operations = 0
+        self._resumed_runs = 0
+        if state_file is not None:
+            from repro.mc.persistence import load_checker_state
+
+            snapshot = load_checker_state(state_file,
+                                          memory=self.options.memory_model)
+            if snapshot is not None:
+                visited = snapshot.visited
+                self._resumed_operations = snapshot.operations_completed
+                self._resumed_runs = snapshot.runs
+        if visited is None:
+            visited = VisitedStateTable(memory=self.options.memory_model)
+        return Explorer(target, self.clock, visited=visited, **kwargs)
+
+    def _finish_run(self, explorer: Explorer, start: float,
+                    state_file: Optional[str]) -> MCFSResult:
+        if state_file is not None:
+            from repro.mc.persistence import save_checker_state
+
+            save_checker_state(
+                state_file,
+                explorer.visited,
+                operations_completed=self._resumed_operations
+                + explorer.stats.operations,
+                runs=self._resumed_runs + 1,
+            )
+        return self._result(explorer.stats, start)
+
+    # ----------------------------------------------------------------- runs --
+    def run_dfs(self, max_depth: int = 3, max_operations: Optional[int] = None,
+                max_unique_states: Optional[int] = None,
+                sample_every: Optional[int] = None,
+                state_file: Optional[str] = None,
+                por: bool = False) -> MCFSResult:
+        """Exhaustive bounded search over all operation permutations.
+
+        ``state_file`` makes the run resumable (§7 future work): the
+        visited-state table is loaded from the file when it exists and
+        saved back afterwards, so an interrupted campaign picks up
+        without re-exploring covered states.
+
+        ``por=True`` enables sleep-set partial-order reduction over
+        path-disjoint operations (§2's "all permutations ... without
+        duplication").
+        """
+        target = self._prepare()
+        explorer = self._make_explorer(
+            target, state_file=state_file,
+            max_depth=max_depth, max_operations=max_operations,
+            max_unique_states=max_unique_states, sample_every=sample_every,
+        )
+        start = self.clock.now
+        explorer.run_dfs(por=por)
+        return self._finish_run(explorer, start, state_file)
+
+    def run_random(self, max_operations: int, seed: int = 0,
+                   max_depth: int = 64,
+                   backtrack_probability: float = 0.25,
+                   sample_every: Optional[int] = None,
+                   sim_time_budget: Optional[float] = None,
+                   state_file: Optional[str] = None) -> MCFSResult:
+        """Seeded randomized walk (long-horizon experiments)."""
+        target = self._prepare()
+        explorer = self._make_explorer(
+            target, state_file=state_file,
+            max_depth=max_depth, max_operations=max_operations,
+            seed=seed, sample_every=sample_every,
+            sim_time_budget=sim_time_budget,
+        )
+        start = self.clock.now
+        explorer.run_random(backtrack_probability=backtrack_probability)
+        return self._finish_run(explorer, start, state_file)
+
+    def _result(self, stats: ExplorationStats, start_time: float) -> MCFSResult:
+        report: Optional[DiscrepancyReport] = None
+        if isinstance(stats.violation, DiscrepancyError):
+            report = stats.violation.report
+        return MCFSResult(
+            stats=stats,
+            report=report,
+            sim_time=self.clock.now - start_time,
+            operations=stats.operations,
+            unique_states=stats.unique_states,
+        )

@@ -1,0 +1,244 @@
+"""The bounded operation/parameter space (the Promela do..od analogue).
+
+MCFS nondeterministically selects an operation and its parameters from a
+predefined bounded pool (section 4).  Two kinds of entries:
+
+* **plain operations** that can execute in isolation even when the file
+  system is remounted around every step: ``truncate``, ``mkdir``,
+  ``rmdir``, ``unlink``, ``rename``, ``symlink``, ``link``, ``setxattr``;
+* **meta-operations** that bundle the syscalls which would otherwise
+  depend on kernel state (open file descriptors do not survive an
+  unmount): ``create_file`` = open(O_CREAT)+close, ``write_file`` =
+  open+pwrite+close.
+
+The pool deliberately produces *invalid* sequences too (writing to files
+that do not exist, rmdir on files, ...): those exercise error paths,
+where bugs often lurk, and must fail identically everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import FsError
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.core.integrity import Outcome
+
+#: operations VeriFS1 does not implement; catalogs for VeriFS1 comparisons
+#: exclude them (the paper compared VeriFS1 against Ext4 on the common set).
+EXTENDED_OPERATIONS = frozenset({"rename", "symlink", "link", "setxattr"})
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One concrete operation: a name plus fully bound parameters."""
+
+    name: str
+    args: Tuple = ()
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(value) for value in self.args)
+        return f"{self.name}({rendered})"
+
+
+@dataclass(frozen=True)
+class ParameterPool:
+    """The bounded parameter space, mirroring the paper's predefined pool.
+
+    Paths are relative to each file system's mount point.  Keeping the
+    pool small is what keeps the state space bounded; keeping it *shared*
+    across operations is what makes invalid sequences (e.g. unlink of a
+    never-created file) arise naturally.
+    """
+
+    file_paths: Tuple[str, ...] = ("/f0", "/f1", "/d0/f2")
+    dir_paths: Tuple[str, ...] = ("/d0", "/d1", "/d0/sd0")
+    write_offsets: Tuple[int, ...] = (0, 1000)
+    write_sizes: Tuple[int, ...] = (512, 3000)
+    truncate_sizes: Tuple[int, ...] = (0, 100, 2048)
+    fill_bytes: Tuple[int, ...] = (0x41,)
+    symlink_targets: Tuple[str, ...] = ("/f0",)
+    xattr_pairs: Tuple[Tuple[str, bytes], ...] = (("user.mcfs", b"x"),)
+
+    def tiny(self) -> "ParameterPool":
+        """A minimal pool for exhaustive-DFS unit tests."""
+        return ParameterPool(
+            file_paths=("/f0",),
+            dir_paths=("/d0",),
+            write_offsets=(0,),
+            write_sizes=(64,),
+            truncate_sizes=(0, 100),
+            fill_bytes=(0x41,),
+            symlink_targets=("/f0",),
+            xattr_pairs=(("user.mcfs", b"x"),),
+        )
+
+
+def fill_pattern(fill: int, size: int, offset: int) -> bytes:
+    """Deterministic, position-dependent data so content bugs are visible.
+
+    A constant fill would mask bugs like stale-data exposure whenever the
+    stale bytes happen to match; weaving the offset into the pattern makes
+    every write distinguishable.
+    """
+    return bytes((fill + offset + index) & 0xFF for index in range(size))
+
+
+class OperationCatalog:
+    """Enumerates the operation space and executes operations on a FUT."""
+
+    def __init__(
+        self,
+        pool: ParameterPool = ParameterPool(),
+        include_extended: bool = True,
+        include_meta: bool = True,
+    ):
+        self.pool = pool
+        self.include_extended = include_extended
+        self.include_meta = include_meta
+        self._operations = self._build()
+
+    def operations(self) -> List[Operation]:
+        """Every (operation, parameters) combination, in a stable order."""
+        return list(self._operations)
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def _build(self) -> List[Operation]:
+        pool = self.pool
+        ops: List[Operation] = []
+        if self.include_meta:
+            for path in pool.file_paths:
+                ops.append(Operation("create_file", (path, 0o644)))
+            for path in pool.file_paths:
+                for offset in pool.write_offsets:
+                    for size in pool.write_sizes:
+                        for fill in pool.fill_bytes:
+                            ops.append(Operation("write_file", (path, offset, size, fill)))
+        for path in pool.file_paths:
+            for size in pool.truncate_sizes:
+                ops.append(Operation("truncate", (path, size)))
+        for path in pool.dir_paths:
+            ops.append(Operation("mkdir", (path, 0o755)))
+        for path in pool.dir_paths:
+            ops.append(Operation("rmdir", (path,)))
+        for path in pool.file_paths:
+            ops.append(Operation("unlink", (path,)))
+        if self.include_extended:
+            for source in pool.file_paths[:2]:
+                for dest in pool.file_paths[:2]:
+                    if source != dest:
+                        ops.append(Operation("rename", (source, dest)))
+            for target in pool.symlink_targets:
+                ops.append(Operation("symlink", (target, "/sym0")))
+            for source in pool.file_paths[:1]:
+                ops.append(Operation("link", (source, "/hard0")))
+            for key, value in pool.xattr_pairs:
+                for path in pool.file_paths[:1]:
+                    ops.append(Operation("setxattr", (path, key, value)))
+        return ops
+
+    # --------------------------------------------------- independence (POR) --
+    @staticmethod
+    def paths_touched(operation: Operation) -> Tuple[str, ...]:
+        """Mount-relative paths an operation reads or mutates."""
+        name, args = operation.name, operation.args
+        if name in ("create_file", "write_file", "truncate", "mkdir",
+                    "rmdir", "unlink"):
+            return (args[0],)
+        if name == "rename":
+            return (args[0], args[1])
+        if name == "symlink":
+            return (args[0], args[1])
+        if name == "link":
+            return (args[0], args[1])
+        if name == "setxattr":
+            return (args[0],)
+        return ()
+
+    @classmethod
+    def independent(cls, first: Operation, second: Operation) -> bool:
+        """True when the two operations commute.
+
+        Conservative rule: operations commute when their touched paths
+        are disjoint and neither path is an ancestor of the other's
+        (``mkdir /d0`` does not commute with ``create /d0/f2``).  Shared
+        free space could couple any two writes near a full device; MCFS
+        pools keep devices far from full, so the rule is sound there.
+        """
+        first_paths = cls.paths_touched(first)
+        second_paths = cls.paths_touched(second)
+        if not first_paths or not second_paths:
+            return False
+        for a in first_paths:
+            for b in second_paths:
+                if a == b or a.startswith(b + "/") or b.startswith(a + "/"):
+                    return False
+        return True
+
+    # ------------------------------------------------------------ execution --
+    def execute(self, fut, operation: Operation) -> Outcome:
+        """Run one operation against a FUT through its kernel.
+
+        POSIX failures become error Outcomes (they are *expected* -- the
+        pool generates invalid sequences on purpose); anything else
+        propagates, because it means the checker or fs crashed.
+        """
+        handler = getattr(self, f"_op_{operation.name}", None)
+        if handler is None:
+            raise ValueError(f"unknown operation {operation.name!r}")
+        try:
+            value = handler(fut, *operation.args)
+            return Outcome.success(value)
+        except FsError as error:
+            return Outcome.failure(error.code)
+
+    # Meta-operations: bundles that avoid depending on open-fd kernel state.
+    def _op_create_file(self, fut, path: str, mode: int):
+        fd = fut.kernel.open(fut.mountpoint + path, O_CREAT | O_WRONLY, mode)
+        fut.kernel.close(fd)
+        return 0
+
+    def _op_write_file(self, fut, path: str, offset: int, size: int, fill: int):
+        # "write_file opens, writes some data to, and closes a file" (§4);
+        # O_CREAT keeps it usable as the first operation on a path.
+        fd = fut.kernel.open(fut.mountpoint + path, O_CREAT | O_WRONLY)
+        try:
+            return fut.kernel.pwrite(fd, fill_pattern(fill, size, offset), offset)
+        finally:
+            fut.kernel.close(fd)
+
+    # Plain operations.
+    def _op_truncate(self, fut, path: str, size: int):
+        fut.kernel.truncate(fut.mountpoint + path, size)
+        return 0
+
+    def _op_mkdir(self, fut, path: str, mode: int):
+        fut.kernel.mkdir(fut.mountpoint + path, mode)
+        return 0
+
+    def _op_rmdir(self, fut, path: str):
+        fut.kernel.rmdir(fut.mountpoint + path)
+        return 0
+
+    def _op_unlink(self, fut, path: str):
+        fut.kernel.unlink(fut.mountpoint + path)
+        return 0
+
+    def _op_rename(self, fut, source: str, dest: str):
+        fut.kernel.rename(fut.mountpoint + source, fut.mountpoint + dest)
+        return 0
+
+    def _op_symlink(self, fut, target: str, link_path: str):
+        fut.kernel.symlink(target, fut.mountpoint + link_path)
+        return 0
+
+    def _op_link(self, fut, source: str, link_path: str):
+        fut.kernel.link(fut.mountpoint + source, fut.mountpoint + link_path)
+        return 0
+
+    def _op_setxattr(self, fut, path: str, key: str, value: bytes):
+        fut.kernel.setxattr(fut.mountpoint + path, key, value)
+        return 0

@@ -1,0 +1,81 @@
+"""Majority voting across three or more file systems (§7 future work).
+
+The paper: "We also plan to run more than two file systems concurrently
+with MCFS and use a majority-voting approach to recognize incorrect
+file-system behavior."
+
+With only two file systems a discrepancy says *that* they disagree, not
+*who* is wrong.  With N >= 3, the odd one out is the suspect: if ext2,
+ext4 and xfs return 0 and VeriFS2 returns ENOSPC, VeriFS2 is the likely
+culprit.  This module implements that vote for both operation outcomes
+and abstract states.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.integrity import Outcome
+
+
+@dataclass
+class Verdict:
+    """The result of one majority vote."""
+
+    #: labels that disagree with the majority (the suspected culprits);
+    #: empty when everyone agrees
+    suspects: List[str] = field(default_factory=list)
+    #: labels forming the majority
+    majority: List[str] = field(default_factory=list)
+    #: True when a strict majority exists (len(majority) > N/2)
+    decisive: bool = False
+
+    @property
+    def unanimous(self) -> bool:
+        return not self.suspects
+
+
+def _vote(labels: Sequence[str], keys: Sequence[Hashable]) -> Verdict:
+    """Group labels by their observation and vote."""
+    groups: Dict[Hashable, List[str]] = {}
+    for label, key in zip(labels, keys):
+        groups.setdefault(key, []).append(label)
+    if len(groups) == 1:
+        only = next(iter(groups.values()))
+        return Verdict(suspects=[], majority=list(only), decisive=True)
+    ranked = sorted(groups.values(), key=len, reverse=True)
+    majority = ranked[0]
+    suspects = [label for group in ranked[1:] for label in group]
+    decisive = len(majority) > len(labels) / 2
+    return Verdict(suspects=suspects, majority=majority, decisive=decisive)
+
+
+def vote_on_outcomes(outcomes: Dict[str, Outcome]) -> Verdict:
+    """Vote on operation outcomes: success value or errno."""
+    labels = list(outcomes)
+    keys = [
+        ("ok", outcome.value) if outcome.ok else ("err", outcome.errno)
+        for outcome in outcomes.values()
+    ]
+    return _vote(labels, keys)
+
+
+def vote_on_states(state_hashes: Dict[str, str]) -> Verdict:
+    """Vote on abstract-state hashes."""
+    return _vote(list(state_hashes), list(state_hashes.values()))
+
+
+def describe_verdict(verdict: Verdict) -> str:
+    if verdict.unanimous:
+        return "all file systems agree"
+    if verdict.decisive:
+        return (
+            f"majority ({', '.join(verdict.majority)}) outvotes "
+            f"suspected culprit(s): {', '.join(verdict.suspects)}"
+        )
+    return (
+        f"no strict majority: {', '.join(verdict.majority)} vs "
+        f"{', '.join(verdict.suspects)} (tie -- manual triage needed)"
+    )

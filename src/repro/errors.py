@@ -1,0 +1,84 @@
+"""POSIX errno model shared by the whole stack.
+
+Every layer of the simulated kernel reports failures by raising
+:class:`FsError` carrying one of the errno constants below.  The MCFS
+integrity checker (``repro.core.integrity``) compares errno values across
+file systems, so the constants must be stable and identical everywhere --
+we re-export the host ``errno`` values to keep reports familiar.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+
+# Re-exported constants used across the code base.  Using the host values
+# keeps `os.strerror` usable for human-readable reports.
+EPERM = _errno.EPERM
+ENOENT = _errno.ENOENT
+EIO = _errno.EIO
+EBADF = _errno.EBADF
+EACCES = _errno.EACCES
+EBUSY = _errno.EBUSY
+EEXIST = _errno.EEXIST
+EXDEV = _errno.EXDEV
+ENODEV = _errno.ENODEV
+ENOTDIR = _errno.ENOTDIR
+EISDIR = _errno.EISDIR
+EINVAL = _errno.EINVAL
+ENFILE = _errno.ENFILE
+EMFILE = _errno.EMFILE
+EFBIG = _errno.EFBIG
+ENOSPC = _errno.ENOSPC
+EROFS = _errno.EROFS
+EMLINK = _errno.EMLINK
+ENAMETOOLONG = _errno.ENAMETOOLONG
+ENOTEMPTY = _errno.ENOTEMPTY
+ELOOP = _errno.ELOOP
+ENODATA = _errno.ENODATA
+ENOSYS = _errno.ENOSYS
+ENOTBLK = _errno.ENOTBLK
+ESPIPE = _errno.ESPIPE
+ERANGE = _errno.ERANGE
+ENOTTY = _errno.ENOTTY
+ENOTSUP = _errno.ENOTSUP
+
+
+def errno_name(code: int) -> str:
+    """Return the symbolic name (``"ENOENT"``) for an errno value."""
+    return _errno.errorcode.get(code, f"E?{code}")
+
+
+class FsError(OSError):
+    """A POSIX-style failure from any layer of the simulated stack.
+
+    The model checker treats the ``errno`` attribute as part of the
+    observable outcome of an operation: two file systems that fail the
+    same call with *different* errno values are reported as discrepant.
+    """
+
+    def __init__(self, code: int, message: str = ""):
+        super().__init__(code, message or os.strerror(code))
+        self.code = code
+
+    @property
+    def name(self) -> str:
+        return errno_name(self.code)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FsError({self.name}, {self.args[1]!r})"
+
+
+class DeviceError(FsError):
+    """Failure reported by a simulated storage device."""
+
+    def __init__(self, message: str = "", code: int = EIO):
+        super().__init__(code, message)
+
+
+class CheckpointUnsupported(RuntimeError):
+    """Raised by a checkpoint strategy that cannot handle the target.
+
+    Mirrors CRIU's refusal to checkpoint processes holding character or
+    block device handles (paper section 5).
+    """

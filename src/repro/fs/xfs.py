@@ -1,0 +1,937 @@
+"""SimXFS: an extent-based file system (the XFS analogue).
+
+Deliberately different from the SimExt family in every way that matters
+to MCFS's false-positive workarounds (section 3.4):
+
+* **Directory sizes** are reported as the sum of the entry record sizes
+  (each 8-byte aligned), not as a multiple of the block size.
+* **getdents order** is name-hash order (XFS directories are B+trees keyed
+  by name hash), not insertion order.
+* **No special folders**: mkfs creates only the root.
+* **16 MB minimum device size** (the reason the paper patched ``brd``).
+* Inodes are allocated dynamically in 16-inode chunks carved out of the
+  data area; an inode's number encodes its location, so there is no fixed
+  inode table and no global inode limit beyond free space.
+* Files map their blocks with inline extent lists (up to 16 extents of
+  ``(file_start, device_start, length)``).
+
+Like SimExt2, everything flows through a write-back buffer cache, so the
+cache-incoherency corruption of section 3.2 is genuine here too.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import OrderedDict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import (
+    EEXIST,
+    EFBIG,
+    EINVAL,
+    EIO,
+    EISDIR,
+    ENODATA,
+    ENOENT,
+    ENOSPC,
+    ENOTDIR,
+    ENOTEMPTY,
+    ERANGE,
+    FsError,
+)
+from repro.fs.ext2 import XATTR_CREATE, XATTR_REPLACE
+from repro.fs.base import (BufferCache, pack_dirent, pack_xattrs,
+                           unpack_dirents, unpack_xattrs)
+from repro.kernel.stat import (
+    DT_DIR,
+    DT_LNK,
+    DT_REG,
+    Dirent,
+    S_IFDIR,
+    S_IFLNK,
+    S_IFMT,
+    S_IFREG,
+    StatResult,
+    StatVFS,
+    mode_to_dtype,
+)
+from repro.kernel.vfs import FileSystemType, MountedFileSystem
+from repro.util.bitmap import Bitmap
+from repro.util.hashing import stable_hash64
+
+MAGIC = b"SIMXFS\x00\x00"
+SUPER_FMT = "<8sIIIIIIQ"  # magic, version, block_size, blocks, chunk_index_start, chunk_index_blocks, root_ino, generation
+SUPER_SIZE = struct.calcsize(SUPER_FMT)
+
+INODE_SIZE = 256
+INODES_PER_CHUNK = 16
+MAX_EXTENTS = 16
+INODE_FIXED_FMT = "<4IQ3d2I"  # mode, uid, gid, nlink, size, a/m/ctime, nextents, xattr block
+EXTENT_FMT = "<3I"
+CHUNK_ENTRY_FMT = "<IHH"  # chunk block, free mask, pad
+CHUNK_ENTRY_SIZE = struct.calcsize(CHUNK_ENTRY_FMT)
+
+
+def _dirent_record_size(name: str) -> int:
+    """XFS-style directory entry footprint: header + name, 8-byte aligned."""
+    raw = 11 + len(name.encode("utf-8"))
+    return (raw + 7) & ~7
+
+
+class XfsInode:
+    """In-memory image of one 256-byte on-disk inode record."""
+
+    __slots__ = ("ino", "mode", "uid", "gid", "nlink", "size",
+                 "atime", "mtime", "ctime", "extents", "xattr_block")
+
+    def __init__(self, ino: int):
+        self.ino = ino
+        self.mode = 0
+        self.uid = 0
+        self.gid = 0
+        self.nlink = 0
+        self.size = 0
+        self.atime = 0.0
+        self.mtime = 0.0
+        self.ctime = 0.0
+        # list of (file_block_start, device_block_start, block_count)
+        self.extents: List[Tuple[int, int, int]] = []
+        self.xattr_block = 0
+
+    def pack(self) -> bytes:
+        raw = struct.pack(
+            INODE_FIXED_FMT, self.mode, self.uid, self.gid, self.nlink,
+            self.size, self.atime, self.mtime, self.ctime, len(self.extents),
+            self.xattr_block,
+        )
+        for extent in self.extents:
+            raw += struct.pack(EXTENT_FMT, *extent)
+        return raw + b"\x00" * (INODE_SIZE - len(raw))
+
+    @classmethod
+    def unpack(cls, ino: int, raw: bytes) -> "XfsInode":
+        fixed = struct.calcsize(INODE_FIXED_FMT)
+        fields = struct.unpack(INODE_FIXED_FMT, raw[:fixed])
+        inode = cls(ino)
+        (inode.mode, inode.uid, inode.gid, inode.nlink,
+         inode.size, inode.atime, inode.mtime, inode.ctime, nextents,
+         inode.xattr_block) = fields
+        offset = fixed
+        for _ in range(nextents):
+            inode.extents.append(struct.unpack(EXTENT_FMT, raw[offset : offset + 12]))
+            offset += 12
+        return inode
+
+    @property
+    def is_dir(self) -> bool:
+        return (self.mode & S_IFMT) == S_IFDIR
+
+    @property
+    def is_symlink(self) -> bool:
+        return (self.mode & S_IFMT) == S_IFLNK
+
+    @property
+    def nblocks(self) -> int:
+        return sum(count for _, _, count in self.extents)
+
+
+class XfsGeometry:
+    def __init__(self, device_size: int, block_size: int):
+        self.block_size = block_size
+        self.block_count = device_size // block_size
+        bits_per_block = block_size * 8
+        self.bitmap_start = 1
+        self.bitmap_blocks = (self.block_count + bits_per_block - 1) // bits_per_block
+        self.chunk_index_start = self.bitmap_start + self.bitmap_blocks
+        self.chunk_index_blocks = 4
+        self.first_data_block = self.chunk_index_start + self.chunk_index_blocks
+        if self.first_data_block + 4 >= self.block_count:
+            raise FsError(EINVAL, "device too small for SimXFS")
+
+
+class XfsFileSystemType(FileSystemType):
+    """mkfs + mount entry points for SimXFS."""
+
+    name = "xfs"
+    min_device_size = 16 * 1024 * 1024  # the paper's XFS minimum
+    special_paths = ()
+
+    def __init__(self, block_size: int = 4096):
+        self.block_size = block_size
+
+    def mkfs(self, device) -> None:
+        if device.size_bytes < self.min_device_size:
+            raise FsError(
+                EINVAL,
+                f"xfs needs a device of at least {self.min_device_size} bytes, "
+                f"got {device.size_bytes}",
+            )
+        geometry = XfsGeometry(device.size_bytes, self.block_size)
+        cache = BufferCache(device, self.block_size)
+        for block in range(geometry.first_data_block):
+            cache.write_block(block, b"")
+        bitmap = Bitmap(geometry.block_count)
+        for block in range(geometry.first_data_block):
+            bitmap.set(block)
+
+        fs = MountedXfs.__new__(MountedXfs)
+        fs._init_raw(device, cache, geometry, bitmap, chunks=[], root_ino=0)
+        root_ino = fs._allocate_inode()
+        root = fs._load_inode(root_ino)
+        root.mode = S_IFDIR | 0o755
+        root.nlink = 2
+        now = device.clock.now
+        root.atime = root.mtime = root.ctime = now
+        fs._write_dir_entries(root, [(root_ino, DT_DIR, "."), (root_ino, DT_DIR, "..")])
+        fs._store_inode(root)
+        fs.root_ino = root_ino
+        fs.sync()
+
+    def mount(self, device, kernel=None) -> "MountedXfs":
+        return MountedXfs(device, self.block_size)
+
+
+class MountedXfs(MountedFileSystem):
+    """A live SimXFS instance."""
+
+    def __init__(self, device, block_size: int):
+        cache = BufferCache(device, block_size)
+        raw = cache.read_block(0)
+        magic, version, sb_bs, blocks, ci_start, ci_blocks, root_ino, generation = (
+            struct.unpack(SUPER_FMT, raw[:SUPER_SIZE])
+        )
+        if magic != MAGIC:
+            raise FsError(EINVAL, f"not a SimXFS file system (magic {magic!r})")
+        if sb_bs != block_size:
+            raise FsError(EINVAL, f"superblock block size {sb_bs} != {block_size}")
+        geometry = XfsGeometry(device.size_bytes, block_size)
+        bits = b"".join(
+            cache.read_block(geometry.bitmap_start + i)
+            for i in range(geometry.bitmap_blocks)
+        )
+        bitmap = Bitmap.from_bytes(bits, geometry.block_count)
+        chunks = self._read_chunk_index(cache, geometry)
+        self._init_raw(device, cache, geometry, bitmap, chunks, root_ino)
+        self.generation = generation
+
+    def _init_raw(self, device, cache, geometry, bitmap, chunks, root_ino) -> None:
+        self.device = device
+        self.clock = device.clock
+        self.cache = cache
+        self.geo = geometry
+        self.bitmap = bitmap
+        # chunks: list of [chunk_block, free_mask] (mask bit set = slot free)
+        self.chunks: List[List[int]] = [list(chunk) for chunk in chunks]
+        self.root_ino = root_ino
+        self._inode_cache: "OrderedDict[int, XfsInode]" = OrderedDict()
+        self._dirty_inodes: Set[int] = set()
+        self.generation = 0
+        self._alive = True
+
+    @property
+    def ROOT_INO(self) -> int:  # type: ignore[override]
+        return self.root_ino
+
+    # ------------------------------------------------------------- lifecycle --
+    def sync(self) -> None:
+        self._check_alive()
+        for ino in sorted(self._dirty_inodes):
+            self._write_inode_to_cache(self._inode_cache[ino])
+        self._dirty_inodes.clear()
+        self._write_bitmap()
+        self._write_chunk_index()
+        self._write_super(self.generation)
+        self.cache.flush()
+
+    def unmount(self) -> None:
+        self.sync()
+        self.cache.drop()
+        self._inode_cache.clear()
+        self._alive = False
+
+    def _check_alive(self) -> None:
+        if not self._alive:
+            raise FsError(EIO, "file system is unmounted")
+
+    def _write_super(self, generation: int) -> None:
+        raw = struct.pack(
+            SUPER_FMT, MAGIC, 1, self.geo.block_size, self.geo.block_count,
+            self.geo.chunk_index_start, self.geo.chunk_index_blocks,
+            self.root_ino, generation,
+        )
+        self.cache.write_block(0, raw)
+
+    def _write_bitmap(self) -> None:
+        bs = self.geo.block_size
+        raw = self.bitmap.to_bytes()
+        for i in range(self.geo.bitmap_blocks):
+            self.cache.write_block(self.geo.bitmap_start + i, raw[i * bs : (i + 1) * bs])
+
+    # ------------------------------------------------------------ chunk index --
+    @staticmethod
+    def _read_chunk_index(cache: BufferCache, geo: XfsGeometry) -> List[Tuple[int, int]]:
+        chunks: List[Tuple[int, int]] = []
+        for i in range(geo.chunk_index_blocks):
+            raw = cache.read_block(geo.chunk_index_start + i)
+            for offset in range(0, geo.block_size, CHUNK_ENTRY_SIZE):
+                block, mask, _pad = struct.unpack(
+                    CHUNK_ENTRY_FMT, raw[offset : offset + CHUNK_ENTRY_SIZE]
+                )
+                if block == 0:
+                    return chunks
+                chunks.append((block, mask))
+        return chunks
+
+    def _write_chunk_index(self) -> None:
+        bs = self.geo.block_size
+        raw = b"".join(
+            struct.pack(CHUNK_ENTRY_FMT, block, mask, 0)
+            for block, mask in self.chunks
+        )
+        raw += b"\x00" * (self.geo.chunk_index_blocks * bs - len(raw))
+        for i in range(self.geo.chunk_index_blocks):
+            self.cache.write_block(
+                self.geo.chunk_index_start + i, raw[i * bs : (i + 1) * bs]
+            )
+
+    # ------------------------------------------------------- inode management --
+    def _ino_location(self, ino: int) -> Tuple[int, int]:
+        """Decode an inode number into (chunk block, slot)."""
+        index = ino - 1
+        return index // INODES_PER_CHUNK, index % INODES_PER_CHUNK
+
+    def _make_ino(self, chunk_block: int, slot: int) -> int:
+        return chunk_block * INODES_PER_CHUNK + slot + 1
+
+    def _allocate_inode(self) -> int:
+        for chunk in self.chunks:
+            if chunk[1]:
+                slot = (chunk[1] & -chunk[1]).bit_length() - 1
+                chunk[1] &= ~(1 << slot)
+                ino = self._make_ino(chunk[0], slot)
+                self._inode_cache[ino] = XfsInode(ino)
+                self._dirty_inodes.add(ino)
+                return ino
+        # All chunks full: carve a new chunk out of the data area.
+        if len(self.chunks) * CHUNK_ENTRY_SIZE >= self.geo.chunk_index_blocks * self.geo.block_size:
+            raise FsError(ENOSPC, "inode chunk index full")
+        block = self._allocate_block()
+        mask = (1 << INODES_PER_CHUNK) - 1
+        slot = 0
+        mask &= ~(1 << slot)
+        self.chunks.append([block, mask])
+        ino = self._make_ino(block, slot)
+        self._inode_cache[ino] = XfsInode(ino)
+        self._dirty_inodes.add(ino)
+        return ino
+
+    def _free_inode(self, ino: int) -> None:
+        chunk_block, slot = self._ino_location(ino)
+        for chunk in self.chunks:
+            if chunk[0] == chunk_block:
+                chunk[1] |= 1 << slot
+                break
+        self._inode_cache.pop(ino, None)
+        self._dirty_inodes.discard(ino)
+        # zero the record on disk so dangling references are detectable
+        raw = bytearray(self.cache.read_block(chunk_block))
+        raw[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = b"\x00" * INODE_SIZE
+        self.cache.write_block(chunk_block, bytes(raw))
+
+    def _inode_allocated(self, ino: int) -> bool:
+        chunk_block, slot = self._ino_location(ino)
+        for chunk in self.chunks:
+            if chunk[0] == chunk_block:
+                return not (chunk[1] & (1 << slot))
+        return False
+
+    def _load_inode(self, ino: int) -> XfsInode:
+        self._check_alive()
+        cached = self._inode_cache.get(ino)
+        if cached is not None:
+            self._inode_cache.move_to_end(ino)
+            return cached
+        chunk_block, slot = self._ino_location(ino)
+        if not 0 < chunk_block < self.geo.block_count:
+            raise FsError(EINVAL, f"inode {ino} decodes to bad block {chunk_block}")
+        raw = self.cache.read_block(chunk_block)[slot * INODE_SIZE : (slot + 1) * INODE_SIZE]
+        inode = XfsInode.unpack(ino, raw)
+        self._inode_cache[ino] = inode
+        self._evict_inodes()
+        return inode
+
+    def _store_inode(self, inode: XfsInode) -> None:
+        self._inode_cache[inode.ino] = inode
+        self._inode_cache.move_to_end(inode.ino)
+        self._dirty_inodes.add(inode.ino)
+        self._evict_inodes()
+
+    INODE_CACHE_CAPACITY = 32
+
+    def _evict_inodes(self) -> None:
+        """Shrink the inode cache (dirty victims are written back first)."""
+        while len(self._inode_cache) > self.INODE_CACHE_CAPACITY:
+            victim_ino = next(iter(self._inode_cache))
+            victim = self._inode_cache.pop(victim_ino)
+            if victim_ino in self._dirty_inodes:
+                self._write_inode_to_cache(victim)
+                self._dirty_inodes.discard(victim_ino)
+
+    def _write_inode_to_cache(self, inode: XfsInode) -> None:
+        chunk_block, slot = self._ino_location(inode.ino)
+        raw = bytearray(self.cache.read_block(chunk_block))
+        raw[slot * INODE_SIZE : (slot + 1) * INODE_SIZE] = inode.pack()
+        self.cache.write_block(chunk_block, bytes(raw))
+
+    # -------------------------------------------------------- block management --
+    def _allocate_block(self) -> int:
+        index = self.bitmap.allocate(start=self.geo.first_data_block)
+        if index is None or index < self.geo.first_data_block:
+            if index is not None:
+                self.bitmap.clear(index)
+            raise FsError(ENOSPC, "out of data blocks")
+        self.cache.write_block(index, b"")
+        return index
+
+    def _free_block(self, block: int) -> None:
+        if block:
+            self.bitmap.clear(block)
+
+    # --------------------------------------------------------- extent mapping --
+    def _block_of(self, inode: XfsInode, file_block: int) -> int:
+        for start, device_start, count in inode.extents:
+            if start <= file_block < start + count:
+                return device_start + (file_block - start)
+        return 0
+
+    def _map_block(self, inode: XfsInode, file_block: int, device_block: int) -> None:
+        """Insert a mapping, merging with an adjacent extent when possible."""
+        for index, (start, dev, count) in enumerate(inode.extents):
+            if start + count == file_block and dev + count == device_block:
+                inode.extents[index] = (start, dev, count + 1)
+                return
+            if file_block + 1 == start and device_block + 1 == dev:
+                inode.extents[index] = (file_block, device_block, count + 1)
+                return
+        if len(inode.extents) >= MAX_EXTENTS:
+            raise FsError(EFBIG, f"inode {inode.ino}: too many extents")
+        inode.extents.append((file_block, device_block, 1))
+        inode.extents.sort()
+
+    def _unmap_from(self, inode: XfsInode, first_freed_block: int) -> None:
+        """Drop (and free) all mappings at or beyond ``first_freed_block``."""
+        kept: List[Tuple[int, int, int]] = []
+        for start, dev, count in inode.extents:
+            if start + count <= first_freed_block:
+                kept.append((start, dev, count))
+            elif start >= first_freed_block:
+                for offset in range(count):
+                    self._free_block(dev + offset)
+            else:
+                keep = first_freed_block - start
+                kept.append((start, dev, keep))
+                for offset in range(keep, count):
+                    self._free_block(dev + offset)
+        inode.extents = kept
+
+    def _ensure_block(self, inode: XfsInode, file_block: int) -> int:
+        block = self._block_of(inode, file_block)
+        if block == 0:
+            block = self._allocate_block()
+            try:
+                self._map_block(inode, file_block, block)
+            except FsError:
+                self._free_block(block)
+                raise
+        return block
+
+    # ------------------------------------------------------------- file data --
+    def _read_data(self, inode: XfsInode, offset: int, length: int) -> bytes:
+        if offset >= inode.size:
+            return b""
+        length = min(length, inode.size - offset)
+        bs = self.geo.block_size
+        chunks: List[bytes] = []
+        position, remaining = offset, length
+        while remaining > 0:
+            file_block = position // bs
+            within = position % bs
+            take = min(bs - within, remaining)
+            device_block = self._block_of(inode, file_block)
+            if device_block == 0:
+                chunks.append(b"\x00" * take)
+            else:
+                chunks.append(self.cache.read_block(device_block)[within : within + take])
+            position += take
+            remaining -= take
+        return b"".join(chunks)
+
+    def _write_data(self, inode: XfsInode, offset: int, data: bytes) -> int:
+        bs = self.geo.block_size
+        end = offset + len(data)
+        needed = sum(
+            1
+            for file_block in range(offset // bs, (end + bs - 1) // bs)
+            if self._block_of(inode, file_block) == 0
+        ) if data else 0
+        if needed and self.bitmap.free_count < needed:
+            raise FsError(ENOSPC, "not enough free blocks")
+        position, consumed = offset, 0
+        while consumed < len(data):
+            file_block = position // bs
+            within = position % bs
+            take = min(bs - within, len(data) - consumed)
+            device_block = self._ensure_block(inode, file_block)
+            if within == 0 and take == bs:
+                self.cache.write_block(device_block, data[consumed : consumed + take])
+            else:
+                raw = bytearray(self.cache.read_block(device_block))
+                raw[within : within + take] = data[consumed : consumed + take]
+                self.cache.write_block(device_block, bytes(raw))
+            position += take
+            consumed += take
+        if end > inode.size:
+            inode.size = end
+        return len(data)
+
+    def _truncate_data(self, inode: XfsInode, size: int) -> None:
+        bs = self.geo.block_size
+        if size < inode.size:
+            keep_blocks = (size + bs - 1) // bs
+            self._unmap_from(inode, keep_blocks)
+            if size % bs:
+                device_block = self._block_of(inode, (size - 1) // bs)
+                if device_block:
+                    raw = bytearray(self.cache.read_block(device_block))
+                    raw[size % bs :] = b"\x00" * (bs - size % bs)
+                    self.cache.write_block(device_block, bytes(raw))
+        inode.size = size
+
+    # ------------------------------------------------------------ directories --
+    def _read_dir_entries(self, inode: XfsInode) -> List[Tuple[int, int, str]]:
+        return unpack_dirents(self._read_data(inode, 0, self._dir_stream_length(inode)))
+
+    def _dir_stream_length(self, inode: XfsInode) -> int:
+        # The packed stream length is bounded by the allocated blocks.
+        return inode.nblocks * self.geo.block_size
+
+    def _write_dir_entries(self, inode: XfsInode, entries: List[Tuple[int, int, str]]) -> None:
+        # XFS directories are hash-ordered B+trees: keep the on-disk stream
+        # sorted by name hash ("." and ".." pinned first, like real XFS
+        # leaf formats keep them in the header).
+        def sort_key(entry):
+            _, _, name = entry
+            if name == ".":
+                return (0, 0)
+            if name == "..":
+                return (1, 0)
+            return (2, stable_hash64(name))
+
+        ordered = sorted(entries, key=sort_key)
+        data = b"".join(pack_dirent(ino, dtype, name) for ino, dtype, name in ordered)
+        old_blocks = inode.nblocks
+        bs = self.geo.block_size
+        if data:
+            self._write_data(inode, 0, data)
+        used_blocks = max(1, (len(data) + bs - 1) // bs)
+        if used_blocks < old_blocks:
+            self._unmap_from(inode, used_blocks)
+        # zero slack so stale entries never resurface
+        slack = used_blocks * bs - len(data)
+        if slack:
+            within = len(data) % bs
+            device_block = self._ensure_block(inode, used_blocks - 1)
+            raw = bytearray(self.cache.read_block(device_block))
+            raw[within:] = b"\x00" * (bs - within)
+            self.cache.write_block(device_block, bytes(raw))
+        # XFS-style size: the sum of aligned entry record sizes.
+        inode.size = sum(_dirent_record_size(name) for _, _, name in ordered)
+
+    def _dir_find(self, inode: XfsInode, name: str) -> Optional[Tuple[int, int]]:
+        for ino, dtype, entry_name in self._read_dir_entries(inode):
+            if entry_name == name:
+                return ino, dtype
+        return None
+
+    def _require_dir(self, ino: int) -> XfsInode:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino} is unused")
+        if not inode.is_dir:
+            raise FsError(ENOTDIR, f"inode {ino}")
+        return inode
+
+    def _check_name(self, name: str) -> None:
+        if not name or name in (".", "..") or "/" in name:
+            raise FsError(EINVAL, f"bad name {name!r}")
+        if len(name.encode("utf-8")) > 255:
+            raise FsError(EINVAL, "name too long")
+
+    # ------------------------------------------------------------ VFS interface --
+    def lookup(self, dir_ino: int, name: str) -> int:
+        directory = self._require_dir(dir_ino)
+        found = self._dir_find(directory, name)
+        if found is None:
+            raise FsError(ENOENT, name)
+        return found[0]
+
+    def getattr(self, ino: int) -> StatResult:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino} is unused")
+        return StatResult(
+            st_ino=ino, st_mode=inode.mode, st_nlink=inode.nlink,
+            st_uid=inode.uid, st_gid=inode.gid, st_size=inode.size,
+            st_blocks=inode.nblocks * (self.geo.block_size // 512),
+            st_atime=inode.atime, st_mtime=inode.mtime, st_ctime=inode.ctime,
+        )
+
+    def getdents(self, dir_ino: int) -> List[Dirent]:
+        directory = self._require_dir(dir_ino)
+        directory.atime = self.clock.now
+        self._store_inode(directory)
+        return [
+            Dirent(name=name, ino=ino, dtype=dtype)
+            for ino, dtype, name in self._read_dir_entries(directory)
+            if name not in (".", "..")
+        ]
+
+    def _create_common(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> XfsInode:
+        self._check_name(name)
+        directory = self._require_dir(dir_ino)
+        if self._dir_find(directory, name) is not None:
+            raise FsError(EEXIST, name)
+        ino = self._allocate_inode()
+        inode = self._load_inode(ino)
+        inode.mode = mode
+        inode.uid = uid
+        inode.gid = gid
+        inode.atime = inode.mtime = inode.ctime = self.clock.now
+        return inode
+
+    def create(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        inode = self._create_common(dir_ino, name, S_IFREG | (mode & 0o7777), uid, gid)
+        inode.nlink = 1
+        self._store_inode(inode)
+        self._dir_insert(dir_ino, name, inode.ino, DT_REG)
+        return inode.ino
+
+    def mkdir(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        inode = self._create_common(dir_ino, name, S_IFDIR | (mode & 0o7777), uid, gid)
+        inode.nlink = 2
+        self._write_dir_entries(inode, [(inode.ino, DT_DIR, "."), (dir_ino, DT_DIR, "..")])
+        self._store_inode(inode)
+        self._dir_insert(dir_ino, name, inode.ino, DT_DIR)
+        directory = self._load_inode(dir_ino)
+        directory.nlink += 1
+        self._store_inode(directory)
+        return inode.ino
+
+    def _dir_insert(self, dir_ino: int, name: str, ino: int, dtype: int) -> None:
+        directory = self._load_inode(dir_ino)
+        entries = self._read_dir_entries(directory)
+        entries.append((ino, dtype, name))
+        self._write_dir_entries(directory, entries)
+        directory.mtime = directory.ctime = self.clock.now
+        self._store_inode(directory)
+
+    def _dir_remove(self, dir_ino: int, name: str) -> None:
+        directory = self._load_inode(dir_ino)
+        entries = self._read_dir_entries(directory)
+        remaining = [entry for entry in entries if entry[2] != name]
+        if len(remaining) == len(entries):
+            raise FsError(ENOENT, name)
+        self._write_dir_entries(directory, remaining)
+        directory.mtime = directory.ctime = self.clock.now
+        self._store_inode(directory)
+
+    def symlink(self, dir_ino: int, name: str, target: str, uid: int, gid: int) -> int:
+        inode = self._create_common(dir_ino, name, S_IFLNK | 0o777, uid, gid)
+        inode.nlink = 1
+        self._store_inode(inode)
+        self._write_data(inode, 0, target.encode("utf-8"))
+        self._store_inode(inode)
+        self._dir_insert(dir_ino, name, inode.ino, DT_LNK)
+        return inode.ino
+
+    def readlink(self, ino: int) -> str:
+        inode = self._load_inode(ino)
+        if not inode.is_symlink:
+            raise FsError(EINVAL, f"inode {ino} is not a symlink")
+        return self._read_data(inode, 0, inode.size).decode("utf-8")
+
+    def link(self, ino: int, dir_ino: int, name: str) -> None:
+        self._check_name(name)
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        if inode.is_dir:
+            raise FsError(EISDIR, "cannot hard-link directories")
+        directory = self._require_dir(dir_ino)
+        if self._dir_find(directory, name) is not None:
+            raise FsError(EEXIST, name)
+        self._dir_insert(dir_ino, name, ino, mode_to_dtype(inode.mode))
+        inode.nlink += 1
+        inode.ctime = self.clock.now
+        self._store_inode(inode)
+
+    def unlink(self, dir_ino: int, name: str) -> None:
+        directory = self._require_dir(dir_ino)
+        found = self._dir_find(directory, name)
+        if found is None:
+            raise FsError(ENOENT, name)
+        ino, _ = found
+        inode = self._load_inode(ino)
+        if inode.is_dir:
+            raise FsError(EISDIR, name)
+        self._dir_remove(dir_ino, name)
+        inode.nlink -= 1
+        inode.ctime = self.clock.now
+        if inode.nlink <= 0:
+            self._unmap_from(inode, 0)
+            self._drop_xattr_block(inode)
+            self._free_inode(ino)
+        else:
+            self._store_inode(inode)
+
+    def rmdir(self, dir_ino: int, name: str) -> None:
+        directory = self._require_dir(dir_ino)
+        found = self._dir_find(directory, name)
+        if found is None:
+            raise FsError(ENOENT, name)
+        ino, _ = found
+        target = self._load_inode(ino)
+        if not target.is_dir:
+            raise FsError(ENOTDIR, name)
+        entries = [e for e in self._read_dir_entries(target) if e[2] not in (".", "..")]
+        if entries:
+            raise FsError(ENOTEMPTY, name)
+        self._dir_remove(dir_ino, name)
+        directory = self._load_inode(dir_ino)
+        directory.nlink -= 1
+        self._store_inode(directory)
+        self._unmap_from(target, 0)
+        self._drop_xattr_block(target)
+        self._free_inode(ino)
+
+    def _is_ancestor(self, maybe_ancestor: int, ino: int) -> bool:
+        if maybe_ancestor == ino:
+            return True
+        current = ino
+        seen = set()
+        while current != self.root_ino and current not in seen:
+            seen.add(current)
+            inode = self._load_inode(current)
+            parent = next(
+                (e[0] for e in self._read_dir_entries(inode) if e[2] == ".."),
+                self.root_ino,
+            )
+            if parent == maybe_ancestor:
+                return True
+            current = parent
+        return False
+
+    def rename(self, old_dir: int, old_name: str, new_dir: int, new_name: str) -> None:
+        self._check_name(new_name)
+        source_dir = self._require_dir(old_dir)
+        found = self._dir_find(source_dir, old_name)
+        if found is None:
+            raise FsError(ENOENT, old_name)
+        ino, dtype = found
+        target_dir = self._require_dir(new_dir)
+        moving = self._load_inode(ino)
+        if moving.is_dir and old_dir != new_dir and self._is_ancestor(ino, new_dir):
+            raise FsError(EINVAL, "cannot move a directory into its own subtree")
+        existing = self._dir_find(target_dir, new_name)
+        if existing is not None:
+            existing_ino, _ = existing
+            if existing_ino == ino:
+                return
+            victim = self._load_inode(existing_ino)
+            if victim.is_dir:
+                if not moving.is_dir:
+                    raise FsError(EISDIR, new_name)
+                children = [e for e in self._read_dir_entries(victim) if e[2] not in (".", "..")]
+                if children:
+                    raise FsError(ENOTEMPTY, new_name)
+                self.rmdir(new_dir, new_name)
+            else:
+                if moving.is_dir:
+                    raise FsError(ENOTDIR, new_name)
+                self.unlink(new_dir, new_name)
+        self._dir_remove(old_dir, old_name)
+        self._dir_insert(new_dir, new_name, ino, dtype)
+        now = self.clock.now
+        if moving.is_dir and old_dir != new_dir:
+            entries = self._read_dir_entries(moving)
+            entries = [
+                (new_dir, DT_DIR, "..") if name == ".." else (e_ino, e_dtype, name)
+                for e_ino, e_dtype, name in entries
+            ]
+            self._write_dir_entries(moving, entries)
+            source = self._load_inode(old_dir)
+            source.nlink -= 1
+            self._store_inode(source)
+            target = self._load_inode(new_dir)
+            target.nlink += 1
+            self._store_inode(target)
+        moving.ctime = now
+        self._store_inode(moving)
+
+    def read(self, ino: int, offset: int, length: int) -> bytes:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        if inode.is_dir:
+            raise FsError(EISDIR, f"inode {ino}")
+        data = self._read_data(inode, offset, length)
+        inode.atime = self.clock.now
+        self._store_inode(inode)
+        return data
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        if inode.is_dir:
+            raise FsError(EISDIR, f"inode {ino}")
+        written = self._write_data(inode, offset, data)
+        inode.mtime = inode.ctime = self.clock.now
+        self._store_inode(inode)
+        return written
+
+    def truncate(self, ino: int, size: int) -> None:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        if inode.is_dir:
+            raise FsError(EISDIR, f"inode {ino}")
+        self._truncate_data(inode, size)
+        inode.mtime = inode.ctime = self.clock.now
+        self._store_inode(inode)
+
+    def setattr(self, ino, mode=None, uid=None, gid=None, atime=None, mtime=None):
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        if mode is not None:
+            inode.mode = (inode.mode & S_IFMT) | (mode & 0o7777)
+        if uid is not None:
+            inode.uid = uid
+        if gid is not None:
+            inode.gid = gid
+        if atime is not None:
+            inode.atime = atime
+        if mtime is not None:
+            inode.mtime = mtime
+        inode.ctime = self.clock.now
+        self._store_inode(inode)
+        return self.getattr(ino)
+
+    # ---------------------------------------------------------------- xattrs --
+    def _load_xattrs(self, inode: XfsInode) -> Dict[str, bytes]:
+        if not inode.xattr_block:
+            return {}
+        return unpack_xattrs(self.cache.read_block(inode.xattr_block))
+
+    def _store_xattr_dict(self, inode: XfsInode, xattrs: Dict[str, bytes]) -> None:
+        if xattrs:
+            data = pack_xattrs(xattrs)
+            if len(data) > self.geo.block_size:
+                raise FsError(ERANGE, "xattrs exceed the attribute block")
+            if not inode.xattr_block:
+                inode.xattr_block = self._allocate_block()
+            self.cache.write_block(inode.xattr_block, data)
+        else:
+            self._drop_xattr_block(inode)
+        inode.ctime = self.clock.now
+        self._store_inode(inode)
+
+    def _drop_xattr_block(self, inode: XfsInode) -> None:
+        if inode.xattr_block:
+            self._free_block(inode.xattr_block)
+            inode.xattr_block = 0
+
+    def _live_inode(self, ino: int) -> XfsInode:
+        inode = self._load_inode(ino)
+        if inode.mode == 0:
+            raise FsError(ENOENT, f"inode {ino}")
+        return inode
+
+    def setxattr(self, ino: int, key: str, value: bytes, flags: int = 0) -> None:
+        inode = self._live_inode(ino)
+        xattrs = self._load_xattrs(inode)
+        if flags == XATTR_CREATE and key in xattrs:
+            raise FsError(EEXIST, key)
+        if flags == XATTR_REPLACE and key not in xattrs:
+            raise FsError(ENODATA, key)
+        xattrs[key] = bytes(value)
+        self._store_xattr_dict(inode, xattrs)
+
+    def getxattr(self, ino: int, key: str) -> bytes:
+        xattrs = self._load_xattrs(self._live_inode(ino))
+        if key not in xattrs:
+            raise FsError(ENODATA, key)
+        return xattrs[key]
+
+    def listxattr(self, ino: int) -> List[str]:
+        return sorted(self._load_xattrs(self._live_inode(ino)))
+
+    def removexattr(self, ino: int, key: str) -> None:
+        inode = self._live_inode(ino)
+        xattrs = self._load_xattrs(inode)
+        if key not in xattrs:
+            raise FsError(ENODATA, key)
+        del xattrs[key]
+        self._store_xattr_dict(inode, xattrs)
+
+    def statfs(self) -> StatVFS:
+        # XFS has no static inode limit: report inode headroom in terms of
+        # what free space could hold.
+        free_blocks = self.bitmap.free_count
+        return StatVFS(
+            block_size=self.geo.block_size,
+            blocks_total=self.geo.block_count - self.geo.first_data_block,
+            blocks_free=free_blocks,
+            files_total=(self.geo.block_count - self.geo.first_data_block) * INODES_PER_CHUNK,
+            files_free=free_blocks * INODES_PER_CHUNK
+            + sum(bin(chunk[1]).count("1") for chunk in self.chunks),
+        )
+
+    # --------------------------------------------------------------- fsck-style --
+    def check_consistency(self) -> List[str]:
+        problems: List[str] = []
+        stack = [self.root_ino]
+        visited = set()
+        while stack:
+            dir_ino = stack.pop()
+            if dir_ino in visited:
+                continue
+            visited.add(dir_ino)
+            try:
+                directory = self._load_inode(dir_ino)
+            except FsError:
+                problems.append(f"directory inode {dir_ino} unreadable")
+                continue
+            if directory.mode == 0:
+                problems.append(f"directory inode {dir_ino} is zeroed")
+                continue
+            for ino, dtype, name in self._read_dir_entries(directory):
+                if name in (".", ".."):
+                    continue
+                if not self._inode_allocated(ino):
+                    problems.append(f"dirent {name!r} in ino {dir_ino} -> unallocated ino {ino}")
+                    continue
+                child = self._load_inode(ino)
+                if child.mode == 0:
+                    problems.append(f"dirent {name!r} in ino {dir_ino} -> zeroed inode {ino}")
+                    continue
+                for start, dev, count in child.extents:
+                    for offset in range(count):
+                        if not self.bitmap.get(dev + offset):
+                            problems.append(
+                                f"ino {ino}: data block {dev + offset} free in bitmap"
+                            )
+                if child.is_dir:
+                    stack.append(ino)
+        return problems

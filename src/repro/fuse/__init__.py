@@ -1,0 +1,29 @@
+"""A simulated FUSE stack: kernel driver, /dev/fuse connection, userspace server.
+
+FUSE file systems are separate processes; the kernel talks to them through
+``/dev/fuse`` with a request/reply message protocol, and caches lookup
+results on its own side.  Both facts matter to the paper:
+
+* a FUSE file system's in-memory state is invisible to the model checker
+  (it lives in another process -- section 3.1), and CRIU refuses to
+  snapshot the process because it holds the ``/dev/fuse`` character
+  device (section 5);
+* the kernel's independent entry cache goes stale when the userspace
+  file system rolls its state back without calling the invalidation API
+  (``fuse_lowlevel_notify_inval_entry``/``inode``) -- the exact bug MCFS
+  found in VeriFS1 (section 6).
+"""
+
+from repro.fuse.protocol import FuseOp, FuseRequest
+from repro.fuse.connection import FuseConnection
+from repro.fuse.server import FuseFileSystem, FuseServerProcess
+from repro.fuse.kernel_driver import FuseKernelFileSystemType
+
+__all__ = [
+    "FuseOp",
+    "FuseRequest",
+    "FuseConnection",
+    "FuseFileSystem",
+    "FuseServerProcess",
+    "FuseKernelFileSystemType",
+]

@@ -1,0 +1,145 @@
+"""The kernel-side FUSE driver: a VFS file system backed by a connection.
+
+Every VFS operation becomes a request over the connection.  Note what is
+*not* here: the driver keeps no namespace state of its own -- but the
+kernel above it caches dentries (positive and negative) exactly as it
+does for in-kernel file systems.  That kernel cache is the one a FUSE
+file system must explicitly invalidate when its state changes behind the
+kernel's back (VeriFS restore), via the connection's notify API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.fuse.connection import FuseConnection
+from repro.fuse.protocol import FuseOp
+from repro.kernel.stat import Dirent, StatResult, StatVFS
+from repro.kernel.vfs import FileSystemType, MountedFileSystem
+
+
+class FuseKernelFileSystemType(FileSystemType):
+    """A mountable fs type that proxies to a userspace server."""
+
+    name = "fuse"
+    min_device_size = None
+    special_paths = ()
+
+    def __init__(self, connection: FuseConnection, name: str = "fuse"):
+        self.connection = connection
+        self.name = name
+
+    def mkfs(self, device) -> None:
+        raise NotImplementedError("FUSE file systems are not formatted by the kernel")
+
+    def mount(self, device, kernel=None) -> "FuseKernelFS":
+        return FuseKernelFS(self.connection, kernel)
+
+
+class FuseKernelFS(MountedFileSystem):
+    """Mounted FUSE instance: translates inode ops into protocol messages."""
+
+    def __init__(self, connection: FuseConnection, kernel=None):
+        self.conn = connection
+        self._kernel = kernel
+        self._pending_attach = kernel is not None
+        if self.conn.server is not None:
+            self.ROOT_INO = self.conn.server.filesystem.ROOT_INO
+
+    def _ensure_attached(self) -> None:
+        # The mount id only exists once the kernel registers the mount; we
+        # hook the connection lazily on first use.
+        if self._pending_attach and self._kernel is not None:
+            for mount in self._kernel.mounts():
+                if mount.fs is self:
+                    self.conn.attach_kernel(self._kernel, mount.mount_id)
+                    self._pending_attach = False
+                    break
+
+    def _send(self, op: FuseOp, **args):
+        self._ensure_attached()
+        return self.conn.send(op, **args)
+
+    # -- lifecycle ------------------------------------------------------------
+    def sync(self) -> None:
+        self._send(FuseOp.FSYNC)
+
+    def unmount(self) -> None:
+        self._send(FuseOp.DESTROY)
+        self.conn.detach_kernel()
+
+    # -- namespace ------------------------------------------------------------
+    def lookup(self, dir_ino: int, name: str) -> int:
+        return self._send(FuseOp.LOOKUP, dir_ino=dir_ino, name=name)
+
+    def getattr(self, ino: int) -> StatResult:
+        return self._send(FuseOp.GETATTR, ino=ino)
+
+    def getdents(self, dir_ino: int) -> List[Dirent]:
+        return self._send(FuseOp.READDIR, dir_ino=dir_ino)
+
+    def create(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        return self._send(FuseOp.CREATE, dir_ino=dir_ino, name=name,
+                          mode=mode, uid=uid, gid=gid)
+
+    def mkdir(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        return self._send(FuseOp.MKDIR, dir_ino=dir_ino, name=name,
+                          mode=mode, uid=uid, gid=gid)
+
+    def unlink(self, dir_ino: int, name: str) -> None:
+        return self._send(FuseOp.UNLINK, dir_ino=dir_ino, name=name)
+
+    def rmdir(self, dir_ino: int, name: str) -> None:
+        return self._send(FuseOp.RMDIR, dir_ino=dir_ino, name=name)
+
+    def rename(self, old_dir: int, old_name: str, new_dir: int, new_name: str) -> None:
+        return self._send(FuseOp.RENAME, old_dir=old_dir, old_name=old_name,
+                          new_dir=new_dir, new_name=new_name)
+
+    def link(self, ino: int, dir_ino: int, name: str) -> None:
+        return self._send(FuseOp.LINK, ino=ino, dir_ino=dir_ino, name=name)
+
+    def symlink(self, dir_ino: int, name: str, target: str, uid: int, gid: int) -> int:
+        return self._send(FuseOp.SYMLINK, dir_ino=dir_ino, name=name,
+                          target=target, uid=uid, gid=gid)
+
+    def readlink(self, ino: int) -> str:
+        return self._send(FuseOp.READLINK, ino=ino)
+
+    # -- data -----------------------------------------------------------------
+    def read(self, ino: int, offset: int, length: int) -> bytes:
+        return self._send(FuseOp.READ, ino=ino, offset=offset, length=length)
+
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        return self._send(FuseOp.WRITE, ino=ino, offset=offset, data=data)
+
+    def truncate(self, ino: int, size: int) -> None:
+        return self._send(FuseOp.TRUNCATE, ino=ino, size=size)
+
+    def setattr(self, ino, mode=None, uid=None, gid=None, atime=None, mtime=None):
+        return self._send(FuseOp.SETATTR, ino=ino, mode=mode, uid=uid,
+                          gid=gid, atime=atime, mtime=mtime)
+
+    # -- xattr / misc -----------------------------------------------------------
+    def setxattr(self, ino: int, key: str, value: bytes, flags: int = 0) -> None:
+        return self._send(FuseOp.SETXATTR, ino=ino, key=key, value=value, flags=flags)
+
+    def getxattr(self, ino: int, key: str) -> bytes:
+        return self._send(FuseOp.GETXATTR, ino=ino, key=key)
+
+    def listxattr(self, ino: int) -> List[str]:
+        return self._send(FuseOp.LISTXATTR, ino=ino)
+
+    def removexattr(self, ino: int, key: str) -> None:
+        return self._send(FuseOp.REMOVEXATTR, ino=ino, key=key)
+
+    def ioctl(self, ino: int, request: int, arg: object = None) -> object:
+        return self._send(FuseOp.IOCTL, ino=ino, request=request, arg=arg)
+
+    def statfs(self) -> StatVFS:
+        return self._send(FuseOp.STATFS)
+
+    def check_consistency(self) -> List[str]:
+        fs = self.conn.server.filesystem if self.conn.server else None
+        checker = getattr(fs, "check_consistency", None)
+        return checker() if checker else []

@@ -1,0 +1,44 @@
+"""The message protocol spoken over the simulated ``/dev/fuse``."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class FuseOp(enum.Enum):
+    """Request opcodes (the subset of the FUSE protocol MCFS exercises)."""
+
+    LOOKUP = "lookup"
+    GETATTR = "getattr"
+    SETATTR = "setattr"
+    READDIR = "readdir"
+    CREATE = "create"
+    MKDIR = "mkdir"
+    UNLINK = "unlink"
+    RMDIR = "rmdir"
+    RENAME = "rename"
+    LINK = "link"
+    SYMLINK = "symlink"
+    READLINK = "readlink"
+    READ = "read"
+    WRITE = "write"
+    TRUNCATE = "truncate"
+    STATFS = "statfs"
+    SETXATTR = "setxattr"
+    GETXATTR = "getxattr"
+    LISTXATTR = "listxattr"
+    REMOVEXATTR = "removexattr"
+    IOCTL = "ioctl"
+    FSYNC = "fsync"
+    DESTROY = "destroy"
+
+
+@dataclass
+class FuseRequest:
+    """One kernel -> userspace request."""
+
+    op: FuseOp
+    args: Dict[str, Any] = field(default_factory=dict)
+    unique: int = 0  # request id, mirrors the real protocol's unique field

@@ -1,0 +1,46 @@
+"""A miniature POSIX kernel: VFS, caches, mount table, file descriptors.
+
+This package is the substrate on which the simulated file systems run and
+against which MCFS issues "system calls".  Its caching layers (dentry and
+attribute caches, plus each file system's private write-back caches) are
+deliberately faithful enough to reproduce the paper's central challenge:
+restoring on-disk state underneath a mounted file system leaves the caches
+incoherent and corrupts the file system (section 3.2), and only a full
+unmount/remount -- or a file-system-level checkpoint/restore API paired
+with cache invalidation -- avoids it.
+"""
+
+from repro.kernel.stat import (
+    DT_DIR,
+    DT_LNK,
+    DT_REG,
+    Dirent,
+    S_IFDIR,
+    S_IFLNK,
+    S_IFMT,
+    S_IFREG,
+    StatResult,
+    StatVFS,
+    file_type_name,
+)
+from repro.kernel.vfs import FileSystemType, Mount, MountedFileSystem
+from repro.kernel.kernel import Kernel, OpenFile
+
+__all__ = [
+    "Kernel",
+    "OpenFile",
+    "FileSystemType",
+    "Mount",
+    "MountedFileSystem",
+    "StatResult",
+    "StatVFS",
+    "Dirent",
+    "S_IFDIR",
+    "S_IFREG",
+    "S_IFLNK",
+    "S_IFMT",
+    "DT_DIR",
+    "DT_REG",
+    "DT_LNK",
+    "file_type_name",
+]

@@ -1,0 +1,108 @@
+"""The kernel's dentry cache (positive and negative entries).
+
+The dcache memoises ``(mount, parent inode, name) -> child inode`` so that
+repeated path walks avoid calling into the file system.  Negative entries
+memoise confirmed-absent names.  This is exactly the cache that goes stale
+in the paper's section 3.2: when the model checker restores an older disk
+state without unmounting, the dcache may still hold a "recently created"
+directory the restored disk knows nothing about -- and the FUSE bug of
+section 6 (mkdir failing with EEXIST for a directory that does not exist)
+is a stale *positive* entry surviving a VeriFS restore that forgot to call
+the invalidation API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class DentryStats:
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    invalidations: int = 0
+
+
+class _Negative:
+    """Sentinel stored for negative (confirmed-absent) entries.
+
+    Copy/deepcopy return the singleton so identity checks (``entry is
+    NEGATIVE``) survive VM-snapshot deep copies of a kernel.
+    """
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return "<negative dentry>"
+
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
+
+NEGATIVE = _Negative()
+
+Key = Tuple[int, int, str]  # (mount_id, parent_ino, name)
+
+
+class DentryCache:
+    """Positive + negative dentry cache with explicit invalidation."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._entries: Dict[Key, object] = {}
+        self.stats = DentryStats()
+
+    # -- lookups --------------------------------------------------------------
+    def get(self, mount_id: int, parent_ino: int, name: str):
+        """Return the cached child ino, ``NEGATIVE``, or ``None`` (miss)."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get((mount_id, parent_ino, name))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry is NEGATIVE:
+            self.stats.negative_hits += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def insert(self, mount_id: int, parent_ino: int, name: str, ino: int) -> None:
+        if self.enabled:
+            self._entries[(mount_id, parent_ino, name)] = ino
+
+    def insert_negative(self, mount_id: int, parent_ino: int, name: str) -> None:
+        if self.enabled:
+            self._entries[(mount_id, parent_ino, name)] = NEGATIVE
+
+    # -- invalidation -----------------------------------------------------------
+    def invalidate_entry(self, mount_id: int, parent_ino: int, name: str) -> None:
+        """Drop one entry (the fuse_lowlevel_notify_inval_entry analogue)."""
+        if self._entries.pop((mount_id, parent_ino, name), None) is not None:
+            self.stats.invalidations += 1
+
+    def invalidate_inode(self, mount_id: int, ino: int) -> None:
+        """Drop every entry that resolves to ``ino`` on ``mount_id``."""
+        stale = [
+            key
+            for key, entry in self._entries.items()
+            if key[0] == mount_id and entry is not NEGATIVE and entry == ino
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.stats.invalidations += 1
+
+    def invalidate_mount(self, mount_id: int) -> None:
+        """Drop all entries of a mount (unmount purges its dentries)."""
+        stale = [key for key in self._entries if key[0] == mount_id]
+        for key in stale:
+            del self._entries[key]
+            self.stats.invalidations += 1
+
+    def entry_count(self, mount_id: Optional[int] = None) -> int:
+        if mount_id is None:
+            return len(self._entries)
+        return sum(1 for key in self._entries if key[0] == mount_id)

@@ -1,0 +1,524 @@
+"""The simulated kernel: mount table, path walking, and syscalls.
+
+The :class:`Kernel` exposes a POSIX-ish syscall surface (open/read/write/
+mkdir/rename/...) over any number of mounted :class:`MountedFileSystem`
+instances.  Path resolution goes through the dentry cache, timestamps come
+from the shared :class:`SimClock`, and every syscall charges dispatch
+overhead to the clock so that benchmark speeds reflect the modelled
+system.
+
+Design notes relevant to the paper:
+
+* The dentry cache holds positive *and* negative entries and is only
+  purged by unmount or by the explicit invalidation API
+  (:meth:`Kernel.invalidate_entry` / :meth:`Kernel.invalidate_inode`,
+  the analogues of ``fuse_lowlevel_notify_inval_entry/inode``).  A file
+  system whose state is rolled back without telling the kernel exhibits
+  exactly the ghost-EEXIST bug of section 6.
+* Unmount refuses (``EBUSY``) while descriptors are open -- which is why
+  MCFS needs the ``create_file``/``write_file`` meta-operations when it
+  remounts between every step (section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.clock import Cost, SimClock
+from repro.errors import (
+    EACCES,
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ELOOP,
+    ENOENT,
+    ENOTDIR,
+    EROFS,
+    EXDEV,
+    FsError,
+)
+from repro.kernel.dcache import DentryCache, NEGATIVE
+from repro.kernel.fdtable import (
+    FDTable,
+    O_ACCMODE,
+    O_APPEND,
+    O_CREAT,
+    O_DIRECTORY,
+    O_EXCL,
+    O_RDONLY,
+    O_TRUNC,
+    O_WRONLY,
+    OpenFile,
+)
+from repro.kernel.stat import Dirent, S_IFDIR, S_IFLNK, S_IFMT, StatResult, StatVFS
+from repro.kernel.vfs import FileSystemType, Mount, MountedFileSystem
+from repro.util.paths import is_subpath, normalize_path, split_path
+
+MAX_SYMLINK_DEPTH = 40
+
+# Access-mode bits for access(2).
+F_OK = 0
+X_OK = 1
+W_OK = 2
+R_OK = 4
+
+
+class Kernel:
+    """A single simulated kernel instance."""
+
+    def __init__(self, clock: Optional[SimClock] = None, uid: int = 0, gid: int = 0):
+        self.clock = clock if clock is not None else SimClock()
+        self.uid = uid
+        self.gid = gid
+        self.dcache = DentryCache()
+        self.fdtable = FDTable()
+        self._mounts: Dict[str, Mount] = {}
+        self._next_mount_id = 1
+        self.syscall_count = 0
+
+    # ------------------------------------------------------------------ mounts --
+    def mount(self, fstype: FileSystemType, device, mountpoint: str) -> Mount:
+        """Mount ``device`` (formatted as ``fstype``) at ``mountpoint``."""
+        mountpoint = normalize_path(mountpoint)
+        if mountpoint in self._mounts:
+            raise FsError(EBUSY, f"{mountpoint} is already a mountpoint")
+        for existing in self._mounts:
+            if is_subpath(mountpoint, existing):
+                raise FsError(EBUSY, f"{mountpoint} is inside mount {existing}")
+        size_cost = (
+            device.size_bytes * Cost.MOUNT_PER_BYTE if device is not None else 0.0
+        )
+        self.clock.charge(Cost.MOUNT_FIXED + size_cost, "mount")
+        fs = fstype.mount(device, kernel=self)
+        mount = Mount(
+            mountpoint=mountpoint,
+            fs=fs,
+            fstype=fstype,
+            device=device,
+            mount_id=self._next_mount_id,
+        )
+        self._next_mount_id += 1
+        self._mounts[mountpoint] = mount
+        return mount
+
+    def umount(self, mountpoint: str) -> None:
+        """Unmount, flushing the fs and purging all its kernel caches."""
+        mountpoint = normalize_path(mountpoint)
+        mount = self._mounts.get(mountpoint)
+        if mount is None:
+            raise FsError(EINVAL, f"{mountpoint} is not mounted")
+        if self.fdtable.open_fds_for_mount(mount.mount_id):
+            raise FsError(EBUSY, f"{mountpoint} has open file descriptors")
+        self.clock.charge(Cost.UMOUNT_FIXED, "umount")
+        mount.fs.unmount()
+        self.dcache.invalidate_mount(mount.mount_id)
+        del self._mounts[mountpoint]
+
+    def remount(self, mountpoint: str) -> Mount:
+        """Unmount and immediately re-mount: the paper's coherency hammer.
+
+        This is the *only* operation that fully guarantees no stale state
+        remains in kernel memory (section 3.2).  It is also expensive --
+        which is the whole point of the checkpoint/restore APIs.
+        """
+        mountpoint = normalize_path(mountpoint)
+        mount = self._mounts.get(mountpoint)
+        if mount is None:
+            raise FsError(EINVAL, f"{mountpoint} is not mounted")
+        generation = mount.generation
+        fstype, device = mount.fstype, mount.device
+        self.umount(mountpoint)
+        new_mount = self.mount(fstype, device, mountpoint)
+        new_mount.generation = generation + 1
+        return new_mount
+
+    def mounts(self) -> List[Mount]:
+        return list(self._mounts.values())
+
+    def mount_at(self, mountpoint: str) -> Mount:
+        mount = self._mounts.get(normalize_path(mountpoint))
+        if mount is None:
+            raise FsError(EINVAL, f"{mountpoint} is not mounted")
+        return mount
+
+    # ---------------------------------------------------------- cache control --
+    def invalidate_entry(self, mount_id: int, parent_ino: int, name: str) -> None:
+        """fuse_lowlevel_notify_inval_entry: drop one cached dentry."""
+        self.dcache.invalidate_entry(mount_id, parent_ino, name)
+
+    def invalidate_inode(self, mount_id: int, ino: int) -> None:
+        """fuse_lowlevel_notify_inval_inode: drop cached dentries for an inode."""
+        self.dcache.invalidate_inode(mount_id, ino)
+
+    def invalidate_mount_caches(self, mount_id: int) -> None:
+        """Drop every cached dentry of a mount (full invalidation)."""
+        self.dcache.invalidate_mount(mount_id)
+
+    # ------------------------------------------------------------ path walking --
+    def _find_mount(self, path: str) -> Tuple[Mount, str]:
+        """Return the mount covering ``path`` and the fs-relative remainder."""
+        path = normalize_path(path)
+        best: Optional[str] = None
+        for mountpoint in self._mounts:
+            if is_subpath(path, mountpoint):
+                if best is None or len(mountpoint) > len(best):
+                    best = mountpoint
+        if best is None:
+            raise FsError(ENOENT, f"no file system mounted covering {path}")
+        relative = path[len(best) :] if best != "/" else path
+        return self._mounts[best], relative or "/"
+
+    def _lookup_child(self, mount: Mount, dir_ino: int, name: str) -> int:
+        """One path-walk step, through the dentry cache."""
+        cached = self.dcache.get(mount.mount_id, dir_ino, name)
+        if cached is NEGATIVE:
+            raise FsError(ENOENT, name)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        try:
+            ino = mount.fs.lookup(dir_ino, name)
+        except FsError as exc:
+            if exc.code == ENOENT:
+                self.dcache.insert_negative(mount.mount_id, dir_ino, name)
+            raise
+        self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+        return ino
+
+    def _walk(
+        self, path: str, follow_last_symlink: bool = True, _depth: int = 0
+    ) -> Tuple[Mount, int]:
+        """Resolve ``path`` to ``(mount, inode)``, following symlinks."""
+        if _depth > MAX_SYMLINK_DEPTH:
+            raise FsError(ELOOP, path)
+        mount, relative = self._find_mount(path)
+        ino = mount.fs.ROOT_INO
+        if relative == "/":
+            return mount, ino
+        components = relative[1:].split("/")
+        walked = mount.mountpoint if mount.mountpoint != "/" else ""
+        for index, name in enumerate(components):
+            attrs = mount.fs.getattr(ino)
+            if not attrs.is_dir:
+                raise FsError(ENOTDIR, walked or "/")
+            child = self._lookup_child(mount, ino, name)
+            child_attrs = mount.fs.getattr(child)
+            is_last = index == len(components) - 1
+            if child_attrs.is_symlink and (not is_last or follow_last_symlink):
+                target = mount.fs.readlink(child)
+                if target.startswith("/"):
+                    base = target
+                else:
+                    base = (walked or "") + "/" + target
+                rest = "/".join(components[index + 1 :])
+                full = base + ("/" + rest if rest else "")
+                return self._walk(full, follow_last_symlink, _depth + 1)
+            walked += "/" + name
+            ino = child
+        return mount, ino
+
+    def _walk_parent(self, path: str) -> Tuple[Mount, int, str]:
+        """Resolve the parent directory of ``path``; return (mount, dir_ino, name)."""
+        parent, name = split_path(path)
+        if not name:
+            raise FsError(EINVAL, f"cannot take parent of {path!r}")
+        mount, dir_ino = self._walk(parent)
+        attrs = mount.fs.getattr(dir_ino)
+        if not attrs.is_dir:
+            raise FsError(ENOTDIR, parent)
+        return mount, dir_ino, name
+
+    def _sys(self) -> None:
+        self.syscall_count += 1
+        self.clock.charge(Cost.SYSCALL, "syscall")
+
+    # ---------------------------------------------------------------- syscalls --
+    # Each syscall mirrors its POSIX namesake; failures raise FsError with
+    # the POSIX errno so the MCFS integrity checker can compare outcomes.
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> int:
+        self._sys()
+        path = normalize_path(path)
+        if flags & O_CREAT:
+            mount, dir_ino, name = self._walk_parent(path)
+            existing: Optional[int]
+            try:
+                existing = self._lookup_child(mount, dir_ino, name)
+            except FsError as exc:
+                if exc.code != ENOENT:
+                    raise
+                existing = None
+            if existing is not None:
+                if flags & O_EXCL:
+                    raise FsError(EEXIST, path)
+                ino = existing
+                attrs = mount.fs.getattr(ino)
+                if attrs.is_dir:
+                    raise FsError(EISDIR, path)
+            else:
+                ino = mount.fs.create(dir_ino, name, mode, self.uid, self.gid)
+                self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+                self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+        else:
+            mount, ino = self._walk(path)
+            attrs = mount.fs.getattr(ino)
+            if attrs.is_dir:
+                if (flags & O_ACCMODE) != O_RDONLY:
+                    raise FsError(EISDIR, path)
+            elif flags & O_DIRECTORY:
+                raise FsError(ENOTDIR, path)
+        if flags & O_TRUNC and (flags & O_ACCMODE) != O_RDONLY:
+            mount.fs.truncate(ino, 0)
+        entry = self.fdtable.allocate(mount.mount_id, ino, flags, path)
+        return entry.fd
+
+    def close(self, fd: int) -> None:
+        self._sys()
+        self.fdtable.close(fd)
+
+    def _fd_mount(self, entry: OpenFile) -> Mount:
+        for mount in self._mounts.values():
+            if mount.mount_id == entry.mount_id:
+                return mount
+        raise FsError(EINVAL, f"mount for fd {entry.fd} has disappeared")
+
+    def read(self, fd: int, length: int) -> bytes:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        if not entry.readable:
+            raise FsError(EACCES, f"fd {fd} not open for reading")
+        mount = self._fd_mount(entry)
+        data = mount.fs.read(entry.ino, entry.offset, length)
+        entry.offset += len(data)
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        if not entry.writable:
+            raise FsError(EACCES, f"fd {fd} not open for writing")
+        mount = self._fd_mount(entry)
+        if entry.append:
+            entry.offset = mount.fs.getattr(entry.ino).st_size
+        written = mount.fs.write(entry.ino, entry.offset, data)
+        entry.offset += written
+        return written
+
+    def pread(self, fd: int, length: int, offset: int) -> bytes:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        if not entry.readable:
+            raise FsError(EACCES, f"fd {fd} not open for reading")
+        return self._fd_mount(entry).fs.read(entry.ino, offset, length)
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        if not entry.writable:
+            raise FsError(EACCES, f"fd {fd} not open for writing")
+        return self._fd_mount(entry).fs.write(entry.ino, offset, data)
+
+    def lseek(self, fd: int, offset: int, whence: int = 0) -> int:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        mount = self._fd_mount(entry)
+        if whence == 0:  # SEEK_SET
+            new = offset
+        elif whence == 1:  # SEEK_CUR
+            new = entry.offset + offset
+        elif whence == 2:  # SEEK_END
+            new = mount.fs.getattr(entry.ino).st_size + offset
+        else:
+            raise FsError(EINVAL, f"bad whence {whence}")
+        if new < 0:
+            raise FsError(EINVAL, f"negative seek position {new}")
+        entry.offset = new
+        return new
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        self._sys()
+        mount, dir_ino, name = self._walk_parent(path)
+        cached = self.dcache.get(mount.mount_id, dir_ino, name)
+        if cached is not None and cached is not NEGATIVE:
+            # A cached positive dentry answers without consulting the fs --
+            # this is where a stale entry produces the paper's ghost-EEXIST.
+            raise FsError(EEXIST, path)
+        ino = mount.fs.mkdir(dir_ino, name, mode, self.uid, self.gid)
+        self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+
+    def rmdir(self, path: str) -> None:
+        self._sys()
+        mount, dir_ino, name = self._walk_parent(path)
+        mount.fs.rmdir(dir_ino, name)
+        self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        self.dcache.insert_negative(mount.mount_id, dir_ino, name)
+
+    def unlink(self, path: str) -> None:
+        self._sys()
+        mount, dir_ino, name = self._walk_parent(path)
+        mount.fs.unlink(dir_ino, name)
+        self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        self.dcache.insert_negative(mount.mount_id, dir_ino, name)
+
+    def rename(self, old_path: str, new_path: str) -> None:
+        self._sys()
+        old_mount, old_dir, old_name = self._walk_parent(old_path)
+        new_mount, new_dir, new_name = self._walk_parent(new_path)
+        if old_mount.mount_id != new_mount.mount_id:
+            raise FsError(EXDEV, f"{old_path} -> {new_path}")
+        # POSIX: renaming onto another hard link of the same inode (or onto
+        # itself) succeeds and changes nothing -- both names stay valid.
+        source_ino = self._lookup_child(old_mount, old_dir, old_name)
+        try:
+            target_ino: Optional[int] = self._lookup_child(new_mount, new_dir, new_name)
+        except FsError as exc:
+            if exc.code != ENOENT:
+                raise
+            target_ino = None
+        old_mount.fs.rename(old_dir, old_name, new_dir, new_name)
+        if target_ino is not None and target_ino == source_ino:
+            return
+        self.dcache.invalidate_entry(old_mount.mount_id, old_dir, old_name)
+        self.dcache.invalidate_entry(new_mount.mount_id, new_dir, new_name)
+        self.dcache.insert_negative(old_mount.mount_id, old_dir, old_name)
+
+    def link(self, existing_path: str, new_path: str) -> None:
+        self._sys()
+        mount, ino = self._walk(existing_path, follow_last_symlink=False)
+        new_mount, dir_ino, name = self._walk_parent(new_path)
+        if mount.mount_id != new_mount.mount_id:
+            raise FsError(EXDEV, f"{existing_path} -> {new_path}")
+        mount.fs.link(ino, dir_ino, name)
+        self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+
+    def symlink(self, target: str, link_path: str) -> None:
+        self._sys()
+        mount, dir_ino, name = self._walk_parent(link_path)
+        mount.fs.symlink(dir_ino, name, target, self.uid, self.gid)
+        self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+
+    def readlink(self, path: str) -> str:
+        self._sys()
+        mount, ino = self._walk(path, follow_last_symlink=False)
+        return mount.fs.readlink(ino)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._sys()
+        if size < 0:
+            raise FsError(EINVAL, f"negative truncate size {size}")
+        mount, ino = self._walk(path)
+        attrs = mount.fs.getattr(ino)
+        if attrs.is_dir:
+            raise FsError(EISDIR, path)
+        mount.fs.truncate(ino, size)
+
+    def ftruncate(self, fd: int, size: int) -> None:
+        self._sys()
+        if size < 0:
+            raise FsError(EINVAL, f"negative truncate size {size}")
+        entry = self.fdtable.get(fd)
+        if not entry.writable:
+            raise FsError(EACCES, f"fd {fd} not open for writing")
+        self._fd_mount(entry).fs.truncate(entry.ino, size)
+
+    def stat(self, path: str) -> StatResult:
+        self._sys()
+        mount, ino = self._walk(path)
+        return mount.fs.getattr(ino)
+
+    def lstat(self, path: str) -> StatResult:
+        self._sys()
+        mount, ino = self._walk(path, follow_last_symlink=False)
+        return mount.fs.getattr(ino)
+
+    def fstat(self, fd: int) -> StatResult:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        return self._fd_mount(entry).fs.getattr(entry.ino)
+
+    def getdents(self, path: str) -> List[Dirent]:
+        self._sys()
+        mount, ino = self._walk(path)
+        attrs = mount.fs.getattr(ino)
+        if not attrs.is_dir:
+            raise FsError(ENOTDIR, path)
+        return mount.fs.getdents(ino)
+
+    def chmod(self, path: str, mode: int) -> None:
+        self._sys()
+        mount, ino = self._walk(path)
+        mount.fs.setattr(ino, mode=mode & 0o7777)
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        self._sys()
+        mount, ino = self._walk(path)
+        mount.fs.setattr(ino, uid=uid if uid >= 0 else None, gid=gid if gid >= 0 else None)
+
+    def utimens(self, path: str, atime: Optional[float], mtime: Optional[float]) -> None:
+        self._sys()
+        mount, ino = self._walk(path)
+        mount.fs.setattr(ino, atime=atime, mtime=mtime)
+
+    def access(self, path: str, amode: int = F_OK) -> None:
+        """access(2): raise EACCES/ENOENT rather than returning -1."""
+        self._sys()
+        mount, ino = self._walk(path)
+        if amode == F_OK:
+            return
+        attrs = mount.fs.getattr(ino)
+        if self.uid == 0:
+            # Root bypasses rwx checks except X on files with no x bits.
+            if amode & X_OK and attrs.is_file and not attrs.st_mode & 0o111:
+                raise FsError(EACCES, path)
+            return
+        if attrs.st_uid == self.uid:
+            bits = (attrs.st_mode >> 6) & 7
+        elif attrs.st_gid == self.gid:
+            bits = (attrs.st_mode >> 3) & 7
+        else:
+            bits = attrs.st_mode & 7
+        wanted = ((amode & R_OK) and 4) | ((amode & W_OK) and 2) | ((amode & X_OK) and 1)
+        if wanted & ~bits:
+            raise FsError(EACCES, path)
+
+    def statfs(self, path: str) -> StatVFS:
+        self._sys()
+        mount, _ = self._walk(path)
+        return mount.fs.statfs()
+
+    def fsync(self, fd: int) -> None:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        self._fd_mount(entry).fs.sync()
+
+    def sync(self) -> None:
+        self._sys()
+        for mount in self._mounts.values():
+            mount.fs.sync()
+
+    def ioctl(self, fd: int, request: int, arg: object = None) -> object:
+        self._sys()
+        entry = self.fdtable.get(fd)
+        return self._fd_mount(entry).fs.ioctl(entry.ino, request, arg)
+
+    # xattrs ----------------------------------------------------------------
+    def setxattr(self, path: str, key: str, value: bytes, flags: int = 0) -> None:
+        self._sys()
+        mount, ino = self._walk(path)
+        mount.fs.setxattr(ino, key, value, flags)
+
+    def getxattr(self, path: str, key: str) -> bytes:
+        self._sys()
+        mount, ino = self._walk(path)
+        return mount.fs.getxattr(ino, key)
+
+    def listxattr(self, path: str) -> List[str]:
+        self._sys()
+        mount, ino = self._walk(path)
+        return mount.fs.listxattr(ino)
+
+    def removexattr(self, path: str, key: str) -> None:
+        self._sys()
+        mount, ino = self._walk(path)
+        mount.fs.removexattr(ino, key)

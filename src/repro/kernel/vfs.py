@@ -1,0 +1,185 @@
+"""VFS interfaces implemented by every simulated file system.
+
+A :class:`FileSystemType` knows how to format (``mkfs``) and mount a
+device; mounting yields a :class:`MountedFileSystem` -- the driver instance
+holding the file system's *in-memory* state (caches, tables, open maps).
+The kernel talks to mounted file systems exclusively in terms of inode
+numbers, like the real VFS.
+
+The in-memory/on-disk split is the crux of the paper: the model checker
+can snapshot the device image easily, but the MountedFileSystem object's
+private state is invisible to it (section 3.1).  Unmounting flushes and
+discards that state; remounting rebuilds it from disk -- the workaround of
+section 3.2.  VeriFS instead checkpoints its own state via ioctls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ENOTSUP, ENOTTY, FsError
+from repro.kernel.stat import Dirent, StatResult, StatVFS
+
+
+class FileSystemType(ABC):
+    """A file-system driver: formats devices and produces mounted instances."""
+
+    #: short name, e.g. "ext2", "xfs", "verifs1"
+    name: str = "?"
+    #: smallest device this fs can be formatted onto (bytes); None = any / no device
+    min_device_size: Optional[int] = None
+    #: paths (relative to the mount root) of special files/folders created by
+    #: mkfs, e.g. ext's "lost+found".  MCFS puts these on its exception list.
+    special_paths: Tuple[str, ...] = ()
+
+    @abstractmethod
+    def mkfs(self, device) -> None:
+        """Write a fresh, empty file system onto ``device``."""
+
+    @abstractmethod
+    def mount(self, device, kernel=None) -> "MountedFileSystem":
+        """Load the on-disk state and return a live driver instance."""
+
+
+@dataclass
+class Mount:
+    """One entry in the kernel's mount table."""
+
+    mountpoint: str
+    fs: "MountedFileSystem"
+    fstype: FileSystemType
+    device: object = None
+    mount_id: int = 0
+    generation: int = 0  # bumped on each remount; stale-cache detection in tests
+
+
+class MountedFileSystem(ABC):
+    """A mounted file-system instance (driver + in-memory state).
+
+    All methods take/return inode numbers.  Implementations raise
+    :class:`FsError` for POSIX failures.  ``ROOT_INO`` is the inode
+    number of the mount root (per-driver constant).
+    """
+
+    ROOT_INO = 1
+
+    # -- lifecycle ---------------------------------------------------------------
+    @abstractmethod
+    def sync(self) -> None:
+        """Flush all dirty in-memory state to the backing store."""
+
+    @abstractmethod
+    def unmount(self) -> None:
+        """Flush and discard in-memory state; the instance becomes dead."""
+
+    # -- namespace ---------------------------------------------------------------
+    @abstractmethod
+    def lookup(self, dir_ino: int, name: str) -> int:
+        """Return the inode number for ``name`` in directory ``dir_ino``.
+
+        Raises ``ENOENT`` if absent, ``ENOTDIR`` if ``dir_ino`` is not a
+        directory.
+        """
+
+    @abstractmethod
+    def getattr(self, ino: int) -> StatResult:
+        """Return the stat data of ``ino``."""
+
+    @abstractmethod
+    def getdents(self, dir_ino: int) -> List[Dirent]:
+        """List directory entries excluding ``.`` and ``..``.
+
+        Entry order is implementation-defined (this matters: MCFS must
+        sort before comparing, section 3.4).
+        """
+
+    @abstractmethod
+    def create(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        """Create a regular file; return its inode number."""
+
+    @abstractmethod
+    def mkdir(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
+        """Create a directory; return its inode number."""
+
+    @abstractmethod
+    def unlink(self, dir_ino: int, name: str) -> None:
+        """Remove a non-directory entry (dropping a link)."""
+
+    @abstractmethod
+    def rmdir(self, dir_ino: int, name: str) -> None:
+        """Remove an empty directory."""
+
+    # -- data --------------------------------------------------------------------
+    @abstractmethod
+    def read(self, ino: int, offset: int, length: int) -> bytes:
+        """Read up to ``length`` bytes at ``offset`` (short read at EOF)."""
+
+    @abstractmethod
+    def write(self, ino: int, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset``; return bytes written."""
+
+    @abstractmethod
+    def truncate(self, ino: int, size: int) -> None:
+        """Set the file size, zero-filling any newly exposed range."""
+
+    # -- optional operations (drivers without support raise ENOTSUP) ---------------
+    def rename(
+        self, old_dir: int, old_name: str, new_dir: int, new_name: str
+    ) -> None:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support rename")
+
+    def link(self, ino: int, dir_ino: int, name: str) -> None:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support hard links")
+
+    def symlink(
+        self, dir_ino: int, name: str, target: str, uid: int, gid: int
+    ) -> int:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support symlinks")
+
+    def readlink(self, ino: int) -> str:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support symlinks")
+
+    def setattr(
+        self,
+        ino: int,
+        mode: Optional[int] = None,
+        uid: Optional[int] = None,
+        gid: Optional[int] = None,
+        atime: Optional[float] = None,
+        mtime: Optional[float] = None,
+    ) -> StatResult:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support setattr")
+
+    def setxattr(self, ino: int, key: str, value: bytes, flags: int = 0) -> None:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support xattrs")
+
+    def getxattr(self, ino: int, key: str) -> bytes:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support xattrs")
+
+    def listxattr(self, ino: int) -> List[str]:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support xattrs")
+
+    def removexattr(self, ino: int, key: str) -> None:
+        raise FsError(ENOTSUP, f"{type(self).__name__} does not support xattrs")
+
+    def ioctl(self, ino: int, request: int, arg: object = None) -> object:
+        """Driver-specific control; VeriFS implements checkpoint/restore here."""
+        raise FsError(ENOTTY, f"{type(self).__name__} has no ioctl {request:#x}")
+
+    @abstractmethod
+    def statfs(self) -> StatVFS:
+        """Return usage information (total/free blocks and inodes)."""
+
+    # -- integrity helpers (used by tests and the corruption demos) ----------------
+    def check_consistency(self) -> List[str]:
+        """Return a list of consistency violations (empty = clean).
+
+        Drivers override this with fsck-style checks: directory entries
+        must point at allocated inodes, link counts must match, allocation
+        bitmaps must agree with reachable data.  The cache-incoherency
+        experiments use this to *demonstrate* corruption rather than
+        asserting it abstractly.
+        """
+        return []

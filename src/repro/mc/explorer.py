@@ -1,0 +1,282 @@
+"""State-space exploration: exhaustive DFS and randomized walks.
+
+The explorer plays Spin's role: it drives an :class:`ExplorationTarget`
+through its nondeterministic choices, matches states on their *abstract*
+hashes (so equivalent states are explored once), and backtracks by
+restoring *concrete* checkpoints -- exactly the ``c_track`` split of
+section 3.3.
+
+Two modes:
+
+* :meth:`Explorer.run_dfs` -- bounded-depth exhaustive search over every
+  permutation of enabled operations (the paper's primary mode);
+* :meth:`Explorer.run_random` -- a seeded randomized walk with
+  probabilistic backtracking, used for the long-horizon experiments
+  (Figure 3, the five-day endurance run) and as the per-member mode of
+  swarm verification.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.clock import SimClock
+from repro.mc.hashtable import VisitedStateTable
+from repro.mc.memory import OutOfMemoryError
+
+
+class PropertyViolation(Exception):
+    """Base class for violations that halt exploration.
+
+    MCFS's integrity checker raises a subclass carrying the full
+    discrepancy report; the explorer stops and surfaces it.
+    """
+
+
+class ExplorationTarget(ABC):
+    """The system under exploration (MCFS wires the file systems in here)."""
+
+    @abstractmethod
+    def actions(self) -> Sequence[Any]:
+        """Enabled actions in the current state (the do..od alternatives)."""
+
+    @abstractmethod
+    def apply(self, action: Any) -> None:
+        """Execute one action; raise :class:`PropertyViolation` on a bug."""
+
+    @abstractmethod
+    def checkpoint(self) -> Any:
+        """Capture the concrete state; returns an opaque token."""
+
+    @abstractmethod
+    def restore(self, token: Any) -> None:
+        """Restore a previously captured concrete state."""
+
+    @abstractmethod
+    def abstract_state(self) -> str:
+        """The abstraction-function hash of the current state."""
+
+    def independent(self, first: Any, second: Any) -> bool:
+        """True when the two actions commute (for partial-order reduction).
+
+        Default: nothing commutes, which disables POR pruning.  MCFS
+        overrides this with a path-disjointness test.
+        """
+        return False
+
+
+@dataclass
+class ExplorationStats:
+    """What happened during a run."""
+
+    operations: int = 0
+    transitions: int = 0
+    unique_states: int = 0
+    revisited_states: int = 0
+    checkpoints: int = 0
+    restores: int = 0
+    #: transitions skipped by partial-order reduction (sleep sets)
+    por_pruned: int = 0
+    max_depth_reached: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    violation: Optional[PropertyViolation] = None
+    stopped_reason: str = ""
+    #: optional (sim_time, operations, swap_bytes) samples for rate plots
+    samples: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+    @property
+    def ops_per_second(self) -> float:
+        return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class Explorer:
+    """Drives an ExplorationTarget through its state space."""
+
+    def __init__(
+        self,
+        target: ExplorationTarget,
+        clock: SimClock,
+        visited: Optional[VisitedStateTable] = None,
+        max_depth: int = 4,
+        max_operations: Optional[int] = None,
+        max_unique_states: Optional[int] = None,
+        sim_time_budget: Optional[float] = None,
+        seed: int = 0,
+        sample_every: Optional[int] = None,
+        sample_hook: Optional[Callable[[ExplorationStats], None]] = None,
+    ):
+        self.target = target
+        self.clock = clock
+        self.visited = visited if visited is not None else VisitedStateTable()
+        self.max_depth = max_depth
+        self.max_operations = max_operations
+        self.max_unique_states = max_unique_states
+        self.sim_time_budget = sim_time_budget
+        self.rng = random.Random(seed)
+        self.sample_every = sample_every
+        self.sample_hook = sample_hook
+        self.stats = ExplorationStats()
+
+    # ---------------------------------------------------------------- common --
+    def _budget_exceeded(self) -> Optional[str]:
+        if self.max_operations is not None and self.stats.operations >= self.max_operations:
+            return "operation budget"
+        if (
+            self.max_unique_states is not None
+            and self.stats.unique_states >= self.max_unique_states
+        ):
+            return "state budget"
+        if (
+            self.sim_time_budget is not None
+            and self.clock.now - self.stats.start_time >= self.sim_time_budget
+        ):
+            return "time budget"
+        return None
+
+    def _note_operation(self) -> None:
+        self.stats.operations += 1
+        if self.sample_every and self.stats.operations % self.sample_every == 0:
+            swap = 0
+            if self.visited.memory is not None:
+                swap = self.visited.memory.swap_used_bytes
+            self.stats.samples.append(
+                (self.clock.now, self.stats.operations, swap)
+            )
+            if self.sample_hook is not None:
+                self.sample_hook(self.stats)
+
+    def _record_state(self, depth: int = 0) -> bool:
+        """Hash the current state; returns True when it should be expanded.
+
+        Depth-aware: a known state re-reached at a shallower depth is
+        expanded again (Spin's fix for depth-bounded search losing the
+        subtrees of frontier states).
+        """
+        state_hash = self.target.abstract_state()
+        is_new, should_expand = self.visited.visit(state_hash, depth)
+        if is_new:
+            self.stats.unique_states += 1
+        else:
+            self.stats.revisited_states += 1
+        return should_expand
+
+    # ------------------------------------------------------------------ DFS --
+    def run_dfs(self, por: bool = False) -> ExplorationStats:
+        """Exhaustive bounded-depth search over all action permutations.
+
+        ``por=True`` enables sleep-set partial-order reduction: when two
+        actions commute (``target.independent``), only one interleaving
+        order is explored -- the paper's "execute all permutations ...
+        without duplication" (§2).  State coverage is preserved for
+        commutative actions; the saved transitions can be substantial.
+        """
+        self.stats = ExplorationStats(start_time=self.clock.now)
+        try:
+            self._record_state()
+            self._dfs(0, frozenset() if por else None)
+            if not self.stats.stopped_reason:
+                self.stats.stopped_reason = "state space exhausted"
+        except PropertyViolation as violation:
+            self.stats.violation = violation
+            self.stats.stopped_reason = "property violation"
+        except OutOfMemoryError:
+            self.stats.stopped_reason = "out of memory"
+        self.stats.end_time = self.clock.now
+        return self.stats
+
+    def _dfs(self, depth: int, sleep) -> None:
+        self.stats.max_depth_reached = max(self.stats.max_depth_reached, depth)
+        if depth >= self.max_depth:
+            return
+        reason = self._budget_exceeded()
+        if reason:
+            self.stats.stopped_reason = reason
+            return
+        explored: List[Any] = []
+        for action in self.target.actions():
+            if self._budget_exceeded():
+                self.stats.stopped_reason = self._budget_exceeded() or ""
+                return
+            if sleep is not None and action in sleep:
+                # an independent permutation already covered this order
+                self.stats.por_pruned += 1
+                continue
+            token = self.target.checkpoint()
+            self.stats.checkpoints += 1
+            self.target.apply(action)  # PropertyViolation propagates: halt
+            self._note_operation()
+            self.stats.transitions += 1
+            if self._record_state(depth + 1):
+                child_sleep = None
+                if sleep is not None:
+                    # classic sleep sets: earlier siblings that commute
+                    # with `action` stay asleep in its subtree
+                    child_sleep = frozenset(
+                        other
+                        for other in set(sleep) | set(explored)
+                        if self.target.independent(action, other)
+                    )
+                self._dfs(depth + 1, child_sleep)
+            self.target.restore(token)
+            self.stats.restores += 1
+            explored.append(action)
+
+    # --------------------------------------------------------------- random --
+    def run_random(self, backtrack_probability: float = 0.25) -> ExplorationStats:
+        """Seeded random walk with probabilistic backtracking.
+
+        The walk keeps a bounded stack of checkpoints.  After each
+        operation it records the abstract state; on revisiting a known
+        state (or by coin flip) it backtracks to a random saved
+        checkpoint, mimicking the way a depth-bounded search keeps
+        re-entering unexplored regions.
+        """
+        self.stats = ExplorationStats(start_time=self.clock.now)
+        checkpoints: List[Any] = [self.target.checkpoint()]
+        self.stats.checkpoints += 1
+        try:
+            self._record_state()
+            while True:
+                reason = self._budget_exceeded()
+                if reason:
+                    self.stats.stopped_reason = reason
+                    break
+                actions = list(self.target.actions())
+                if not actions:
+                    self.stats.stopped_reason = "no enabled actions"
+                    break
+                action = self.rng.choice(actions)
+                self.target.apply(action)
+                self._note_operation()
+                self.stats.transitions += 1
+                is_new = self._record_state()
+                should_backtrack = (not is_new) or (
+                    self.rng.random() < backtrack_probability
+                )
+                if is_new and len(checkpoints) < self.max_depth:
+                    checkpoints.append(self.target.checkpoint())
+                    self.stats.checkpoints += 1
+                elif should_backtrack and checkpoints:
+                    index = self.rng.randrange(len(checkpoints))
+                    token = checkpoints[index]
+                    # Replace the consumed checkpoint with a fresh one of
+                    # the restored state so it can be revisited again.
+                    self.target.restore(token)
+                    self.stats.restores += 1
+                    checkpoints[index] = self.target.checkpoint()
+                    self.stats.checkpoints += 1
+        except PropertyViolation as violation:
+            self.stats.violation = violation
+            self.stats.stopped_reason = "property violation"
+        except OutOfMemoryError:
+            self.stats.stopped_reason = "out of memory"
+        self.stats.end_time = self.clock.now
+        return self.stats

@@ -1,0 +1,110 @@
+"""The visited-state hash table (Spin's state store).
+
+Spin detects already-visited states by comparing tracked state against
+everything seen before; with ``c_track``'s abstract/concrete split, only
+the abstract hashes are matched.  Two behaviours of the real store are
+modelled because they are visible in the paper's Figure 3:
+
+* **resize stalls** -- "this rate then dropped drastically and swap usage
+  spiked because Spin was resizing its hash table of visited states";
+  growing the table costs time proportional to the number of stored
+  states;
+* **memory pressure** -- each stored state consumes RAM and eventually
+  swap, via the attached :class:`~repro.mc.memory.MemoryModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.clock import Cost
+from repro.mc.memory import MemoryModel
+
+
+@dataclass
+class TableStats:
+    inserts: int = 0
+    duplicate_hits: int = 0
+    resizes: int = 0
+    resize_time: float = 0.0
+
+
+class VisitedStateTable:
+    """A visited-state set keyed by abstract-state hashes."""
+
+    def __init__(self, memory: Optional[MemoryModel] = None,
+                 initial_buckets: int = 1 << 10,
+                 max_load_factor: float = 0.75):
+        self.memory = memory
+        self.buckets = initial_buckets
+        self.max_load_factor = max_load_factor
+        #: hash -> shallowest depth at which the state was reached
+        self._seen: Dict[str, int] = {}
+        self.stats = TableStats()
+        #: callbacks invoked as resize_hook(new_buckets) -- the Figure 3
+        #: benchmark uses this to timestamp resize events.
+        self.resize_hooks = []
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, state_hash: str) -> bool:
+        return state_hash in self._seen
+
+    def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
+        """Record a state visit; return ``(is_new, should_expand)``.
+
+        Like Spin, the table remembers the shallowest depth at which each
+        state was reached: a known state re-reached at a *smaller* depth
+        must be expanded again, otherwise depth-bounded search silently
+        loses the deeper part of its subtree (states first discovered at
+        the depth frontier would never be expanded at all).
+        """
+        existing = self._seen.get(state_hash)
+        if existing is None:
+            self._seen[state_hash] = depth
+            self.stats.inserts += 1
+            if self.memory is not None:
+                self.memory.store_state()
+            if len(self._seen) > self.buckets * self.max_load_factor:
+                self._resize()
+            return True, True
+        self.stats.duplicate_hits += 1
+        if self.memory is not None:
+            self.memory.touch_state()
+        if depth < existing:
+            self._seen[state_hash] = depth
+            return False, True
+        return False, False
+
+    def add(self, state_hash: str) -> bool:
+        """Insert a state hash; return True if it was new."""
+        is_new, _ = self.visit(state_hash, depth=0)
+        return is_new
+
+    def _resize(self) -> None:
+        """Double the bucket array, rehashing every stored state.
+
+        This is the stall Figure 3 shows around day 3: the whole store is
+        rehashed, and when it no longer fits in RAM the rehash sweeps
+        through swap.
+        """
+        self.buckets *= 2
+        self.stats.resizes += 1
+        cost = Cost.HASH_RESIZE_PER_STATE * len(self._seen)
+        if self.memory is not None:
+            # Rehashing touches every state; the swap-resident fraction
+            # pays swap latency, which is what makes the spike dramatic.
+            hit = self.memory.ram_hit_ratio()
+            cost += (1.0 - hit) * Cost.SWAP_STATE_TOUCH * len(self._seen)
+            self.memory.clock.charge(cost, "hash-resize")
+            self.stats.resize_time += cost
+        for hook in self.resize_hooks:
+            hook(self.buckets)
+
+    def clear(self) -> None:
+        self._seen.clear()
+        self.buckets = 1 << 10
+        if self.memory is not None:
+            self.memory.reset()

@@ -1,0 +1,92 @@
+"""RAM/swap memory model for visited-state storage.
+
+The paper's evaluation machine had 64 GB of RAM and 128 GB of swap, and
+Figure 3 shows the checker's speed governed by where its state store
+lived: fast while states fit in RAM, a spike when Spin resized its hash
+table, a long swap-bound decline, and a rebound when the working set
+happened to be RAM-resident again.
+
+The model is deliberately simple and deterministic: states have a fixed
+footprint; storing or touching a state charges RAM or swap latency based
+on the probability that the state is RAM-resident, which combines the
+capacity ratio with a tunable *locality* factor (DFS backtracking mostly
+touches recent states, which stay resident).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clock import Cost, SimClock
+
+
+class OutOfMemoryError(RuntimeError):
+    """RAM and swap are both exhausted; the checker must stop."""
+
+
+@dataclass
+class MemoryModel:
+    """Accounting for the checker's state store."""
+
+    clock: SimClock
+    ram_bytes: int = 64 * (1 << 30)
+    swap_bytes: int = 128 * (1 << 30)
+    state_bytes: int = 64 * 1024  # concrete snapshot footprint
+    #: 0 = uniform access (pure capacity ratio); 1 = perfect locality
+    #: (always RAM).  DFS sits high; random walks sit low.
+    locality: float = 0.85
+    stored_states: int = 0
+    swap_states: int = 0
+
+    @property
+    def ram_capacity_states(self) -> int:
+        return self.ram_bytes // self.state_bytes
+
+    @property
+    def total_capacity_states(self) -> int:
+        return (self.ram_bytes + self.swap_bytes) // self.state_bytes
+
+    @property
+    def swapping(self) -> bool:
+        return self.stored_states > self.ram_capacity_states
+
+    @property
+    def swap_used_bytes(self) -> int:
+        return max(0, self.stored_states - self.ram_capacity_states) * self.state_bytes
+
+    def ram_hit_ratio(self) -> float:
+        """Probability that a touched state is RAM-resident."""
+        if self.stored_states <= self.ram_capacity_states:
+            return 1.0
+        capacity_ratio = self.ram_capacity_states / self.stored_states
+        return capacity_ratio + (1.0 - capacity_ratio) * self.locality
+
+    def store_state(self) -> None:
+        """Account for storing one new state snapshot."""
+        if self.stored_states >= self.total_capacity_states:
+            raise OutOfMemoryError(
+                f"{self.stored_states} states exceed RAM+swap capacity "
+                f"({self.total_capacity_states} states)"
+            )
+        self.stored_states += 1
+        if self.swapping:
+            self.swap_states = self.stored_states - self.ram_capacity_states
+        self.touch_state()
+
+    def touch_state(self) -> None:
+        """Charge the expected cost of accessing one stored state.
+
+        The cost has a fixed part and a per-byte transfer part, so large
+        concrete states (big device images) make swap residency hurt far
+        more -- the mechanism behind the paper's Ext4-vs-XFS slowdown.
+        """
+        hit = self.ram_hit_ratio()
+        ram_cost = Cost.RAM_STATE_TOUCH + self.state_bytes * Cost.RAM_TOUCH_PER_BYTE
+        swap_cost = Cost.SWAP_STATE_TOUCH + self.state_bytes * Cost.SWAP_TOUCH_PER_BYTE
+        expected = hit * ram_cost + (1.0 - hit) * swap_cost
+        category = "state-swap" if hit < 1.0 else "state-ram"
+        self.clock.charge(expected, category)
+
+    def reset(self) -> None:
+        self.stored_states = 0
+        self.swap_states = 0

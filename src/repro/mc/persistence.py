@@ -1,0 +1,80 @@
+"""Persisting checker state to resume interrupted runs (§7 future work).
+
+The paper: "We are also working on APIs that will checkpoint file system
+states to help us resume the model-checking process if an interruption
+occurs (e.g., due to a kernel crash)."
+
+What must survive an interruption is the checker's *knowledge*: the
+visited-state table (abstract hashes and their shallowest depths) plus
+enough bookkeeping to continue counting meaningfully.  Concrete
+file-system state does NOT need to survive -- a resumed run starts from
+freshly formatted file systems, and the visited table prevents
+re-exploring everything it already covered.
+
+Format: a single JSON document, versioned, written atomically (tmp file
++ rename) so a crash during save never corrupts the previous snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mc.hashtable import VisitedStateTable
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class CheckerSnapshot:
+    """Everything persisted between runs."""
+
+    visited: VisitedStateTable
+    operations_completed: int = 0
+    runs: int = 1
+
+
+def save_checker_state(path: str, visited: VisitedStateTable,
+                       operations_completed: int = 0, runs: int = 1) -> None:
+    """Atomically write the checker's knowledge to ``path``."""
+    document = {
+        "version": FORMAT_VERSION,
+        "buckets": visited.buckets,
+        "seen": visited._seen,  # hash -> shallowest depth
+        "operations_completed": operations_completed,
+        "runs": runs,
+    }
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    os.replace(tmp_path, path)  # atomic on POSIX
+
+
+def load_checker_state(path: str, memory=None) -> Optional[CheckerSnapshot]:
+    """Load a previously saved snapshot; None when ``path`` is absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"checker snapshot {path} has version {document.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    visited = VisitedStateTable(memory=memory,
+                                initial_buckets=document["buckets"])
+    visited._seen = {
+        state_hash: int(depth) for state_hash, depth in document["seen"].items()
+    }
+    visited.stats.inserts = len(visited._seen)
+    if memory is not None:
+        # rebuild the memory model's accounting for the reloaded states
+        for _ in range(len(visited._seen)):
+            memory.store_state()
+    return CheckerSnapshot(
+        visited=visited,
+        operations_completed=int(document.get("operations_completed", 0)),
+        runs=int(document.get("runs", 1)),
+    )

@@ -1,0 +1,5 @@
+"""A Ganesha-like user-space NFS server (section 5's CRIU success case)."""
+
+from repro.nfs.ganesha import GaneshaLikeServer, NfsConnection, mount_nfs
+
+__all__ = ["GaneshaLikeServer", "NfsConnection", "mount_nfs"]

@@ -1,0 +1,28 @@
+"""Simulated storage devices.
+
+The paper backs its file systems with RAM block devices (a patched ``brd``
+renamed ``brd2`` that allows per-device sizes), plain HDD/SSD block devices
+for the Figure 2 comparison, and an ``mtdram`` MTD character device (plus
+``mtdblock`` adapter) for JFFS2.  This package provides all of them as
+deterministic simulations that charge their latencies to a shared
+:class:`repro.clock.SimClock`.
+"""
+
+from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.ram import RAMBlockDevice, RamDiskRegistry
+from repro.storage.disk import HDDBlockDevice, SSDBlockDevice
+from repro.storage.mtd import MTDBlockAdapter, MTDDevice
+from repro.storage.fault import PowerCutDevice, PowerCutMTD
+
+__all__ = [
+    "BlockDevice",
+    "DeviceStats",
+    "RAMBlockDevice",
+    "RamDiskRegistry",
+    "HDDBlockDevice",
+    "SSDBlockDevice",
+    "MTDDevice",
+    "MTDBlockAdapter",
+    "PowerCutDevice",
+    "PowerCutMTD",
+]

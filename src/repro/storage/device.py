@@ -1,0 +1,132 @@
+"""Block-device abstraction.
+
+A :class:`BlockDevice` is a flat array of fixed-size sectors.  File systems
+read and write whole blocks (their own block size, a multiple of the sector
+size).  Every access charges latency to the device's clock, and every device
+supports whole-image snapshot/restore -- the primitive MCFS uses to track
+persistent state (the paper mmaps the backing store into Spin's address
+space; we copy the image instead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clock import SimClock
+from repro.errors import DeviceError
+
+
+@dataclass
+class DeviceStats:
+    """I/O accounting for a device (reads/writes in requests and bytes)."""
+
+    read_requests: int = 0
+    write_requests: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    erases: int = 0
+
+    def reset(self) -> None:
+        self.read_requests = 0
+        self.write_requests = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.erases = 0
+
+
+class BlockDevice:
+    """A flat, sector-addressed storage device.
+
+    Subclasses set the latency profile via ``access_cost`` (per request)
+    and ``per_byte_cost``; the base class handles bounds checks, the data
+    buffer, statistics, and image snapshot/restore.
+    """
+
+    #: label used for clock accounting ("ram-io", "hdd-io", ...)
+    cost_category = "block-io"
+    access_cost = 0.0
+    per_byte_cost = 0.0
+
+    def __init__(
+        self,
+        size_bytes: int,
+        sector_size: int = 512,
+        clock: Optional[SimClock] = None,
+        name: str = "dev",
+    ):
+        if size_bytes <= 0 or size_bytes % sector_size != 0:
+            raise ValueError(
+                f"device size {size_bytes} must be a positive multiple of "
+                f"sector size {sector_size}"
+            )
+        self.size_bytes = size_bytes
+        self.sector_size = sector_size
+        self.clock = clock if clock is not None else SimClock()
+        self.name = name
+        self.stats = DeviceStats()
+        self.read_only = False
+        self._data = bytearray(size_bytes)
+
+    # -- raw byte access (used by file systems) --------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``, charging device latency."""
+        self._check_range(offset, length)
+        self._charge(length)
+        self.stats.read_requests += 1
+        self.stats.bytes_read += length
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Write ``data`` at ``offset``, charging device latency."""
+        if self.read_only:
+            raise DeviceError(f"{self.name}: device is read-only")
+        self._check_range(offset, len(data))
+        self._charge(len(data))
+        self.stats.write_requests += 1
+        self.stats.bytes_written += len(data)
+        self._data[offset : offset + len(data)] = data
+
+    def read_block(self, block_index: int, block_size: int) -> bytes:
+        return self.read(block_index * block_size, block_size)
+
+    def write_block(self, block_index: int, block_size: int, data: bytes) -> None:
+        if len(data) > block_size:
+            raise DeviceError(
+                f"{self.name}: block write of {len(data)} bytes exceeds "
+                f"block size {block_size}"
+            )
+        if len(data) < block_size:
+            data = data + b"\x00" * (block_size - len(data))
+        self.write(block_index * block_size, data)
+
+    # -- image snapshot / restore (used by the model checker) -------------------
+    def snapshot_image(self) -> bytes:
+        """Copy the whole device image (no latency: this models mmap access
+        by the checker, which the paper performs outside the timed path)."""
+        return bytes(self._data)
+
+    def restore_image(self, image: bytes) -> None:
+        """Overwrite the device contents from a snapshot image."""
+        if len(image) != self.size_bytes:
+            raise DeviceError(
+                f"{self.name}: snapshot image is {len(image)} bytes, "
+                f"device is {self.size_bytes}"
+            )
+        self._data[:] = image
+
+    # -- helpers ----------------------------------------------------------------
+    def _check_range(self, offset: int, length: int) -> None:
+        if length < 0 or offset < 0 or offset + length > self.size_bytes:
+            raise DeviceError(
+                f"{self.name}: access [{offset}, {offset + length}) outside "
+                f"device of {self.size_bytes} bytes"
+            )
+
+    def _charge(self, nbytes: int) -> None:
+        self.clock.charge(
+            self.access_cost + self.per_byte_cost * nbytes, self.cost_category
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, {self.size_bytes} bytes)"

@@ -1,0 +1,29 @@
+"""Rotational and solid-state block devices.
+
+These exist for the Figure 2 ablation: checking Ext2 vs. Ext4 on HDD was
+20x slower than on RAM disks, and on SSD 18x slower, because every model-
+checking step snapshots/restores and remounts, hammering the device.  The
+latency constants live in :class:`repro.clock.Cost` and are calibrated in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Cost
+from repro.storage.device import BlockDevice
+
+
+class HDDBlockDevice(BlockDevice):
+    """Spinning disk: high per-request (seek) cost, modest bandwidth."""
+
+    cost_category = "hdd-io"
+    access_cost = Cost.HDD_ACCESS
+    per_byte_cost = Cost.HDD_PER_BYTE
+
+
+class SSDBlockDevice(BlockDevice):
+    """Flash SSD: low per-request cost, high bandwidth."""
+
+    cost_category = "ssd-io"
+    access_cost = Cost.SSD_ACCESS
+    per_byte_cost = Cost.SSD_PER_BYTE

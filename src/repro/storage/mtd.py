@@ -1,0 +1,164 @@
+"""MTD (Memory Technology Device) simulation for JFFS2.
+
+JFFS2 cannot mount a plain block device: it needs an MTD character device
+with erase-block semantics.  The paper loads ``mtdram`` (a RAM-backed MTD
+device) plus ``mtdblock`` (a block-interface shim) so Spin can mmap the MTD
+storage through the block layer.  :class:`MTDDevice` models mtdram --
+byte-readable, write-once-until-erased flash organised in erase blocks --
+and :class:`MTDBlockAdapter` models mtdblock.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clock import Cost, SimClock
+from repro.errors import DeviceError
+from repro.storage.device import BlockDevice, DeviceStats
+
+
+class MTDDevice:
+    """A NOR-flash-like MTD device (the ``mtdram`` module).
+
+    Semantics modelled:
+
+    * reads are arbitrary-offset, arbitrary-length;
+    * writes may only clear bits (program 1 -> 0); writing over already
+      programmed bytes without an intervening erase raises ``DeviceError``
+      unless the write is bit-compatible;
+    * erases operate on whole erase blocks and reset them to ``0xFF``;
+    * each erase increments a per-block wear counter.
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        erase_block_size: int = 16 * 1024,
+        clock: Optional[SimClock] = None,
+        name: str = "mtd0",
+    ):
+        if size_bytes <= 0 or size_bytes % erase_block_size != 0:
+            raise ValueError(
+                f"MTD size {size_bytes} must be a positive multiple of the "
+                f"erase block size {erase_block_size}"
+            )
+        self.size_bytes = size_bytes
+        self.erase_block_size = erase_block_size
+        self.erase_block_count = size_bytes // erase_block_size
+        self.clock = clock if clock is not None else SimClock()
+        self.name = name
+        self.stats = DeviceStats()
+        self._data = bytearray(b"\xff" * size_bytes)
+        self.wear = [0] * self.erase_block_count
+
+    # -- raw flash operations ----------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        self._check_range(offset, length)
+        self.clock.charge(Cost.MTD_ACCESS + Cost.MTD_PER_BYTE * length, "mtd-io")
+        self.stats.read_requests += 1
+        self.stats.bytes_read += length
+        return bytes(self._data[offset : offset + length])
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Program bytes.  Flash can only clear bits (1 -> 0)."""
+        self._check_range(offset, len(data))
+        for i, byte in enumerate(data):
+            current = self._data[offset + i]
+            if current & byte != byte:
+                raise DeviceError(
+                    f"{self.name}: programming 0x{byte:02x} over 0x{current:02x} "
+                    f"at offset {offset + i} would set bits; erase first"
+                )
+        self.clock.charge(Cost.MTD_ACCESS + Cost.MTD_PER_BYTE * len(data), "mtd-io")
+        self.stats.write_requests += 1
+        self.stats.bytes_written += len(data)
+        for i, byte in enumerate(data):
+            self._data[offset + i] &= byte
+
+    def erase_block(self, block_index: int) -> None:
+        if not 0 <= block_index < self.erase_block_count:
+            raise DeviceError(f"{self.name}: erase block {block_index} out of range")
+        self.clock.charge(Cost.MTD_ERASE, "mtd-erase")
+        self.stats.erases += 1
+        self.wear[block_index] += 1
+        start = block_index * self.erase_block_size
+        self._data[start : start + self.erase_block_size] = (
+            b"\xff" * self.erase_block_size
+        )
+
+    def is_block_erased(self, block_index: int) -> bool:
+        start = block_index * self.erase_block_size
+        return all(
+            byte == 0xFF
+            for byte in self._data[start : start + self.erase_block_size]
+        )
+
+    # -- image snapshot/restore ----------------------------------------------------
+    def snapshot_image(self) -> bytes:
+        return bytes(self._data)
+
+    def restore_image(self, image: bytes) -> None:
+        if len(image) != self.size_bytes:
+            raise DeviceError(
+                f"{self.name}: snapshot image is {len(image)} bytes, "
+                f"device is {self.size_bytes}"
+            )
+        self._data[:] = image
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if length < 0 or offset < 0 or offset + length > self.size_bytes:
+            raise DeviceError(
+                f"{self.name}: access [{offset}, {offset + length}) outside "
+                f"MTD of {self.size_bytes} bytes"
+            )
+
+
+class MTDBlockAdapter(BlockDevice):
+    """The ``mtdblock`` shim: a block-device view over an MTD device.
+
+    Reads pass straight through.  Block writes implement read-modify-erase-
+    write on the underlying erase block, exactly like mtdblock's (slow)
+    emulation.  This adapter exists so the model checker can snapshot MTD
+    storage through the uniform block interface, mirroring the paper's
+    mtdram+mtdblock setup; JFFS2 itself talks to the raw MTD device.
+    """
+
+    cost_category = "mtd-io"
+
+    def __init__(self, mtd: MTDDevice, sector_size: int = 512):
+        super().__init__(mtd.size_bytes, sector_size, mtd.clock, mtd.name + "-blk")
+        self.mtd = mtd
+        # the adapter has no storage of its own
+        self._data = None  # type: ignore[assignment]
+
+    def read(self, offset: int, length: int) -> bytes:
+        self.stats.read_requests += 1
+        self.stats.bytes_read += length
+        return self.mtd.read(offset, length)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Read-modify-erase-write through whole erase blocks."""
+        if not data:
+            return
+        ebs = self.mtd.erase_block_size
+        self.stats.write_requests += 1
+        self.stats.bytes_written += len(data)
+        end = offset + len(data)
+        first_block = offset // ebs
+        last_block = (end - 1) // ebs
+        for block in range(first_block, last_block + 1):
+            block_start = block * ebs
+            current = bytearray(self.mtd.read(block_start, ebs))
+            lo = max(offset, block_start) - block_start
+            hi = min(end, block_start + ebs) - block_start
+            current[lo:hi] = data[
+                max(offset, block_start) - offset : min(end, block_start + ebs) - offset
+            ]
+            self.mtd.erase_block(block)
+            self.mtd.write(block_start, bytes(current))
+
+    def snapshot_image(self) -> bytes:
+        return self.mtd.snapshot_image()
+
+    def restore_image(self, image: bytes) -> None:
+        self.mtd.restore_image(image)

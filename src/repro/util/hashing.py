@@ -1,0 +1,46 @@
+"""Hashing helpers used by the abstraction functions and visited table.
+
+The paper's Algorithm 1 produces a 128-bit MD5 digest of a file system's
+"important" state; the visited-state table keys on such digests.  MD5 is
+used deliberately (matching the paper) -- this is state fingerprinting,
+not security.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Union
+
+Chunk = Union[bytes, bytearray, memoryview, str]
+
+
+def _as_bytes(chunk: Chunk) -> bytes:
+    if isinstance(chunk, str):
+        return chunk.encode("utf-8")
+    return bytes(chunk)
+
+
+def md5_hex(*chunks: Chunk) -> str:
+    """MD5 hex digest over the concatenation of ``chunks``."""
+    ctx = hashlib.md5()
+    for chunk in chunks:
+        ctx.update(_as_bytes(chunk))
+    return ctx.hexdigest()
+
+
+def md5_of_iter(chunks: Iterable[Chunk]) -> str:
+    """MD5 hex digest over an iterable of chunks (streaming)."""
+    ctx = hashlib.md5()
+    for chunk in chunks:
+        ctx.update(_as_bytes(chunk))
+    return ctx.hexdigest()
+
+
+def stable_hash64(data: Chunk) -> int:
+    """A deterministic 64-bit hash (stable across runs, unlike ``hash``).
+
+    Used by the XFS-like directory B+tree for name hashing and by the
+    visited-state table for bucket selection.
+    """
+    digest = hashlib.md5(_as_bytes(data)).digest()
+    return int.from_bytes(digest[:8], "little")

@@ -1,0 +1,80 @@
+"""Path handling for the simulated VFS.
+
+All VFS paths are absolute, ``/``-separated, and contain no ``.``/``..``
+components once normalised.  Component length limits mirror Linux
+(NAME_MAX = 255, PATH_MAX = 4096); violations raise ``FsError`` with the
+same errno the kernel would use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import EINVAL, ENAMETOOLONG, FsError
+
+NAME_MAX = 255
+PATH_MAX = 4096
+
+
+def normalize_path(path: str) -> str:
+    """Normalise ``path`` to a canonical absolute form.
+
+    ``//a///b/`` becomes ``/a/b``; ``.`` components are dropped; ``..``
+    components collapse toward the root (the root's parent is the root,
+    matching POSIX).  Empty paths raise ``EINVAL`` like the kernel's
+    path walker.
+    """
+    if not path:
+        raise FsError(EINVAL, "empty path")
+    if len(path) > PATH_MAX:
+        raise FsError(ENAMETOOLONG, path[:32] + "...")
+    if not path.startswith("/"):
+        raise FsError(EINVAL, f"path must be absolute: {path!r}")
+    parts: List[str] = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if parts:
+                parts.pop()
+            continue
+        if len(component) > NAME_MAX:
+            raise FsError(ENAMETOOLONG, component[:32] + "...")
+        parts.append(component)
+    return "/" + "/".join(parts)
+
+
+def split_path(path: str) -> Tuple[str, str]:
+    """Split a normalised path into ``(parent, name)``.
+
+    The root splits into ``("/", "")``.
+    """
+    path = normalize_path(path)
+    if path == "/":
+        return "/", ""
+    parent, _, name = path.rpartition("/")
+    return parent or "/", name
+
+
+def join_path(parent: str, name: str) -> str:
+    """Join a directory path and a single component."""
+    if parent.endswith("/"):
+        return normalize_path(parent + name)
+    return normalize_path(parent + "/" + name)
+
+
+def path_components(path: str) -> List[str]:
+    """Return the list of components of a normalised path (root -> [])."""
+    path = normalize_path(path)
+    if path == "/":
+        return []
+    return path[1:].split("/")
+
+
+def is_subpath(path: str, ancestor: str) -> bool:
+    """True when ``path`` is ``ancestor`` or lives beneath it."""
+    path = normalize_path(path)
+    ancestor = normalize_path(ancestor)
+    if ancestor == "/":
+        return True
+    return path == ancestor or path.startswith(ancestor + "/")

@@ -1,0 +1,41 @@
+"""VeriFS: FUSE file systems with checkpoint/restore APIs (the paper's §5).
+
+Two generations, mirroring the paper's development story:
+
+* :class:`VeriFS1` -- the deliberately simple first version: a
+  fixed-length inode array with one contiguous buffer per inode, a
+  limited operation set (no rename, links, symlinks, or xattrs), and no
+  storage limit.
+* :class:`VeriFS2` -- the full-featured successor: dynamic inode
+  allocation, chunked file storage, rename/link/symlink/xattrs, and a
+  capacity limit.
+
+Both implement the proposed state APIs as ioctls:
+``IOCTL_CHECKPOINT`` copies the entire in-memory state into a snapshot
+pool under a 64-bit key; ``IOCTL_RESTORE`` restores the state for a key,
+tells the kernel to invalidate its caches, and discards the snapshot.
+
+:mod:`repro.verifs.bugs` defines the four *historical bugs* from the
+paper's section 6 as injectable flags, so the bug-discovery experiments
+can reproduce MCFS finding each one.
+"""
+
+from repro.verifs.common import (
+    IOCTL_CHECKPOINT,
+    IOCTL_RESTORE,
+    SnapshotPool,
+)
+from repro.verifs.bugs import VeriFSBug
+from repro.verifs.verifs1 import VeriFS1
+from repro.verifs.verifs2 import VeriFS2
+from repro.verifs.mounting import mount_verifs
+
+__all__ = [
+    "VeriFS1",
+    "VeriFS2",
+    "VeriFSBug",
+    "SnapshotPool",
+    "IOCTL_CHECKPOINT",
+    "IOCTL_RESTORE",
+    "mount_verifs",
+]

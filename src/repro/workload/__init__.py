@@ -1,0 +1,30 @@
+"""Workload presets and sequence generation.
+
+The paper's operation space is "a predefined (bounded) parameter pool"
+(§4).  Pool design determines which behaviours a bounded search can
+reach at all (see ``docs/extending.md``); this package provides named
+presets with documented intent, plus a deterministic sequence generator
+for trace-style workloads outside the explorer.
+"""
+
+from repro.workload.presets import (
+    DATA_HEAVY,
+    DEEP_TREE,
+    DEFAULT,
+    METADATA_HEAVY,
+    PRESETS,
+    RENAME_STORM,
+    preset,
+)
+from repro.workload.generator import SequenceGenerator
+
+__all__ = [
+    "DEFAULT",
+    "METADATA_HEAVY",
+    "DATA_HEAVY",
+    "DEEP_TREE",
+    "RENAME_STORM",
+    "PRESETS",
+    "preset",
+    "SequenceGenerator",
+]

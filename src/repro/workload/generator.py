@@ -1,0 +1,46 @@
+"""Deterministic operation-sequence generation for trace workloads.
+
+The explorer picks operations itself; some uses want a plain *sequence*
+instead — endurance runs, crash workloads, regression traces.  The
+generator samples a catalog uniformly under a seed, so sequences are
+reproducible and shareable (a seed + pool is a complete workload spec).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional
+
+from repro.core.ops import Operation, OperationCatalog, ParameterPool
+
+
+class SequenceGenerator:
+    """Seeded stream of operations drawn from a catalog."""
+
+    def __init__(self, pool: Optional[ParameterPool] = None,
+                 include_extended: bool = True, seed: int = 0):
+        self.catalog = OperationCatalog(
+            pool=pool if pool is not None else ParameterPool(),
+            include_extended=include_extended,
+        )
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def take(self, count: int) -> List[Operation]:
+        """The next ``count`` operations of the stream."""
+        operations = self.catalog.operations()
+        return [self._rng.choice(operations) for _ in range(count)]
+
+    def stream(self) -> Iterator[Operation]:
+        """An endless operation iterator."""
+        operations = self.catalog.operations()
+        while True:
+            yield self._rng.choice(operations)
+
+    def reset(self) -> None:
+        """Rewind to the beginning of the (seeded) stream."""
+        self._rng = random.Random(self.seed)
+
+    def apply_to(self, fut, operations) -> List:
+        """Execute a sequence on one file system; return the outcomes."""
+        return [self.catalog.execute(fut, operation) for operation in operations]

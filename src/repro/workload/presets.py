@@ -1,0 +1,67 @@
+"""Named parameter pools, each aimed at a different behaviour family."""
+
+from __future__ import annotations
+
+from repro.core.ops import ParameterPool
+
+#: the general-purpose pool (the library default)
+DEFAULT = ParameterPool()
+
+#: namespace churn: many names, shallow data -- exercises directory
+#: management, allocation reuse, rename/link paths, and dcache traffic
+METADATA_HEAVY = ParameterPool(
+    file_paths=("/f0", "/f1", "/f2", "/f3", "/f4", "/d0/f5", "/d1/f6"),
+    dir_paths=("/d0", "/d1", "/d2", "/d0/sd0", "/d1/sd1"),
+    write_offsets=(0,),
+    write_sizes=(64,),
+    truncate_sizes=(0,),
+    symlink_targets=("/f0", "/d0"),
+)
+
+#: few files, rich data shapes -- exercises block allocation, holes,
+#: indirect blocks/extents, and the stale-data bug families
+DATA_HEAVY = ParameterPool(
+    file_paths=("/f0", "/f1"),
+    dir_paths=("/d0",),
+    write_offsets=(0, 500, 1000, 4096, 10_000),
+    write_sizes=(1, 512, 3000, 8192),
+    truncate_sizes=(0, 100, 2048, 5000, 12_000),
+)
+
+#: nested namespace -- exercises path walking, '..' bookkeeping, and
+#: directory-tree moves
+DEEP_TREE = ParameterPool(
+    file_paths=("/a/b/c/f0", "/a/b/f1", "/a/f2", "/f3"),
+    dir_paths=("/a", "/a/b", "/a/b/c", "/a/b/c/d"),
+    write_offsets=(0,),
+    write_sizes=(256,),
+    truncate_sizes=(0, 100),
+)
+
+#: rename-focused churn (requires the extended operation set)
+RENAME_STORM = ParameterPool(
+    file_paths=("/f0", "/f1", "/f2"),
+    dir_paths=("/d0", "/d1"),
+    write_offsets=(0,),
+    write_sizes=(128,),
+    truncate_sizes=(0,),
+    symlink_targets=("/f0",),
+)
+
+PRESETS = {
+    "default": DEFAULT,
+    "metadata-heavy": METADATA_HEAVY,
+    "data-heavy": DATA_HEAVY,
+    "deep-tree": DEEP_TREE,
+    "rename-storm": RENAME_STORM,
+}
+
+
+def preset(name: str) -> ParameterPool:
+    """Look up a preset by name (KeyError lists the options)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(sorted(PRESETS))}"
+        ) from None

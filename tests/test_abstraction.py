@@ -1,0 +1,232 @@
+"""Tests for Algorithm 1 and the section 3.4 false-positive workarounds."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.core.abstraction import (
+    DEFAULT_EXCEPTIONS,
+    AbstractionOptions,
+    abstract_state,
+    collect_entries,
+)
+from repro.fs import Ext2FileSystemType, XfsFileSystemType
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+from repro.verifs import VeriFS2
+from repro.verifs.mounting import mount_verifs
+
+
+def build_ext2(clock, mountpoint="/mnt/ext2"):
+    kernel = Kernel(clock)
+    fstype = Ext2FileSystemType()
+    device = RAMBlockDevice(256 * 1024, clock=clock)
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, mountpoint)
+    return kernel
+
+
+def build_xfs(clock, mountpoint="/mnt/xfs"):
+    kernel = Kernel(clock)
+    fstype = XfsFileSystemType()
+    device = RAMBlockDevice(16 * 1024 * 1024, clock=clock)
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, mountpoint)
+    return kernel
+
+
+def build_verifs2(clock, mountpoint="/mnt/v2"):
+    kernel = Kernel(clock)
+    mount_verifs(kernel, VeriFS2(clock=clock), mountpoint)
+    return kernel
+
+
+def create(kernel, path, data=b""):
+    fd = kernel.open(path, O_CREAT | O_RDWR)
+    if data:
+        kernel.write(fd, data)
+    kernel.close(fd)
+
+
+class TestHashProperties:
+    def test_same_state_same_hash(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/f", b"data")
+        assert (abstract_state(kernel, "/mnt/ext2")
+                == abstract_state(kernel, "/mnt/ext2"))
+
+    def test_content_change_changes_hash(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/f", b"data")
+        before = abstract_state(kernel, "/mnt/ext2")
+        fd = kernel.open("/mnt/ext2/f", O_WRONLY)
+        kernel.pwrite(fd, b"DATA", 0)
+        kernel.close(fd)
+        assert abstract_state(kernel, "/mnt/ext2") != before
+
+    def test_mode_change_changes_hash(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/f")
+        before = abstract_state(kernel, "/mnt/ext2")
+        kernel.chmod("/mnt/ext2/f", 0o600)
+        assert abstract_state(kernel, "/mnt/ext2") != before
+
+    def test_atime_is_noise(self, clock):
+        """Reads update atime; the abstraction must not see that."""
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/f", b"data")
+        before = abstract_state(kernel, "/mnt/ext2")
+        clock.charge(100.0, "test")
+        fd = kernel.open("/mnt/ext2/f")
+        kernel.read(fd, 4)
+        kernel.close(fd)
+        assert abstract_state(kernel, "/mnt/ext2") == before
+
+    def test_mtime_is_noise(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/f", b"data")
+        before = abstract_state(kernel, "/mnt/ext2")
+        kernel.utimens("/mnt/ext2/f", 1.0, 99999.0)
+        assert abstract_state(kernel, "/mnt/ext2") == before
+
+    def test_rename_changes_hash(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/a", b"data")
+        before = abstract_state(kernel, "/mnt/ext2")
+        kernel.rename("/mnt/ext2/a", "/mnt/ext2/b")
+        assert abstract_state(kernel, "/mnt/ext2") != before
+
+    def test_path_not_just_leaf_name_hashed(self, clock):
+        kernel = build_ext2(clock)
+        kernel.mkdir("/mnt/ext2/d1")
+        kernel.mkdir("/mnt/ext2/d2")
+        create(kernel, "/mnt/ext2/d1/f", b"x")
+        h1 = abstract_state(kernel, "/mnt/ext2")
+        kernel.rename("/mnt/ext2/d1/f", "/mnt/ext2/d2/f")
+        assert abstract_state(kernel, "/mnt/ext2") != h1
+
+
+class TestWorkarounds:
+    def test_dir_sizes_ignored_by_default(self, clock):
+        """ext2 reports block-multiple dir sizes, xfs entry sums; the
+        workaround hides that difference."""
+        ext2 = build_ext2(clock)
+        xfs = build_xfs(clock)
+        for kernel, base in ((ext2, "/mnt/ext2"), (xfs, "/mnt/xfs")):
+            kernel.mkdir(base + "/d")
+            create(kernel, base + "/d/f", b"same")
+        assert (abstract_state(ext2, "/mnt/ext2")
+                == abstract_state(xfs, "/mnt/xfs"))
+
+    def test_without_workarounds_dir_sizes_differ(self, clock):
+        ext2 = build_ext2(clock)
+        xfs = build_xfs(clock)
+        for kernel, base in ((ext2, "/mnt/ext2"), (xfs, "/mnt/xfs")):
+            kernel.mkdir(base + "/d")
+        naive = AbstractionOptions(ignore_dir_sizes=False,
+                                   exception_list=frozenset({"lost+found"}))
+        assert (abstract_state(ext2, "/mnt/ext2", naive)
+                != abstract_state(xfs, "/mnt/xfs", naive))
+
+    def test_exception_list_hides_lost_and_found(self, clock):
+        ext2 = build_ext2(clock)
+        xfs = build_xfs(clock)
+        assert (abstract_state(ext2, "/mnt/ext2")
+                == abstract_state(xfs, "/mnt/xfs"))
+
+    def test_without_exception_list_lost_and_found_shows(self, clock):
+        ext2 = build_ext2(clock)
+        xfs = build_xfs(clock)
+        naive = AbstractionOptions(exception_list=frozenset())
+        assert (abstract_state(ext2, "/mnt/ext2", naive)
+                != abstract_state(xfs, "/mnt/xfs", naive))
+
+    def test_entry_order_normalized(self, clock):
+        """ext2 lists in insertion order, xfs in hash order; sorting makes
+        the same logical directory hash identically."""
+        ext2 = build_ext2(clock)
+        xfs = build_xfs(clock)
+        names = ["zebra", "alpha", "m1", "m2", "q7"]
+        for kernel, base in ((ext2, "/mnt/ext2"), (xfs, "/mnt/xfs")):
+            for name in names:
+                create(kernel, f"{base}/{name}", b"c")
+        listed_ext2 = [e.name for e in ext2.getdents("/mnt/ext2") if e.name != "lost+found"]
+        listed_xfs = [e.name for e in xfs.getdents("/mnt/xfs")]
+        assert listed_ext2 != listed_xfs  # raw orders genuinely differ
+        assert (abstract_state(ext2, "/mnt/ext2")
+                == abstract_state(xfs, "/mnt/xfs"))
+
+    def test_default_exceptions_include_equalize_file(self):
+        assert ".mcfs_equalize" in DEFAULT_EXCEPTIONS
+        assert "lost+found" in DEFAULT_EXCEPTIONS
+
+    def test_without_workarounds_helper(self):
+        options = AbstractionOptions().without_workarounds()
+        assert not options.ignore_dir_sizes
+        assert not options.sort_entries
+        assert options.exception_list == frozenset()
+
+
+class TestEntryRecords:
+    def test_collect_entries_sorted_by_path(self, clock):
+        kernel = build_ext2(clock)
+        kernel.mkdir("/mnt/ext2/z")
+        kernel.mkdir("/mnt/ext2/a")
+        create(kernel, "/mnt/ext2/z/f")
+        records = collect_entries(kernel, "/mnt/ext2")
+        paths = [record.path for record in records]
+        assert paths == sorted(paths)
+        assert "/a" in paths and "/z/f" in paths
+
+    def test_symlink_target_in_content(self, clock):
+        kernel = build_ext2(clock)
+        kernel.symlink("target-a", "/mnt/ext2/lnk")
+        first = collect_entries(kernel, "/mnt/ext2")[0].content_md5
+        kernel.unlink("/mnt/ext2/lnk")
+        kernel.symlink("target-b", "/mnt/ext2/lnk")
+        second = collect_entries(kernel, "/mnt/ext2")[0].content_md5
+        assert first != second
+
+    def test_hardlink_nlink_visible(self, clock):
+        kernel = build_ext2(clock)
+        create(kernel, "/mnt/ext2/a", b"x")
+        before = abstract_state(kernel, "/mnt/ext2")
+        kernel.link("/mnt/ext2/a", "/mnt/ext2/b")
+        after = abstract_state(kernel, "/mnt/ext2")
+        assert before != after  # new path + nlink change
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["create", "write", "mkdir", "truncate", "unlink"]),
+              st.sampled_from(["/f0", "/f1", "/d0"]),
+              st.integers(0, 3000)),
+    max_size=10,
+))
+def test_property_equivalent_histories_hash_equal(script):
+    """Applying the same operation sequence to ext2 and VeriFS2 always
+    yields equal abstract states (or both fail identically) -- this is
+    the invariant MCFS's integrity checking is built on."""
+    clock = SimClock()
+    ext2 = build_ext2(clock)
+    verifs = build_verifs2(clock)
+    for op, path, size in script:
+        for kernel, base in ((ext2, "/mnt/ext2"), (verifs, "/mnt/v2")):
+            try:
+                if op == "create":
+                    kernel.close(kernel.open(base + path, O_CREAT))
+                elif op == "write":
+                    fd = kernel.open(base + path, O_CREAT | O_WRONLY)
+                    kernel.pwrite(fd, b"P" * (size % 600), 0)
+                    kernel.close(fd)
+                elif op == "mkdir":
+                    kernel.mkdir(base + path)
+                elif op == "truncate":
+                    kernel.truncate(base + path, size)
+                else:
+                    kernel.unlink(base + path)
+            except Exception:
+                pass
+    assert (abstract_state(ext2, "/mnt/ext2")
+            == abstract_state(verifs, "/mnt/v2"))

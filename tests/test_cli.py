@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import BUG_PAIRS, FILESYSTEMS, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in FILESYSTEMS:
+            assert name in output
+        assert "remount" in output
+        assert "write-hole-stale" in output
+
+
+class TestCheck:
+    def test_clean_pair_exits_zero(self, capsys):
+        code = main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "dfs", "--depth", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "no discrepancies found" in output
+        assert "operations" in output
+
+    def test_single_fs_rejected(self, capsys):
+        assert main(["check", "--fs", "ext2"]) == 2
+        assert "at least twice" in capsys.readouterr().err
+
+    def test_unknown_fs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "--fs", "ext2", "--fs", "reiserfs",
+                  "--depth", "1"])
+
+    def test_duplicate_fs_names_get_unique_labels(self, capsys):
+        code = main(["check", "--fs", "verifs2", "--fs", "verifs2",
+                     "--mode", "random", "--max-ops", "50"])
+        assert code == 0
+
+    def test_kernel_pair(self, capsys):
+        code = main(["check", "--fs", "ext2", "--fs", "ext4",
+                     "--mode", "random", "--max-ops", "60"])
+        assert code == 0
+
+    def test_explicit_strategy(self, capsys):
+        code = main(["check", "--fs", "ext2", "--fs", "ext4",
+                     "--strategy", "vfs-api",
+                     "--mode", "random", "--max-ops", "60"])
+        assert code == 0
+
+    def test_coverage_flag(self, capsys):
+        code = main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "random", "--max-ops", "80", "--coverage"])
+        assert code == 0
+        assert "operation coverage" in capsys.readouterr().out
+
+    def test_voting_flag_three_way(self, capsys):
+        code = main(["check", "--fs", "verifs1", "--fs", "ext4",
+                     "--fs", "verifs2", "--voting",
+                     "--mode", "random", "--max-ops", "60"])
+        assert code == 0
+
+    def test_state_file_roundtrip(self, tmp_path, capsys):
+        state_file = str(tmp_path / "state.json")
+        assert main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "dfs", "--depth", "2",
+                     "--state-file", state_file]) == 0
+        capsys.readouterr()
+        assert main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "dfs", "--depth", "2",
+                     "--state-file", state_file]) == 0
+        output = capsys.readouterr().out
+        assert "new states : 0" in output  # resumed: nothing re-explored
+
+
+class TestBugdemo:
+    def test_every_bug_reproducible(self, capsys):
+        for bug_id in BUG_PAIRS:
+            code = main(["bugdemo", "--bug", bug_id])
+            output = capsys.readouterr().out
+            assert code == 1, bug_id  # exit 1 = discrepancy found
+            assert "MCFS discrepancy" in output, bug_id
+
+    def test_unknown_bug(self, capsys):
+        assert main(["bugdemo", "--bug", "not-a-bug"]) == 2
+        assert "unknown bug" in capsys.readouterr().err

@@ -1,0 +1,86 @@
+"""Tests for the virtual clock and hashing helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clock import Cost, SimClock
+from repro.util.hashing import md5_hex, md5_of_iter, stable_hash64
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_charge_advances(self):
+        clock = SimClock()
+        clock.charge(1.5, "io")
+        clock.charge(0.5, "io")
+        assert clock.now == 2.0
+
+    def test_categories_accumulate(self):
+        clock = SimClock()
+        clock.charge(1.0, "io")
+        clock.charge(2.0, "mount")
+        clock.charge(3.0, "io")
+        assert clock.by_category == {"io": 4.0, "mount": 2.0}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1.0)
+
+    def test_elapsed_since(self):
+        clock = SimClock()
+        start = clock.now
+        clock.charge(5.0)
+        assert clock.elapsed_since(start) == 5.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.charge(1.0, "x")
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.by_category == {}
+
+    def test_snapshot_is_a_copy(self):
+        clock = SimClock()
+        clock.charge(1.0, "x")
+        snap = clock.snapshot()
+        clock.charge(1.0, "x")
+        assert snap == {"x": 1.0}
+
+    def test_cost_ordering_matches_paper(self):
+        # the latency hierarchy the evaluation depends on
+        assert Cost.RAM_ACCESS < Cost.SSD_ACCESS < Cost.HDD_ACCESS
+        assert Cost.IOCTL_CHECKPOINT < Cost.MOUNT_FIXED < Cost.VM_CHECKPOINT
+        assert Cost.RAM_STATE_TOUCH < Cost.SWAP_STATE_TOUCH
+
+
+class TestHashing:
+    def test_md5_known_value(self):
+        assert md5_hex(b"") == "d41d8cd98f00b204e9800998ecf8427e"
+
+    def test_md5_concatenates(self):
+        assert md5_hex(b"ab", b"cd") == md5_hex(b"abcd")
+
+    def test_md5_accepts_str(self):
+        assert md5_hex("abc") == md5_hex(b"abc")
+
+    def test_md5_of_iter_matches(self):
+        chunks = [b"a", b"bc", b"def"]
+        assert md5_of_iter(chunks) == md5_hex(b"abcdef")
+
+    def test_stable_hash64_deterministic(self):
+        assert stable_hash64("hello") == stable_hash64("hello")
+
+    def test_stable_hash64_fits_64_bits(self):
+        assert 0 <= stable_hash64("x") < 2**64
+
+
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_property_md5_split_invariant(a, b):
+    assert md5_hex(a, b) == md5_hex(a + b)
+
+
+@given(st.text(max_size=64))
+def test_property_stable_hash_stable(text):
+    assert stable_hash64(text) == stable_hash64(text)

@@ -1,0 +1,134 @@
+"""Direct unit tests for the dentry cache and fd table."""
+
+import copy
+
+import pytest
+
+from repro.errors import EBADF, EMFILE, FsError
+from repro.kernel.dcache import DentryCache, NEGATIVE
+from repro.kernel.fdtable import (
+    FDTable,
+    O_APPEND,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    OpenFile,
+)
+
+
+class TestDentryCache:
+    def test_miss_returns_none(self):
+        cache = DentryCache()
+        assert cache.get(1, 2, "name") is None
+        assert cache.stats.misses == 1
+
+    def test_positive_hit(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "name", 99)
+        assert cache.get(1, 2, "name") == 99
+        assert cache.stats.hits == 1
+
+    def test_negative_hit(self):
+        cache = DentryCache()
+        cache.insert_negative(1, 2, "gone")
+        assert cache.get(1, 2, "gone") is NEGATIVE
+        assert cache.stats.negative_hits == 1
+
+    def test_entries_keyed_by_mount(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "name", 99)
+        assert cache.get(7, 2, "name") is None
+
+    def test_invalidate_entry(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "name", 99)
+        cache.invalidate_entry(1, 2, "name")
+        assert cache.get(1, 2, "name") is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_inode_drops_all_aliases(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "a", 99)
+        cache.insert(1, 3, "b", 99)  # hard link: same ino, another parent
+        cache.insert(1, 2, "other", 50)
+        cache.invalidate_inode(1, 99)
+        assert cache.get(1, 2, "a") is None
+        assert cache.get(1, 3, "b") is None
+        assert cache.get(1, 2, "other") == 50
+
+    def test_invalidate_inode_spares_negative_entries(self):
+        cache = DentryCache()
+        cache.insert_negative(1, 2, "gone")
+        cache.invalidate_inode(1, 99)
+        assert cache.get(1, 2, "gone") is NEGATIVE
+
+    def test_invalidate_mount(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "a", 9)
+        cache.insert(2, 2, "a", 9)
+        cache.invalidate_mount(1)
+        assert cache.entry_count(1) == 0
+        assert cache.entry_count(2) == 1
+
+    def test_disabled_cache_never_stores(self):
+        cache = DentryCache(enabled=False)
+        cache.insert(1, 2, "name", 99)
+        assert cache.get(1, 2, "name") is None
+
+    def test_negative_sentinel_survives_deepcopy(self):
+        """VM snapshots deep-copy the kernel; identity must hold."""
+        cache = DentryCache()
+        cache.insert_negative(1, 2, "gone")
+        clone = copy.deepcopy(cache)
+        assert clone.get(1, 2, "gone") is NEGATIVE
+
+
+class TestFDTable:
+    def test_allocates_from_three(self):
+        table = FDTable()
+        entry = table.allocate(1, 10, O_RDONLY)
+        assert entry.fd == 3  # 0-2 are reserved for stdio
+
+    def test_lowest_free_reused(self):
+        table = FDTable()
+        a = table.allocate(1, 10, O_RDONLY)
+        b = table.allocate(1, 11, O_RDONLY)
+        table.close(a.fd)
+        c = table.allocate(1, 12, O_RDONLY)
+        assert c.fd == a.fd
+
+    def test_get_unknown_ebadf(self):
+        with pytest.raises(FsError) as excinfo:
+            FDTable().get(7)
+        assert excinfo.value.code == EBADF
+
+    def test_close_unknown_ebadf(self):
+        with pytest.raises(FsError) as excinfo:
+            FDTable().close(7)
+        assert excinfo.value.code == EBADF
+
+    def test_table_exhaustion_emfile(self):
+        table = FDTable(max_fds=6)
+        for _ in range(3):  # fds 3,4,5
+            table.allocate(1, 1, O_RDONLY)
+        with pytest.raises(FsError) as excinfo:
+            table.allocate(1, 1, O_RDONLY)
+        assert excinfo.value.code == EMFILE
+
+    def test_open_fds_for_mount(self):
+        table = FDTable()
+        table.allocate(1, 10, O_RDONLY)
+        table.allocate(2, 10, O_RDONLY)
+        table.allocate(1, 11, O_RDONLY)
+        assert len(table.open_fds_for_mount(1)) == 2
+        assert table.open_count() == 3
+
+    def test_access_mode_flags(self):
+        read_only = OpenFile(fd=3, mount_id=1, ino=1, flags=O_RDONLY)
+        write_only = OpenFile(fd=4, mount_id=1, ino=1, flags=O_WRONLY)
+        read_write = OpenFile(fd=5, mount_id=1, ino=1, flags=O_RDWR)
+        appender = OpenFile(fd=6, mount_id=1, ino=1, flags=O_WRONLY | O_APPEND)
+        assert read_only.readable and not read_only.writable
+        assert write_only.writable and not write_only.readable
+        assert read_write.readable and read_write.writable
+        assert appender.append

@@ -1,0 +1,161 @@
+"""The grand differential property: all six file systems are observably
+equivalent on the POSIX surface MCFS compares.
+
+Hypothesis generates random operation sequences (valid and invalid alike)
+and applies them through the kernel to every file system; the outcomes
+must match pairwise at every step and the final abstract states must be
+identical.  This is the invariant that makes MCFS's integrity checking
+meaningful -- any counterexample here would be either a bug in one
+implementation or a missing §3.4 workaround.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.core.abstraction import AbstractionOptions, abstract_state
+from repro.errors import FsError
+from repro.fs import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    Jffs2FileSystemType,
+    XfsFileSystemType,
+)
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_WRONLY
+from repro.storage import RAMBlockDevice
+from repro.storage.mtd import MTDDevice
+from repro.verifs import VeriFS1, VeriFS2
+from repro.verifs.mounting import mount_verifs
+
+PATHS = ["/f0", "/f1", "/d0", "/d0/x", "/d1"]
+OPTIONS = AbstractionOptions()
+
+
+def build_all(clock):
+    """Mount all six file systems, each behind its own kernel."""
+    targets = []
+    for name in ("ext2", "ext4", "xfs", "jffs2", "verifs1", "verifs2"):
+        kernel = Kernel(clock)
+        mountpoint = f"/mnt/{name}"
+        if name == "ext2":
+            fstype, dev = Ext2FileSystemType(), RAMBlockDevice(256 * 1024, clock=clock)
+        elif name == "ext4":
+            fstype, dev = Ext4FileSystemType(), RAMBlockDevice(256 * 1024, clock=clock)
+        elif name == "xfs":
+            fstype, dev = XfsFileSystemType(), RAMBlockDevice(16 * 1024 * 1024, clock=clock)
+        elif name == "jffs2":
+            fstype, dev = Jffs2FileSystemType(), MTDDevice(256 * 1024, clock=clock)
+        else:
+            fs = VeriFS1(clock=clock) if name == "verifs1" else VeriFS2(clock=clock)
+            mount_verifs(kernel, fs, mountpoint, name=name)
+            targets.append((name, kernel, mountpoint))
+            continue
+        fstype.mkfs(dev)
+        kernel.mount(fstype, dev, mountpoint)
+        targets.append((name, kernel, mountpoint))
+    return targets
+
+
+def apply_operation(kernel, base, op, path, size, fill):
+    """Run one operation; return an outcome key (comparable across fs)."""
+    try:
+        if op == "create":
+            kernel.close(kernel.open(base + path, O_CREAT, 0o644))
+            return ("ok", None)
+        if op == "write":
+            fd = kernel.open(base + path, O_CREAT | O_WRONLY)
+            try:
+                written = kernel.pwrite(fd, bytes([fill]) * size, size // 3)
+            finally:
+                kernel.close(fd)
+            return ("ok", written)
+        if op == "truncate":
+            kernel.truncate(base + path, size)
+            return ("ok", None)
+        if op == "mkdir":
+            kernel.mkdir(base + path)
+            return ("ok", None)
+        if op == "rmdir":
+            kernel.rmdir(base + path)
+            return ("ok", None)
+        if op == "unlink":
+            kernel.unlink(base + path)
+            return ("ok", None)
+        if op == "chmod":
+            kernel.chmod(base + path, 0o640)
+            return ("ok", None)
+        raise AssertionError(op)
+    except FsError as error:
+        return ("err", error.code)
+
+
+operation_strategy = st.tuples(
+    st.sampled_from(["create", "write", "truncate", "mkdir", "rmdir",
+                     "unlink", "chmod"]),
+    st.sampled_from(PATHS),
+    st.integers(min_value=0, max_value=4000),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(operation_strategy, max_size=14))
+def test_all_filesystems_observably_equivalent(script):
+    clock = SimClock()
+    targets = build_all(clock)
+    for step, (op, path, size, fill) in enumerate(script):
+        outcomes = {
+            name: apply_operation(kernel, base, op, path, size, fill)
+            for name, kernel, base in targets
+        }
+        distinct = set(outcomes.values())
+        assert len(distinct) == 1, (
+            f"step {step} {op}({path}, {size}): outcomes diverge: {outcomes}"
+        )
+    hashes = {
+        name: abstract_state(kernel, base, OPTIONS)
+        for name, kernel, base in targets
+    }
+    assert len(set(hashes.values())) == 1, f"final states diverge: {hashes}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(operation_strategy, max_size=12), st.integers(0, 11))
+def test_block_filesystems_consistent_after_crash_free_remount(script, cut):
+    """Remounting at any point must preserve state and pass fsck."""
+    clock = SimClock()
+    kernel = Kernel(clock)
+    fstype = Ext4FileSystemType()
+    device = RAMBlockDevice(256 * 1024, clock=clock)
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, "/mnt/fs")
+    for step, (op, path, size, fill) in enumerate(script):
+        apply_operation(kernel, "/mnt/fs", op, path, size, fill)
+        if step == cut:
+            before = abstract_state(kernel, "/mnt/fs", OPTIONS)
+            kernel.remount("/mnt/fs")
+            assert abstract_state(kernel, "/mnt/fs", OPTIONS) == before
+            assert kernel.mount_at("/mnt/fs").fs.check_consistency() == []
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(operation_strategy, max_size=10))
+def test_verifs_checkpoint_restore_roundtrip_any_history(script):
+    """For any history, VeriFS2 restore reproduces the abstract state."""
+    from repro.verifs import IOCTL_CHECKPOINT, IOCTL_RESTORE
+
+    clock = SimClock()
+    kernel = Kernel(clock)
+    fs = VeriFS2(clock=clock)
+    mount_verifs(kernel, fs, "/mnt/v")
+    fd = kernel.open("/mnt/v")
+    kernel.ioctl(fd, IOCTL_CHECKPOINT, 1)
+    kernel.close(fd)
+    reference = abstract_state(kernel, "/mnt/v", OPTIONS)
+    for op, path, size, fill in script:
+        apply_operation(kernel, "/mnt/v", op, path, size, fill)
+    fd = kernel.open("/mnt/v")
+    kernel.ioctl(fd, IOCTL_RESTORE, 1)
+    kernel.close(fd)
+    assert abstract_state(kernel, "/mnt/v", OPTIONS) == reference

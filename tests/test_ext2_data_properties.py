@@ -1,0 +1,110 @@
+"""Model-based properties for the ext2/ext4 data path (indirect blocks).
+
+The xfs module has its extent-algebra property suite; this is the same
+treatment for the ext family's direct + single-indirect block mapping,
+plus journal-specific invariants under random workloads.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.errors import FsError
+from repro.fs import Ext2FileSystemType, Ext4FileSystemType
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+
+
+def fresh(fstype_cls):
+    clock = SimClock()
+    kernel = Kernel(clock)
+    fstype = fstype_cls()
+    device = RAMBlockDevice(512 * 1024, clock=clock)
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, "/m")
+    return kernel
+
+
+@pytest.mark.parametrize("fstype_cls", [Ext2FileSystemType, Ext4FileSystemType])
+class TestDataPathAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(script=st.lists(st.tuples(st.sampled_from(["write", "truncate"]),
+                                     st.integers(0, 40_000),
+                                     st.binary(min_size=1, max_size=3_000)),
+                           min_size=1, max_size=10))
+    def test_content_matches_bytearray_model(self, fstype_cls, script):
+        kernel = fresh(fstype_cls)
+        fd = kernel.open("/m/f", O_CREAT | O_RDWR)
+        model = bytearray()
+        for op, position, payload in script:
+            if op == "write":
+                try:
+                    kernel.pwrite(fd, payload, position)
+                except FsError:
+                    continue  # EFBIG/ENOSPC: model unchanged
+                end = position + len(payload)
+                if len(model) < position:
+                    model.extend(b"\x00" * (position - len(model)))
+                if len(model) < end:
+                    model.extend(b"\x00" * (end - len(model)))
+                model[position:end] = payload
+            else:
+                size = position % 30_000
+                try:
+                    kernel.ftruncate(fd, size)
+                except FsError:
+                    continue
+                if size <= len(model):
+                    del model[size:]
+                else:
+                    model.extend(b"\x00" * (size - len(model)))
+        assert kernel.fstat(fd).st_size == len(model)
+        assert kernel.pread(fd, len(model) + 16, 0) == bytes(model)
+        kernel.close(fd)
+        assert kernel.mount_at("/m").fs.check_consistency() == []
+
+    @settings(max_examples=12, deadline=None)
+    @given(writes=st.lists(st.tuples(st.integers(0, 40_000),
+                                     st.binary(min_size=1, max_size=2_000)),
+                           min_size=1, max_size=8))
+    def test_content_survives_remount(self, fstype_cls, writes):
+        kernel = fresh(fstype_cls)
+        fd = kernel.open("/m/f", O_CREAT | O_WRONLY)
+        model = bytearray()
+        for position, payload in writes:
+            try:
+                kernel.pwrite(fd, payload, position)
+            except FsError:
+                continue
+            end = position + len(payload)
+            if len(model) < end:
+                model.extend(b"\x00" * (end - len(model)))
+            if len(model) < position:
+                model.extend(b"\x00" * (position - len(model)))
+            model[position:end] = payload
+        kernel.close(fd)
+        kernel.remount("/m")
+        fd = kernel.open("/m/f")
+        assert kernel.pread(fd, len(model) + 1, 0) == bytes(model)
+        kernel.close(fd)
+
+    @settings(max_examples=10, deadline=None)
+    @given(sizes=st.lists(st.integers(0, 16_000), min_size=2, max_size=8))
+    def test_block_accounting_balances(self, fstype_cls, sizes):
+        """Grow/shrink cycles must return every freed block: after
+        truncating to zero, free space equals the starting free space."""
+        kernel = fresh(fstype_cls)
+        baseline = kernel.statfs("/m").blocks_free
+        fd = kernel.open("/m/f", O_CREAT | O_WRONLY)
+        for size in sizes:
+            try:
+                kernel.pwrite(fd, b"z" * min(size, 4000), max(0, size - 4000))
+                kernel.ftruncate(fd, size)
+            except FsError:
+                break
+        kernel.ftruncate(fd, 0)
+        kernel.close(fd)
+        kernel.unlink("/m/f")
+        assert kernel.statfs("/m").blocks_free == baseline
+        assert kernel.mount_at("/m").fs.check_consistency() == []

@@ -1,0 +1,184 @@
+"""SimExt2-specific behaviour: layout, dir sizes, lost+found, fsck."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EINVAL, ENOSPC, FsError
+from repro.fs.ext2 import Ext2FileSystemType, Ext2Geometry, Ext2Inode, INODE_SIZE, MountedExt2
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+
+
+@pytest.fixture
+def fx(clock):
+    kernel = Kernel(clock)
+    fstype = Ext2FileSystemType()
+    device = RAMBlockDevice(256 * 1024, clock=clock, name="ram0")
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, "/mnt/ext2")
+    return kernel, device, fstype
+
+
+class TestLayout:
+    def test_geometry_regions_do_not_overlap(self):
+        geo = Ext2Geometry(256 * 1024, 1024)
+        assert geo.block_bitmap_start == 1
+        assert geo.inode_bitmap_start > geo.block_bitmap_start
+        assert geo.inode_table_start > geo.inode_bitmap_start
+        assert geo.first_data_block > geo.inode_table_start
+        assert geo.first_data_block < geo.block_count
+
+    def test_tiny_device_rejected(self):
+        with pytest.raises(FsError):
+            Ext2Geometry(4096, 1024)
+
+    def test_inode_record_roundtrip(self):
+        inode = Ext2Inode(7)
+        inode.mode = 0o100644
+        inode.size = 12345
+        inode.nlink = 2
+        inode.direct[3] = 99
+        inode.indirect = 120
+        restored = Ext2Inode.unpack(7, inode.pack())
+        assert restored.mode == inode.mode
+        assert restored.size == inode.size
+        assert restored.direct == inode.direct
+        assert restored.indirect == 120
+        assert len(inode.pack()) == INODE_SIZE
+
+    def test_mkfs_rejects_undersized_device(self, clock):
+        fstype = Ext2FileSystemType()
+        with pytest.raises(FsError):
+            fstype.mkfs(RAMBlockDevice(32 * 1024, clock=clock))
+
+    def test_mount_rejects_wrong_magic(self, clock):
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        with pytest.raises(FsError) as excinfo:
+            MountedExt2(device, 1024)
+        assert excinfo.value.code == EINVAL
+
+
+class TestObservableQuirks:
+    def test_dir_size_is_block_multiple(self, fx):
+        kernel, _, _ = fx
+        kernel.mkdir("/mnt/ext2/d")
+        for i in range(5):
+            kernel.close(kernel.open(f"/mnt/ext2/d/file{i}", O_CREAT))
+        size = kernel.stat("/mnt/ext2/d").st_size
+        assert size % 1024 == 0
+        assert size >= 1024
+
+    def test_lost_and_found_exists(self, fx):
+        kernel, _, _ = fx
+        attrs = kernel.stat("/mnt/ext2/lost+found")
+        assert attrs.is_dir
+        assert "lost+found" in [e.name for e in kernel.getdents("/mnt/ext2")]
+
+    def test_special_paths_declared(self):
+        assert "/lost+found" in Ext2FileSystemType().special_paths
+
+    def test_getdents_insertion_order(self, fx):
+        kernel, _, _ = fx
+        for name in ("zebra", "alpha", "middle"):
+            kernel.close(kernel.open(f"/mnt/ext2/{name}", O_CREAT))
+        names = [e.name for e in kernel.getdents("/mnt/ext2")]
+        # lost+found was inserted first by mkfs, then our three in order
+        assert names.index("zebra") < names.index("alpha") < names.index("middle")
+
+
+class TestIndirectBlocks:
+    def test_file_larger_than_direct_pointers(self, fx):
+        kernel, _, _ = fx
+        payload = bytes(range(256)) * 64  # 16 KB > 12 direct 1K blocks
+        fd = kernel.open("/mnt/ext2/big", O_CREAT | O_RDWR)
+        kernel.write(fd, payload)
+        kernel.lseek(fd, 0)
+        assert kernel.read(fd, len(payload)) == payload
+        kernel.close(fd)
+        kernel.remount("/mnt/ext2")
+        fd = kernel.open("/mnt/ext2/big")
+        assert kernel.read(fd, len(payload)) == payload
+        kernel.close(fd)
+
+    def test_truncate_releases_indirect_block(self, fx):
+        kernel, _, _ = fx
+        fd = kernel.open("/mnt/ext2/big", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"x" * 16384)
+        kernel.close(fd)
+        free_before = kernel.statfs("/mnt/ext2").blocks_free
+        kernel.truncate("/mnt/ext2/big", 0)
+        free_after = kernel.statfs("/mnt/ext2").blocks_free
+        assert free_after - free_before >= 16  # data + indirect released
+
+    def test_file_size_limit_efbig(self, fx):
+        kernel, _, _ = fx
+        fs = kernel.mount_at("/mnt/ext2").fs
+        max_bytes = fs.max_file_blocks * 1024
+        fd = kernel.open("/mnt/ext2/f", O_CREAT | O_WRONLY)
+        with pytest.raises(FsError):
+            kernel.pwrite(fd, b"x", max_bytes + 10)
+        kernel.close(fd)
+
+
+class TestENOSPC:
+    def test_filling_device_raises_enospc(self, fx):
+        kernel, _, _ = fx
+        with pytest.raises(FsError) as excinfo:
+            for i in range(1000):
+                fd = kernel.open(f"/mnt/ext2/fill{i}", O_CREAT | O_WRONLY)
+                kernel.write(fd, b"z" * 4096)
+                kernel.close(fd)
+        assert excinfo.value.code == ENOSPC
+
+    def test_fs_usable_after_enospc(self, fx):
+        kernel, _, _ = fx
+        try:
+            for i in range(1000):
+                fd = kernel.open(f"/mnt/ext2/fill{i}", O_CREAT | O_WRONLY)
+                kernel.write(fd, b"z" * 4096)
+                kernel.close(fd)
+        except FsError:
+            pass
+        # deleting makes room again
+        kernel.unlink("/mnt/ext2/fill0")
+        fd = kernel.open("/mnt/ext2/after", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"ok")
+        kernel.close(fd)
+        assert kernel.stat("/mnt/ext2/after").st_size == 2
+
+
+class TestFsck:
+    def test_clean_fs_passes(self, fx):
+        kernel, _, _ = fx
+        kernel.mkdir("/mnt/ext2/d")
+        kernel.close(kernel.open("/mnt/ext2/d/f", O_CREAT))
+        assert kernel.mount_at("/mnt/ext2").fs.check_consistency() == []
+
+    def test_detects_zeroed_inode(self, fx):
+        kernel, device, fstype = fx
+        kernel.close(kernel.open("/mnt/ext2/f", O_CREAT))
+        fs = kernel.mount_at("/mnt/ext2").fs
+        ino = kernel.stat("/mnt/ext2/f").st_ino
+        # corrupt: zero the inode record on disk behind the fs's back
+        fs.sync()
+        block, offset = fs._inode_location(ino)
+        raw = bytearray(device.read_block(block, 1024))
+        raw[offset : offset + INODE_SIZE] = b"\x00" * INODE_SIZE
+        device.write_block(block, 1024, bytes(raw))
+        kernel.remount("/mnt/ext2")
+        problems = kernel.mount_at("/mnt/ext2").fs.check_consistency()
+        assert any("zeroed" in p for p in problems)
+
+    def test_detects_bitmap_inconsistency(self, fx):
+        kernel, _, _ = fx
+        kernel.close(kernel.open("/mnt/ext2/f", O_CREAT))
+        fd = kernel.open("/mnt/ext2/f", O_WRONLY)
+        kernel.write(fd, b"x" * 1024)
+        kernel.close(fd)
+        fs = kernel.mount_at("/mnt/ext2").fs
+        ino = kernel.stat("/mnt/ext2/f").st_ino
+        data_block = fs._load_inode(ino).direct[0]
+        fs.block_bitmap.clear(data_block)  # lie: mark in-use block free
+        problems = fs.check_consistency()
+        assert any("free in bitmap" in p for p in problems)

@@ -1,0 +1,180 @@
+"""Edge-case tests the broad POSIX-surface suite does not reach."""
+
+import struct
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EEXIST, EINVAL, ENODATA, ENOENT, FsError
+from repro.fs import Ext2FileSystemType, Ext4FileSystemType, Jffs2FileSystemType
+from repro.fs.jffs2 import HEADER_FMT, NODE_MAGIC
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+from repro.storage.mtd import MTDDevice
+from repro.verifs import VeriFS2
+from repro.verifs.mounting import mount_verifs
+from repro.verifs.verifs2 import XATTR_CREATE, XATTR_REPLACE
+
+
+class TestExt2DirectoryMoves:
+    @pytest.fixture
+    def fx(self, clock):
+        kernel = Kernel(clock)
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel.mount(fstype, device, "/mnt/fs")
+        return kernel
+
+    def test_moving_directory_updates_dotdot(self, fx):
+        fx.mkdir("/mnt/fs/a")
+        fx.mkdir("/mnt/fs/b")
+        fx.mkdir("/mnt/fs/a/child")
+        fx.rename("/mnt/fs/a/child", "/mnt/fs/b/child")
+        # parent link counts move with the child
+        assert fx.stat("/mnt/fs/a").st_nlink == 2
+        assert fx.stat("/mnt/fs/b").st_nlink == 3
+        # survives remount (the on-disk ".." entry was rewritten)
+        fx.remount("/mnt/fs")
+        assert fx.stat("/mnt/fs/b/child").is_dir
+        assert fx.mount_at("/mnt/fs").fs.check_consistency() == []
+
+    def test_rename_replacing_empty_directory(self, fx):
+        fx.mkdir("/mnt/fs/src")
+        fx.mkdir("/mnt/fs/dst")
+        fx.rename("/mnt/fs/src", "/mnt/fs/dst")
+        assert fx.stat("/mnt/fs/dst").is_dir
+        with pytest.raises(FsError):
+            fx.stat("/mnt/fs/src")
+        assert fx.mount_at("/mnt/fs").fs.check_consistency() == []
+
+    def test_rename_nonempty_dir_target_refused(self, fx):
+        fx.mkdir("/mnt/fs/src")
+        fx.mkdir("/mnt/fs/dst")
+        fx.close(fx.open("/mnt/fs/dst/keep", O_CREAT))
+        with pytest.raises(FsError):
+            fx.rename("/mnt/fs/src", "/mnt/fs/dst")
+
+    def test_rename_file_over_directory_refused(self, fx):
+        fx.close(fx.open("/mnt/fs/f", O_CREAT))
+        fx.mkdir("/mnt/fs/d")
+        with pytest.raises(FsError):
+            fx.rename("/mnt/fs/f", "/mnt/fs/d")
+
+    def test_deep_nesting_with_renames_stays_consistent(self, fx):
+        fx.mkdir("/mnt/fs/a")
+        fx.mkdir("/mnt/fs/a/b")
+        fx.mkdir("/mnt/fs/a/b/c")
+        fd = fx.open("/mnt/fs/a/b/c/f", O_CREAT | O_WRONLY)
+        fx.write(fd, b"deep")
+        fx.close(fd)
+        fx.rename("/mnt/fs/a/b", "/mnt/fs/moved")
+        fd = fx.open("/mnt/fs/moved/c/f")
+        assert fx.read(fd, 10) == b"deep"
+        fx.close(fd)
+        fx.remount("/mnt/fs")
+        assert fx.mount_at("/mnt/fs").fs.check_consistency() == []
+
+
+class TestJffs2TornWrites:
+    def make(self, clock):
+        kernel = Kernel(clock)
+        fstype = Jffs2FileSystemType()
+        device = MTDDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel.mount(fstype, device, "/mnt/j")
+        return kernel, device, fstype
+
+    def test_garbage_after_log_is_ignored(self, clock):
+        kernel, device, fstype = self.make(clock)
+        kernel.close(kernel.open("/mnt/j/keep", O_CREAT))
+        kernel.umount("/mnt/j")
+        # simulate a torn write: a header with a bogus magic after the log
+        fs_probe = fstype.mount(device)
+        end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
+        device.write(end, struct.pack(HEADER_FMT, 0x1234, 0xE001, 64))
+        recovered = fstype.mount(device)
+        assert recovered.lookup(recovered.ROOT_INO, "keep") > 0
+
+    def test_truncated_node_header_stops_scan_gracefully(self, clock):
+        kernel, device, fstype = self.make(clock)
+        kernel.close(kernel.open("/mnt/j/keep", O_CREAT))
+        kernel.umount("/mnt/j")
+        fs_probe = fstype.mount(device)
+        end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
+        # valid magic but absurd length: must not crash the mount scan
+        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xE001, 1 << 30))
+        recovered = fstype.mount(device)
+        assert recovered.lookup(recovered.ROOT_INO, "keep") > 0
+
+    def test_unknown_node_type_counted_dead(self, clock):
+        kernel, device, fstype = self.make(clock)
+        kernel.umount("/mnt/j")
+        fs_probe = fstype.mount(device)
+        end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
+        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xEEEE, 16)
+                     + b"\x00" * 8)
+        recovered = fstype.mount(device)  # must not crash
+        assert recovered.check_consistency() == []
+
+
+class TestVeriFS2XattrFlags:
+    @pytest.fixture
+    def fs_and_kernel(self, clock):
+        kernel = Kernel(clock)
+        fs = VeriFS2(clock=clock)
+        mount_verifs(kernel, fs, "/mnt/v")
+        kernel.close(kernel.open("/mnt/v/f", O_CREAT))
+        return fs, kernel
+
+    def test_create_flag_rejects_existing(self, fs_and_kernel):
+        fs, kernel = fs_and_kernel
+        kernel.setxattr("/mnt/v/f", "user.k", b"v1", XATTR_CREATE)
+        with pytest.raises(FsError) as excinfo:
+            kernel.setxattr("/mnt/v/f", "user.k", b"v2", XATTR_CREATE)
+        assert excinfo.value.code == EEXIST
+
+    def test_replace_flag_requires_existing(self, fs_and_kernel):
+        fs, kernel = fs_and_kernel
+        with pytest.raises(FsError) as excinfo:
+            kernel.setxattr("/mnt/v/f", "user.k", b"v", XATTR_REPLACE)
+        assert excinfo.value.code == ENODATA
+        kernel.setxattr("/mnt/v/f", "user.k", b"v1")
+        kernel.setxattr("/mnt/v/f", "user.k", b"v2", XATTR_REPLACE)
+        assert kernel.getxattr("/mnt/v/f", "user.k") == b"v2"
+
+    def test_xattrs_survive_checkpoint_restore(self, fs_and_kernel):
+        from repro.verifs import IOCTL_CHECKPOINT, IOCTL_RESTORE
+        fs, kernel = fs_and_kernel
+        kernel.setxattr("/mnt/v/f", "user.kept", b"yes")
+        fd = kernel.open("/mnt/v/f")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 5)
+        kernel.close(fd)
+        kernel.removexattr("/mnt/v/f", "user.kept")
+        fd = kernel.open("/mnt/v/f")
+        kernel.ioctl(fd, IOCTL_RESTORE, 5)
+        kernel.close(fd)
+        assert kernel.getxattr("/mnt/v/f", "user.kept") == b"yes"
+
+
+class TestExt4JournalCapacityPath:
+    def test_oversized_transaction_skips_journal_but_stays_consistent(self, clock):
+        """Transactions larger than the journal bypass it (like data in
+        ordered mode) yet the flush path must still be correct."""
+        kernel = Kernel(clock)
+        fstype = Ext4FileSystemType(journal_blocks=6)  # tiny journal
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel.mount(fstype, device, "/mnt/fs")
+        # dirty far more blocks than the journal can hold
+        for index in range(8):
+            fd = kernel.open(f"/mnt/fs/f{index}", O_CREAT | O_WRONLY)
+            kernel.write(fd, bytes([index]) * 3000)
+            kernel.close(fd)
+        kernel.remount("/mnt/fs")
+        for index in range(8):
+            fd = kernel.open(f"/mnt/fs/f{index}")
+            assert kernel.read(fd, 5000) == bytes([index]) * 3000
+            kernel.close(fd)
+        assert kernel.mount_at("/mnt/fs").fs.check_consistency() == []

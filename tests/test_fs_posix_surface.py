@@ -1,0 +1,431 @@
+"""POSIX-surface conformance tests, parametrized over every file system.
+
+These run against ext2, ext4, xfs, jffs2, verifs1, and verifs2 through
+the kernel's syscall interface -- the same surface MCFS compares.  Any
+behaviour asserted here is behaviour MCFS's integrity checks rely on
+being identical across implementations.
+"""
+
+import pytest
+
+from repro.errors import (
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    ENOSYS,
+    FsError,
+)
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+
+
+def create_file(fx, rel, data=b""):
+    fd = fx.kernel.open(fx.path(rel), O_CREAT | O_RDWR)
+    if data:
+        fx.kernel.write(fd, data)
+    fx.kernel.close(fd)
+
+
+def read_file(fx, rel, length=1 << 20):
+    fd = fx.kernel.open(fx.path(rel))
+    try:
+        return fx.kernel.read(fd, length)
+    finally:
+        fx.kernel.close(fd)
+
+
+class TestFilesAndData:
+    def test_create_read_write(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"hello world")
+        assert read_file(mounted_fs, "/f") == b"hello world"
+
+    def test_empty_file(self, mounted_fs):
+        create_file(mounted_fs, "/f")
+        assert read_file(mounted_fs, "/f") == b""
+        assert mounted_fs.kernel.stat(mounted_fs.path("/f")).st_size == 0
+
+    def test_overwrite_middle(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"aaaaaaaaaa")
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"), O_WRONLY)
+        mounted_fs.kernel.pwrite(fd, b"BB", 4)
+        mounted_fs.kernel.close(fd)
+        assert read_file(mounted_fs, "/f") == b"aaaaBBaaaa"
+
+    def test_sparse_write_reads_zeros(self, mounted_fs):
+        create_file(mounted_fs, "/f")
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"), O_WRONLY)
+        mounted_fs.kernel.pwrite(fd, b"end", 5000)
+        mounted_fs.kernel.close(fd)
+        data = read_file(mounted_fs, "/f")
+        assert len(data) == 5003
+        assert data[:5000] == b"\x00" * 5000
+        assert data[5000:] == b"end"
+
+    def test_read_past_eof_is_short(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"abc")
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"))
+        assert mounted_fs.kernel.pread(fd, 100, 2) == b"c"
+        assert mounted_fs.kernel.pread(fd, 100, 3) == b""
+        mounted_fs.kernel.close(fd)
+
+    def test_multi_block_content(self, mounted_fs):
+        payload = bytes(range(256)) * 40  # 10240 bytes, crosses blocks
+        create_file(mounted_fs, "/f", payload)
+        assert read_file(mounted_fs, "/f") == payload
+
+    def test_write_updates_mtime(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"x")
+        before = mounted_fs.kernel.stat(mounted_fs.path("/f")).st_mtime
+        mounted_fs.clock.charge(1.0, "test")
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"), O_WRONLY)
+        mounted_fs.kernel.write(fd, b"y")
+        mounted_fs.kernel.close(fd)
+        assert mounted_fs.kernel.stat(mounted_fs.path("/f")).st_mtime > before
+
+
+class TestTruncate:
+    def test_shrink(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"0123456789")
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 4)
+        assert read_file(mounted_fs, "/f") == b"0123"
+
+    def test_expand_exposes_zeros(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"abc")
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 8)
+        assert read_file(mounted_fs, "/f") == b"abc" + b"\x00" * 5
+
+    def test_shrink_then_expand_exposes_zeros(self, mounted_fs):
+        """The VeriFS1 truncate bug's signature: this must read zeros."""
+        create_file(mounted_fs, "/f", b"ABCDEFGH")
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 2)
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 8)
+        assert read_file(mounted_fs, "/f") == b"AB" + b"\x00" * 6
+
+    def test_truncate_to_zero(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"data")
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 0)
+        assert mounted_fs.kernel.stat(mounted_fs.path("/f")).st_size == 0
+
+    def test_truncate_directory_eisdir(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.truncate(mounted_fs.path("/d"), 0)
+        assert excinfo.value.code == EISDIR
+
+    def test_truncate_missing_enoent(self, mounted_fs):
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.truncate(mounted_fs.path("/nope"), 0)
+        assert excinfo.value.code == ENOENT
+
+    def test_shrink_then_hole_write_reads_zeros(self, mounted_fs):
+        """The VeriFS2 write-hole bug's signature: the gap must be zeros."""
+        create_file(mounted_fs, "/f", b"AAAA")
+        mounted_fs.kernel.truncate(mounted_fs.path("/f"), 2)
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"), O_WRONLY)
+        mounted_fs.kernel.pwrite(fd, b"ZZ", 6)
+        mounted_fs.kernel.close(fd)
+        assert read_file(mounted_fs, "/f") == b"AA\x00\x00\x00\x00ZZ"
+
+    def test_append_after_write_updates_size(self, mounted_fs):
+        """The VeriFS2 size-update bug's signature: appends must be seen."""
+        create_file(mounted_fs, "/f", b"AAAA")
+        fd = mounted_fs.kernel.open(mounted_fs.path("/f"), O_WRONLY)
+        mounted_fs.kernel.pwrite(fd, b"BB", 4)
+        mounted_fs.kernel.close(fd)
+        assert mounted_fs.kernel.stat(mounted_fs.path("/f")).st_size == 6
+        assert read_file(mounted_fs, "/f") == b"AAAABB"
+
+
+class TestDirectories:
+    def test_mkdir_rmdir(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        assert mounted_fs.kernel.stat(mounted_fs.path("/d")).is_dir
+        mounted_fs.kernel.rmdir(mounted_fs.path("/d"))
+        with pytest.raises(FsError):
+            mounted_fs.kernel.stat(mounted_fs.path("/d"))
+
+    def test_mkdir_existing_eexist(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        assert excinfo.value.code == EEXIST
+
+    def test_mkdir_missing_parent_enoent(self, mounted_fs):
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.mkdir(mounted_fs.path("/no/such"))
+        assert excinfo.value.code == ENOENT
+
+    def test_rmdir_nonempty_enotempty(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        create_file(mounted_fs, "/d/f")
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.rmdir(mounted_fs.path("/d"))
+        assert excinfo.value.code == ENOTEMPTY
+
+    def test_rmdir_on_file_enotdir(self, mounted_fs):
+        create_file(mounted_fs, "/f")
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.rmdir(mounted_fs.path("/f"))
+        assert excinfo.value.code == ENOTDIR
+
+    def test_unlink_on_dir_eisdir(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.unlink(mounted_fs.path("/d"))
+        assert excinfo.value.code == EISDIR
+
+    def test_getdents_lists_children(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        create_file(mounted_fs, "/f")
+        names = {entry.name for entry in mounted_fs.kernel.getdents(mounted_fs.mountpoint)}
+        assert {"d", "f"} <= names
+
+    def test_getdents_excludes_dot_entries(self, mounted_fs):
+        names = {entry.name for entry in mounted_fs.kernel.getdents(mounted_fs.mountpoint)}
+        assert "." not in names and ".." not in names
+
+    def test_nested_directories(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/a"))
+        mounted_fs.kernel.mkdir(mounted_fs.path("/a/b"))
+        mounted_fs.kernel.mkdir(mounted_fs.path("/a/b/c"))
+        create_file(mounted_fs, "/a/b/c/deep", b"x")
+        assert read_file(mounted_fs, "/a/b/c/deep") == b"x"
+
+    def test_dir_nlink_counts_subdirs(self, mounted_fs):
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        base = mounted_fs.kernel.stat(mounted_fs.path("/d")).st_nlink
+        assert base == 2
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d/sub"))
+        assert mounted_fs.kernel.stat(mounted_fs.path("/d")).st_nlink == 3
+        mounted_fs.kernel.rmdir(mounted_fs.path("/d/sub"))
+        assert mounted_fs.kernel.stat(mounted_fs.path("/d")).st_nlink == 2
+
+
+class TestUnlink:
+    def test_unlink_removes(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"x")
+        mounted_fs.kernel.unlink(mounted_fs.path("/f"))
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.stat(mounted_fs.path("/f"))
+        assert excinfo.value.code == ENOENT
+
+    def test_unlink_missing_enoent(self, mounted_fs):
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.unlink(mounted_fs.path("/nope"))
+        assert excinfo.value.code == ENOENT
+
+    def test_recreate_after_unlink(self, mounted_fs):
+        create_file(mounted_fs, "/f", b"first")
+        mounted_fs.kernel.unlink(mounted_fs.path("/f"))
+        create_file(mounted_fs, "/f", b"second")
+        assert read_file(mounted_fs, "/f") == b"second"
+
+
+class TestRename:
+    def test_simple_rename(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        create_file(mounted_fs, "/a", b"data")
+        mounted_fs.kernel.rename(mounted_fs.path("/a"), mounted_fs.path("/b"))
+        assert read_file(mounted_fs, "/b") == b"data"
+        with pytest.raises(FsError):
+            mounted_fs.kernel.stat(mounted_fs.path("/a"))
+
+    def test_rename_replaces_target(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        create_file(mounted_fs, "/a", b"new")
+        create_file(mounted_fs, "/b", b"old")
+        mounted_fs.kernel.rename(mounted_fs.path("/a"), mounted_fs.path("/b"))
+        assert read_file(mounted_fs, "/b") == b"new"
+
+    def test_rename_dir_into_subtree_einval(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d/sub"))
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.rename(mounted_fs.path("/d"), mounted_fs.path("/d/sub/x"))
+        assert excinfo.value.code == EINVAL
+
+    def test_rename_moves_directory_tree(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        mounted_fs.kernel.mkdir(mounted_fs.path("/src"))
+        create_file(mounted_fs, "/src/f", b"content")
+        mounted_fs.kernel.mkdir(mounted_fs.path("/dst"))
+        mounted_fs.kernel.rename(mounted_fs.path("/src"), mounted_fs.path("/dst/moved"))
+        assert read_file(mounted_fs, "/dst/moved/f") == b"content"
+
+    def test_rename_missing_source_enoent(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.rename(mounted_fs.path("/nope"), mounted_fs.path("/x"))
+        assert excinfo.value.code == ENOENT
+
+    def test_rename_onto_self_noop(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks rename")
+        create_file(mounted_fs, "/a", b"data")
+        mounted_fs.kernel.rename(mounted_fs.path("/a"), mounted_fs.path("/a"))
+        assert read_file(mounted_fs, "/a") == b"data"
+
+
+class TestLinks:
+    def test_hard_link_shares_data(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks links")
+        create_file(mounted_fs, "/a", b"shared")
+        mounted_fs.kernel.link(mounted_fs.path("/a"), mounted_fs.path("/b"))
+        assert read_file(mounted_fs, "/b") == b"shared"
+        assert mounted_fs.kernel.stat(mounted_fs.path("/a")).st_nlink == 2
+        assert (mounted_fs.kernel.stat(mounted_fs.path("/a")).st_ino
+                == mounted_fs.kernel.stat(mounted_fs.path("/b")).st_ino)
+
+    def test_unlink_one_name_keeps_data(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks links")
+        create_file(mounted_fs, "/a", b"kept")
+        mounted_fs.kernel.link(mounted_fs.path("/a"), mounted_fs.path("/b"))
+        mounted_fs.kernel.unlink(mounted_fs.path("/a"))
+        assert read_file(mounted_fs, "/b") == b"kept"
+        assert mounted_fs.kernel.stat(mounted_fs.path("/b")).st_nlink == 1
+
+    def test_link_to_dir_rejected(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks links")
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        with pytest.raises(FsError):
+            mounted_fs.kernel.link(mounted_fs.path("/d"), mounted_fs.path("/d2"))
+
+    def test_symlink_readlink(self, mounted_fs):
+        if not mounted_fs.supports_links:
+            pytest.skip("verifs1 lacks symlinks")
+        mounted_fs.kernel.symlink("some/target", mounted_fs.path("/lnk"))
+        assert mounted_fs.kernel.readlink(mounted_fs.path("/lnk")) == "some/target"
+
+    def test_verifs1_rename_is_enosys(self, mount_factory):
+        fx = mount_factory("verifs1")
+        create_file(fx, "/a")
+        with pytest.raises(FsError) as excinfo:
+            fx.kernel.rename(fx.path("/a"), fx.path("/b"))
+        assert excinfo.value.code == ENOSYS
+
+
+class TestXattrs:
+    def test_set_get_list_remove(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        create_file(mounted_fs, "/f")
+        path = mounted_fs.path("/f")
+        mounted_fs.kernel.setxattr(path, "user.alpha", b"one")
+        mounted_fs.kernel.setxattr(path, "user.beta", b"\x00\xfe binary")
+        assert mounted_fs.kernel.listxattr(path) == ["user.alpha", "user.beta"]
+        assert mounted_fs.kernel.getxattr(path, "user.beta") == b"\x00\xfe binary"
+        mounted_fs.kernel.removexattr(path, "user.alpha")
+        assert mounted_fs.kernel.listxattr(path) == ["user.beta"]
+
+    def test_get_missing_enodata(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        from repro.errors import ENODATA
+        create_file(mounted_fs, "/f")
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.getxattr(mounted_fs.path("/f"), "user.none")
+        assert excinfo.value.code == ENODATA
+
+    def test_remove_missing_enodata(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        from repro.errors import ENODATA
+        create_file(mounted_fs, "/f")
+        with pytest.raises(FsError) as excinfo:
+            mounted_fs.kernel.removexattr(mounted_fs.path("/f"), "user.none")
+        assert excinfo.value.code == ENODATA
+
+    def test_overwrite_value(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        create_file(mounted_fs, "/f")
+        path = mounted_fs.path("/f")
+        mounted_fs.kernel.setxattr(path, "user.k", b"old")
+        mounted_fs.kernel.setxattr(path, "user.k", b"new")
+        assert mounted_fs.kernel.getxattr(path, "user.k") == b"new"
+
+    def test_xattrs_on_directories(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        mounted_fs.kernel.mkdir(mounted_fs.path("/d"))
+        mounted_fs.kernel.setxattr(mounted_fs.path("/d"), "user.dir", b"yes")
+        assert mounted_fs.kernel.getxattr(mounted_fs.path("/d"), "user.dir") == b"yes"
+
+    def test_xattrs_survive_remount(self, mounted_block_fs):
+        fx = mounted_block_fs
+        create_file(fx, "/f")
+        fx.kernel.setxattr(fx.path("/f"), "user.persist", b"across")
+        fx.kernel.remount(fx.mountpoint)
+        assert fx.kernel.getxattr(fx.path("/f"), "user.persist") == b"across"
+
+    def test_xattrs_gone_after_unlink_and_recreate(self, mounted_fs):
+        if not mounted_fs.supports_xattrs:
+            pytest.skip("verifs1 lacks xattrs")
+        create_file(mounted_fs, "/f")
+        path = mounted_fs.path("/f")
+        mounted_fs.kernel.setxattr(path, "user.k", b"v")
+        mounted_fs.kernel.unlink(path)
+        create_file(mounted_fs, "/f")
+        assert mounted_fs.kernel.listxattr(path) == []
+
+
+class TestStatfs:
+    def test_statfs_sane(self, mounted_fs):
+        usage = mounted_fs.kernel.statfs(mounted_fs.mountpoint)
+        assert usage.block_size > 0
+        assert usage.blocks_total >= usage.blocks_free >= 0
+
+    def test_write_consumes_space(self, mounted_fs):
+        if mounted_fs.name == "verifs1":
+            pytest.skip("verifs1 has no storage limit")
+        before = mounted_fs.kernel.statfs(mounted_fs.mountpoint).bytes_free
+        create_file(mounted_fs, "/f", b"x" * 8192)
+        after = mounted_fs.kernel.statfs(mounted_fs.mountpoint).bytes_free
+        assert after < before
+
+
+class TestPersistenceAcrossRemount:
+    def test_data_survives_remount(self, mounted_block_fs):
+        fx = mounted_block_fs
+        fx.kernel.mkdir(fx.path("/d"))
+        create_file(fx, "/d/f", b"persistent")
+        fx.kernel.remount(fx.mountpoint)
+        assert read_file(fx, "/d/f") == b"persistent"
+
+    def test_metadata_survives_remount(self, mounted_block_fs):
+        fx = mounted_block_fs
+        create_file(fx, "/f", b"xyz")
+        fx.kernel.chmod(fx.path("/f"), 0o600)
+        fx.kernel.remount(fx.mountpoint)
+        attrs = fx.kernel.stat(fx.path("/f"))
+        assert attrs.st_mode & 0o7777 == 0o600
+        assert attrs.st_size == 3
+
+    def test_unlink_survives_remount(self, mounted_block_fs):
+        fx = mounted_block_fs
+        create_file(fx, "/f")
+        fx.kernel.unlink(fx.path("/f"))
+        fx.kernel.remount(fx.mountpoint)
+        with pytest.raises(FsError):
+            fx.kernel.stat(fx.path("/f"))
+
+    def test_consistency_after_workout(self, mounted_block_fs):
+        fx = mounted_block_fs
+        for i in range(10):
+            create_file(fx, f"/file{i}", bytes([i]) * (i * 100))
+        fx.kernel.mkdir(fx.path("/d"))
+        for i in range(0, 10, 2):
+            fx.kernel.unlink(fx.path(f"/file{i}"))
+        fx.kernel.remount(fx.mountpoint)
+        assert fx.fs().check_consistency() == []

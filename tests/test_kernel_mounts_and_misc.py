@@ -1,0 +1,158 @@
+"""Kernel mount-table routing, root mounts, and remaining syscall corners."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EINVAL, EISDIR, ENOENT, ENOTDIR, FsError
+from repro.fs import Ext2FileSystemType, Ext4FileSystemType
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+
+
+def make_fs(clock):
+    fstype = Ext2FileSystemType()
+    device = RAMBlockDevice(256 * 1024, clock=clock)
+    fstype.mkfs(device)
+    return fstype, device
+
+
+class TestMountRouting:
+    def test_longest_prefix_wins(self, clock):
+        kernel = Kernel(clock)
+        for mountpoint in ("/mnt", "/mnt2"):
+            fstype, device = make_fs(clock)
+            kernel.mount(fstype, device, mountpoint)
+        kernel.close(kernel.open("/mnt/a", O_CREAT))
+        kernel.close(kernel.open("/mnt2/b", O_CREAT))
+        assert [e.name for e in kernel.getdents("/mnt") if e.name != "lost+found"] == ["a"]
+        assert [e.name for e in kernel.getdents("/mnt2") if e.name != "lost+found"] == ["b"]
+
+    def test_prefix_name_confusion_resolved(self, clock):
+        """/mnt2 must not be routed to the /mnt mount (name-prefix trap)."""
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/mnt")
+        with pytest.raises(FsError) as excinfo:
+            kernel.stat("/mnt2/x")
+        assert excinfo.value.code == ENOENT
+
+    def test_mount_at_root(self, clock):
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/")
+        kernel.mkdir("/top")
+        assert kernel.stat("/top").is_dir
+
+    def test_umount_then_paths_unreachable(self, clock):
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/mnt/fs")
+        kernel.mkdir("/mnt/fs/d")
+        kernel.umount("/mnt/fs")
+        with pytest.raises(FsError):
+            kernel.stat("/mnt/fs/d")
+
+    def test_remounted_device_keeps_data(self, clock):
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/mnt/a")
+        kernel.mkdir("/mnt/a/d")
+        kernel.umount("/mnt/a")
+        kernel.mount(fstype, device, "/mnt/b")  # same device, new place
+        assert kernel.stat("/mnt/b/d").is_dir
+
+    def test_mounts_listing(self, clock):
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/mnt/fs")
+        mounts = kernel.mounts()
+        assert len(mounts) == 1
+        assert mounts[0].mountpoint == "/mnt/fs"
+
+
+class TestSyscallCorners:
+    @pytest.fixture
+    def kfs(self, clock):
+        kernel = Kernel(clock)
+        fstype, device = make_fs(clock)
+        kernel.mount(fstype, device, "/mnt/fs")
+        return kernel
+
+    def test_o_directory_on_file_enotdir(self, kfs):
+        kfs.close(kfs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kfs.open("/mnt/fs/f", O_RDONLY | O_DIRECTORY)
+        assert excinfo.value.code == ENOTDIR
+
+    def test_o_directory_on_dir_ok(self, kfs):
+        kfs.mkdir("/mnt/fs/d")
+        fd = kfs.open("/mnt/fs/d", O_RDONLY | O_DIRECTORY)
+        kfs.close(fd)
+
+    def test_open_creat_on_existing_dir_eisdir(self, kfs):
+        kfs.mkdir("/mnt/fs/d")
+        with pytest.raises(FsError) as excinfo:
+            kfs.open("/mnt/fs/d", O_CREAT | O_WRONLY)
+        assert excinfo.value.code == EISDIR
+
+    def test_pread_pwrite_do_not_move_offset(self, kfs):
+        fd = kfs.open("/mnt/fs/f", O_CREAT | O_RDWR)
+        kfs.write(fd, b"0123456789")
+        kfs.lseek(fd, 2, 0)
+        assert kfs.pread(fd, 3, 6) == b"678"
+        kfs.pwrite(fd, b"XX", 0)
+        # sequential position unaffected by positional I/O
+        assert kfs.read(fd, 2) == b"23"
+        kfs.close(fd)
+
+    def test_fstat_matches_stat(self, kfs):
+        fd = kfs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        kfs.write(fd, b"abc")
+        via_fd = kfs.fstat(fd)
+        kfs.close(fd)
+        via_path = kfs.stat("/mnt/fs/f")
+        assert via_fd.st_ino == via_path.st_ino
+        assert via_fd.st_size == via_path.st_size == 3
+
+    def test_ftruncate_requires_writable_fd(self, kfs):
+        kfs.close(kfs.open("/mnt/fs/f", O_CREAT))
+        fd = kfs.open("/mnt/fs/f", O_RDONLY)
+        with pytest.raises(FsError):
+            kfs.ftruncate(fd, 0)
+        kfs.close(fd)
+
+    def test_fsync_and_sync_run(self, kfs):
+        fd = kfs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        kfs.write(fd, b"durable")
+        kfs.fsync(fd)
+        kfs.close(fd)
+        kfs.sync()
+        # after sync, a raw remount from the device sees the data
+        kfs.remount("/mnt/fs")
+        assert kfs.stat("/mnt/fs/f").st_size == 7
+
+    def test_chown_negative_means_unchanged(self, kfs):
+        kfs.close(kfs.open("/mnt/fs/f", O_CREAT))
+        kfs.chown("/mnt/fs/f", 100, 200)
+        kfs.chown("/mnt/fs/f", -1, 300)
+        attrs = kfs.stat("/mnt/fs/f")
+        assert attrs.st_uid == 100
+        assert attrs.st_gid == 300
+
+    def test_getdents_on_file_enotdir(self, kfs):
+        kfs.close(kfs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kfs.getdents("/mnt/fs/f")
+        assert excinfo.value.code == ENOTDIR
+
+    def test_lseek_bad_whence(self, kfs):
+        fd = kfs.open("/mnt/fs/f", O_CREAT | O_RDWR)
+        with pytest.raises(FsError) as excinfo:
+            kfs.lseek(fd, 0, 9)
+        assert excinfo.value.code == EINVAL
+        kfs.close(fd)
+
+    def test_statfs_via_syscall(self, kfs):
+        usage = kfs.statfs("/mnt/fs")
+        assert usage.blocks_free > 0

@@ -1,0 +1,339 @@
+"""Tests for the kernel: mounts, path walking, fd table, dentry cache."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import (
+    EACCES,
+    EBADF,
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ELOOP,
+    ENOENT,
+    ENOTDIR,
+    EXDEV,
+    FsError,
+)
+from repro.fs import Ext2FileSystemType
+from repro.kernel import Kernel
+from repro.kernel.fdtable import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+)
+from repro.kernel.kernel import R_OK, W_OK, X_OK
+from repro.storage import RAMBlockDevice
+
+
+@pytest.fixture
+def kernel_with_fs(clock):
+    kernel = Kernel(clock)
+    fstype = Ext2FileSystemType()
+    device = RAMBlockDevice(256 * 1024, clock=clock, name="ram0")
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, "/mnt/fs")
+    return kernel
+
+
+def err(excinfo):
+    return excinfo.value.code
+
+
+class TestMounting:
+    def test_mount_and_stat_root(self, kernel_with_fs):
+        assert kernel_with_fs.stat("/mnt/fs").is_dir
+
+    def test_double_mount_rejected(self, kernel_with_fs, clock):
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.mount(fstype, device, "/mnt/fs")
+        assert err(excinfo) == EBUSY
+
+    def test_nested_mount_rejected(self, kernel_with_fs, clock):
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        with pytest.raises(FsError):
+            kernel_with_fs.mount(fstype, device, "/mnt/fs/inner")
+
+    def test_umount_with_open_fd_is_busy(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.umount("/mnt/fs")
+        assert err(excinfo) == EBUSY
+        kernel_with_fs.close(fd)
+        kernel_with_fs.umount("/mnt/fs")
+
+    def test_umount_unknown_mountpoint(self, kernel_with_fs):
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.umount("/mnt/nope")
+        assert err(excinfo) == EINVAL
+
+    def test_path_outside_any_mount(self, kernel_with_fs):
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.stat("/elsewhere/f")
+        assert err(excinfo) == ENOENT
+
+    def test_remount_bumps_generation(self, kernel_with_fs):
+        mount = kernel_with_fs.remount("/mnt/fs")
+        assert mount.generation == 1
+        mount = kernel_with_fs.remount("/mnt/fs")
+        assert mount.generation == 2
+
+    def test_remount_purges_dcache(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        old_id = kernel_with_fs.mount_at("/mnt/fs").mount_id
+        kernel_with_fs.remount("/mnt/fs")
+        assert kernel_with_fs.dcache.entry_count(old_id) == 0
+
+
+class TestOpenFlags:
+    def test_open_missing_enoent(self, kernel_with_fs):
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.open("/mnt/fs/nope")
+        assert err(excinfo) == ENOENT
+
+    def test_creat_then_open(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        kernel_with_fs.close(fd)
+        fd = kernel_with_fs.open("/mnt/fs/f")
+        kernel_with_fs.close(fd)
+
+    def test_creat_excl_on_existing_eexist(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_EXCL)
+        assert err(excinfo) == EEXIST
+
+    def test_trunc_clears_content(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        kernel_with_fs.write(fd, b"payload")
+        kernel_with_fs.close(fd)
+        fd = kernel_with_fs.open("/mnt/fs/f", O_WRONLY | O_TRUNC)
+        kernel_with_fs.close(fd)
+        assert kernel_with_fs.stat("/mnt/fs/f").st_size == 0
+
+    def test_open_dir_for_write_eisdir(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.open("/mnt/fs/d", O_WRONLY)
+        assert err(excinfo) == EISDIR
+
+    def test_append_positions_at_eof(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        kernel_with_fs.write(fd, b"abc")
+        kernel_with_fs.close(fd)
+        fd = kernel_with_fs.open("/mnt/fs/f", O_WRONLY | O_APPEND)
+        kernel_with_fs.write(fd, b"def")
+        kernel_with_fs.close(fd)
+        fd = kernel_with_fs.open("/mnt/fs/f")
+        assert kernel_with_fs.read(fd, 10) == b"abcdef"
+        kernel_with_fs.close(fd)
+
+
+class TestFileDescriptors:
+    def test_read_on_writeonly_fd(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_WRONLY)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.read(fd, 4)
+        assert err(excinfo) == EACCES
+
+    def test_write_on_readonly_fd(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        fd = kernel_with_fs.open("/mnt/fs/f", O_RDONLY)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.write(fd, b"x")
+        assert err(excinfo) == EACCES
+
+    def test_bad_fd(self, kernel_with_fs):
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.read(999, 4)
+        assert err(excinfo) == EBADF
+
+    def test_double_close(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT)
+        kernel_with_fs.close(fd)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.close(fd)
+        assert err(excinfo) == EBADF
+
+    def test_fd_reuse_lowest_free(self, kernel_with_fs):
+        fd1 = kernel_with_fs.open("/mnt/fs/a", O_CREAT)
+        fd2 = kernel_with_fs.open("/mnt/fs/b", O_CREAT)
+        kernel_with_fs.close(fd1)
+        fd3 = kernel_with_fs.open("/mnt/fs/c", O_CREAT)
+        assert fd3 == fd1
+        kernel_with_fs.close(fd2)
+        kernel_with_fs.close(fd3)
+
+    def test_lseek_set_cur_end(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_RDWR)
+        kernel_with_fs.write(fd, b"0123456789")
+        assert kernel_with_fs.lseek(fd, 2, 0) == 2
+        assert kernel_with_fs.lseek(fd, 3, 1) == 5
+        assert kernel_with_fs.lseek(fd, -4, 2) == 6
+        assert kernel_with_fs.read(fd, 10) == b"6789"
+        kernel_with_fs.close(fd)
+
+    def test_lseek_negative_rejected(self, kernel_with_fs):
+        fd = kernel_with_fs.open("/mnt/fs/f", O_CREAT | O_RDWR)
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.lseek(fd, -1, 0)
+        assert err(excinfo) == EINVAL
+        kernel_with_fs.close(fd)
+
+
+class TestPathWalking:
+    def test_component_through_file_enotdir(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.stat("/mnt/fs/f/child")
+        assert err(excinfo) == ENOTDIR
+
+    def test_symlink_followed(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/d/target", O_CREAT))
+        kernel_with_fs.symlink("d/target", "/mnt/fs/lnk")
+        assert kernel_with_fs.stat("/mnt/fs/lnk").is_file
+
+    def test_lstat_does_not_follow(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/t", O_CREAT))
+        kernel_with_fs.symlink("t", "/mnt/fs/lnk")
+        assert kernel_with_fs.lstat("/mnt/fs/lnk").is_symlink
+
+    def test_absolute_symlink_target(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/t", O_CREAT))
+        kernel_with_fs.symlink("/mnt/fs/t", "/mnt/fs/lnk")
+        assert kernel_with_fs.stat("/mnt/fs/lnk").is_file
+
+    def test_symlink_loop_eloop(self, kernel_with_fs):
+        kernel_with_fs.symlink("b", "/mnt/fs/a")
+        kernel_with_fs.symlink("a", "/mnt/fs/b")
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.stat("/mnt/fs/a")
+        assert err(excinfo) == ELOOP
+
+    def test_symlink_mid_path(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/real")
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/real/f", O_CREAT))
+        kernel_with_fs.symlink("real", "/mnt/fs/alias")
+        assert kernel_with_fs.stat("/mnt/fs/alias/f").is_file
+
+
+class TestDentryCache:
+    def test_positive_entry_hit(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        kernel_with_fs.stat("/mnt/fs/d")
+        hits_before = kernel_with_fs.dcache.stats.hits
+        kernel_with_fs.stat("/mnt/fs/d")
+        assert kernel_with_fs.dcache.stats.hits > hits_before
+
+    def test_negative_entry_hit(self, kernel_with_fs):
+        for _ in range(2):
+            with pytest.raises(FsError):
+                kernel_with_fs.stat("/mnt/fs/missing")
+        assert kernel_with_fs.dcache.stats.negative_hits >= 1
+
+    def test_create_clears_negative_entry(self, kernel_with_fs):
+        with pytest.raises(FsError):
+            kernel_with_fs.stat("/mnt/fs/f")
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        assert kernel_with_fs.stat("/mnt/fs/f").is_file
+
+    def test_unlink_inserts_negative_entry(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        kernel_with_fs.unlink("/mnt/fs/f")
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.stat("/mnt/fs/f")
+        assert err(excinfo) == ENOENT
+
+    def test_invalidate_inode_drops_entries(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        kernel_with_fs.stat("/mnt/fs/d")
+        mount = kernel_with_fs.mount_at("/mnt/fs")
+        ino = kernel_with_fs.stat("/mnt/fs/d").st_ino
+        count_before = kernel_with_fs.dcache.entry_count(mount.mount_id)
+        kernel_with_fs.invalidate_inode(mount.mount_id, ino)
+        assert kernel_with_fs.dcache.entry_count(mount.mount_id) < count_before
+
+
+class TestRenameAndLinks:
+    def test_rename_across_mounts_exdev(self, kernel_with_fs, clock):
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel_with_fs.mount(fstype, device, "/mnt/other")
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.rename("/mnt/fs/f", "/mnt/other/f")
+        assert err(excinfo) == EXDEV
+
+    def test_link_across_mounts_exdev(self, kernel_with_fs, clock):
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel_with_fs.mount(fstype, device, "/mnt/other")
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.link("/mnt/fs/f", "/mnt/other/f")
+        assert err(excinfo) == EXDEV
+
+
+class TestAccessAndAttrs:
+    def test_access_missing_file(self, kernel_with_fs):
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.access("/mnt/fs/missing")
+        assert err(excinfo) == ENOENT
+
+    def test_root_x_on_nonexec_file(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT, 0o644))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.access("/mnt/fs/f", X_OK)
+        assert err(excinfo) == EACCES
+
+    def test_nonroot_mode_checks(self, clock):
+        kernel = Kernel(clock, uid=1000, gid=1000)
+        fstype = Ext2FileSystemType()
+        device = RAMBlockDevice(256 * 1024, clock=clock)
+        fstype.mkfs(device)
+        kernel.mount(fstype, device, "/mnt/fs")
+        kernel.close(kernel.open("/mnt/fs/f", O_CREAT, 0o600))
+        kernel.access("/mnt/fs/f", R_OK | W_OK)  # owner bits
+        kernel.chown("/mnt/fs/f", 0, 0)
+        with pytest.raises(FsError):
+            kernel.access("/mnt/fs/f", R_OK)  # now other bits apply
+
+    def test_chmod_changes_permission_bits_only(self, kernel_with_fs):
+        kernel_with_fs.mkdir("/mnt/fs/d")
+        kernel_with_fs.chmod("/mnt/fs/d", 0o700)
+        attrs = kernel_with_fs.stat("/mnt/fs/d")
+        assert attrs.st_mode & 0o7777 == 0o700
+        assert attrs.is_dir
+
+    def test_utimens(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        kernel_with_fs.utimens("/mnt/fs/f", 123.0, 456.0)
+        attrs = kernel_with_fs.stat("/mnt/fs/f")
+        assert attrs.st_atime == 123.0
+        assert attrs.st_mtime == 456.0
+
+    def test_truncate_negative_einval(self, kernel_with_fs):
+        kernel_with_fs.close(kernel_with_fs.open("/mnt/fs/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel_with_fs.truncate("/mnt/fs/f", -1)
+        assert err(excinfo) == EINVAL
+
+    def test_syscall_count_and_time_advance(self, kernel_with_fs, clock):
+        before_count = kernel_with_fs.syscall_count
+        before_time = clock.now
+        kernel_with_fs.stat("/mnt/fs")
+        assert kernel_with_fs.syscall_count == before_count + 1
+        assert clock.now > before_time

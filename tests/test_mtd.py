@@ -1,0 +1,105 @@
+"""Tests for the MTD device (mtdram) and block adapter (mtdblock)."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import DeviceError
+from repro.storage.mtd import MTDBlockAdapter, MTDDevice
+
+
+@pytest.fixture
+def mtd():
+    return MTDDevice(64 * 1024, erase_block_size=16 * 1024, clock=SimClock())
+
+
+class TestFlashSemantics:
+    def test_starts_erased(self, mtd):
+        assert mtd.read(0, 4) == b"\xff\xff\xff\xff"
+        assert mtd.is_block_erased(0)
+
+    def test_program_clears_bits(self, mtd):
+        mtd.write(0, b"\x0f")
+        assert mtd.read(0, 1) == b"\x0f"
+
+    def test_reprogram_setting_bits_rejected(self, mtd):
+        mtd.write(0, b"\x0f")
+        with pytest.raises(DeviceError):
+            mtd.write(0, b"\xf0")  # would set cleared bits
+
+    def test_bit_compatible_reprogram_allowed(self, mtd):
+        mtd.write(0, b"\x0f")
+        mtd.write(0, b"\x0e")  # only clears more bits
+        assert mtd.read(0, 1) == b"\x0e"
+
+    def test_erase_resets_block(self, mtd):
+        mtd.write(0, b"\x00" * 16)
+        mtd.erase_block(0)
+        assert mtd.is_block_erased(0)
+
+    def test_erase_tracks_wear(self, mtd):
+        mtd.erase_block(1)
+        mtd.erase_block(1)
+        assert mtd.wear[1] == 2
+        assert mtd.wear[0] == 0
+
+    def test_erase_out_of_range(self, mtd):
+        with pytest.raises(DeviceError):
+            mtd.erase_block(4)
+
+    def test_size_must_be_erase_block_multiple(self):
+        with pytest.raises(ValueError):
+            MTDDevice(10_000, erase_block_size=16 * 1024)
+
+    def test_erase_charges_more_than_write(self):
+        clock = SimClock()
+        device = MTDDevice(32 * 1024, erase_block_size=16 * 1024, clock=clock)
+        device.write(0, b"\x00" * 64)
+        write_time = clock.now
+        device.erase_block(0)
+        assert clock.now - write_time > write_time
+
+
+class TestSnapshotRestore:
+    def test_roundtrip(self, mtd):
+        mtd.write(100, b"\x12\x34")
+        image = mtd.snapshot_image()
+        mtd.erase_block(0)
+        mtd.restore_image(image)
+        assert mtd.read(100, 2) == b"\x12\x34"
+
+    def test_wrong_size_rejected(self, mtd):
+        with pytest.raises(DeviceError):
+            mtd.restore_image(b"x")
+
+
+class TestBlockAdapter:
+    def test_read_passthrough(self, mtd):
+        adapter = MTDBlockAdapter(mtd)
+        mtd.write(0, b"\xaa\xbb")
+        assert adapter.read(0, 2) == b"\xaa\xbb"
+
+    def test_write_does_read_modify_erase_write(self, mtd):
+        adapter = MTDBlockAdapter(mtd)
+        mtd.write(0, b"\x11" * 8)
+        adapter.write(4, b"\x22" * 2)  # overwrite middle; needs erase cycle
+        assert mtd.read(0, 8) == b"\x11" * 4 + b"\x22" * 2 + b"\x11" * 2
+        assert mtd.stats.erases >= 1
+
+    def test_write_spanning_erase_blocks(self, mtd):
+        adapter = MTDBlockAdapter(mtd)
+        boundary = mtd.erase_block_size
+        adapter.write(boundary - 2, b"\x01\x02\x03\x04")
+        assert mtd.read(boundary - 2, 4) == b"\x01\x02\x03\x04"
+
+    def test_snapshot_goes_through_to_mtd(self, mtd):
+        adapter = MTDBlockAdapter(mtd)
+        mtd.write(0, b"\x42")
+        image = adapter.snapshot_image()
+        mtd.erase_block(0)
+        adapter.restore_image(image)
+        assert mtd.read(0, 1) == b"\x42"
+
+    def test_empty_write_is_noop(self, mtd):
+        adapter = MTDBlockAdapter(mtd)
+        adapter.write(0, b"")
+        assert mtd.stats.erases == 0

@@ -1,0 +1,215 @@
+"""Tests for the operation catalog, outcomes, diffs, and equalization."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.abstraction import AbstractionOptions
+from repro.core.equalize import EQUALIZE_FILENAME, equalize_free_space
+from repro.core.futs import make_block_fut, make_verifs_fut
+from repro.core.integrity import (
+    DiscrepancyError,
+    IntegrityChecker,
+    Outcome,
+    diff_entries,
+)
+from repro.core.abstraction import EntryRecord, collect_entries
+from repro.core.ops import (
+    EXTENDED_OPERATIONS,
+    Operation,
+    OperationCatalog,
+    ParameterPool,
+    fill_pattern,
+)
+from repro.errors import ENOENT
+from repro.fs import Ext2FileSystemType, Ext4FileSystemType
+from repro.storage import RAMBlockDevice
+from repro.verifs import VeriFS2
+
+
+class TestOutcome:
+    def test_success_matches_success(self):
+        assert Outcome.success(3).matches(Outcome.success(3))
+
+    def test_success_value_mismatch(self):
+        assert not Outcome.success(3).matches(Outcome.success(4))
+
+    def test_error_matches_same_errno(self):
+        assert Outcome.failure(ENOENT).matches(Outcome.failure(ENOENT))
+
+    def test_error_mismatch_different_errno(self):
+        assert not Outcome.failure(2).matches(Outcome.failure(13))
+
+    def test_success_never_matches_failure(self):
+        assert not Outcome.success(0).matches(Outcome.failure(ENOENT))
+
+    def test_describe(self):
+        assert "ok" in Outcome.success(5).describe()
+        assert "ENOENT" in Outcome.failure(ENOENT).describe()
+
+
+class TestFillPattern:
+    def test_deterministic(self):
+        assert fill_pattern(65, 16, 0) == fill_pattern(65, 16, 0)
+
+    def test_position_dependent(self):
+        assert fill_pattern(65, 8, 0) != fill_pattern(65, 8, 100)
+
+    def test_length(self):
+        assert len(fill_pattern(0, 123, 5)) == 123
+
+    def test_continuation(self):
+        """byte at absolute position p is the same however it was written"""
+        whole = fill_pattern(65, 20, 0)
+        tail = fill_pattern(65, 10, 10)
+        assert whole[10:] == tail
+
+
+class TestCatalog:
+    def test_enumeration_is_stable(self):
+        catalog = OperationCatalog()
+        assert [op.describe() for op in catalog.operations()] == [
+            op.describe() for op in catalog.operations()
+        ]
+
+    def test_extended_flag_controls_rename_family(self):
+        with_ext = OperationCatalog(include_extended=True)
+        without = OperationCatalog(include_extended=False)
+        names_with = {op.name for op in with_ext.operations()}
+        names_without = {op.name for op in without.operations()}
+        assert EXTENDED_OPERATIONS <= names_with
+        assert not (EXTENDED_OPERATIONS & names_without)
+
+    def test_tiny_pool_is_smaller(self):
+        full = OperationCatalog(pool=ParameterPool())
+        tiny = OperationCatalog(pool=ParameterPool().tiny())
+        assert len(tiny) < len(full)
+
+    def test_unknown_operation_rejected(self, clock):
+        catalog = OperationCatalog()
+        fut = make_verifs_fut("v", VeriFS2(), clock)
+        with pytest.raises(ValueError):
+            catalog.execute(fut, Operation("chmod_everything", ()))
+
+    def test_invalid_sequence_yields_error_outcome(self, clock):
+        catalog = OperationCatalog()
+        fut = make_verifs_fut("v", VeriFS2(), clock)
+        outcome = catalog.execute(fut, Operation("unlink", ("/nope",)))
+        assert not outcome.ok
+        assert outcome.errno == ENOENT
+
+    def test_meta_write_file_leaves_no_open_fd(self, clock):
+        catalog = OperationCatalog()
+        fut = make_verifs_fut("v", VeriFS2(), clock)
+        catalog.execute(fut, Operation("write_file", ("/f", 0, 64, 65)))
+        assert fut.kernel.fdtable.open_count() == 0
+
+    def test_meta_ops_survive_remount_between(self, clock):
+        """The reason meta-operations exist: each is remount-safe."""
+        catalog = OperationCatalog()
+        fut = make_block_fut("e", Ext2FileSystemType(),
+                             RAMBlockDevice(256 * 1024, clock=clock), clock)
+        catalog.execute(fut, Operation("create_file", ("/f", 0o644)))
+        fut.remount()
+        outcome = catalog.execute(fut, Operation("write_file", ("/f", 0, 64, 65)))
+        assert outcome.ok and outcome.value == 64
+
+
+class TestDiffing:
+    def r(self, path, **kw):
+        defaults = dict(mode=0o100644, size=0, nlink=1, uid=0, gid=0, content_md5="")
+        defaults.update(kw)
+        return EntryRecord(path=path, **defaults)
+
+    def test_identical_lists_empty_diff(self):
+        records = [self.r("/a"), self.r("/b")]
+        diff = diff_entries(records, list(records), AbstractionOptions())
+        assert diff.empty
+
+    def test_extra_path_reported(self):
+        diff = diff_entries([self.r("/a"), self.r("/b")], [self.r("/a")],
+                            AbstractionOptions())
+        assert diff.only_in_first == ["/b"]
+
+    def test_attr_mismatch_reported(self):
+        diff = diff_entries([self.r("/a", size=5)], [self.r("/a", size=9)],
+                            AbstractionOptions())
+        assert diff.attribute_mismatches
+
+    def test_content_mismatch_reported(self):
+        diff = diff_entries([self.r("/a", content_md5="x")],
+                            [self.r("/a", content_md5="y")],
+                            AbstractionOptions())
+        assert diff.content_mismatches
+
+    def test_dir_size_ignored_in_attrs(self):
+        a = self.r("/d", mode=0o040755, size=1024, nlink=2)
+        b = self.r("/d", mode=0o040755, size=48, nlink=2)
+        diff = diff_entries([a], [b], AbstractionOptions())
+        assert diff.empty
+
+
+class TestIntegrityChecker:
+    def test_outcome_comparison(self):
+        checker = IntegrityChecker()
+        mismatch = checker.compare_outcomes(
+            ["a", "b"], [Outcome.success(0), Outcome.failure(ENOENT)]
+        )
+        assert mismatch is not None and "ENOENT" in mismatch
+
+    def test_outcome_agreement(self):
+        checker = IntegrityChecker()
+        assert checker.compare_outcomes(
+            ["a", "b"], [Outcome.success(0), Outcome.success(0)]
+        ) is None
+
+    def test_state_comparison_against_futs(self, clock):
+        checker = IntegrityChecker()
+        fut_a = make_verifs_fut("a", VeriFS2(), clock, mountpoint="/mnt/a")
+        fut_b = make_verifs_fut("b", VeriFS2(), clock, mountpoint="/mnt/b")
+        assert checker.compare_states([fut_a, fut_b]) == (None, None)
+        fut_a.kernel.mkdir("/mnt/a/only-here")
+        summary, diff = checker.compare_states([fut_a, fut_b])
+        assert summary is not None
+        assert diff.only_in_first == ["/only-here"]
+
+
+class TestEqualization:
+    def test_free_space_equalized(self, clock):
+        futs = [
+            make_block_fut("ext2", Ext2FileSystemType(),
+                           RAMBlockDevice(256 * 1024, clock=clock, name="a"), clock),
+            make_block_fut("ext4", Ext4FileSystemType(),
+                           RAMBlockDevice(256 * 1024, clock=clock, name="b"), clock),
+        ]
+        gap_before = abs(futs[0].statfs().bytes_free - futs[1].statfs().bytes_free)
+        written = equalize_free_space(futs, tolerance_bytes=4096)
+        gap_after = abs(futs[0].statfs().bytes_free - futs[1].statfs().bytes_free)
+        assert gap_after < gap_before
+        assert gap_after <= 8192
+        # only the roomier fs was padded
+        assert written["ext2"] > 0
+        assert written["ext4"] == 0
+
+    def test_dummy_file_on_exception_list(self):
+        from repro.core.abstraction import DEFAULT_EXCEPTIONS
+        assert EQUALIZE_FILENAME.lstrip("/") in DEFAULT_EXCEPTIONS
+
+    def test_equal_futs_untouched(self, clock):
+        futs = [
+            make_verifs_fut("a", VeriFS2(), clock, mountpoint="/mnt/a"),
+            make_verifs_fut("b", VeriFS2(), clock, mountpoint="/mnt/b"),
+        ]
+        written = equalize_free_space(futs)
+        assert written == {"a": 0, "b": 0}
+
+    def test_states_still_compare_equal_after_equalization(self, clock):
+        """The dummy file must be invisible to the abstraction."""
+        futs = [
+            make_block_fut("ext2", Ext2FileSystemType(),
+                           RAMBlockDevice(256 * 1024, clock=clock, name="a"), clock),
+            make_block_fut("ext4", Ext4FileSystemType(),
+                           RAMBlockDevice(256 * 1024, clock=clock, name="b"), clock),
+        ]
+        equalize_free_space(futs)
+        options = AbstractionOptions()
+        assert futs[0].abstract_state(options) == futs[1].abstract_state(options)

@@ -1,0 +1,73 @@
+"""The no-false-positive matrix: every pair of shipped file systems.
+
+MCFS's usefulness hinges on a quiet baseline: any two *healthy*
+implementations, however different their on-disk formats and quirks,
+must check clean. This suite runs a bounded exhaustive search over all
+15 pairings of the six shipped file systems (extended operations
+included whenever both sides support them).
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    Jffs2FileSystemType,
+    MCFS,
+    MCFSOptions,
+    MTDDevice,
+    RAMBlockDevice,
+    SimClock,
+    VeriFS1,
+    VeriFS2,
+    XfsFileSystemType,
+)
+
+ALL_FS = ("ext2", "ext4", "xfs", "jffs2", "verifs1", "verifs2")
+PAIRS = list(itertools.combinations(ALL_FS, 2))
+
+
+def add(mcfs, clock, name):
+    if name == "ext2":
+        mcfs.add_block_filesystem(name, Ext2FileSystemType(),
+                                  RAMBlockDevice(256 * 1024, clock=clock, name=name))
+    elif name == "ext4":
+        mcfs.add_block_filesystem(name, Ext4FileSystemType(),
+                                  RAMBlockDevice(256 * 1024, clock=clock, name=name))
+    elif name == "xfs":
+        mcfs.add_block_filesystem(name, XfsFileSystemType(),
+                                  RAMBlockDevice(16 * 1024 * 1024, clock=clock, name=name))
+    elif name == "jffs2":
+        mcfs.add_block_filesystem(name, Jffs2FileSystemType(),
+                                  MTDDevice(256 * 1024, clock=clock, name=name))
+    elif name == "verifs1":
+        mcfs.add_verifs(name, VeriFS1())
+    else:
+        mcfs.add_verifs(name, VeriFS2())
+
+
+@pytest.mark.parametrize("first,second", PAIRS,
+                         ids=[f"{a}-vs-{b}" for a, b in PAIRS])
+def test_healthy_pair_checks_clean(first, second):
+    clock = SimClock()
+    extended = "verifs1" not in (first, second)
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=extended))
+    add(mcfs, clock, first)
+    add(mcfs, clock, second)
+    result = mcfs.run_dfs(max_depth=2, max_operations=2_500, por=True)
+    assert not result.found_discrepancy, (
+        f"{first} vs {second} false positive:\n{result.report}")
+    assert result.unique_states > 1
+
+
+def test_all_six_at_once():
+    """The paper's future-work N-way mode, at full width."""
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                   majority_voting=True))
+    for name in ALL_FS:
+        add(mcfs, clock, name)
+    result = mcfs.run_dfs(max_depth=2, max_operations=1_200, por=True)
+    assert not result.found_discrepancy, str(result.report)

@@ -1,0 +1,80 @@
+"""Tests for sleep-set partial-order reduction (§2)."""
+
+import pytest
+
+from repro import MCFS, MCFSOptions, SimClock, VeriFS1, VeriFS2, VeriFSBug
+from repro.core.ops import Operation, OperationCatalog
+
+
+class TestIndependenceRelation:
+    cat = OperationCatalog
+
+    def test_disjoint_paths_commute(self):
+        a = Operation("create_file", ("/f0", 0o644))
+        b = Operation("mkdir", ("/d1", 0o755))
+        assert self.cat.independent(a, b)
+
+    def test_same_path_conflicts(self):
+        a = Operation("write_file", ("/f0", 0, 512, 65))
+        b = Operation("truncate", ("/f0", 100))
+        assert not self.cat.independent(a, b)
+
+    def test_ancestor_conflicts(self):
+        a = Operation("mkdir", ("/d0", 0o755))
+        b = Operation("create_file", ("/d0/f2", 0o644))
+        assert not self.cat.independent(a, b)
+        assert not self.cat.independent(b, a)
+
+    def test_rename_touches_both_ends(self):
+        a = Operation("rename", ("/f0", "/f1"))
+        assert not self.cat.independent(a, Operation("unlink", ("/f0",)))
+        assert not self.cat.independent(a, Operation("unlink", ("/f1",)))
+        assert self.cat.independent(a, Operation("mkdir", ("/d0", 0o755)))
+
+    def test_relation_is_symmetric(self):
+        operations = OperationCatalog(include_extended=True).operations()
+        for a in operations[:12]:
+            for b in operations[:12]:
+                assert self.cat.independent(a, b) == self.cat.independent(b, a)
+
+    def test_prefix_name_is_not_ancestor(self):
+        # /f0 vs /f01: name-prefix but not path-ancestor -> independent
+        a = Operation("unlink", ("/f0",))
+        b = Operation("unlink", ("/f01",))
+        assert self.cat.independent(a, b)
+
+
+def _run(por: bool, bug=None, depth: int = 3):
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False))
+    mcfs.add_verifs("v1", VeriFS1())
+    mcfs.add_verifs("v2", VeriFS2(bugs=[bug] if bug else []))
+    return mcfs.run_dfs(max_depth=depth, max_operations=500_000, por=por)
+
+
+class TestPORSearch:
+    def test_preserves_state_coverage(self):
+        full = _run(por=False)
+        reduced = _run(por=True)
+        assert reduced.unique_states == full.unique_states
+        assert full.stats.stopped_reason == reduced.stats.stopped_reason
+
+    def test_executes_fewer_transitions(self):
+        full = _run(por=False)
+        reduced = _run(por=True)
+        assert reduced.operations < full.operations
+        assert reduced.stats.por_pruned > 0
+
+    def test_full_dfs_prunes_nothing(self):
+        full = _run(por=False)
+        assert full.stats.por_pruned == 0
+
+    def test_still_finds_bugs(self):
+        result = _run(por=True, bug=VeriFSBug.WRITE_HOLE_STALE)
+        assert result.found_discrepancy
+        assert result.report.failing_operation.operation.name == "write_file"
+
+    def test_por_is_cheaper_in_sim_time_too(self):
+        full = _run(por=False)
+        reduced = _run(por=True)
+        assert reduced.sim_time < full.sim_time

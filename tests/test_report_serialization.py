@@ -1,0 +1,92 @@
+"""Tests for discrepancy-report trace files (save / load / replay)."""
+
+import pytest
+
+from repro import MCFS, MCFSOptions, SimClock, VeriFS1, VeriFS2, VeriFSBug
+from repro.core.integrity import Outcome
+from repro.core.ops import Operation
+from repro.core.report import (
+    DiscrepancyReport,
+    LoggedOperation,
+    operation_from_dict,
+    operation_to_dict,
+    replay,
+)
+from repro.errors import ENOENT
+
+
+class TestOperationSerialization:
+    def test_simple_roundtrip(self):
+        operation = Operation("truncate", ("/f0", 2048))
+        assert operation_from_dict(operation_to_dict(operation)) == operation
+
+    def test_bytes_args_roundtrip(self):
+        operation = Operation("setxattr", ("/f0", "user.k", b"\x00\xff bin"))
+        restored = operation_from_dict(operation_to_dict(operation))
+        assert restored == operation
+        assert isinstance(restored.args[2], bytes)
+
+    def test_dict_is_json_safe(self):
+        import json
+        operation = Operation("setxattr", ("/f0", "user.k", b"\x01\x02"))
+        json.dumps(operation_to_dict(operation))  # must not raise
+
+
+def _real_report() -> DiscrepancyReport:
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False))
+    mcfs.add_verifs("verifs1", VeriFS1())
+    mcfs.add_verifs("verifs2", VeriFS2(bugs=[VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY]))
+    result = mcfs.run_dfs(max_depth=3, max_operations=100_000)
+    assert result.found_discrepancy
+    return result.report
+
+
+class TestReportRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        report = _real_report()
+        path = str(tmp_path / "trace.json")
+        report.save(path)
+        loaded = DiscrepancyReport.load(path)
+        assert loaded.kind == report.kind
+        assert loaded.summary == report.summary
+        assert loaded.operations() == report.operations()
+        assert loaded.operations_executed == report.operations_executed
+        assert loaded.ending_states == report.ending_states
+        for original, restored in zip(report.operation_log, loaded.operation_log):
+            assert original.outcomes == restored.outcomes
+
+    def test_loaded_trace_replays_and_reproduces(self, tmp_path):
+        report = _real_report()
+        path = str(tmp_path / "trace.json")
+        report.save(path)
+        loaded = DiscrepancyReport.load(path)
+
+        clock = SimClock()
+        fresh = MCFS(clock, MCFSOptions(include_extended_operations=False))
+        fresh.add_verifs("verifs1", VeriFS1())
+        fresh.add_verifs("verifs2",
+                         VeriFS2(bugs=[VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY]))
+        engine = fresh.engine()
+        replay(loaded.operations(), engine.futs, engine.catalog)
+        options = fresh.options.abstraction
+        states = [fut.abstract_state(options) for fut in engine.futs]
+        assert states[0] != states[1]  # the bug reproduces from the trace
+
+    def test_handcrafted_report_renders_after_roundtrip(self):
+        report = DiscrepancyReport(
+            kind="outcome",
+            summary="a -> ok(0) but b -> error(ENOENT)",
+            operation_log=[LoggedOperation(
+                operation=Operation("unlink", ("/f0",)),
+                outcomes={"a": Outcome.success(0), "b": Outcome.failure(ENOENT)},
+            )],
+            operations_executed=7,
+            sim_time=1.25,
+            suspects=["b"],
+        )
+        restored = DiscrepancyReport.from_dict(report.to_dict())
+        text = str(restored)
+        assert "ENOENT" in text
+        assert "suspected culprit" in text
+        assert "unlink" in text

@@ -1,0 +1,207 @@
+"""Tests for the checkpoint/restore strategies against real FUTs."""
+
+import pytest
+
+from repro.clock import Cost, SimClock
+from repro.core.abstraction import AbstractionOptions
+from repro.core.futs import make_block_fut, make_verifs_fut
+from repro.errors import CheckpointUnsupported, FsError
+from repro.fs import Ext2FileSystemType
+from repro.kernel.fdtable import O_CREAT, O_WRONLY
+from repro.mc.strategies import (
+    IoctlStrategy,
+    NaiveDiskStrategy,
+    NoRemountStrategy,
+    ProcessSnapshotStrategy,
+    RemountStrategy,
+    VMSnapshotStrategy,
+)
+from repro.storage import RAMBlockDevice
+from repro.verifs import VeriFS1, VeriFS2
+
+OPTIONS = AbstractionOptions()
+
+
+@pytest.fixture
+def ext2_fut(clock):
+    return make_block_fut("ext2", Ext2FileSystemType(),
+                          RAMBlockDevice(256 * 1024, clock=clock), clock)
+
+
+@pytest.fixture
+def verifs_fut(clock):
+    return make_verifs_fut("verifs2", VeriFS2(), clock)
+
+
+def mutate(fut, name="mutation"):
+    fd = fut.kernel.open(fut.mountpoint + "/" + name, O_CREAT | O_WRONLY)
+    fut.kernel.write(fd, b"data")
+    fut.kernel.close(fd)
+
+
+def roundtrip(strategy, fut):
+    """checkpoint -> mutate -> restore; return (before, after) hashes."""
+    before = fut.abstract_state(OPTIONS)
+    token = strategy.checkpoint(fut)
+    mutate(fut)
+    assert fut.abstract_state(OPTIONS) != before
+    strategy.restore(fut, token)
+    return before, fut.abstract_state(OPTIONS)
+
+
+class TestRemountStrategy:
+    def test_restore_is_exact(self, ext2_fut):
+        before, after = roundtrip(RemountStrategy(), ext2_fut)
+        assert before == after
+
+    def test_after_operation_remounts(self, ext2_fut):
+        strategy = RemountStrategy()
+        count = ext2_fut.remount_count
+        strategy.after_operation(ext2_fut)
+        assert ext2_fut.remount_count == count + 1
+
+    def test_remount_flag(self):
+        assert RemountStrategy().remounts_between_operations
+        assert not NoRemountStrategy().remounts_between_operations
+
+    def test_no_remount_variant_skips_per_op_remount(self, ext2_fut):
+        strategy = NoRemountStrategy()
+        count = ext2_fut.remount_count
+        strategy.after_operation(ext2_fut)
+        assert ext2_fut.remount_count == count
+
+    def test_no_remount_restore_still_exact(self, ext2_fut):
+        before, after = roundtrip(NoRemountStrategy(), ext2_fut)
+        assert before == after
+
+    def test_restore_charges_mount_time(self, ext2_fut, clock):
+        strategy = RemountStrategy()
+        token = strategy.checkpoint(ext2_fut)
+        mount_time_before = clock.by_category.get("mount", 0)
+        strategy.restore(ext2_fut, token)
+        assert clock.by_category.get("mount", 0) > mount_time_before
+
+
+class TestNaiveDiskStrategy:
+    def test_restore_leaves_stale_caches(self, ext2_fut):
+        """The broken §3.2 mode: the mutation survives the 'restore'."""
+        strategy = NaiveDiskStrategy()
+        token = strategy.checkpoint(ext2_fut)
+        mutate(ext2_fut, "ghost")
+        strategy.restore(ext2_fut, token)
+        # the stale caches keep the file visible although the disk was rolled back
+        assert ext2_fut.kernel.stat(ext2_fut.mountpoint + "/ghost").is_file
+
+    def test_remount_after_naive_restore_diverges_from_cache(self, ext2_fut):
+        strategy = NaiveDiskStrategy()
+        token = strategy.checkpoint(ext2_fut)
+        mutate(ext2_fut, "ghost")
+        strategy.restore(ext2_fut, token)
+        seen_through_cache = ext2_fut.abstract_state(OPTIONS)
+        # force coherency (and discard the pollution flushed meanwhile):
+        # restore the image *with* a remount
+        ext2_fut.restore_disk(token, remount=True)
+        assert ext2_fut.abstract_state(OPTIONS) != seen_through_cache
+
+
+class TestIoctlStrategy:
+    def test_restore_is_exact(self, verifs_fut):
+        before, after = roundtrip(IoctlStrategy(), verifs_fut)
+        assert before == after
+
+    def test_keys_are_single_use(self, verifs_fut):
+        strategy = IoctlStrategy()
+        token = strategy.checkpoint(verifs_fut)
+        strategy.restore(verifs_fut, token)
+        with pytest.raises(FsError):
+            strategy.restore(verifs_fut, token)
+
+    def test_cheaper_than_remount(self, clock):
+        """The paper's headline: self-checkpointing beats remounting."""
+        verifs = make_verifs_fut("v", VeriFS2(), clock)
+        ioctl = IoctlStrategy()
+        start = clock.now
+        for _ in range(20):
+            token = ioctl.checkpoint(verifs)
+            ioctl.restore(verifs, token)
+        ioctl_time = clock.now - start
+        ext2 = make_block_fut("e", Ext2FileSystemType(),
+                              RAMBlockDevice(256 * 1024, clock=clock), clock)
+        remount = RemountStrategy()
+        start = clock.now
+        for _ in range(20):
+            token = remount.checkpoint(ext2)
+            remount.restore(ext2, token)
+        remount_time = clock.now - start
+        assert ioctl_time < remount_time
+
+    def test_nested_checkpoints_restore_in_any_order(self, verifs_fut):
+        strategy = IoctlStrategy()
+        t0 = strategy.checkpoint(verifs_fut)
+        mutate(verifs_fut, "a")
+        t1 = strategy.checkpoint(verifs_fut)
+        mutate(verifs_fut, "b")
+        strategy.restore(verifs_fut, t0)
+        names = [e.name for e in verifs_fut.kernel.getdents(verifs_fut.mountpoint)]
+        assert names == []
+        # t1 was captured independently and is still usable
+        strategy.restore(verifs_fut, t1)
+        names = [e.name for e in verifs_fut.kernel.getdents(verifs_fut.mountpoint)]
+        assert names == ["a"]
+
+
+class TestVMSnapshotStrategy:
+    def test_restore_is_exact(self, ext2_fut):
+        before, after = roundtrip(VMSnapshotStrategy(), ext2_fut)
+        assert before == after
+
+    def test_works_for_verifs_too(self, verifs_fut):
+        before, after = roundtrip(VMSnapshotStrategy(), verifs_fut)
+        assert before == after
+
+    def test_charges_lightvm_latencies(self, ext2_fut, clock):
+        strategy = VMSnapshotStrategy()
+        start = clock.now
+        token = strategy.checkpoint(ext2_fut)
+        strategy.restore(ext2_fut, token)
+        elapsed = clock.now - start
+        assert elapsed == pytest.approx(Cost.VM_CHECKPOINT + Cost.VM_RESTORE, rel=0.05)
+
+    def test_snapshot_isolated_from_future_mutations(self, ext2_fut):
+        strategy = VMSnapshotStrategy()
+        token = strategy.checkpoint(ext2_fut)
+        mutate(ext2_fut, "x")
+        mutate(ext2_fut, "y")
+        strategy.restore(ext2_fut, token)
+        assert ext2_fut.kernel.getdents(ext2_fut.mountpoint) != []
+
+
+class TestProcessSnapshotStrategy:
+    def test_refuses_fuse_server(self, verifs_fut):
+        with pytest.raises(CheckpointUnsupported) as excinfo:
+            ProcessSnapshotStrategy().checkpoint(verifs_fut)
+        assert "/dev/fuse" in str(excinfo.value)
+
+    def test_refuses_kernel_fs_without_server(self, ext2_fut):
+        with pytest.raises(CheckpointUnsupported):
+            ProcessSnapshotStrategy().checkpoint(ext2_fut)
+
+    def test_accepts_ganesha(self, clock):
+        from repro.core.futs import FilesystemUnderTest
+        from repro.kernel import Kernel
+        from repro.nfs import mount_nfs
+
+        kernel = Kernel(clock)
+        server, connection, mount = mount_nfs(kernel, VeriFS2(clock=clock), "/mnt/nfs")
+
+        class NfsFut(FilesystemUnderTest):
+            def userspace_server(self):
+                return server
+
+        fut = NfsFut("ganesha", kernel, "/mnt/nfs")
+        strategy = ProcessSnapshotStrategy()
+        kernel.mkdir("/mnt/nfs/d")
+        token = strategy.checkpoint(fut)
+        kernel.rmdir("/mnt/nfs/d")
+        strategy.restore(fut, token)
+        assert kernel.stat("/mnt/nfs/d").is_dir

@@ -1,0 +1,286 @@
+"""Tests for VeriFS1 and VeriFS2: features, limits, checkpoint/restore APIs."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import SimClock
+from repro.errors import EEXIST, EINVAL, ENODATA, ENOENT, ENOSPC, ENOTTY, FsError
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.verifs import (
+    IOCTL_CHECKPOINT,
+    IOCTL_RESTORE,
+    SnapshotPool,
+    VeriFS1,
+    VeriFS2,
+    VeriFSBug,
+    mount_verifs,
+)
+from repro.verifs.common import IOCTL_LIST_SNAPSHOTS
+from repro.verifs.verifs2 import CHUNK_SIZE
+
+
+def mounted(clock, fs, mountpoint="/mnt/v"):
+    kernel = Kernel(clock)
+    mount_verifs(kernel, fs, mountpoint)
+    return kernel
+
+
+class TestSnapshotPool:
+    def test_store_and_pop(self):
+        pool = SnapshotPool()
+        pool.store(1, {"a": [1, 2]})
+        assert pool.pop(1) == {"a": [1, 2]}
+        assert len(pool) == 0
+
+    def test_pop_missing_raises(self):
+        with pytest.raises(FsError) as excinfo:
+            SnapshotPool().pop(42)
+        assert excinfo.value.code == ENOENT
+
+    def test_store_deep_copies(self):
+        pool = SnapshotPool()
+        state = {"data": [1]}
+        pool.store(1, state)
+        state["data"].append(2)
+        assert pool.pop(1) == {"data": [1]}
+
+    def test_peek_does_not_consume(self):
+        pool = SnapshotPool()
+        pool.store(5, "state")
+        assert pool.peek(5) == "state"
+        assert pool.keys() == [5]
+
+    def test_overwrite_same_key(self):
+        pool = SnapshotPool()
+        pool.store(1, "old")
+        pool.store(1, "new")
+        assert pool.pop(1) == "new"
+
+
+class TestCheckpointRestoreIoctls:
+    def test_checkpoint_restore_roundtrip(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"before")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 7)
+        kernel.pwrite(fd, b"AFTER!", 0)
+        kernel.ioctl(fd, IOCTL_RESTORE, 7)
+        assert kernel.pread(fd, 10, 0) == b"before"
+        kernel.close(fd)
+
+    def test_restore_discards_snapshot(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 7)
+        kernel.ioctl(fd, IOCTL_RESTORE, 7)
+        with pytest.raises(FsError) as excinfo:
+            kernel.ioctl(fd, IOCTL_RESTORE, 7)
+        assert excinfo.value.code == ENOENT
+        kernel.close(fd)
+
+    def test_multiple_keys_coexist(self, clock):
+        fs = VeriFS1(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 1)
+        kernel.mkdir("/mnt/v/d1")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 2)
+        kernel.mkdir("/mnt/v/d2")
+        assert kernel.ioctl(fd, IOCTL_LIST_SNAPSHOTS) == [1, 2]
+        kernel.ioctl(fd, IOCTL_RESTORE, 1)
+        kernel.close(fd)
+        assert kernel.getdents("/mnt/v") == []
+
+    def test_bad_key_rejected(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        with pytest.raises(FsError) as excinfo:
+            kernel.ioctl(fd, IOCTL_CHECKPOINT, "not-an-int")
+        assert excinfo.value.code == EINVAL
+        kernel.close(fd)
+
+    def test_unknown_ioctl_enotty(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        with pytest.raises(FsError) as excinfo:
+            kernel.ioctl(fd, 0xDEAD, 0)
+        assert excinfo.value.code == ENOTTY
+        kernel.close(fd)
+
+    def test_restore_invalidates_kernel_caches(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 1)
+        kernel.mkdir("/mnt/v/d")
+        kernel.stat("/mnt/v/d")  # cache the dentry
+        kernel.ioctl(fd, IOCTL_RESTORE, 1)
+        kernel.close(fd)
+        kernel.mkdir("/mnt/v/d")  # must succeed: caches were invalidated
+        assert kernel.stat("/mnt/v/d").is_dir
+
+    def test_counts_tracked(self, clock):
+        fs = VeriFS1(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 1)
+        kernel.ioctl(fd, IOCTL_RESTORE, 1)
+        kernel.close(fd)
+        assert fs.checkpoint_count == 1
+        assert fs.restore_count == 1
+
+
+class TestVeriFS1Limits:
+    def test_inode_table_exhaustion(self, clock):
+        fs = VeriFS1(clock=clock, inode_table_size=8)
+        kernel = mounted(clock, fs)
+        with pytest.raises(FsError) as excinfo:
+            for i in range(10):
+                kernel.close(kernel.open(f"/mnt/v/f{i}", O_CREAT))
+        assert excinfo.value.code == ENOSPC
+
+    def test_no_data_limit(self, clock):
+        """VeriFS1 'did not limit the amount of data that could be stored'."""
+        fs = VeriFS1(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v/big", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"x" * (1 << 20))
+        kernel.close(fd)
+        assert kernel.stat("/mnt/v/big").st_size == 1 << 20
+
+    def test_contiguous_buffer_backing(self, clock):
+        fs = VeriFS1(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"abc")
+        kernel.close(fd)
+        ino = kernel.stat("/mnt/v/f").st_ino
+        assert isinstance(fs.inodes[ino].buffer, bytearray)
+
+
+class TestVeriFS2Features:
+    def test_xattr_roundtrip(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock))
+        kernel.close(kernel.open("/mnt/v/f", O_CREAT))
+        kernel.setxattr("/mnt/v/f", "user.tag", b"value")
+        assert kernel.getxattr("/mnt/v/f", "user.tag") == b"value"
+        assert kernel.listxattr("/mnt/v/f") == ["user.tag"]
+        kernel.removexattr("/mnt/v/f", "user.tag")
+        assert kernel.listxattr("/mnt/v/f") == []
+
+    def test_xattr_missing_enodata(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock))
+        kernel.close(kernel.open("/mnt/v/f", O_CREAT))
+        with pytest.raises(FsError) as excinfo:
+            kernel.getxattr("/mnt/v/f", "user.none")
+        assert excinfo.value.code == ENODATA
+
+    def test_capacity_limit_enospc(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock, capacity_bytes=4 * CHUNK_SIZE))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        with pytest.raises(FsError) as excinfo:
+            kernel.write(fd, b"z" * (6 * CHUNK_SIZE))
+        assert excinfo.value.code == ENOSPC
+        kernel.close(fd)
+
+    def test_space_reclaimed_on_unlink(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock, capacity_bytes=4 * CHUNK_SIZE))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"z" * (3 * CHUNK_SIZE))
+        kernel.close(fd)
+        kernel.unlink("/mnt/v/f")
+        fd = kernel.open("/mnt/v/g", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"z" * (3 * CHUNK_SIZE))
+        kernel.close(fd)
+
+    def test_chunked_sparse_storage(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        kernel.pwrite(fd, b"end", 10 * CHUNK_SIZE)
+        kernel.close(fd)
+        ino = kernel.stat("/mnt/v/f").st_ino
+        assert len(fs.inodes[ino].chunks) == 1  # the hole allocates nothing
+
+
+class TestInjectedBugs:
+    def test_truncate_stale_data(self, clock):
+        kernel = mounted(clock, VeriFS1(clock=clock, bugs=[VeriFSBug.TRUNCATE_STALE_DATA]))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"SECRET")
+        kernel.ftruncate(fd, 0)
+        kernel.ftruncate(fd, 6)
+        assert kernel.pread(fd, 6, 0) == b"SECRET"  # stale bytes leak
+        kernel.close(fd)
+
+    def test_truncate_fixed_version_zeroes(self, clock):
+        kernel = mounted(clock, VeriFS1(clock=clock))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"SECRET")
+        kernel.ftruncate(fd, 0)
+        kernel.ftruncate(fd, 6)
+        assert kernel.pread(fd, 6, 0) == b"\x00" * 6
+        kernel.close(fd)
+
+    def test_missing_invalidation_ghost_eexist(self, clock):
+        fs = VeriFS1(clock=clock, bugs=[VeriFSBug.MISSING_CACHE_INVALIDATION])
+        kernel = mounted(clock, fs)
+        fd = kernel.open("/mnt/v/seed", O_CREAT)
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 9)
+        kernel.close(fd)
+        kernel.mkdir("/mnt/v/tdir")
+        fd = kernel.open("/mnt/v/seed")
+        kernel.ioctl(fd, IOCTL_RESTORE, 9)
+        kernel.close(fd)
+        with pytest.raises(FsError) as excinfo:
+            kernel.mkdir("/mnt/v/tdir")
+        assert excinfo.value.code == EEXIST
+        assert "tdir" not in [e.name for e in kernel.getdents("/mnt/v")]
+
+    def test_write_hole_stale(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock, bugs=[VeriFSBug.WRITE_HOLE_STALE]))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"AAAA")
+        kernel.ftruncate(fd, 2)
+        kernel.pwrite(fd, b"ZZ", 6)
+        assert kernel.pread(fd, 8, 0) == b"AAAA\x00\x00ZZ"
+        kernel.close(fd)
+
+    def test_size_update_on_capacity_only(self, clock):
+        kernel = mounted(clock, VeriFS2(clock=clock, bugs=[VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY]))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"AAAA")
+        kernel.write(fd, b"BB")  # in-chunk append: size not updated
+        assert kernel.fstat(fd).st_size == 4
+        kernel.close(fd)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 2), st.binary(min_size=1, max_size=64),
+                          st.integers(0, 200)), max_size=12))
+def test_property_checkpoint_restore_is_exact(script):
+    """Whatever happens after a checkpoint, restore brings back the exact
+    observable state -- the core guarantee of the proposed API."""
+    clock = SimClock()
+    fs = VeriFS2(clock=clock)
+    kernel = Kernel(clock)
+    mount_verifs(kernel, fs, "/mnt/v")
+    fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+    kernel.write(fd, b"baseline")
+    kernel.ioctl(fd, IOCTL_CHECKPOINT, 123)
+    reference = kernel.pread(fd, 10_000, 0)
+    for action, data, offset in script:
+        if action == 0:
+            kernel.pwrite(fd, data, offset)
+        elif action == 1:
+            kernel.ftruncate(fd, offset)
+        else:
+            kernel.pwrite(fd, data, offset + 300)
+    kernel.ioctl(fd, IOCTL_RESTORE, 123)
+    assert kernel.pread(fd, 10_000, 0) == reference
+    kernel.close(fd)

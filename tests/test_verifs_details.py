@@ -1,0 +1,172 @@
+"""VeriFS internals not covered by the POSIX-surface or bug suites."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EINVAL, ENOENT, ENOTDIR, FsError
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.kernel.stat import DT_DIR, DT_LNK, DT_REG
+from repro.verifs import (
+    IOCTL_CHECKPOINT,
+    IOCTL_RESTORE,
+    VeriFS1,
+    VeriFS2,
+    mount_verifs,
+)
+from repro.verifs.verifs2 import CHUNK_SIZE
+
+
+def mounted(clock, fs, mountpoint="/mnt/v"):
+    kernel = Kernel(clock)
+    handle = mount_verifs(kernel, fs, mountpoint)
+    return kernel, handle
+
+
+class TestVeriFS1Details:
+    def test_readdir_reports_dtypes(self, clock):
+        kernel, _ = mounted(clock, VeriFS1(clock=clock))
+        kernel.mkdir("/mnt/v/d")
+        kernel.close(kernel.open("/mnt/v/f", O_CREAT))
+        dtypes = {e.name: e.dtype for e in kernel.getdents("/mnt/v")}
+        assert dtypes == {"d": DT_DIR, "f": DT_REG}
+
+    def test_dir_size_reported_zero(self, clock):
+        kernel, _ = mounted(clock, VeriFS1(clock=clock))
+        kernel.mkdir("/mnt/v/d")
+        assert kernel.stat("/mnt/v/d").st_size == 0
+
+    def test_statfs_reflects_inode_usage(self, clock):
+        fs = VeriFS1(clock=clock, inode_table_size=64)
+        kernel, _ = mounted(clock, fs)
+        before = kernel.statfs("/mnt/v").files_free
+        kernel.close(kernel.open("/mnt/v/f", O_CREAT))
+        assert kernel.statfs("/mnt/v").files_free == before - 1
+
+    def test_buffer_capacity_invisible_when_correct(self, clock):
+        """Slack capacity beyond st_size must never be observable."""
+        kernel, handle = mounted(clock, VeriFS1(clock=clock))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"X" * 100)
+        kernel.ftruncate(fd, 10)
+        ino = kernel.fstat(fd).st_ino
+        assert len(handle.filesystem.inodes[ino].buffer) >= 100  # slack kept
+        assert kernel.pread(fd, 200, 0) == b"X" * 10  # but not visible
+        kernel.close(fd)
+
+    def test_snapshot_pools_are_per_instance(self, clock):
+        fs_a = VeriFS1(clock=clock)
+        fs_b = VeriFS1(clock=clock)
+        kernel_a, _ = mounted(clock, fs_a, "/mnt/a")
+        kernel_b, _ = mounted(clock, fs_b, "/mnt/b")
+        fd = kernel_a.open("/mnt/a")
+        kernel_a.ioctl(fd, IOCTL_CHECKPOINT, 1)
+        kernel_a.close(fd)
+        fd = kernel_b.open("/mnt/b")
+        with pytest.raises(FsError) as excinfo:
+            kernel_b.ioctl(fd, IOCTL_RESTORE, 1)  # key 1 is a's, not b's
+        assert excinfo.value.code == ENOENT
+        kernel_b.close(fd)
+
+
+class TestVeriFS2Details:
+    def test_readdir_includes_symlink_dtype(self, clock):
+        kernel, _ = mounted(clock, VeriFS2(clock=clock))
+        kernel.symlink("target", "/mnt/v/lnk")
+        dtypes = {e.name: e.dtype for e in kernel.getdents("/mnt/v")}
+        assert dtypes["lnk"] == DT_LNK
+
+    def test_statfs_accounts_chunks(self, clock):
+        fs = VeriFS2(clock=clock, capacity_bytes=10 * CHUNK_SIZE)
+        kernel, _ = mounted(clock, fs)
+        before = kernel.statfs("/mnt/v").blocks_free
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"z" * (2 * CHUNK_SIZE))
+        kernel.close(fd)
+        after = kernel.statfs("/mnt/v").blocks_free
+        assert before - after == 2
+
+    def test_symlink_size_is_target_length(self, clock):
+        kernel, _ = mounted(clock, VeriFS2(clock=clock))
+        kernel.symlink("abcde", "/mnt/v/lnk")
+        assert kernel.lstat("/mnt/v/lnk").st_size == 5
+
+    def test_rename_into_own_subtree_einval(self, clock):
+        kernel, _ = mounted(clock, VeriFS2(clock=clock))
+        kernel.mkdir("/mnt/v/d")
+        kernel.mkdir("/mnt/v/d/sub")
+        with pytest.raises(FsError) as excinfo:
+            kernel.rename("/mnt/v/d", "/mnt/v/d/sub/moved")
+        assert excinfo.value.code == EINVAL
+
+    def test_rename_directory_updates_parent_pointer(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel, _ = mounted(clock, fs)
+        kernel.mkdir("/mnt/v/a")
+        kernel.mkdir("/mnt/v/b")
+        kernel.mkdir("/mnt/v/a/child")
+        child_ino = kernel.stat("/mnt/v/a/child").st_ino
+        b_ino = kernel.stat("/mnt/v/b").st_ino
+        kernel.rename("/mnt/v/a/child", "/mnt/v/b/child")
+        assert fs.inodes[child_ino].parent == b_ino
+        assert kernel.stat("/mnt/v/a").st_nlink == 2
+        assert kernel.stat("/mnt/v/b").st_nlink == 3
+
+    def test_access_exists_for_verifs2(self, clock):
+        """VeriFS2 added access() (the capability VeriFS1 lacked)."""
+        fs = VeriFS2(clock=clock)
+        fs.access(fs.ROOT_INO, 0)
+        with pytest.raises(FsError):
+            fs.access(9999, 0)
+
+    def test_hardlinked_content_shared_through_both_names(self, clock):
+        kernel, _ = mounted(clock, VeriFS2(clock=clock))
+        fd = kernel.open("/mnt/v/a", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"first")
+        kernel.close(fd)
+        kernel.link("/mnt/v/a", "/mnt/v/b")
+        fd = kernel.open("/mnt/v/b", O_WRONLY)
+        kernel.pwrite(fd, b"SECOND", 0)
+        kernel.close(fd)
+        fd = kernel.open("/mnt/v/a")
+        assert kernel.read(fd, 10) == b"SECOND"
+        kernel.close(fd)
+
+    def test_checkpoint_excludes_snapshot_pool_itself(self, clock):
+        """Nested snapshots must not balloon: a checkpoint captures the
+        file system, not the pool of other checkpoints."""
+        fs = VeriFS2(clock=clock)
+        kernel, _ = mounted(clock, fs)
+        fd = kernel.open("/mnt/v")
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 1)
+        kernel.ioctl(fd, IOCTL_CHECKPOINT, 2)
+        kernel.ioctl(fd, IOCTL_RESTORE, 1)
+        # key 2 still present: restoring 1 did not clobber the pool
+        assert 2 in fs.snapshots.keys()
+        kernel.close(fd)
+
+    def test_chunk_slack_never_visible(self, clock):
+        kernel, _ = mounted(clock, VeriFS2(clock=clock))
+        fd = kernel.open("/mnt/v/f", O_CREAT | O_RDWR)
+        kernel.write(fd, b"Y" * 300)
+        kernel.ftruncate(fd, 5)
+        assert kernel.pread(fd, 100, 0) == b"Y" * 5
+        kernel.close(fd)
+
+
+class TestMountingHelper:
+    def test_mount_handle_fields(self, clock):
+        fs = VeriFS2(clock=clock)
+        kernel = Kernel(clock)
+        handle = mount_verifs(kernel, fs, "/mnt/x", name="xx")
+        assert handle.filesystem is fs
+        assert handle.mountpoint == "/mnt/x"
+        assert handle.connection.kernel is kernel
+        assert handle.server.filesystem is fs
+        assert handle.fstype.name == "xx"
+
+    def test_clock_alignment_when_fs_has_none(self, clock):
+        fs = VeriFS2()  # no clock
+        kernel = Kernel(clock)
+        mount_verifs(kernel, fs, "/mnt/x")
+        assert fs.clock is clock

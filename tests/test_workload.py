@@ -1,0 +1,97 @@
+"""Tests for workload presets and the sequence generator."""
+
+import pytest
+
+from repro import MCFS, MCFSOptions, SimClock, VeriFS2
+from repro.core.futs import make_verifs_fut
+from repro.core.ops import OperationCatalog, ParameterPool
+from repro.workload import (
+    DATA_HEAVY,
+    DEEP_TREE,
+    DEFAULT,
+    METADATA_HEAVY,
+    PRESETS,
+    SequenceGenerator,
+    preset,
+)
+
+
+class TestPresets:
+    def test_lookup_by_name(self):
+        assert preset("data-heavy") is DATA_HEAVY
+        assert preset("default") is DEFAULT
+
+    def test_unknown_preset_lists_options(self):
+        with pytest.raises(KeyError) as excinfo:
+            preset("nope")
+        assert "data-heavy" in str(excinfo.value)
+
+    def test_all_presets_build_catalogs(self):
+        for name, pool in PRESETS.items():
+            catalog = OperationCatalog(pool=pool)
+            assert len(catalog) > 0, name
+
+    def test_metadata_heavy_is_namespace_dominated(self):
+        catalog = OperationCatalog(pool=METADATA_HEAVY, include_extended=False)
+        names = [op.name for op in catalog.operations()]
+        namespace_ops = sum(1 for n in names
+                            if n in ("create_file", "mkdir", "rmdir", "unlink"))
+        data_ops = sum(1 for n in names if n in ("write_file", "truncate"))
+        assert namespace_ops > data_ops
+
+    def test_data_heavy_is_data_dominated(self):
+        catalog = OperationCatalog(pool=DATA_HEAVY, include_extended=False)
+        names = [op.name for op in catalog.operations()]
+        data_ops = sum(1 for n in names if n in ("write_file", "truncate"))
+        namespace_ops = sum(1 for n in names
+                            if n in ("create_file", "mkdir", "rmdir", "unlink"))
+        assert data_ops > namespace_ops
+
+    def test_presets_drive_clean_runs(self):
+        """Every preset must be usable for a clean cross-check."""
+        from repro import VeriFS1
+        for name, pool in PRESETS.items():
+            clock = SimClock()
+            mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                           pool=pool))
+            mcfs.add_verifs("a", VeriFS2())
+            mcfs.add_verifs("b", VeriFS2())
+            result = mcfs.run_random(max_operations=120, seed=3)
+            assert not result.found_discrepancy, (name, str(result.report)[:200])
+
+
+class TestSequenceGenerator:
+    def test_same_seed_same_sequence(self):
+        a = SequenceGenerator(seed=42).take(25)
+        b = SequenceGenerator(seed=42).take(25)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = SequenceGenerator(seed=1).take(25)
+        b = SequenceGenerator(seed=2).take(25)
+        assert a != b
+
+    def test_reset_rewinds(self):
+        generator = SequenceGenerator(seed=7)
+        first = generator.take(10)
+        generator.reset()
+        assert generator.take(10) == first
+
+    def test_stream_is_endless(self):
+        stream = SequenceGenerator(seed=1).stream()
+        operations = [next(stream) for _ in range(100)]
+        assert len(operations) == 100
+
+    def test_operations_come_from_catalog(self):
+        generator = SequenceGenerator(seed=5, include_extended=False)
+        catalog_ops = set(generator.catalog.operations())
+        for operation in generator.take(50):
+            assert operation in catalog_ops
+
+    def test_apply_to_executes_on_fut(self):
+        clock = SimClock()
+        fut = make_verifs_fut("v", VeriFS2(), clock)
+        generator = SequenceGenerator(seed=9, include_extended=False)
+        outcomes = generator.apply_to(fut, generator.take(30))
+        assert len(outcomes) == 30
+        assert any(outcome.ok for outcome in outcomes)

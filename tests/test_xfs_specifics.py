@@ -1,0 +1,154 @@
+"""SimXFS-specific behaviour: hash-order dirs, extents, dynamic inodes."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.errors import EINVAL, FsError
+from repro.fs.xfs import (
+    XfsFileSystemType,
+    XfsInode,
+    INODE_SIZE,
+    _dirent_record_size,
+)
+from repro.kernel import Kernel
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
+from repro.storage import RAMBlockDevice
+from repro.util.hashing import stable_hash64
+
+
+@pytest.fixture
+def fx(clock):
+    kernel = Kernel(clock)
+    fstype = XfsFileSystemType()
+    device = RAMBlockDevice(16 * 1024 * 1024, clock=clock, name="ram0")
+    fstype.mkfs(device)
+    kernel.mount(fstype, device, "/mnt/xfs")
+    return kernel, device, fstype
+
+
+class TestMinimumSize:
+    def test_small_device_rejected(self, clock):
+        """The reason the paper patched brd: XFS needs 16MB minimum."""
+        fstype = XfsFileSystemType()
+        with pytest.raises(FsError) as excinfo:
+            fstype.mkfs(RAMBlockDevice(256 * 1024, clock=clock))
+        assert excinfo.value.code == EINVAL
+
+    def test_exactly_16mb_accepted(self, clock):
+        fstype = XfsFileSystemType()
+        fstype.mkfs(RAMBlockDevice(16 * 1024 * 1024, clock=clock))
+
+
+class TestObservableQuirks:
+    def test_no_lost_and_found(self, fx):
+        kernel, _, _ = fx
+        assert kernel.getdents("/mnt/xfs") == []
+        assert XfsFileSystemType().special_paths == ()
+
+    def test_dir_size_is_entry_record_sum(self, fx):
+        kernel, _, _ = fx
+        kernel.mkdir("/mnt/xfs/d")
+        kernel.close(kernel.open("/mnt/xfs/d/ab", O_CREAT))
+        size = kernel.stat("/mnt/xfs/d").st_size
+        expected = (_dirent_record_size(".") + _dirent_record_size("..")
+                    + _dirent_record_size("ab"))
+        assert size == expected
+        assert size % 4096 != 0  # visibly not ext-style
+
+    def test_getdents_hash_order(self, fx):
+        kernel, _, _ = fx
+        names = ["zebra", "alpha", "middle", "q1", "q2"]
+        for name in names:
+            kernel.close(kernel.open(f"/mnt/xfs/{name}", O_CREAT))
+        listed = [e.name for e in kernel.getdents("/mnt/xfs")]
+        assert listed == sorted(names, key=stable_hash64)
+
+    def test_order_differs_from_insertion_generally(self, fx):
+        kernel, _, _ = fx
+        names = [f"file{i}" for i in range(8)]
+        for name in names:
+            kernel.close(kernel.open(f"/mnt/xfs/{name}", O_CREAT))
+        listed = [e.name for e in kernel.getdents("/mnt/xfs")]
+        assert set(listed) == set(names)
+        assert listed != names  # hash order scrambles insertion order
+
+
+class TestExtents:
+    def test_inode_record_roundtrip(self):
+        inode = XfsInode(33)
+        inode.mode = 0o100644
+        inode.size = 5000
+        inode.extents = [(0, 100, 2), (5, 200, 1)]
+        restored = XfsInode.unpack(33, inode.pack())
+        assert restored.extents == inode.extents
+        assert len(inode.pack()) == INODE_SIZE
+
+    def test_sequential_writes_merge_extents(self, fx):
+        kernel, _, _ = fx
+        fd = kernel.open("/mnt/xfs/f", O_CREAT | O_WRONLY)
+        kernel.write(fd, b"x" * (4096 * 5))  # five blocks, one extent run
+        kernel.close(fd)
+        fs = kernel.mount_at("/mnt/xfs").fs
+        ino = kernel.stat("/mnt/xfs/f").st_ino
+        inode = fs._load_inode(ino)
+        assert len(inode.extents) <= 2
+        assert inode.nblocks == 5
+
+    def test_sparse_file_has_disjoint_extents(self, fx):
+        kernel, _, _ = fx
+        fd = kernel.open("/mnt/xfs/f", O_CREAT | O_WRONLY)
+        kernel.pwrite(fd, b"a", 0)
+        kernel.pwrite(fd, b"b", 10 * 4096)
+        kernel.close(fd)
+        fs = kernel.mount_at("/mnt/xfs").fs
+        inode = fs._load_inode(kernel.stat("/mnt/xfs/f").st_ino)
+        assert inode.nblocks == 2
+        data = fs.read(inode.ino, 0, 11 * 4096)
+        assert data[0:1] == b"a"
+        assert data[4096] == 0  # hole reads zeros
+
+    def test_extents_survive_remount(self, fx):
+        kernel, _, _ = fx
+        payload = bytes(range(256)) * 100
+        fd = kernel.open("/mnt/xfs/f", O_CREAT | O_RDWR)
+        kernel.write(fd, payload)
+        kernel.close(fd)
+        kernel.remount("/mnt/xfs")
+        fd = kernel.open("/mnt/xfs/f")
+        assert kernel.read(fd, len(payload)) == payload
+        kernel.close(fd)
+
+
+class TestDynamicInodes:
+    def test_many_files_allocate_new_chunks(self, fx):
+        kernel, _, _ = fx
+        fs = kernel.mount_at("/mnt/xfs").fs
+        chunks_before = len(fs.chunks)
+        for i in range(40):  # more than INODES_PER_CHUNK
+            kernel.close(kernel.open(f"/mnt/xfs/f{i}", O_CREAT))
+        assert len(fs.chunks) > chunks_before
+
+    def test_ino_encodes_location(self, fx):
+        kernel, _, _ = fx
+        kernel.close(kernel.open("/mnt/xfs/f", O_CREAT))
+        fs = kernel.mount_at("/mnt/xfs").fs
+        ino = kernel.stat("/mnt/xfs/f").st_ino
+        chunk_block, slot = fs._ino_location(ino)
+        assert fs._make_ino(chunk_block, slot) == ino
+
+    def test_inode_reuse_after_unlink(self, fx):
+        kernel, _, _ = fx
+        kernel.close(kernel.open("/mnt/xfs/a", O_CREAT))
+        ino_a = kernel.stat("/mnt/xfs/a").st_ino
+        kernel.unlink("/mnt/xfs/a")
+        kernel.close(kernel.open("/mnt/xfs/b", O_CREAT))
+        assert kernel.stat("/mnt/xfs/b").st_ino == ino_a
+
+    def test_inodes_survive_remount(self, fx):
+        kernel, _, _ = fx
+        for i in range(20):
+            kernel.close(kernel.open(f"/mnt/xfs/f{i}", O_CREAT))
+        kernel.remount("/mnt/xfs")
+        for i in range(20):
+            assert kernel.stat(f"/mnt/xfs/f{i}").is_file
+        assert kernel.mount_at("/mnt/xfs").fs.check_consistency() == []
