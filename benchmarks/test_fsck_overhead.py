@@ -1,0 +1,69 @@
+"""fsck-oracle overhead: what per-state corruption checking costs.
+
+The oracle (repro.analysis) parses every FUT's raw device image each
+time it fires, so its period is a straight knob between corruption-
+detection latency and exploration throughput.  Measured: states/second
+of an ext2-vs-ext4 random walk with the oracle off, every 10th
+operation, and every operation.  The pool divides the per-image scan
+cost across workers (the pFSCK observation), which is why even
+``fsck_every=1`` stays within a small integer factor.
+"""
+
+import pytest
+
+from conftest import record_result
+from repro import (
+    MCFS,
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    MCFSOptions,
+    RAMBlockDevice,
+    SimClock,
+)
+
+SMALL_DEV = 256 * 1024
+OPERATIONS = 600
+
+
+def run(fsck_every):
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(fsck_every=fsck_every))
+    mcfs.add_block_filesystem(
+        "ext2", Ext2FileSystemType(),
+        RAMBlockDevice(SMALL_DEV, clock=clock, name="ram0"))
+    mcfs.add_block_filesystem(
+        "ext4", Ext4FileSystemType(),
+        RAMBlockDevice(SMALL_DEV, clock=clock, name="ram1"))
+    result = mcfs.run_random(max_operations=OPERATIONS, seed=11)
+    assert not result.found_discrepancy
+    return result, clock.by_category.get("fsck", 0.0)
+
+
+def test_fsck_oracle_overhead(benchmark):
+    def measure():
+        return {period: run(period) for period in (None, 10, 1)}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    baseline = results[None][0]
+    base_rate = baseline.unique_states / baseline.sim_time
+    for period, (result, fsck_time) in results.items():
+        rate = result.unique_states / result.sim_time
+        label = "off" if period is None else f"every {period}"
+        record_result(
+            "fsck oracle overhead (ext2 vs ext4, random walk)",
+            f"fsck {label:9s} {result.unique_states:4d} states in "
+            f"{result.sim_time:6.3f}s simulated = {rate:7.1f} states/s "
+            f"({result.stats.fsck_checks:3d} sweeps, {fsck_time:6.3f}s in fsck, "
+            f"{100 * rate / base_rate:5.1f}% of baseline)",
+        )
+
+    # same seed, same walk: the oracle must not change what is explored
+    assert results[10][0].unique_states == baseline.unique_states
+    assert results[1][0].unique_states == baseline.unique_states
+    # overhead ordering: more sweeps, more simulated time
+    assert results[1][0].sim_time > results[10][0].sim_time > baseline.sim_time
+    assert results[1][0].stats.fsck_checks == OPERATIONS
+    assert results[10][0].stats.fsck_checks == OPERATIONS // 10
+    # fsck_every=10 should stay cheap; fsck_every=1 within a small factor
+    assert results[10][0].sim_time < 1.5 * baseline.sim_time
+    assert results[1][0].sim_time < 8 * baseline.sim_time

@@ -1,0 +1,36 @@
+"""Static analysis for the MCFS reproduction: fsck + determinism lint.
+
+MCFS only detects bugs that surface as *observable* divergence between
+file systems.  This package adds the two complementary static layers:
+
+* :mod:`repro.analysis.fsck` -- offline, fsck-style checkers that audit
+  raw device images (and mounted trees) for latent corruption: leaked
+  blocks, wrong link counts, dangling dirents, bitmap disagreement,
+  broken journals, torn log nodes.  Checkers run in a pFSCK-style
+  worker pool so auditing many images stays cheap.
+* :mod:`repro.analysis.lint` -- an AST-based determinism linter over the
+  engine's own sources, flagging hazards that would break state hashing
+  and trace replay (unseeded randomness, wall-clock reads, iteration
+  over unordered collections).
+
+:mod:`repro.analysis.oracle` wires the fsck checkers into the explorer
+as a per-state oracle, turning silent on-disk corruption into a
+:class:`~repro.mc.explorer.PropertyViolation` with a replayable trace.
+"""
+
+from repro.analysis.findings import Finding, finding_from_dict
+from repro.analysis.fsck import (
+    check_image,
+    check_images,
+    check_mounted,
+    detect_fstype,
+)
+
+__all__ = [
+    "Finding",
+    "finding_from_dict",
+    "check_image",
+    "check_images",
+    "check_mounted",
+    "detect_fstype",
+]

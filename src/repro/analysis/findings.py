@@ -1,0 +1,64 @@
+"""Structured findings shared by the fsck checkers and the lint pass.
+
+Every checker reports problems as :class:`Finding` records instead of
+bare strings so that (a) tests can assert on the *invariant* that fired
+rather than on message wording, (b) findings serialise into discrepancy
+reports and survive a JSON round trip, and (c) the CLI can render them
+uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: severity levels, mildest first
+SEVERITIES = ("info", "warn", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation discovered by a checker.
+
+    ``checker`` names the pass that produced it ("fsck.ext2",
+    "lint.determinism", ...); ``invariant`` is a stable machine-readable
+    identifier ("block-leak", "nlink-mismatch", "wall-clock", ...);
+    ``location`` points at the object in question (an inode/block for
+    fsck, ``path:line`` for lint).
+    """
+
+    checker: str
+    invariant: str
+    message: str
+    severity: str = "error"
+    location: str = ""
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def describe(self) -> str:
+        where = f" @ {self.location}" if self.location else ""
+        return f"[{self.severity}] {self.checker}/{self.invariant}{where}: {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checker": self.checker,
+            "invariant": self.invariant,
+            "message": self.message,
+            "severity": self.severity,
+            "location": self.location,
+            "detail": dict(self.detail),
+        }
+
+
+def finding_from_dict(document: Dict[str, Any]) -> Finding:
+    return Finding(
+        checker=document["checker"],
+        invariant=document["invariant"],
+        message=document["message"],
+        severity=document.get("severity", "error"),
+        location=document.get("location", ""),
+        detail=dict(document.get("detail", {})),
+    )

@@ -1,0 +1,10 @@
+"""Determinism linter: static checks for reproducibility hazards.
+
+See :mod:`repro.analysis.lint.rules` for the rule catalogue and the
+inline ``# det-lint: allow[rule] reason`` pragma syntax.
+"""
+
+from repro.analysis.lint.rules import lint_source
+from repro.analysis.lint.runner import default_paths, iter_python_files, run_lint
+
+__all__ = ["default_paths", "iter_python_files", "lint_source", "run_lint"]

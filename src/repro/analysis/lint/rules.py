@@ -1,0 +1,282 @@
+"""AST rules for the determinism linter.
+
+The engine's whole value rests on reproducibility: the same seed must
+produce the same exploration, the same state hashes, the same reports.
+These rules flag the source-level hazards that silently break that:
+
+* ``unseeded-random`` -- calls into the module-global ``random`` RNG
+  (seeded from the OS) or ``random.Random()`` constructed without a
+  seed.  Every RNG must be constructed with an explicit seed.
+* ``wall-clock`` -- reads of real time (``time.time``, ``monotonic``,
+  ``perf_counter``, ``datetime.now``, ...).  Simulated components must
+  use :mod:`repro.clock`; wall-clock reads make traces unreplayable.
+* ``builtin-hash`` -- the builtin ``hash()``, which is randomised per
+  process by ``PYTHONHASHSEED`` for ``str``/``bytes``.  State hashing
+  must go through :mod:`repro.util.hashing`.
+* ``unordered-iteration`` -- iterating a ``set``/``frozenset`` (literal,
+  constructor call, comprehension, or a local variable bound to one)
+  without ``sorted(...)``.  Set order varies with hash randomisation,
+  so anything derived from such a loop (reports, hashes, allocation
+  order) varies run to run.
+
+A finding on a given line is suppressed by an inline pragma **with a
+justification**::
+
+    for block in blocks:  # det-lint: allow[unordered-iteration] result is a count, order-free
+
+A pragma without a justification is itself reported (``bare-pragma``),
+so the allowlist stays self-documenting.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+CHECKER = "lint.determinism"
+
+#: module-global functions of :mod:`random` that use the shared unseeded RNG
+RANDOM_GLOBALS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "getrandbits", "randbytes", "betavariate",
+    "expovariate", "triangular", "seed",
+}
+
+#: dotted call suffixes that read the wall clock
+WALL_CLOCK_SUFFIXES = (
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "datetime.now", "datetime.utcnow",
+    "datetime.today", "date.today",
+)
+
+#: bare names that, when imported from ``time``, read the wall clock
+WALL_CLOCK_TIME_NAMES = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+}
+
+PRAGMA_RE = re.compile(r"#\s*det-lint:\s*allow\[([a-z-]+)\]\s*(.*)")
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains as a dotted string (else None)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class DeterminismVisitor(ast.NodeVisitor):
+    """One-file AST pass collecting determinism findings."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.findings: List[Finding] = []
+        self.random_aliases: Set[str] = set()       # modules acting as `random`
+        self.random_func_aliases: Dict[str, str] = {}  # name -> random.<fn>
+        self.time_func_aliases: Dict[str, str] = {}    # name -> time.<fn>
+        self.set_locals: List[Set[str]] = [set()]      # per-scope set-typed names
+
+    # ------------------------------------------------------------- helpers --
+    def _finding(self, invariant: str, lineno: int, message: str,
+                 severity: str = "error", **detail) -> None:
+        self.findings.append(Finding(
+            checker=CHECKER, invariant=invariant, message=message,
+            severity=severity, location=f"{self.path}:{lineno}",
+            detail=dict(detail, line=lineno),
+        ))
+
+    # ------------------------------------------------------------- imports --
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.random_aliases.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in RANDOM_GLOBALS:
+                    self.random_func_aliases[alias.asname or alias.name] = alias.name
+                if alias.name == "Random":
+                    # constructor import: unseeded use caught at the call site
+                    self.random_func_aliases[alias.asname or alias.name] = "Random"
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_TIME_NAMES:
+                    self.time_func_aliases[alias.asname or alias.name] = alias.name
+        self.generic_visit(node)
+
+    # ---------------------------------------------------------------- calls --
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted_name(node.func)
+
+        # unseeded-random: random.<fn>() via the module-global RNG
+        if isinstance(node.func, ast.Attribute) and dotted:
+            head, _, tail = dotted.rpartition(".")
+            if head in self.random_aliases and tail in RANDOM_GLOBALS:
+                self._finding("unseeded-random", node.lineno,
+                              f"{dotted}() uses the module-global RNG; "
+                              f"construct random.Random(seed) instead")
+            if head in self.random_aliases and tail == "Random" and not node.args:
+                self._finding("unseeded-random", node.lineno,
+                              f"{dotted}() constructed without a seed")
+        if isinstance(node.func, ast.Name):
+            mapped = self.random_func_aliases.get(node.func.id)
+            if mapped == "Random" and not node.args:
+                self._finding("unseeded-random", node.lineno,
+                              f"{node.func.id}() constructed without a seed")
+            elif mapped is not None and mapped != "Random":
+                self._finding("unseeded-random", node.lineno,
+                              f"{node.func.id}() (= random.{mapped}) uses the "
+                              f"module-global RNG")
+
+        # wall-clock
+        if dotted and dotted.endswith(WALL_CLOCK_SUFFIXES):
+            self._finding("wall-clock", node.lineno,
+                          f"{dotted}() reads the wall clock; use the SimClock "
+                          f"(repro.clock) instead")
+        if isinstance(node.func, ast.Name) and node.func.id in self.time_func_aliases:
+            self._finding("wall-clock", node.lineno,
+                          f"{node.func.id}() (= time."
+                          f"{self.time_func_aliases[node.func.id]}) reads the "
+                          f"wall clock; use the SimClock (repro.clock) instead")
+
+        # builtin-hash
+        if isinstance(node.func, ast.Name) and node.func.id == "hash":
+            self._finding("builtin-hash", node.lineno,
+                          "builtin hash() is randomised by PYTHONHASHSEED; "
+                          "use repro.util.hashing for stable hashes")
+
+        self.generic_visit(node)
+
+    # ---------------------------------------------------- scope/assignment --
+    def _visit_scope(self, node: ast.AST) -> None:
+        self.set_locals.append(set())
+        self.generic_visit(node)
+        self.set_locals.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_Lambda = _visit_scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        is_set = _is_set_expression(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.set_locals[-1].add(target.id)
+                else:
+                    self.set_locals[-1].discard(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if _is_set_expression(node.value):
+                self.set_locals[-1].add(node.target.id)
+            else:
+                self.set_locals[-1].discard(node.target.id)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ iteration --
+    def _is_known_set(self, node: ast.AST) -> bool:
+        if _is_set_expression(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.set_locals)
+        return False
+
+    def _check_iteration(self, iter_node: ast.AST, lineno: int) -> None:
+        if self._is_known_set(iter_node):
+            what = (f"set {iter_node.id!r}" if isinstance(iter_node, ast.Name)
+                    else "a set expression")
+            self._finding("unordered-iteration", lineno,
+                          f"iterating {what} in arbitrary order; wrap in "
+                          f"sorted(...) so downstream output is stable")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node.lineno)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for generator in node.generators:
+            self._check_iteration(generator.iter, node.lineno)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Lint one module's source text; pragma-suppressed findings drop out."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Finding(
+            checker=CHECKER, invariant="syntax-error",
+            message=f"cannot parse: {error}", location=f"{path}:{error.lineno or 0}",
+        )]
+    visitor = DeterminismVisitor(path)
+    visitor.visit(tree)
+
+    # Pragmas live in real comments only -- tokenize so a docstring that
+    # merely *documents* the pragma syntax is not mistaken for one.
+    pragmas: Dict[int, Tuple[str, str]] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                match = PRAGMA_RE.search(token.string)
+                if match:
+                    pragmas[token.start[0]] = (match.group(1),
+                                               match.group(2).strip())
+    except tokenize.TokenizeError:
+        pass
+
+    kept: List[Finding] = []
+    used: Set[int] = set()
+    for finding in visitor.findings:
+        line = finding.detail.get("line", 0)
+        pragma = pragmas.get(line)
+        if pragma and pragma[0] == finding.invariant and pragma[1]:
+            used.add(line)
+            continue  # allowlisted with a justification
+        if pragma and pragma[0] == finding.invariant and not pragma[1]:
+            used.add(line)
+            kept.append(Finding(
+                checker=CHECKER, invariant="bare-pragma",
+                message=f"pragma allow[{pragma[0]}] needs a one-line "
+                        f"justification", location=f"{path}:{line}",
+                detail={"line": line},
+            ))
+            continue
+        kept.append(finding)
+    for line, (rule, _reason) in sorted(pragmas.items()):
+        if line not in used:
+            kept.append(Finding(
+                checker=CHECKER, invariant="unused-pragma",
+                message=f"pragma allow[{rule}] suppresses nothing",
+                severity="warn", location=f"{path}:{line}",
+                detail={"line": line},
+            ))
+    kept.sort(key=lambda f: (f.detail.get("line", 0), f.invariant))
+    return kept

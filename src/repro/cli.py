@@ -6,7 +6,10 @@ Examples::
     python -m repro check --fs ext2 --fs ext4 --mode dfs --depth 2
     python -m repro check --fs verifs1 --fs verifs2 --mode random --max-ops 2000
     python -m repro check --fs verifs1 --fs ext4 --fs verifs2 --voting
+    python -m repro check --fs ext2 --fs ext4 --fsck-oracle --fsck-every 10
     python -m repro bugdemo --bug write-hole-stale
+    python -m repro fsck image.ext2 other.img
+    python -m repro lint --strict
 """
 
 from __future__ import annotations
@@ -122,12 +125,16 @@ def cmd_check(args) -> int:
         return 2
     clock = SimClock()
     extended = all(name != "verifs1" for name in args.fs)
+    fsck_every = None
+    if args.fsck_oracle or args.fsck_every is not None:
+        fsck_every = args.fsck_every if args.fsck_every is not None else 10
     options = MCFSOptions(
         include_extended_operations=extended,
         pool=preset(args.pool),
         equalize_free_space=args.equalize,
         majority_voting=args.voting,
         track_coverage=args.coverage,
+        fsck_every=fsck_every,
     )
     mcfs = MCFS(clock, options)
     for name, label in zip(args.fs, _unique_labels(args.fs)):
@@ -146,6 +153,8 @@ def cmd_check(args) -> int:
     print(f"sim time   : {result.sim_time:.3f}s "
           f"({result.ops_per_second:.1f} ops/s)")
     print(f"stopped    : {result.stats.stopped_reason}")
+    if fsck_every:
+        print(f"fsck sweeps: {result.stats.fsck_checks}")
     if args.coverage:
         print("\ncoverage:")
         print(mcfs.coverage_report().render())
@@ -154,6 +163,51 @@ def cmd_check(args) -> int:
         return 1
     print("\nno discrepancies found")
     return 0
+
+
+def cmd_fsck(args) -> int:
+    """Offline fsck over saved device images (repro.analysis.fsck)."""
+    from repro.analysis.fsck import check_images, detect_fstype
+
+    jobs = []
+    for path in args.image:
+        try:
+            with open(path, "rb") as handle:
+                image = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        jobs.append({
+            "image": image,
+            "fstype": None if args.type == "auto" else args.type,
+            "block_size": args.block_size,
+            "erase_block_size": args.erase_block_size,
+        })
+    results = check_images(jobs, max_workers=args.jobs)
+    total_errors = 0
+    for path, job, findings in zip(args.image, jobs, results):
+        fstype = job["fstype"] or detect_fstype(job["image"]) or "unknown"
+        errors = [f for f in findings if f.severity == "error"]
+        total_errors += len(errors)
+        status = "clean" if not errors else f"{len(errors)} error(s)"
+        print(f"{path} [{fstype}]: {status}")
+        for finding in findings:
+            print(f"  {finding.describe()}")
+    return 1 if total_errors else 0
+
+
+def cmd_lint(args) -> int:
+    """Determinism lint over the repro sources (repro.analysis.lint)."""
+    from repro.analysis.lint import run_lint
+
+    findings = run_lint(args.path or None)
+    for finding in findings:
+        print(finding.describe())
+    errors = [f for f in findings if f.severity == "error"]
+    print(f"{len(findings)} finding(s), {len(errors)} error(s)")
+    if args.strict:
+        return 1 if findings else 0
+    return 1 if errors else 0
 
 
 def cmd_bugdemo(args) -> int:
@@ -212,7 +266,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sleep-set partial-order reduction (DFS only)")
     check.add_argument("--pool", choices=sorted(PRESETS), default="default",
                        help="workload preset (see repro.workload)")
+    check.add_argument("--fsck-oracle", action="store_true",
+                       help="run the offline fsck oracle over every "
+                            "device image during exploration")
+    check.add_argument("--fsck-every", type=int, default=None, metavar="N",
+                       help="oracle period in operations (implies "
+                            "--fsck-oracle; default 10)")
     check.set_defaults(func=cmd_check)
+
+    fsck = subparsers.add_parser(
+        "fsck", help="offline-check saved device images for corruption")
+    fsck.add_argument("image", nargs="+", help="raw device image file(s)")
+    fsck.add_argument("--type", default="auto",
+                      choices=("auto", "ext2", "ext4", "xfs", "jffs2"),
+                      help="image format (default: detect by magic)")
+    fsck.add_argument("--block-size", type=int, default=None,
+                      help="block size for ext2/ext4/xfs images")
+    fsck.add_argument("--erase-block-size", type=int, default=None,
+                      help="erase-block size for jffs2 images")
+    fsck.add_argument("--jobs", type=int, default=None,
+                      help="worker-pool width (default: one per image, "
+                           "capped at the CPU count)")
+    fsck.set_defaults(func=cmd_fsck)
+
+    lint = subparsers.add_parser(
+        "lint", help="lint sources for determinism hazards")
+    lint.add_argument("path", nargs="*",
+                      help="files/directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--strict", action="store_true",
+                      help="exit nonzero on warnings too")
+    lint.set_defaults(func=cmd_lint)
 
     bugdemo = subparsers.add_parser(
         "bugdemo", help="reproduce one of the paper's §6 historical bugs")

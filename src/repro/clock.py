@@ -107,6 +107,14 @@ class Cost:
     PROCESS_CHECKPOINT = 4e-3
     PROCESS_RESTORE = 3e-3
 
+    # Offline fsck oracle sweeps (repro.analysis.fsck): a fixed per-image
+    # part (superblock/bitmap parsing) plus a per-byte scan cost, in the
+    # regime of e2fsck streaming a RAM-backed image.  The oracle divides
+    # the total by its worker count -- the pFSCK observation that the
+    # passes parallelize across images.
+    FSCK_FIXED = 400e-6
+    FSCK_PER_BYTE = 2e-9
+
     # Memory-system penalties for the Figure 3 model.  Touching a stored
     # state costs a fixed part plus a per-byte transfer part (RAM at
     # ~50 GB/s, swap at ~400 MB/s) -- large concrete states make swap

@@ -57,6 +57,13 @@ class MCFSOptions:
     majority_voting: bool = False
     #: record behavioural coverage (operation/outcome pairs, §7)
     track_coverage: bool = False
+    #: run the offline fsck oracle (repro.analysis) every N explored
+    #: operations; None disables.  Unlike ``consistency_check_every``
+    #: (the drivers' in-memory self-checks), this parses the raw device
+    #: images, so it catches corruption the live driver cannot see.
+    fsck_every: Optional[int] = None
+    #: worker-pool width for the fsck oracle's image checks
+    fsck_max_workers: Optional[int] = None
 
 
 @dataclass
@@ -170,6 +177,12 @@ class MCFS:
                 self._resumed_runs = snapshot.runs
         if visited is None:
             visited = VisitedStateTable(memory=self.options.memory_model)
+        if self.options.fsck_every:
+            from repro.analysis.oracle import FsckOracle
+
+            kwargs.setdefault("fsck_every", self.options.fsck_every)
+            kwargs.setdefault("fsck_oracle", FsckOracle(
+                self.engine(), max_workers=self.options.fsck_max_workers))
         return Explorer(target, self.clock, visited=visited, **kwargs)
 
     def _finish_run(self, explorer: Explorer, start: float,

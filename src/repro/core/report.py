@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.findings import Finding, finding_from_dict
 from repro.core.integrity import Outcome, StateDiff
 from repro.core.ops import Operation
 
@@ -85,6 +86,9 @@ class DiscrepancyReport:
     #: labels outvoted by the majority (set when majority voting is on
     #: and a strict majority existed) -- the suspected culprits
     suspects: List[str] = field(default_factory=list)
+    #: structured fsck findings (set for ``kind="corruption"`` reports
+    #: raised by the :mod:`repro.analysis` oracle)
+    findings: List[Finding] = field(default_factory=list)
 
     @property
     def failing_operation(self) -> Optional[LoggedOperation]:
@@ -104,6 +108,7 @@ class DiscrepancyReport:
             "operations_executed": self.operations_executed,
             "sim_time": self.sim_time,
             "suspects": list(self.suspects),
+            "findings": [finding.to_dict() for finding in self.findings],
             "operation_log": [
                 {
                     "operation": operation_to_dict(logged.operation),
@@ -126,6 +131,8 @@ class DiscrepancyReport:
             operations_executed=document.get("operations_executed", 0),
             sim_time=document.get("sim_time", 0.0),
             suspects=list(document.get("suspects", [])),
+            findings=[finding_from_dict(entry)
+                      for entry in document.get("findings", [])],
             operation_log=[
                 LoggedOperation(
                     operation=operation_from_dict(entry["operation"]),
@@ -160,6 +167,10 @@ class DiscrepancyReport:
         if self.suspects:
             lines.append(f"suspected culprit(s) by majority vote: "
                          f"{', '.join(self.suspects)}")
+        if self.findings:
+            lines.append(f"fsck findings ({len(self.findings)}):")
+            for finding in self.findings:
+                lines.append(f"  {finding.describe()}")
         if self.ending_states:
             lines.append("ending abstract states:")
             for label, state in self.ending_states.items():

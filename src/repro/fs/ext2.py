@@ -235,6 +235,7 @@ class MountedExt2(MountedFileSystem):
         if sb_block_size != block_size:
             raise FsError(EINVAL, f"superblock says block size {sb_block_size}, mounted with {block_size}")
         geometry = Ext2Geometry(device.size_bytes, block_size)
+        self._check_super_geometry(geometry, blocks, inodes, first_data)
         block_bitmap, inode_bitmap = self._read_bitmaps(cache, geometry)
         self._init_raw(device, cache, geometry, block_bitmap, inode_bitmap)
         self.generation = generation
@@ -255,6 +256,23 @@ class MountedExt2(MountedFileSystem):
         self._dirty_inodes: Set[int] = set()
         self.generation = 0
         self._alive = True
+
+    @staticmethod
+    def _check_super_geometry(geo: Ext2Geometry, blocks: int, inodes: int,
+                              first_data: int) -> None:
+        """Refuse to mount when the superblock describes a layout the device
+        cannot hold (e.g. a truncated image): the bitmap and inode-table
+        reads below would otherwise run off the end of the device."""
+        if (blocks, inodes, first_data) != (
+            geo.block_count, geo.inode_count, geo.first_data_block
+        ):
+            raise FsError(
+                EINVAL,
+                f"superblock geometry ({blocks} blocks, {inodes} inodes, "
+                f"first data block {first_data}) does not match the device "
+                f"({geo.block_count} blocks, {geo.inode_count} inodes, "
+                f"first data block {geo.first_data_block}); truncated image?",
+            )
 
     @staticmethod
     def _read_bitmaps(cache: BufferCache, geo: Ext2Geometry) -> Tuple[Bitmap, Bitmap]:
@@ -995,7 +1013,7 @@ class MountedExt2(MountedFileSystem):
                 continue  # dir link counts involve . / .. accounting
             if inode.nlink != count:
                 problems.append(f"ino {ino}: nlink {inode.nlink} but {count} dirents")
-        for block in used_blocks:
+        for block in sorted(used_blocks):
             if block >= self.geo.first_data_block and not self.block_bitmap.get(block):
                 problems.append(f"block {block} in use but free in bitmap")
         return problems

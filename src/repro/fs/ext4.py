@@ -144,6 +144,7 @@ class MountedExt4(MountedExt2):
                 f"superblock says block size {sb_block_size}, mounted with {block_size}",
             )
         geometry = Ext4Geometry(device.size_bytes, block_size, journal_blocks)
+        self._check_super_geometry(geometry, blocks, inodes, first_data)
         # Journal replay must happen *before* we trust any metadata.
         self._replay_journal(cache, geometry)
         block_bitmap, inode_bitmap = self._read_bitmaps(cache, geometry)

@@ -31,6 +31,7 @@ entries in log-discovery order.
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import (
@@ -67,8 +68,14 @@ from repro.storage.mtd import MTDDevice
 NODE_MAGIC = 0x1985
 NODETYPE_INODE = 0xE001
 NODETYPE_DIRENT = 0xE002
-HEADER_FMT = "<HHI"  # magic, nodetype, total length
+HEADER_FMT = "<HHII"  # magic, nodetype, total length, body CRC32
 HEADER_SIZE = struct.calcsize(HEADER_FMT)
+
+
+def node_crc(body: bytes) -> int:
+    """CRC32 over a node body, as stored in the node header (real JFFS2
+    checksums its headers and payloads the same way)."""
+    return zlib.crc32(body) & 0xFFFFFFFF
 INODE_FMT = "<IIIIIQ3dII"  # ino, version, mode, uid, gid, size, a/m/ctime, data length, xattr length
 INODE_FIXED = struct.calcsize(INODE_FMT)
 DIRENT_FMT = "<IIIBB"  # parent ino, version, child ino (0 = whiteout), dtype, name length
@@ -177,12 +184,14 @@ class MountedJffs2(MountedFileSystem):
             offset = 0
             while offset + HEADER_SIZE <= ebs:
                 header = self.mtd.read(block * ebs + offset, HEADER_SIZE)
-                magic, nodetype, totlen = struct.unpack(HEADER_FMT, header)
+                magic, nodetype, totlen, crc = struct.unpack(HEADER_FMT, header)
                 if magic != NODE_MAGIC:
                     break  # erased space (0xFFFF) or torn write: stop this block
                 if totlen < HEADER_SIZE or offset + totlen > ebs:
                     break
                 body = self.mtd.read(block * ebs + offset + HEADER_SIZE, totlen - HEADER_SIZE)
+                if node_crc(body) != crc:
+                    break  # bit rot or torn write: the log ends here
                 self._ingest_node(nodetype, body, block, offset, totlen,
                                   latest_inode_version)
                 offset += totlen
@@ -208,8 +217,11 @@ class MountedJffs2(MountedFileSystem):
         offset = 0
         while offset + HEADER_SIZE <= ebs:
             header = self.mtd.read(block * ebs + offset, HEADER_SIZE)
-            magic, _nodetype, totlen = struct.unpack(HEADER_FMT, header)
+            magic, _nodetype, totlen, crc = struct.unpack(HEADER_FMT, header)
             if magic != NODE_MAGIC or totlen < HEADER_SIZE or offset + totlen > ebs:
+                break
+            body = self.mtd.read(block * ebs + offset + HEADER_SIZE, totlen - HEADER_SIZE)
+            if node_crc(body) != crc:
                 break
             offset += totlen
         return offset
@@ -272,7 +284,7 @@ class MountedJffs2(MountedFileSystem):
         if self._write_offset + totlen > ebs:
             self._advance_write_block(totlen)
         address = self._write_block * ebs + self._write_offset
-        raw = struct.pack(HEADER_FMT, NODE_MAGIC, nodetype, totlen) + body
+        raw = struct.pack(HEADER_FMT, NODE_MAGIC, nodetype, totlen, node_crc(body)) + body
         self.mtd.write(address, raw)
         previous = self._node_positions.pop(position_key, None)
         if previous is not None:

@@ -80,6 +80,8 @@ class ExplorationStats:
     restores: int = 0
     #: transitions skipped by partial-order reduction (sleep sets)
     por_pruned: int = 0
+    #: per-state fsck oracle sweeps performed (``fsck_every``)
+    fsck_checks: int = 0
     max_depth_reached: int = 0
     start_time: float = 0.0
     end_time: float = 0.0
@@ -112,6 +114,8 @@ class Explorer:
         seed: int = 0,
         sample_every: Optional[int] = None,
         sample_hook: Optional[Callable[[ExplorationStats], None]] = None,
+        fsck_every: Optional[int] = None,
+        fsck_oracle: Optional[Callable[[], Any]] = None,
     ):
         self.target = target
         self.clock = clock
@@ -123,6 +127,11 @@ class Explorer:
         self.rng = random.Random(seed)
         self.sample_every = sample_every
         self.sample_hook = sample_hook
+        #: optional per-state corruption oracle (e.g.
+        #: :class:`repro.analysis.oracle.FsckOracle`): called every
+        #: ``fsck_every`` operations; raises PropertyViolation on a hit
+        self.fsck_every = fsck_every
+        self.fsck_oracle = fsck_oracle
         self.stats = ExplorationStats()
 
     # ---------------------------------------------------------------- common --
@@ -143,6 +152,13 @@ class Explorer:
 
     def _note_operation(self) -> None:
         self.stats.operations += 1
+        if (
+            self.fsck_oracle is not None
+            and self.fsck_every
+            and self.stats.operations % self.fsck_every == 0
+        ):
+            self.stats.fsck_checks += 1
+            self.fsck_oracle()  # PropertyViolation propagates: halt
         if self.sample_every and self.stats.operations % self.sample_every == 0:
             swap = 0
             if self.visited.memory is not None:

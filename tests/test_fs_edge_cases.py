@@ -7,7 +7,7 @@ import pytest
 from repro.clock import SimClock
 from repro.errors import EEXIST, EINVAL, ENODATA, ENOENT, FsError
 from repro.fs import Ext2FileSystemType, Ext4FileSystemType, Jffs2FileSystemType
-from repro.fs.jffs2 import HEADER_FMT, NODE_MAGIC
+from repro.fs.jffs2 import HEADER_FMT, NODE_MAGIC, node_crc
 from repro.kernel import Kernel
 from repro.kernel.fdtable import O_CREAT, O_RDWR, O_WRONLY
 from repro.storage import RAMBlockDevice
@@ -93,7 +93,7 @@ class TestJffs2TornWrites:
         # simulate a torn write: a header with a bogus magic after the log
         fs_probe = fstype.mount(device)
         end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
-        device.write(end, struct.pack(HEADER_FMT, 0x1234, 0xE001, 64))
+        device.write(end, struct.pack(HEADER_FMT, 0x1234, 0xE001, 64, 0))
         recovered = fstype.mount(device)
         assert recovered.lookup(recovered.ROOT_INO, "keep") > 0
 
@@ -104,7 +104,7 @@ class TestJffs2TornWrites:
         fs_probe = fstype.mount(device)
         end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
         # valid magic but absurd length: must not crash the mount scan
-        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xE001, 1 << 30))
+        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xE001, 1 << 30, 0))
         recovered = fstype.mount(device)
         assert recovered.lookup(recovered.ROOT_INO, "keep") > 0
 
@@ -113,8 +113,11 @@ class TestJffs2TornWrites:
         kernel.umount("/mnt/j")
         fs_probe = fstype.mount(device)
         end = fs_probe._write_block * device.erase_block_size + fs_probe._write_offset
-        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xEEEE, 16)
-                     + b"\x00" * 8)
+        body = b"\x00" * 8
+        device.write(end, struct.pack(HEADER_FMT, NODE_MAGIC, 0xEEEE,
+                                      struct.calcsize(HEADER_FMT) + len(body),
+                                      node_crc(body))
+                     + body)
         recovered = fstype.mount(device)  # must not crash
         assert recovered.check_consistency() == []
 

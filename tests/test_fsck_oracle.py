@@ -1,0 +1,142 @@
+"""The per-state fsck oracle: silent corruption halts the exploration.
+
+A deliberately broken ext2 whose block-free path leaks (``_free_block``
+is a no-op) stays POSIX-indistinguishable from the stock driver -- the
+cross-file-system comparison never fires.  With the oracle on, the
+leaked blocks in the raw image are caught, the run stops with a
+``corruption`` report carrying structured findings, and the trace
+replays deterministically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.oracle import FsckCorruptionError, FsckOracle
+from repro.clock import SimClock
+from repro.core.mcfs import MCFS, MCFSOptions
+from repro.core.report import DiscrepancyReport
+from repro.fs.ext2 import Ext2FileSystemType, MountedExt2
+from repro.mc.strategies import RemountStrategy
+from repro.storage import RAMBlockDevice
+
+SMALL_DEV = 256 * 1024
+
+
+class LeakyMountedExt2(MountedExt2):
+    """Never returns freed blocks to the bitmap: a silent space leak."""
+
+    def _free_block(self, index: int) -> None:
+        pass
+
+
+class LeakyExt2Type(Ext2FileSystemType):
+    name = "ext2"
+
+    def mount(self, device, kernel=None):
+        return LeakyMountedExt2(device, self.block_size,
+                                cache=self._make_cache(device))
+
+
+def build_mcfs(fsck_every, seed_leak=True):
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(fsck_every=fsck_every))
+    mcfs.add_block_filesystem(
+        "ext2-good", Ext2FileSystemType(),
+        RAMBlockDevice(SMALL_DEV, clock=clock, name="ram0"),
+        strategy=RemountStrategy())
+    mcfs.add_block_filesystem(
+        "ext2-leaky", LeakyExt2Type() if seed_leak else Ext2FileSystemType(),
+        RAMBlockDevice(SMALL_DEV, clock=clock, name="ram1"),
+        strategy=RemountStrategy())
+    return mcfs
+
+
+def run_until_caught():
+    return build_mcfs(fsck_every=1).run_random(max_operations=400, seed=7)
+
+
+def test_oracle_catches_silent_leak_as_corruption():
+    result = run_until_caught()
+    assert result.found_discrepancy
+    assert result.report.kind == "corruption"
+    assert isinstance(result.stats.violation, FsckCorruptionError)
+    assert result.stats.stopped_reason == "property violation"
+    assert {f.invariant for f in result.report.findings} == {"block-leak"}
+    assert "ext2-leaky" in result.report.summary
+    # the trace is replayable: the log holds the operations on the path
+    # to the corrupt state (restores truncate abandoned branches)
+    assert result.report.operations()
+    assert len(result.report.operations()) <= result.report.operations_executed
+    assert result.report.operations_executed < 400
+
+
+def test_oracle_report_roundtrips_with_findings():
+    report = run_until_caught().report
+    clone = DiscrepancyReport.from_dict(report.to_dict())
+    assert [f.to_dict() for f in clone.findings] == \
+        [f.to_dict() for f in report.findings]
+    assert [op.name for op in clone.operations()] == \
+        [op.name for op in report.operations()]
+    assert "fsck findings" in str(clone)
+    assert "block-leak" in str(clone)
+
+
+def test_oracle_run_is_deterministic():
+    first, second = run_until_caught(), run_until_caught()
+    assert first.report.summary == second.report.summary
+    assert [op.describe() for op in first.report.operations()] == \
+        [op.describe() for op in second.report.operations()]
+
+
+def test_clean_pair_passes_oracle_and_counts_sweeps():
+    result = build_mcfs(fsck_every=5, seed_leak=False).run_random(
+        max_operations=40, seed=3)
+    assert not result.found_discrepancy
+    assert result.stats.fsck_checks == 40 // 5
+
+
+def test_oracle_disabled_misses_the_leak():
+    """Without the oracle the leak is invisible: that is the point."""
+    result = build_mcfs(fsck_every=None).run_random(max_operations=120, seed=7)
+    assert not result.found_discrepancy
+
+
+def test_oracle_charges_simulated_time():
+    mcfs = build_mcfs(fsck_every=1, seed_leak=False)
+    mcfs.run_random(max_operations=10, seed=1)
+    assert mcfs.clock.by_category.get("fsck", 0.0) > 0.0
+
+
+def test_oracle_audits_deviceless_backends_too():
+    from repro.verifs import VeriFS1, VeriFS2
+
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                   fsck_every=4))
+    mcfs.add_verifs("verifs1", VeriFS1())
+    mcfs.add_verifs("verifs2", VeriFS2())
+    result = mcfs.run_random(max_operations=40, seed=2)
+    assert not result.found_discrepancy
+    assert result.stats.fsck_checks == 10
+
+
+def test_oracle_standalone_returns_findings():
+    mcfs = build_mcfs(fsck_every=None, seed_leak=False)
+    mcfs._prepare()
+    oracle = FsckOracle(mcfs.engine())
+    assert oracle() == []
+    assert oracle.checks_run == 1
+    assert oracle.images_checked == 2
+
+
+def test_oracle_standalone_raises_on_corruption():
+    mcfs = build_mcfs(fsck_every=None, seed_leak=False)
+    mcfs._prepare()
+    fut = mcfs.futs[0]
+    fs = fut.kernel.mount_at(fut.mountpoint).fs
+    fs.block_bitmap.set(fs.block_bitmap.find_free())
+    with pytest.raises(FsckCorruptionError) as excinfo:
+        FsckOracle(mcfs.engine())()
+    assert {f.invariant for f in excinfo.value.findings} == {"block-leak"}
+    assert excinfo.value.report.kind == "corruption"
