@@ -1,0 +1,91 @@
+"""Distributed-fleet scaling: merged states/second at 1, 2, and 4 workers.
+
+The paper positions swarm/parallel exploration as the answer to state
+spaces a single checker cannot cover (sections 2 and 7).  ``repro.dist``
+runs that fleet for real (multiprocessing workers, a shared visited-
+state service, work stealing); this benchmark measures how throughput
+scales with fleet size and -- the property everything else rests on --
+that the *merged result does not change* as the fleet grows.
+
+Throughput is reported on the **modeled parallel clock** (the slowest
+static lane's simulated time, see ``DistResult.modeled_parallel_time``),
+consistent with every other benchmark here: the container this suite
+runs in has a single CPU, so real wall-clock parallelism is not
+measurable, while the modeled number is deterministic and matches
+``SwarmResult.parallel_time``'s accounting.  Wall-clock seconds are
+recorded as informational columns only.
+
+Emits ``BENCH_dist.json`` at the repo root.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import record_result
+from repro.dist import CheckSpec, DistributedChecker
+
+SPEC = CheckSpec(
+    filesystems=("verifs1", "verifs2"),
+    units=8,
+    base_seed=7,
+    unit_operations=200,
+    max_depth=10,
+)
+
+FLEETS = (1, 2, 4)
+
+
+def test_dist_scaling(benchmark):
+    def measure():
+        return {workers: DistributedChecker(SPEC, workers=workers).run()
+                for workers in FLEETS}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    solo = results[1]
+
+    rows = []
+    for workers, dist in results.items():
+        rows.append({
+            "workers": workers,
+            "units": len(dist.unit_results),
+            "operations": dist.total_operations,
+            "visited_states": dist.visited_states,
+            "modeled_parallel_time": dist.modeled_parallel_time,
+            "sequential_sim_time": dist.sequential_sim_time,
+            "states_per_second": dist.states_per_second,
+            "speedup": dist.speedup,
+            "stolen_units": dist.stolen_units,
+            "recovered_units": dist.recovered_units,
+            "cross_worker_duplicates": dist.cross_worker_duplicates,
+            "wall_time_informational": dist.wall_time,
+        })
+        record_result(
+            "distributed scaling (verifs1 vs verifs2, 8 units)",
+            f"{workers} worker(s): {dist.visited_states:4d} merged states "
+            f"in {dist.modeled_parallel_time:6.3f}s modeled "
+            f"= {dist.states_per_second:7.1f} states/s "
+            f"({dist.speedup:4.2f}x speedup, {dist.stolen_units} stolen, "
+            f"wall {dist.wall_time:5.2f}s)",
+        )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
+    out_path.write_text(json.dumps({
+        "experiment": "distributed scaling",
+        "spec": {
+            "filesystems": list(SPEC.filesystems),
+            "units": SPEC.units,
+            "unit_operations": SPEC.unit_operations,
+            "base_seed": SPEC.base_seed,
+            "max_depth": SPEC.max_depth,
+        },
+        "results": rows,
+    }, indent=2))
+
+    # the merge is fleet-invariant: same union, same work, same findings
+    for dist in results.values():
+        assert dist.visited_states == solo.visited_states
+        assert dist.total_operations == solo.total_operations
+        assert dist.discrepancy_signature() == solo.discrepancy_signature()
+    # throughput scales: 4 workers must clear 1.5x the single-lane rate
+    assert results[4].states_per_second >= 1.5 * solo.states_per_second
+    assert results[2].states_per_second > solo.states_per_second

@@ -7,6 +7,8 @@ Examples::
     python -m repro check --fs verifs1 --fs verifs2 --mode random --max-ops 2000
     python -m repro check --fs verifs1 --fs ext4 --fs verifs2 --voting
     python -m repro check --fs ext2 --fs ext4 --fsck-oracle --fsck-every 10
+    python -m repro check --fs verifs1 --fs verifs2 --workers 4
+    python -m repro swarm --fs verifs1 --fs verifs2 --workers 4
     python -m repro bugdemo --bug write-hole-stale
     python -m repro fsck image.ext2 other.img
     python -m repro lint --strict
@@ -20,37 +22,17 @@ from typing import List, Optional
 
 from repro.clock import SimClock
 from repro.core.mcfs import MCFS, MCFSOptions
-from repro.fs import (
-    Ext2FileSystemType,
-    Ext4FileSystemType,
-    Jffs2FileSystemType,
-    XfsFileSystemType,
+from repro.core.report import RunSummary
+from repro.dist.spec import (
+    FILESYSTEMS,
+    KERNEL_FS,
+    STRATEGIES,
+    CheckSpec,
+    add_filesystem_by_name,
+    unique_labels,
 )
-from repro.mc.strategies import (
-    IoctlStrategy,
-    NoRemountStrategy,
-    RemountStrategy,
-    VfsCheckpointStrategy,
-    VMSnapshotStrategy,
-)
-from repro.storage import RAMBlockDevice
-from repro.storage.mtd import MTDDevice
-from repro.verifs import VeriFS1, VeriFS2, VeriFSBug
+from repro.verifs import VeriFSBug
 from repro.workload import PRESETS, preset
-
-KB = 1024
-MB = 1024 * KB
-
-FILESYSTEMS = ("ext2", "ext4", "xfs", "jffs2", "verifs1", "verifs2")
-STRATEGIES = {
-    "remount": RemountStrategy,
-    "no-remount": NoRemountStrategy,
-    "vfs-api": VfsCheckpointStrategy,
-    "ioctl": IoctlStrategy,
-    "vm-snapshot": VMSnapshotStrategy,
-}
-#: default strategy per fs kind: ioctl for VeriFS, remount for kernel fs
-KERNEL_FS = ("ext2", "ext4", "xfs", "jffs2")
 
 BUG_PAIRS = {
     VeriFSBug.TRUNCATE_STALE_DATA.value: ("ext4", "verifs1", 4),
@@ -63,42 +45,11 @@ BUG_PAIRS = {
 def _add_filesystem(mcfs: MCFS, clock: SimClock, name: str, label: str,
                     strategy_name: Optional[str],
                     verifs_bugs: Optional[List[VeriFSBug]] = None) -> None:
-    strategy = STRATEGIES[strategy_name]() if strategy_name else None
-    bugs = verifs_bugs or []
-    if name == "verifs1":
-        mcfs.add_verifs(label, VeriFS1(bugs=bugs), strategy=strategy)
-    elif name == "verifs2":
-        mcfs.add_verifs(label, VeriFS2(bugs=bugs), strategy=strategy)
-    elif name == "ext2":
-        mcfs.add_block_filesystem(label, Ext2FileSystemType(),
-                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
-                                  strategy=strategy)
-    elif name == "ext4":
-        mcfs.add_block_filesystem(label, Ext4FileSystemType(),
-                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
-                                  strategy=strategy)
-    elif name == "xfs":
-        mcfs.add_block_filesystem(label, XfsFileSystemType(),
-                                  RAMBlockDevice(16 * MB, clock=clock, name=label),
-                                  strategy=strategy)
-    elif name == "jffs2":
-        mcfs.add_block_filesystem(label, Jffs2FileSystemType(),
-                                  MTDDevice(256 * KB, clock=clock, name=label),
-                                  strategy=strategy)
-    else:
+    try:
+        add_filesystem_by_name(mcfs, clock, name, label, strategy_name,
+                               verifs_bugs=verifs_bugs)
+    except ValueError:
         raise SystemExit(f"unknown file system {name!r}; see 'repro list'")
-
-
-def _unique_labels(names: List[str]) -> List[str]:
-    labels: List[str] = []
-    for name in names:
-        label = name
-        suffix = 2
-        while label in labels:
-            label = f"{name}{suffix}"
-            suffix += 1
-        labels.append(label)
-    return labels
 
 
 def cmd_list(_args) -> int:
@@ -118,16 +69,80 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _fsck_every_from_args(args) -> Optional[int]:
+    if args.fsck_oracle or args.fsck_every is not None:
+        return args.fsck_every if args.fsck_every is not None else 10
+    return None
+
+
+def _spec_from_args(args) -> CheckSpec:
+    """Build the picklable run description a worker fleet needs."""
+    total_operations = args.max_ops or 1000
+    return CheckSpec(
+        filesystems=tuple(args.fs),
+        pool=args.pool,
+        strategy=args.strategy,
+        equalize=args.equalize,
+        voting=args.voting,
+        fsck_every=_fsck_every_from_args(args),
+        units=args.units,
+        base_seed=args.seed,
+        unit_operations=max(1, total_operations // args.units),
+        max_depth=args.dist_depth,
+    )
+
+
+def _run_distributed(args) -> int:
+    """The ``--workers N`` path of ``repro check`` (real multiprocessing)."""
+    from repro.dist import DistributedChecker
+
+    if args.mode == "dfs":
+        print("error: --workers requires --mode random (distributed "
+              "campaigns partition seeded walks)", file=sys.stderr)
+        return 2
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    dist = DistributedChecker(spec, workers=args.workers,
+                              state_file=args.state_file).run()
+    parallel = dist.modeled_parallel_time
+    summary = RunSummary(
+        operations=dist.total_operations,
+        unique_states=dist.visited_states,
+        sim_time=parallel,
+        ops_per_second=dist.total_operations / parallel if parallel else 0.0,
+        stopped_reason="distributed campaign complete",
+        duplicate_hits=dist.table.stats.duplicate_hits,
+        duplicate_hit_ratio=dist.table.stats.duplicate_hit_ratio,
+    )
+    print(summary.render())
+    print(f"workers    : {dist.workers} ({len(dist.unit_results)} units, "
+          f"{dist.stolen_units} stolen, {dist.recovered_units} recovered)")
+    print(f"speedup    : {dist.speedup:.2f}x modeled "
+          f"({dist.sequential_sim_time:.3f}s sequential -> "
+          f"{parallel:.3f}s parallel)")
+    discrepancies = dist.discrepancies
+    if discrepancies:
+        print(f"\n{len(discrepancies)} discrepancy(ies) across units")
+        for report in discrepancies:
+            print("\n" + str(report))
+        return 1
+    print("\nno discrepancies found")
+    return 0
+
+
 def cmd_check(args) -> int:
     if len(args.fs) < 2:
         print("error: --fs must be given at least twice (MCFS compares "
               "file systems)", file=sys.stderr)
         return 2
+    if args.workers is not None:
+        return _run_distributed(args)
     clock = SimClock()
     extended = all(name != "verifs1" for name in args.fs)
-    fsck_every = None
-    if args.fsck_oracle or args.fsck_every is not None:
-        fsck_every = args.fsck_every if args.fsck_every is not None else 10
+    fsck_every = _fsck_every_from_args(args)
     options = MCFSOptions(
         include_extended_operations=extended,
         pool=preset(args.pool),
@@ -137,7 +152,7 @@ def cmd_check(args) -> int:
         fsck_every=fsck_every,
     )
     mcfs = MCFS(clock, options)
-    for name, label in zip(args.fs, _unique_labels(args.fs)):
+    for name, label in zip(args.fs, unique_labels(args.fs)):
         _add_filesystem(mcfs, clock, name, label, args.strategy)
     if args.mode == "dfs":
         result = mcfs.run_dfs(max_depth=args.depth,
@@ -148,13 +163,7 @@ def cmd_check(args) -> int:
         result = mcfs.run_random(max_operations=args.max_ops or 1000,
                                  seed=args.seed,
                                  state_file=args.state_file)
-    print(f"operations : {result.operations}")
-    print(f"new states : {result.unique_states}")
-    print(f"sim time   : {result.sim_time:.3f}s "
-          f"({result.ops_per_second:.1f} ops/s)")
-    print(f"stopped    : {result.stats.stopped_reason}")
-    if fsck_every:
-        print(f"fsck sweeps: {result.stats.fsck_checks}")
+    print(RunSummary.from_result(result, show_fsck=bool(fsck_every)).render())
     if args.coverage:
         print("\ncoverage:")
         print(mcfs.coverage_report().render())
@@ -162,6 +171,46 @@ def cmd_check(args) -> int:
         print("\n" + str(result.report))
         return 1
     print("\nno discrepancies found")
+    return 0
+
+
+def cmd_swarm(args) -> int:
+    """Distributed campaign with per-worker throughput and speedup."""
+    from repro.dist import DistributedChecker
+
+    if len(args.fs) < 2:
+        print("error: --fs must be given at least twice (MCFS compares "
+              "file systems)", file=sys.stderr)
+        return 2
+    try:
+        spec = _spec_from_args(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    dist = DistributedChecker(spec, workers=args.workers).run()
+    print(f"{dist.workers} workers, {len(dist.unit_results)} units "
+          f"({dist.stolen_units} stolen, {dist.recovered_units} recovered, "
+          f"{dist.inline_units} inline)")
+    print(f"{'worker':8s} {'units':>5s} {'ops':>8s} {'sim s':>8s} "
+          f"{'wall s':>8s} {'ops/s (wall)':>12s}")
+    for summary in dist.worker_summaries:
+        note = "" if summary.alive_at_end else "  [died]"
+        print(f"{summary.worker_id:8s} {summary.units_completed:5d} "
+              f"{summary.operations:8d} {summary.sim_time:8.3f} "
+              f"{summary.wall_time:8.2f} "
+              f"{summary.wall_ops_per_second:12.1f}{note}")
+    print(f"merged states : {dist.visited_states} "
+          f"({dist.cross_worker_duplicates} cross-worker duplicates, "
+          f"dup-hit ratio {dist.table.stats.duplicate_hit_ratio:.1%})")
+    print(f"speedup       : {dist.speedup:.2f}x modeled "
+          f"({dist.sequential_sim_time:.3f}s sequential -> "
+          f"{dist.modeled_parallel_time:.3f}s parallel, "
+          f"{dist.states_per_second:.1f} states/s)")
+    print(f"wall time     : {dist.wall_time:.2f}s")
+    if dist.found_discrepancy:
+        for report in dist.discrepancies:
+            print("\n" + str(report))
+        return 1
     return 0
 
 
@@ -272,7 +321,48 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--fsck-every", type=int, default=None, metavar="N",
                        help="oracle period in operations (implies "
                             "--fsck-oracle; default 10)")
+    check.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="run the campaign on N real worker processes "
+                            "(random mode only; result is identical for "
+                            "any N)")
+    check.add_argument("--units", type=int, default=8,
+                       help="work units to partition the campaign into "
+                            "(with --workers; default 8)")
+    check.add_argument("--unit-depth", dest="dist_depth", type=int,
+                       default=12,
+                       help="per-unit depth bound for distributed runs "
+                            "(default 12)")
     check.set_defaults(func=cmd_check)
+
+    swarm = subparsers.add_parser(
+        "swarm", help="distributed campaign with per-worker throughput")
+    swarm.add_argument("--fs", action="append", default=[],
+                       help=f"file system to check (repeatable); one of "
+                            f"{', '.join(FILESYSTEMS)}")
+    swarm.add_argument("--workers", type=int, default=2,
+                       help="worker processes (default 2)")
+    swarm.add_argument("--units", type=int, default=8,
+                       help="work units (fixed by the spec, not the fleet; "
+                            "default 8)")
+    swarm.add_argument("--max-ops", type=int, default=None,
+                       help="total operation budget across units")
+    swarm.add_argument("--seed", type=int, default=1, help="base seed")
+    swarm.add_argument("--pool", choices=sorted(PRESETS), default="default",
+                       help="workload preset (see repro.workload)")
+    swarm.add_argument("--unit-depth", dest="dist_depth", type=int,
+                       default=12, help="per-unit depth bound (default 12)")
+    swarm.add_argument("--strategy", choices=tuple(STRATEGIES), default=None,
+                       help="checkpoint strategy for every fs")
+    swarm.add_argument("--equalize", action="store_true",
+                       help="equalize free space at startup (§3.4)")
+    swarm.add_argument("--voting", action="store_true",
+                       help="majority voting with >= 3 file systems (§7)")
+    swarm.add_argument("--fsck-oracle", action="store_true",
+                       help="run the offline fsck oracle during exploration")
+    swarm.add_argument("--fsck-every", type=int, default=None, metavar="N",
+                       help="oracle period in operations (implies "
+                            "--fsck-oracle; default 10)")
+    swarm.set_defaults(func=cmd_swarm)
 
     fsck = subparsers.add_parser(
         "fsck", help="offline-check saved device images for corruption")

@@ -29,7 +29,7 @@ from repro.core.integrity import DiscrepancyError
 from repro.core.ops import OperationCatalog, ParameterPool
 from repro.core.report import DiscrepancyReport
 from repro.mc.explorer import ExplorationStats, Explorer
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import TableStats, VisitedStateTable
 from repro.mc.memory import MemoryModel
 from repro.mc.strategies import CheckpointStrategy, IoctlStrategy, RemountStrategy
 
@@ -75,6 +75,9 @@ class MCFSResult:
     sim_time: float
     operations: int
     unique_states: int
+    #: visited-table counters (inserts/duplicate hits) for the run, so
+    #: reports can surface the table's duplicate-hit ratio
+    table_stats: Optional[TableStats] = None
 
     @property
     def found_discrepancy(self) -> bool:
@@ -83,6 +86,12 @@ class MCFSResult:
     @property
     def ops_per_second(self) -> float:
         return self.operations / self.sim_time if self.sim_time > 0 else 0.0
+
+    @property
+    def duplicate_hit_ratio(self) -> float:
+        """Fraction of state visits the visited table answered as known."""
+        return (self.table_stats.duplicate_hit_ratio
+                if self.table_stats is not None else 0.0)
 
 
 class MCFS:
@@ -95,6 +104,9 @@ class MCFS:
         self.futs: List[FilesystemUnderTest] = []
         self.strategies: Dict[str, CheckpointStrategy] = {}
         self._engine: Optional[SyscallEngine] = None
+        #: picklable description of this harness (set by
+        #: ``CheckSpec.build_mcfs``); required for ``workers > 1``
+        self.spec = None
 
     # ------------------------------------------------------------- registry --
     def add_filesystem(self, fut: FilesystemUnderTest,
@@ -162,8 +174,8 @@ class MCFS:
         return MCFSTarget(self.engine())
 
     def _make_explorer(self, target: MCFSTarget,
-                       state_file: Optional[str] = None, **kwargs) -> Explorer:
-        visited: Optional[VisitedStateTable] = None
+                       state_file: Optional[str] = None,
+                       visited=None, **kwargs) -> Explorer:
         self._resumed_operations = 0
         self._resumed_runs = 0
         if state_file is not None:
@@ -197,7 +209,8 @@ class MCFS:
                 + explorer.stats.operations,
                 runs=self._resumed_runs + 1,
             )
-        return self._result(explorer.stats, start)
+        return self._result(explorer.stats, start,
+                            table_stats=getattr(explorer.visited, "stats", None))
 
     # ----------------------------------------------------------------- runs --
     def run_dfs(self, max_depth: int = 3, max_operations: Optional[int] = None,
@@ -230,21 +243,92 @@ class MCFS:
                    max_depth: int = 64,
                    backtrack_probability: float = 0.25,
                    sample_every: Optional[int] = None,
+                   sample_hook=None,
                    sim_time_budget: Optional[float] = None,
-                   state_file: Optional[str] = None) -> MCFSResult:
-        """Seeded randomized walk (long-horizon experiments)."""
+                   state_file: Optional[str] = None,
+                   visited=None,
+                   workers: int = 1,
+                   units: Optional[int] = None) -> MCFSResult:
+        """Seeded randomized walk (long-horizon experiments).
+
+        ``visited`` plugs in a custom visited table (any
+        :class:`~repro.mc.hashtable.AbstractVisitedTable`); the
+        distributed workers pass service-backed tables here.
+
+        ``workers > 1`` runs the walk as a *distributed campaign* on a
+        real multiprocessing fleet (see :mod:`repro.dist`): the operation
+        budget is split into ``units`` diversified work units and the
+        merged result is returned.  Requires this harness to have been
+        built from a :class:`~repro.dist.spec.CheckSpec` (``spec``
+        attribute), because workers must rebuild it in their own
+        processes.
+        """
+        if workers > 1:
+            return self._run_distributed(
+                workers=workers, max_operations=max_operations, seed=seed,
+                max_depth=max_depth,
+                backtrack_probability=backtrack_probability, units=units,
+            )
         target = self._prepare()
         explorer = self._make_explorer(
-            target, state_file=state_file,
+            target, state_file=state_file, visited=visited,
             max_depth=max_depth, max_operations=max_operations,
-            seed=seed, sample_every=sample_every,
+            seed=seed, sample_every=sample_every, sample_hook=sample_hook,
             sim_time_budget=sim_time_budget,
         )
         start = self.clock.now
         explorer.run_random(backtrack_probability=backtrack_probability)
         return self._finish_run(explorer, start, state_file)
 
-    def _result(self, stats: ExplorationStats, start_time: float) -> MCFSResult:
+    def _run_distributed(self, workers: int, max_operations: int, seed: int,
+                         max_depth: int, backtrack_probability: float,
+                         units: Optional[int]) -> MCFSResult:
+        """Fan the run out to a worker fleet; fold the merge into a result."""
+        from dataclasses import replace
+
+        from repro.dist import DistributedChecker
+
+        spec = getattr(self, "spec", None)
+        if spec is None:
+            raise ValueError(
+                "workers > 1 needs a picklable run description; build the "
+                "harness from a CheckSpec (spec.build_mcfs()) so worker "
+                "processes can reconstruct it"
+            )
+        unit_count = units if units is not None else spec.units
+        spec = replace(
+            spec,
+            units=unit_count,
+            base_seed=seed,
+            unit_operations=max(1, max_operations // unit_count),
+            max_depth=max_depth,
+            backtrack_probability=backtrack_probability,
+        )
+        dist = DistributedChecker(spec, workers=workers).run()
+        stats = ExplorationStats()
+        stats.operations = dist.total_operations
+        stats.transitions = sum(u.transitions for u in dist.unit_results)
+        stats.unique_states = dist.visited_states
+        stats.revisited_states = sum(u.revisited_states
+                                     for u in dist.unit_results)
+        stats.end_time = dist.modeled_parallel_time
+        stats.stopped_reason = "distributed campaign complete"
+        report = dist.discrepancies[0] if dist.discrepancies else None
+        if report is not None:
+            stats.stopped_reason = "property violation"
+        result = MCFSResult(
+            stats=stats,
+            report=report,
+            sim_time=dist.modeled_parallel_time,
+            operations=dist.total_operations,
+            unique_states=dist.visited_states,
+            table_stats=dist.table.stats,
+        )
+        result.dist = dist  # full fleet detail for callers that want it
+        return result
+
+    def _result(self, stats: ExplorationStats, start_time: float,
+                table_stats: Optional[TableStats] = None) -> MCFSResult:
         report: Optional[DiscrepancyReport] = None
         if isinstance(stats.violation, DiscrepancyError):
             report = stats.violation.report
@@ -254,4 +338,5 @@ class MCFS:
             sim_time=self.clock.now - start_time,
             operations=stats.operations,
             unique_states=stats.unique_states,
+            table_stats=table_stats,
         )

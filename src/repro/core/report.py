@@ -185,6 +185,60 @@ class DiscrepancyReport:
         return "\n".join(lines)
 
 
+@dataclass
+class RunSummary:
+    """The per-run scoreboard ``repro check`` prints.
+
+    Includes the visited table's duplicate-hit ratio so the table's
+    effectiveness (how much re-exploration it saved) is visible for
+    every run, not just in ad-hoc benchmarks.
+    """
+
+    operations: int
+    unique_states: int
+    sim_time: float
+    ops_per_second: float
+    stopped_reason: str
+    revisited_states: int = 0
+    duplicate_hits: int = 0
+    duplicate_hit_ratio: float = 0.0
+    fsck_checks: int = 0
+    show_fsck: bool = False
+
+    @classmethod
+    def from_result(cls, result, show_fsck: bool = False) -> "RunSummary":
+        """Build from an :class:`~repro.core.mcfs.MCFSResult` (duck-typed)."""
+        table_stats = getattr(result, "table_stats", None)
+        return cls(
+            operations=result.operations,
+            unique_states=result.unique_states,
+            sim_time=result.sim_time,
+            ops_per_second=result.ops_per_second,
+            stopped_reason=result.stats.stopped_reason,
+            revisited_states=result.stats.revisited_states,
+            duplicate_hits=(table_stats.duplicate_hits
+                            if table_stats is not None else 0),
+            duplicate_hit_ratio=(table_stats.duplicate_hit_ratio
+                                 if table_stats is not None else 0.0),
+            fsck_checks=result.stats.fsck_checks,
+            show_fsck=show_fsck,
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"operations : {self.operations}",
+            f"new states : {self.unique_states}",
+            f"dup hits   : {self.duplicate_hits} "
+            f"({self.duplicate_hit_ratio:.1%} of visits)",
+            f"sim time   : {self.sim_time:.3f}s "
+            f"({self.ops_per_second:.1f} ops/s)",
+            f"stopped    : {self.stopped_reason}",
+        ]
+        if self.show_fsck:
+            lines.append(f"fsck sweeps: {self.fsck_checks}")
+        return "\n".join(lines)
+
+
 def replay(operations: Sequence[Operation], futs, catalog) -> List[LoggedOperation]:
     """Re-execute a logged sequence on fresh FUTs; return the new log.
 

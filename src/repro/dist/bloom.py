@@ -1,0 +1,95 @@
+"""Worker-local duplicate filters: a Bloom filter and an exact LRU set.
+
+The visited-state service is authoritative, but every round trip to it
+costs a pipe write + pickle.  Workers therefore keep two local layers in
+front of the wire:
+
+* :class:`LRUSet` -- an **exact**, bounded set of hashes this worker has
+  already shipped.  A hit here suppresses the re-send outright; because
+  membership is exact, suppression can never lose a hash (at worst an
+  evicted entry is shipped twice and the service deduplicates).
+* :class:`BloomFilter` -- a probabilistic summary of every hash the
+  service has **confirmed** back to this worker.  A negative answer is
+  definite ("the service never told me about this"), which lets the
+  worker skip global lookups for fresh states; a positive answer only
+  means "probably a cross-worker duplicate" and is used for statistics,
+  never to drop an insert.  False positives therefore cost a counter
+  increment, not correctness.
+
+Both structures are deterministic: the Bloom filter hashes through MD5
+(like all state fingerprinting in this codebase, see
+:mod:`repro.util.hashing`), never the randomised builtin ``hash``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Iterable
+
+
+class BloomFilter:
+    """A classic Bloom filter over string items, MD5 double hashing."""
+
+    def __init__(self, bits: int = 1 << 17, hashes: int = 4):
+        if bits < 8:
+            raise ValueError("a Bloom filter needs at least 8 bits")
+        if hashes < 1:
+            raise ValueError("a Bloom filter needs at least one hash")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray(bits // 8 + 1)
+        self.items_added = 0
+
+    def _indexes(self, item: str) -> Iterable[int]:
+        # Kirsch-Mitzenmacher double hashing: two 64-bit halves of one
+        # MD5 digest generate all k indexes (one digest per operation).
+        digest = hashlib.md5(item.encode("utf-8")).digest()
+        first = int.from_bytes(digest[:8], "little")
+        second = int.from_bytes(digest[8:], "little") | 1
+        for i in range(self.hashes):
+            yield (first + i * second) % self.bits
+
+    def add(self, item: str) -> None:
+        for index in self._indexes(item):
+            self._array[index >> 3] |= 1 << (index & 7)
+        self.items_added += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(self._array[index >> 3] & (1 << (index & 7))
+                   for index in self._indexes(item))
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (rough saturation indicator)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._array)
+        return set_bits / self.bits
+
+
+class LRUSet:
+    """A bounded set with least-recently-used eviction (exact membership)."""
+
+    def __init__(self, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("LRUSet capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, None]" = OrderedDict()
+        self.evictions = 0
+
+    def add(self, item: str) -> None:
+        if item in self._entries:
+            self._entries.move_to_end(item)
+            return
+        self._entries[item] = None
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, item: str) -> bool:
+        if item in self._entries:
+            self._entries.move_to_end(item)  # a hit refreshes recency
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,89 @@
+"""Worker-side visited-table plumbing: local decisions, batched shipping.
+
+:class:`ShippingVisitedTable` is the pluggable visited table a worker
+hands its explorer.  The contract that keeps distributed runs
+deterministic:
+
+* **Expansion decisions are purely local.**  ``visit`` consults only the
+  unit's private :class:`~repro.mc.hashtable.VisitedStateTable`, so a
+  unit explores identically whether it runs alone, alongside three
+  other workers, or as a re-issued lease after a crash.
+* **Every locally-new hash reaches the service exactly-or-more than
+  once.**  New hashes are buffered and shipped in batches; the exact
+  :class:`~repro.dist.bloom.LRUSet` of already-shipped hashes suppresses
+  re-sends across units of the same worker; suppression is never
+  probabilistic, so the global union is exact.
+* **The Bloom filter only saves wire time.**  It summarises hashes the
+  service has confirmed; its answers feed the cross-worker duplicate
+  statistics and short-circuit lookups, never insert decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.dist.bloom import BloomFilter, LRUSet
+from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
+
+#: ship callback: receives a drained batch of (hash, depth) pairs
+ShipFn = Callable[[List[Tuple[str, int]]], None]
+
+
+class ShippingVisitedTable(AbstractVisitedTable):
+    """A per-unit local table that streams its discoveries to the service."""
+
+    def __init__(self, ship: ShipFn,
+                 local: Optional[VisitedStateTable] = None,
+                 shipped_lru: Optional[LRUSet] = None,
+                 global_bloom: Optional[BloomFilter] = None,
+                 batch_size: int = 64):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._ship = ship
+        self.local = local if local is not None else VisitedStateTable()
+        self.memory = self.local.memory
+        self.shipped_lru = shipped_lru if shipped_lru is not None else LRUSet()
+        self.global_bloom = (global_bloom if global_bloom is not None
+                             else BloomFilter())
+        self.batch_size = batch_size
+        self._buffer: List[Tuple[str, int]] = []
+        self.shipped_hashes = 0
+        self.suppressed_hashes = 0
+        self.probable_cross_duplicates = 0
+
+    @property
+    def stats(self):
+        return self.local.stats
+
+    # ---------------------------------------------------------------- visit --
+    def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
+        is_new, should_expand = self.local.visit(state_hash, depth)
+        if is_new:
+            if state_hash in self.shipped_lru:
+                # exact hit: this worker already shipped it (earlier unit)
+                self.suppressed_hashes += 1
+            else:
+                if state_hash in self.global_bloom:
+                    # probably another worker's territory; ship anyway --
+                    # the service's exact answer settles it
+                    self.probable_cross_duplicates += 1
+                self._buffer.append((state_hash, depth))
+                self.shipped_lru.add(state_hash)
+                if len(self._buffer) >= self.batch_size:
+                    self.flush()
+        return is_new, should_expand
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def __contains__(self, state_hash: str) -> bool:
+        return state_hash in self.local
+
+    # ----------------------------------------------------------------- wire --
+    def flush(self) -> None:
+        """Drain the batch buffer through the ship callback."""
+        if self._buffer:
+            batch = list(self._buffer)
+            self._buffer.clear()
+            self.shipped_hashes += len(batch)
+            self._ship(batch)

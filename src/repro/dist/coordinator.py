@@ -1,0 +1,447 @@
+"""The coordinator: owns the frontier, the fleet, and the merge.
+
+``DistributedChecker`` turns a :class:`~repro.dist.spec.CheckSpec` into
+a real :mod:`multiprocessing` campaign:
+
+* the spec's work units are **seed-partitioned** across worker slots
+  (unit ``i`` belongs to partition ``i mod workers``); a worker whose
+  partition drains **steals** from the back of the largest remaining
+  partition (classic steal-from-tail, so owners and thieves rarely
+  contend for the same units);
+* every granted unit is covered by a **lease** kept alive by heartbeats;
+  an expired lease (or a dead process, detected sooner) re-issues the
+  unit -- after merging the worker's last shipped checkpoint -- so a
+  SIGKILL'd worker costs wall time, never results;
+* a **visited-state service** (one authoritative table) answers the
+  workers' batched insert RPCs, deduplicating cross-worker territory;
+* if the *entire* fleet dies, the coordinator finishes the remaining
+  units inline -- the run always completes.
+
+Determinism: units are self-contained and deterministic, the unit list
+depends only on the spec, and merges are sorted -- so the discrepancy
+set and the visited-state count are identical for any worker count,
+any interleaving, and any crash schedule.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.core.report import DiscrepancyReport
+from repro.dist import realtime
+from repro.dist.protocol import (
+    Checkpoint,
+    Heartbeat,
+    Hello,
+    NoMoreWork,
+    Shutdown,
+    UnitDone,
+    UnitResult,
+    VisitedBatch,
+    VisitedReply,
+    Wait,
+    WorkGrant,
+    WorkRequest,
+)
+from repro.dist.service import VisitedStateService
+from repro.dist.spec import CheckSpec, WorkUnit
+from repro.dist.worker import WorkerConfig, ResultSink, run_unit, worker_main
+from repro.mc.hashtable import VisitedStateTable
+
+
+@dataclass
+class Lease:
+    """One granted unit: who runs it and until when we trust them."""
+
+    unit: WorkUnit
+    worker_id: str
+    deadline: float
+    heartbeats: int = 0
+    operations_reported: int = 0
+    checkpoint: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class WorkerRecord:
+    worker_id: str
+    process: Any
+    conn: Any
+    pid: Optional[int] = None
+    alive: bool = True
+    units_completed: int = 0
+    operations: int = 0
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+
+
+@dataclass
+class WorkerSummary:
+    """Per-worker accounting surfaced by ``repro swarm``."""
+
+    worker_id: str
+    units_completed: int
+    operations: int
+    sim_time: float
+    wall_time: float
+    alive_at_end: bool
+
+    @property
+    def wall_ops_per_second(self) -> float:
+        return self.operations / self.wall_time if self.wall_time > 0 else 0.0
+
+
+@dataclass
+class DistResult:
+    """The deterministic merge of a distributed campaign."""
+
+    workers: int
+    unit_results: List[UnitResult] = field(default_factory=list)
+    table: VisitedStateTable = field(default_factory=VisitedStateTable)
+    worker_summaries: List[WorkerSummary] = field(default_factory=list)
+    wall_time: float = 0.0
+    recovered_units: int = 0
+    stolen_units: int = 0
+    inline_units: int = 0
+    cross_worker_duplicates: int = 0
+
+    # ------------------------------------------------------------- derived --
+    @property
+    def visited_states(self) -> int:
+        """Merged unique-state count (the union across all units)."""
+        return len(self.table)
+
+    @property
+    def total_operations(self) -> int:
+        return sum(unit.operations for unit in self.unit_results)
+
+    @property
+    def discrepancies(self) -> List[DiscrepancyReport]:
+        """All per-unit violations, ordered by unit index (deterministic)."""
+        return [DiscrepancyReport.from_dict(unit.violation)
+                for unit in self.unit_results if unit.violation is not None]
+
+    def discrepancy_signature(self) -> List[tuple]:
+        """A comparable fingerprint of *what* was found, and by which unit."""
+        return [(unit.index, unit.violation["kind"], unit.violation["summary"])
+                for unit in self.unit_results if unit.violation is not None]
+
+    @property
+    def found_discrepancy(self) -> bool:
+        return any(unit.violation is not None for unit in self.unit_results)
+
+    @property
+    def sequential_sim_time(self) -> float:
+        """Simulated compute if every unit ran back to back."""
+        return sum(unit.sim_time for unit in self.unit_results)
+
+    @property
+    def modeled_parallel_time(self) -> float:
+        """Simulated wall-clock of the seed partition on ``workers`` lanes.
+
+        The deterministic analogue of :attr:`SwarmResult.parallel_time`:
+        lane ``p`` runs the units with ``index % workers == p`` back to
+        back, and the campaign takes as long as its slowest lane.  Using
+        the static partition (not the stealing-adjusted actual schedule)
+        keeps the number reproducible across interleavings.
+        """
+        lanes = [0.0] * max(1, self.workers)
+        for unit in self.unit_results:
+            lanes[unit.index % len(lanes)] += unit.sim_time
+        return max(lanes)
+
+    @property
+    def speedup(self) -> float:
+        """Modeled speedup over a single sequential lane."""
+        parallel = self.modeled_parallel_time
+        return self.sequential_sim_time / parallel if parallel > 0 else 0.0
+
+    @property
+    def states_per_second(self) -> float:
+        """Merged unique states per modeled-parallel simulated second."""
+        parallel = self.modeled_parallel_time
+        return self.visited_states / parallel if parallel > 0 else 0.0
+
+
+class _ServiceSink(ResultSink):
+    """Inline-fallback sink: feed the service directly, no wire."""
+
+    def __init__(self, service: VisitedStateService):
+        self.service = service
+
+    def ship_batch(self, entries) -> None:
+        self.service.insert_batch(entries)
+
+    def heartbeat(self, unit_index: int, operations: int) -> None:
+        pass
+
+    def checkpoint(self, unit_index: int, document) -> None:
+        pass
+
+
+class DistributedChecker:
+    """Run a CheckSpec across a fault-tolerant multiprocessing fleet."""
+
+    def __init__(
+        self,
+        spec: CheckSpec,
+        workers: int = 2,
+        config: Optional[WorkerConfig] = None,
+        lease_timeout: float = 15.0,
+        poll_interval: float = 0.02,
+        state_file: Optional[str] = None,
+        mp_context=None,
+        #: fault injection: worker_id -> SIGKILL-self after N operations
+        chaos_kill_after: Optional[Dict[str, int]] = None,
+    ):
+        if workers < 1:
+            raise ValueError("the fleet needs at least one worker")
+        self.spec = spec
+        self.workers = workers
+        self.config = config if config is not None else WorkerConfig()
+        self.lease_timeout = lease_timeout
+        self.poll_interval = poll_interval
+        self.state_file = state_file
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = multiprocessing.get_context(
+                "fork" if "fork" in methods else None)
+        self.mp_context = mp_context
+        self.chaos_kill_after = dict(chaos_kill_after or {})
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> DistResult:
+        units = self.spec.work_units()
+        service = VisitedStateService()
+        resumed_operations = 0
+        resumed_runs = 0
+        if self.state_file is not None:
+            from repro.mc.persistence import load_checker_state
+
+            snapshot = load_checker_state(self.state_file)
+            if snapshot is not None:
+                service.table.import_seen(snapshot.visited.export_seen())
+                resumed_operations = snapshot.operations_completed
+                resumed_runs = snapshot.runs
+
+        result = DistResult(workers=self.workers)
+        # seed-partitioned initial split: unit i -> partition i mod W
+        partitions: List[Deque[WorkUnit]] = [deque() for _ in range(self.workers)]
+        for unit in units:
+            partitions[unit.index % self.workers].append(unit)
+
+        records: List[WorkerRecord] = []
+        wall_start = realtime.now()
+        try:
+            records = self._spawn_fleet()
+            self._supervise(records, partitions, units, service, result)
+        finally:
+            self._shutdown_fleet(records)
+        result.wall_time = realtime.now() - wall_start
+
+        result.unit_results.sort(key=lambda unit: unit.index)
+        result.table = service.table
+        result.cross_worker_duplicates = service.cross_worker_duplicates
+        result.worker_summaries = [
+            WorkerSummary(
+                worker_id=record.worker_id,
+                units_completed=record.units_completed,
+                operations=record.operations,
+                sim_time=record.sim_time,
+                wall_time=record.wall_time,
+                alive_at_end=record.alive,
+            )
+            for record in records
+        ]
+        if self.state_file is not None:
+            from repro.mc.persistence import save_checker_state
+
+            save_checker_state(
+                self.state_file, service.table,
+                operations_completed=resumed_operations
+                + result.total_operations,
+                runs=resumed_runs + 1,
+                seed=self.spec.base_seed,
+                worker_id="coordinator",
+            )
+        return result
+
+    # ------------------------------------------------------------ internals --
+    def _spawn_fleet(self) -> List[WorkerRecord]:
+        records: List[WorkerRecord] = []
+        for slot in range(self.workers):
+            worker_id = f"w{slot}"
+            parent_conn, child_conn = self.mp_context.Pipe(duplex=True)
+            config = self.config
+            if worker_id in self.chaos_kill_after:
+                from dataclasses import replace
+
+                config = replace(
+                    config,
+                    chaos_kill_after_operations=self.chaos_kill_after[worker_id],
+                )
+            process = self.mp_context.Process(
+                target=worker_main,
+                args=(child_conn, self.spec, worker_id, config),
+                name=f"repro-dist-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            records.append(WorkerRecord(worker_id=worker_id, process=process,
+                                        conn=parent_conn))
+        return records
+
+    def _supervise(self, records: List[WorkerRecord],
+                   partitions: List[Deque[WorkUnit]],
+                   units: List[WorkUnit],
+                   service: VisitedStateService,
+                   result: DistResult) -> None:
+        by_id = {record.worker_id: record for record in records}
+        results: Dict[int, UnitResult] = {}
+        leases: Dict[str, Lease] = {}
+        wall_started: Dict[str, float] = {}
+
+        def live() -> List[WorkerRecord]:
+            return [record for record in records if record.alive]
+
+        def recover(record: WorkerRecord) -> None:
+            """A worker is gone: merge its checkpoint, re-issue its lease."""
+            record.alive = False
+            lease = leases.pop(record.worker_id, None)
+            if lease is not None:
+                if lease.checkpoint is not None:
+                    service.import_snapshot(lease.checkpoint)
+                # back to the front of its home partition: the next
+                # requester (owner or thief) re-runs it deterministically
+                partitions[lease.unit.index % self.workers].appendleft(lease.unit)
+                result.recovered_units += 1
+            if record.worker_id in wall_started:
+                record.wall_time += (realtime.now()
+                                     - wall_started.pop(record.worker_id))
+            if record.process.is_alive():
+                record.process.terminate()
+            try:
+                record.conn.close()
+            except OSError:
+                pass
+
+        def next_unit(slot: int) -> Optional[WorkUnit]:
+            """Own partition first; then steal from the largest backlog."""
+            if partitions[slot]:
+                return partitions[slot].popleft()
+            victim = max(
+                (index for index in range(self.workers) if index != slot),
+                key=lambda index: len(partitions[index]),
+                default=None,
+            )
+            if victim is None or not partitions[victim]:
+                return None
+            result.stolen_units += 1
+            return partitions[victim].pop()  # steal from the tail
+
+        def handle(record: WorkerRecord, message) -> None:
+            now = realtime.now()
+            if isinstance(message, Hello):
+                record.pid = message.pid
+            elif isinstance(message, WorkRequest):
+                slot = records.index(record)
+                unit = next_unit(slot)
+                if unit is not None:
+                    leases[record.worker_id] = Lease(
+                        unit=unit, worker_id=record.worker_id,
+                        deadline=now + self.lease_timeout,
+                    )
+                    wall_started[record.worker_id] = now
+                    record.conn.send(WorkGrant(unit))
+                elif len(results) >= len(units):
+                    record.conn.send(NoMoreWork())
+                else:
+                    record.conn.send(Wait())  # outstanding leases elsewhere
+            elif isinstance(message, Heartbeat):
+                lease = leases.get(record.worker_id)
+                if lease is not None and lease.unit.index == message.unit_index:
+                    lease.deadline = now + self.lease_timeout
+                    lease.heartbeats += 1
+                    lease.operations_reported = message.operations
+            elif isinstance(message, VisitedBatch):
+                flags = service.insert_batch(message.entries)
+                record.conn.send(VisitedReply(message.sequence, tuple(flags)))
+            elif isinstance(message, Checkpoint):
+                lease = leases.get(record.worker_id)
+                if lease is not None and lease.unit.index == message.unit_index:
+                    lease.checkpoint = message.document
+            elif isinstance(message, UnitDone):
+                unit_result = message.result
+                leases.pop(record.worker_id, None)
+                record.units_completed += 1
+                record.operations += unit_result.operations
+                record.sim_time += unit_result.sim_time
+                if record.worker_id in wall_started:
+                    record.wall_time += now - wall_started.pop(record.worker_id)
+                if unit_result.index not in results:
+                    results[unit_result.index] = unit_result
+
+        while len(results) < len(units):
+            connections = [record.conn for record in live()]
+            if not connections:
+                self._finish_inline(units, results, service, result)
+                break
+            ready = connection_wait(connections, timeout=self.poll_interval)
+            for conn in ready:
+                record = next(r for r in live() if r.conn is conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    recover(record)
+                    continue
+                handle(record, message)
+            now = realtime.now()
+            for record in live():
+                lease = leases.get(record.worker_id)
+                if not record.process.is_alive():
+                    recover(record)  # died between heartbeats (e.g. SIGKILL)
+                elif lease is not None and now > lease.deadline:
+                    recover(record)  # alive but silent past the lease
+
+        result.unit_results = list(results.values())
+        # final per-worker wall accounting for workers still mid-request
+        now = realtime.now()
+        for worker_id, started in list(wall_started.items()):
+            by_id[worker_id].wall_time += now - started
+
+    def _finish_inline(self, units: List[WorkUnit],
+                       results: Dict[int, UnitResult],
+                       service: VisitedStateService,
+                       result: DistResult) -> None:
+        """The whole fleet is gone: complete the frontier in-process."""
+        sink = _ServiceSink(service)
+        config = self.config
+        for unit in units:
+            if unit.index in results:
+                continue
+            results[unit.index] = run_unit(
+                self.spec, unit, "coordinator", config, sink)
+            result.inline_units += 1
+
+    def _shutdown_fleet(self, records: List[WorkerRecord]) -> None:
+        for record in records:
+            if not record.alive:
+                continue
+            try:
+                record.conn.send(Shutdown())
+            except (OSError, BrokenPipeError):
+                pass
+        for record in records:
+            if record.process.is_alive():
+                record.process.join(timeout=2.0)
+            if record.process.is_alive():
+                record.process.terminate()
+                record.process.join(timeout=1.0)
+            try:
+                record.conn.close()
+            except OSError:
+                pass

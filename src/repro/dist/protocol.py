@@ -1,0 +1,135 @@
+"""Wire protocol between the coordinator and its worker fleet.
+
+Messages are small frozen dataclasses pickled over
+:class:`multiprocessing.Pipe` connections (one duplex pipe per worker).
+The conversation is strictly client-driven except for shutdown:
+
+* worker -> coordinator: :class:`Hello`, :class:`WorkRequest`,
+  :class:`Heartbeat`, :class:`VisitedBatch`, :class:`Checkpoint`,
+  :class:`UnitDone`
+* coordinator -> worker: :class:`WorkGrant`, :class:`Wait`,
+  :class:`NoMoreWork`, :class:`VisitedReply`, :class:`Shutdown`
+
+See ``docs/distributed.md`` for the full protocol walk-through and the
+fault-tolerance semantics built on heartbeats and lease deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.dist.spec import WorkUnit
+
+
+# ------------------------------------------------------------------ worker --
+@dataclass(frozen=True)
+class Hello:
+    """First message a worker sends: announces its id and OS pid."""
+
+    worker_id: str
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """The worker's local frontier drained; it wants a unit (or will steal)."""
+
+    worker_id: str
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness signal, sent every ``heartbeat_operations`` ops."""
+
+    worker_id: str
+    unit_index: int
+    operations: int
+
+
+@dataclass(frozen=True)
+class VisitedBatch:
+    """Batched insert RPC: locally-new ``(hash, depth)`` pairs.
+
+    The coordinator answers with a :class:`VisitedReply` carrying one
+    flag per entry (True = globally new).
+    """
+
+    worker_id: str
+    sequence: int
+    entries: Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Periodic progress snapshot in ``repro.mc.persistence`` v2 format.
+
+    Covers the worker's *current* unit only; on lease recovery the
+    coordinator merges the document so partial knowledge survives even
+    though the unit itself is deterministically re-run elsewhere.
+    """
+
+    worker_id: str
+    unit_index: int
+    document: Dict[str, Any]
+
+
+@dataclass
+class UnitResult:
+    """Everything a finished work unit reports back (and the merge keeps)."""
+
+    index: int
+    seed: int
+    worker_id: str
+    operations: int = 0
+    transitions: int = 0
+    unique_states: int = 0
+    revisited_states: int = 0
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+    stopped_reason: str = ""
+    #: serialised DiscrepancyReport (``to_dict()``) when the unit hit a bug
+    violation: Optional[Dict[str, Any]] = None
+    #: hashes shipped to / suppressed before the visited service
+    shipped_hashes: int = 0
+    suppressed_hashes: int = 0
+    probable_cross_duplicates: int = 0
+
+
+@dataclass(frozen=True)
+class UnitDone:
+    worker_id: str
+    result: UnitResult
+
+
+# ------------------------------------------------------------- coordinator --
+@dataclass(frozen=True)
+class WorkGrant:
+    """A leased work unit; the lease is kept alive by heartbeats."""
+
+    unit: WorkUnit
+
+
+@dataclass(frozen=True)
+class Wait:
+    """No unit free right now (all leased out); ask again shortly."""
+
+    seconds: float = 0.05
+
+
+@dataclass(frozen=True)
+class NoMoreWork:
+    """Every unit has a result; the worker should exit cleanly."""
+
+
+@dataclass(frozen=True)
+class VisitedReply:
+    """Answer to a :class:`VisitedBatch`: per-entry globally-new flags."""
+
+    sequence: int
+    new_flags: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Immediate stop (run aborted or complete)."""

@@ -1,0 +1,27 @@
+"""The real-time boundary of the distributed runtime.
+
+Everything the checker *measures* runs on the deterministic
+:class:`repro.clock.SimClock`; results never depend on host timing.  But
+a coordinator supervising real OS processes needs real deadlines: a
+heartbeat that stopped arriving is only detectable against the wall
+clock, and per-worker throughput is only meaningful in wall seconds.
+
+This module is the single place :mod:`repro.dist` reads real time, so
+the determinism linter's ``wall-clock`` rule polices exactly one
+carefully-justified call site (the same way ``repro/clock.py`` is the
+one module allowed to define simulated costs).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def now() -> float:
+    """Seconds from a monotonic real clock (lease deadlines, throughput)."""
+    return time.monotonic()  # det-lint: allow[wall-clock] supervision deadlines and throughput need real time; merged results never depend on it
+
+
+def sleep(seconds: float) -> None:
+    """Real sleep, used by idle workers waiting for stealable work."""
+    time.sleep(seconds)

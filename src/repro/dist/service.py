@@ -1,0 +1,70 @@
+"""The shared visited-state service (coordinator side).
+
+One authoritative :class:`~repro.mc.hashtable.VisitedStateTable` backs
+the whole fleet; workers talk to it through batched insert RPCs
+(:class:`~repro.dist.protocol.VisitedBatch`).  Keeping the store shared
+is what lets the merged run report a true union -- workers' duplicated
+territory is detected here instead of inflating the state count -- and
+is the repro-side answer to "Reducing State Explosion for Software Model
+Checking"'s observation that a shared visited set stops workers
+re-exploring each other's ground.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.mc.hashtable import VisitedStateTable
+from repro.mc.persistence import snapshot_from_document
+
+
+class VisitedStateService:
+    """Answers batched insert/lookup requests against one global table."""
+
+    def __init__(self, table: Optional[VisitedStateTable] = None):
+        self.table = table if table is not None else VisitedStateTable()
+        self.batches_served = 0
+        self.hashes_received = 0
+        #: hashes some *other* worker had already contributed
+        self.cross_worker_duplicates = 0
+        self.snapshots_merged = 0
+
+    # ------------------------------------------------------------- inserts --
+    def insert_batch(self, entries: Sequence[Tuple[str, int]]) -> List[bool]:
+        """Insert ``(hash, depth)`` pairs; return per-entry ``is_new`` flags.
+
+        Entries arrive in the worker's (deterministic) discovery order;
+        only membership matters for the merge, so the table's content is
+        interleaving-independent even though its insertion order is not.
+        """
+        flags: List[bool] = []
+        for state_hash, depth in entries:
+            is_new, _ = self.table.visit(state_hash, int(depth))
+            if not is_new:
+                self.cross_worker_duplicates += 1
+            flags.append(is_new)
+        self.batches_served += 1
+        self.hashes_received += len(entries)
+        return flags
+
+    def lookup_batch(self, hashes: Sequence[str]) -> List[bool]:
+        """Membership-only RPC (no insert); True = globally visited."""
+        return [state_hash in self.table for state_hash in hashes]
+
+    # ----------------------------------------------------------- snapshots --
+    def import_snapshot(self, document: Dict[str, Any]) -> int:
+        """Merge a persistence-format snapshot (v1 or v2) into the table.
+
+        Used for a crashed worker's last shipped checkpoint and for
+        resuming a whole distributed campaign from a state file.  Returns
+        how many hashes were new; merging is idempotent, so replaying a
+        checkpoint whose unit later re-runs in full is harmless (the
+        checkpoint's states are a prefix of the deterministic re-run).
+        """
+        snapshot = snapshot_from_document(document)
+        added = self.table.import_seen(snapshot.visited.export_seen())
+        self.snapshots_merged += 1
+        return added
+
+    def __len__(self) -> int:
+        return len(self.table)

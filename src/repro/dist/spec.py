@@ -1,0 +1,197 @@
+"""Picklable run descriptions: rebuild an MCFS harness in any process.
+
+A live :class:`~repro.core.mcfs.MCFS` holds open devices, kernels, and
+FUSE servers -- none of which survive a trip through ``pickle``.  The
+distributed runtime therefore ships a :class:`CheckSpec` (plain names
+and numbers) to each worker, which rebuilds its own harness locally,
+exactly the way the CLI builds one from command-line flags.  The CLI
+shares this registry so ``repro check`` and a worker constructing the
+same spec produce identical harnesses.
+
+The spec also fixes the **work partition**: :meth:`CheckSpec.work_units`
+derives a list of diversified, self-contained exploration units (seeded
+like swarm members) whose count and parameters depend only on the spec
+-- never on the worker fleet -- which is what makes the merged result
+independent of worker count and scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.clock import SimClock
+from repro.mc.strategies import (
+    IoctlStrategy,
+    NoRemountStrategy,
+    RemountStrategy,
+    VfsCheckpointStrategy,
+    VMSnapshotStrategy,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+FILESYSTEMS = ("ext2", "ext4", "xfs", "jffs2", "verifs1", "verifs2")
+#: kernel file systems get the remount strategy by default; VeriFS ioctl
+KERNEL_FS = ("ext2", "ext4", "xfs", "jffs2")
+STRATEGIES = {
+    "remount": RemountStrategy,
+    "no-remount": NoRemountStrategy,
+    "vfs-api": VfsCheckpointStrategy,
+    "ioctl": IoctlStrategy,
+    "vm-snapshot": VMSnapshotStrategy,
+}
+
+#: the swarm seed stride (a prime, so diversified seeds never collide)
+SEED_STRIDE = 7919
+
+
+def add_filesystem_by_name(mcfs, clock: SimClock, name: str, label: str,
+                           strategy_name: Optional[str] = None,
+                           verifs_bugs=None) -> None:
+    """Register file system ``name`` on ``mcfs`` (the CLI/worker registry)."""
+    from repro.fs import (
+        Ext2FileSystemType,
+        Ext4FileSystemType,
+        Jffs2FileSystemType,
+        XfsFileSystemType,
+    )
+    from repro.storage import RAMBlockDevice
+    from repro.storage.mtd import MTDDevice
+    from repro.verifs import VeriFS1, VeriFS2
+
+    strategy = STRATEGIES[strategy_name]() if strategy_name else None
+    bugs = verifs_bugs or []
+    if name == "verifs1":
+        mcfs.add_verifs(label, VeriFS1(bugs=bugs), strategy=strategy)
+    elif name == "verifs2":
+        mcfs.add_verifs(label, VeriFS2(bugs=bugs), strategy=strategy)
+    elif name == "ext2":
+        mcfs.add_block_filesystem(label, Ext2FileSystemType(),
+                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "ext4":
+        mcfs.add_block_filesystem(label, Ext4FileSystemType(),
+                                  RAMBlockDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "xfs":
+        mcfs.add_block_filesystem(label, XfsFileSystemType(),
+                                  RAMBlockDevice(16 * MB, clock=clock, name=label),
+                                  strategy=strategy)
+    elif name == "jffs2":
+        mcfs.add_block_filesystem(label, Jffs2FileSystemType(),
+                                  MTDDevice(256 * KB, clock=clock, name=label),
+                                  strategy=strategy)
+    else:
+        raise ValueError(f"unknown file system {name!r}; "
+                         f"expected one of {', '.join(FILESYSTEMS)}")
+
+
+def unique_labels(names: List[str]) -> List[str]:
+    """Disambiguate repeated fs names (``ext4 ext4`` -> ``ext4 ext42``)."""
+    labels: List[str] = []
+    for name in names:
+        label = name
+        suffix = 2
+        while label in labels:
+            label = f"{name}{suffix}"
+            suffix += 1
+        labels.append(label)
+    return labels
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One self-contained exploration: a seeded random walk with bounds.
+
+    Units are the grain of distribution: deterministic in isolation
+    (fresh file systems, own simulated clock, fixed seed and budgets),
+    so any worker -- or a re-issued lease after a crash -- produces the
+    identical per-unit result.
+    """
+
+    index: int
+    seed: int
+    max_depth: int
+    max_operations: int
+    backtrack_probability: float = 0.25
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """A complete, picklable description of a distributed checking run."""
+
+    filesystems: Tuple[str, ...]
+    pool: str = "default"
+    strategy: Optional[str] = None
+    #: None = auto (extended ops unless verifs1 participates)
+    include_extended: Optional[bool] = None
+    equalize: bool = False
+    voting: bool = False
+    fsck_every: Optional[int] = None
+    #: number of work units; fixed by the spec (NOT the worker count) so
+    #: the merged result is identical for any fleet size
+    units: int = 8
+    base_seed: int = 1
+    unit_operations: int = 400
+    max_depth: int = 12
+    backtrack_probability: float = 0.25
+    #: VeriFS bug ids injected into the *last* file system (which must
+    #: then be a verifs); lets distributed campaigns hunt a known bug
+    verifs_bugs: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if len(self.filesystems) < 2:
+            raise ValueError("a check needs at least two file systems")
+        if self.units < 1:
+            raise ValueError("a run needs at least one work unit")
+        for name in self.filesystems:
+            if name not in FILESYSTEMS:
+                raise ValueError(f"unknown file system {name!r}")
+
+    # ------------------------------------------------------------- harness --
+    def build_mcfs(self):
+        """Construct a fresh MCFS harness for this spec (any process)."""
+        from repro.core.mcfs import MCFS, MCFSOptions
+        from repro.workload import preset
+
+        clock = SimClock()
+        extended = self.include_extended
+        if extended is None:
+            extended = all(name != "verifs1" for name in self.filesystems)
+        options = MCFSOptions(
+            include_extended_operations=extended,
+            pool=preset(self.pool),
+            equalize_free_space=self.equalize,
+            majority_voting=self.voting,
+            fsck_every=self.fsck_every,
+            fsck_max_workers=1,  # workers must not nest their own pools
+        )
+        mcfs = MCFS(clock, options)
+        labels = unique_labels(list(self.filesystems))
+        last = len(self.filesystems) - 1
+        for position, (name, label) in enumerate(zip(self.filesystems, labels)):
+            bugs = None
+            if position == last and self.verifs_bugs:
+                from repro.verifs import VeriFSBug
+
+                bugs = [VeriFSBug(value) for value in self.verifs_bugs]
+            add_filesystem_by_name(mcfs, clock, name, label, self.strategy,
+                                   verifs_bugs=bugs)
+        mcfs.spec = self
+        return mcfs
+
+    # ------------------------------------------------------------ partition --
+    def work_units(self) -> List[WorkUnit]:
+        """The deterministic unit list (seeds and depth bounds like swarm)."""
+        return [
+            WorkUnit(
+                index=index,
+                seed=self.base_seed + index * SEED_STRIDE,
+                max_depth=self.max_depth + (index % 3),
+                max_operations=self.unit_operations,
+                backtrack_probability=self.backtrack_probability,
+            )
+            for index in range(self.units)
+        ]

@@ -1,0 +1,226 @@
+"""Worker process: runs leased work units and streams its discoveries.
+
+A worker is a plain loop -- request a unit, run it, report it -- with
+three side channels woven through the explorer's sample hook (which
+fires every ``heartbeat_operations`` explored operations):
+
+* **heartbeats** keep the coordinator's lease on the current unit alive;
+* **visited batches** flush locally-new state hashes to the shared
+  service (suppressed by the exact LRU of already-shipped hashes);
+* **checkpoints** ship a :mod:`repro.mc.persistence` v2 snapshot of the
+  current unit's partial table, so a SIGKILL'd worker's knowledge
+  survives even though the re-issued unit deterministically re-runs.
+
+The same unit runner also serves the coordinator's inline fallback (when
+the whole fleet has died) through the :class:`ResultSink` indirection:
+a :class:`PipeSink` speaks the wire protocol, a local sink calls the
+service directly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dist import realtime
+from repro.dist.bloom import BloomFilter, LRUSet
+from repro.dist.client import ShippingVisitedTable
+from repro.dist.protocol import (
+    Checkpoint,
+    Heartbeat,
+    Hello,
+    NoMoreWork,
+    Shutdown,
+    UnitDone,
+    UnitResult,
+    VisitedBatch,
+    VisitedReply,
+    Wait,
+    WorkGrant,
+    WorkRequest,
+)
+from repro.dist.spec import CheckSpec, WorkUnit
+from repro.mc.persistence import snapshot_document
+
+
+@dataclass
+class WorkerConfig:
+    """Tunables every worker receives at spawn time."""
+
+    #: sample-hook period: heartbeat + batch flush every N operations
+    heartbeat_operations: int = 100
+    #: ship a persistence-v2 checkpoint every N operations
+    checkpoint_operations: int = 400
+    #: visited-batch size before an eager flush
+    batch_size: int = 64
+    #: exact LRU of shipped hashes (suppresses re-sends)
+    lru_capacity: int = 1 << 16
+    #: Bloom summary of service-confirmed hashes
+    bloom_bits: int = 1 << 17
+    #: fault injection: SIGKILL ourselves after this many operations
+    #: (counted across the whole worker session); None disables
+    chaos_kill_after_operations: Optional[int] = None
+
+
+class ResultSink:
+    """Where a running unit sends its side-channel traffic."""
+
+    def ship_batch(self, entries: List[Tuple[str, int]]) -> None:
+        raise NotImplementedError
+
+    def heartbeat(self, unit_index: int, operations: int) -> None:
+        raise NotImplementedError
+
+    def checkpoint(self, unit_index: int, document: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def drain(self) -> None:
+        """Process any pending replies (non-blocking)."""
+
+
+class PipeSink(ResultSink):
+    """Speaks the wire protocol over the worker's pipe connection."""
+
+    def __init__(self, conn, worker_id: str, bloom: BloomFilter):
+        self.conn = conn
+        self.worker_id = worker_id
+        self.bloom = bloom
+        self._sequence = 0
+        self._pending: Dict[int, Tuple[Tuple[str, int], ...]] = {}
+        self.confirmed_cross_duplicates = 0
+
+    def ship_batch(self, entries: List[Tuple[str, int]]) -> None:
+        self._sequence += 1
+        batch = tuple(entries)
+        self._pending[self._sequence] = batch
+        self.conn.send(VisitedBatch(self.worker_id, self._sequence, batch))
+
+    def heartbeat(self, unit_index: int, operations: int) -> None:
+        self.conn.send(Heartbeat(self.worker_id, unit_index, operations))
+
+    def checkpoint(self, unit_index: int, document: Dict[str, Any]) -> None:
+        self.conn.send(Checkpoint(self.worker_id, unit_index, document))
+
+    def drain(self) -> None:
+        while self.conn.poll(0):
+            self.handle(self.conn.recv())
+
+    def handle(self, message) -> None:
+        """Fold one coordinator message back into local state."""
+        if isinstance(message, VisitedReply):
+            entries = self._pending.pop(message.sequence, ())
+            for (state_hash, _depth), was_new in zip(entries,
+                                                     message.new_flags):
+                self.bloom.add(state_hash)
+                if not was_new:
+                    self.confirmed_cross_duplicates += 1
+
+
+def run_unit(spec: CheckSpec, unit: WorkUnit, worker_id: str,
+             config: WorkerConfig, sink: ResultSink,
+             shipped_lru: Optional[LRUSet] = None,
+             global_bloom: Optional[BloomFilter] = None,
+             session_operations: int = 0) -> UnitResult:
+    """Execute one work unit to completion; deterministic in isolation.
+
+    ``session_operations`` is the operation count the worker completed in
+    earlier units (chaos fault injection triggers on the session total).
+    """
+    mcfs = spec.build_mcfs()
+    table = ShippingVisitedTable(
+        ship=sink.ship_batch,
+        shipped_lru=shipped_lru,
+        global_bloom=global_bloom,
+        batch_size=config.batch_size,
+    )
+    last_checkpoint = {"operations": 0}
+
+    def tick(stats) -> None:
+        if (config.chaos_kill_after_operations is not None
+                and session_operations + stats.operations
+                >= config.chaos_kill_after_operations):
+            os.kill(os.getpid(), signal.SIGKILL)  # fault injection: die hard
+        table.flush()
+        sink.heartbeat(unit.index, stats.operations)
+        if (stats.operations - last_checkpoint["operations"]
+                >= config.checkpoint_operations):
+            last_checkpoint["operations"] = stats.operations
+            sink.checkpoint(unit.index, snapshot_document(
+                table.local, operations_completed=stats.operations,
+                seed=unit.seed, worker_id=worker_id,
+            ))
+        sink.drain()
+
+    wall_start = realtime.now()
+    result = mcfs.run_random(
+        max_operations=unit.max_operations,
+        seed=unit.seed,
+        max_depth=unit.max_depth,
+        backtrack_probability=unit.backtrack_probability,
+        sample_every=config.heartbeat_operations,
+        sample_hook=tick,
+        visited=table,
+    )
+    table.flush()
+    return UnitResult(
+        index=unit.index,
+        seed=unit.seed,
+        worker_id=worker_id,
+        operations=result.operations,
+        transitions=result.stats.transitions,
+        unique_states=result.stats.unique_states,
+        revisited_states=result.stats.revisited_states,
+        sim_time=result.sim_time,
+        wall_time=realtime.now() - wall_start,
+        stopped_reason=result.stats.stopped_reason,
+        violation=result.report.to_dict() if result.report else None,
+        shipped_hashes=table.shipped_hashes,
+        suppressed_hashes=table.suppressed_hashes,
+        probable_cross_duplicates=table.probable_cross_duplicates,
+    )
+
+
+def worker_main(conn, spec: CheckSpec, worker_id: str,
+                config: WorkerConfig) -> None:
+    """Process entry point: the request/run/report loop."""
+    try:
+        _worker_loop(conn, spec, worker_id, config)
+    except (EOFError, BrokenPipeError, OSError, KeyboardInterrupt):
+        pass  # coordinator went away (or aborted); nothing to clean up
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def _worker_loop(conn, spec: CheckSpec, worker_id: str,
+                 config: WorkerConfig) -> None:
+    conn.send(Hello(worker_id, os.getpid()))
+    shipped_lru = LRUSet(config.lru_capacity)
+    global_bloom = BloomFilter(config.bloom_bits)
+    sink = PipeSink(conn, worker_id, global_bloom)
+    session_operations = 0
+    while True:
+        conn.send(WorkRequest(worker_id))
+        message = conn.recv()
+        # replies to earlier batches may arrive ahead of the grant
+        while isinstance(message, (VisitedReply, Heartbeat)):
+            sink.handle(message)
+            message = conn.recv()
+        if isinstance(message, Wait):
+            realtime.sleep(message.seconds)
+            continue
+        if isinstance(message, (NoMoreWork, Shutdown)):
+            return
+        if not isinstance(message, WorkGrant):
+            continue  # unknown message: ignore and re-request
+        result = run_unit(
+            spec, message.unit, worker_id, config, sink,
+            shipped_lru=shipped_lru, global_bloom=global_bloom,
+            session_operations=session_operations,
+        )
+        session_operations += result.operations
+        conn.send(UnitDone(worker_id, result))

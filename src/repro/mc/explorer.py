@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.clock import SimClock
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
 from repro.mc.memory import OutOfMemoryError
 
 
@@ -106,7 +106,7 @@ class Explorer:
         self,
         target: ExplorationTarget,
         clock: SimClock,
-        visited: Optional[VisitedStateTable] = None,
+        visited: Optional[AbstractVisitedTable] = None,
         max_depth: int = 4,
         max_operations: Optional[int] = None,
         max_unique_states: Optional[int] = None,

@@ -15,8 +15,9 @@ modelled because they are visible in the paper's Figure 3:
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.clock import Cost
 from repro.mc.memory import MemoryModel
@@ -29,8 +30,57 @@ class TableStats:
     resizes: int = 0
     resize_time: float = 0.0
 
+    @property
+    def visits(self) -> int:
+        return self.inserts + self.duplicate_hits
 
-class VisitedStateTable:
+    @property
+    def duplicate_hit_ratio(self) -> float:
+        """Fraction of visits that matched an already-stored state."""
+        return self.duplicate_hits / self.visits if self.visits else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "inserts": self.inserts,
+            "duplicate_hits": self.duplicate_hits,
+            "resizes": self.resizes,
+            "resize_time": self.resize_time,
+        }
+
+
+class AbstractVisitedTable(ABC):
+    """What the explorer needs from a visited-state store.
+
+    The concrete :class:`VisitedStateTable` is the in-process default;
+    :mod:`repro.dist` plugs in service-backed tables that ship newly
+    discovered hashes to a coordinator, and swarm's cooperative mode
+    wraps one shared table per member to record coverage.
+    """
+
+    #: optional RAM/swap model (the explorer samples its swap usage)
+    memory: Optional[MemoryModel] = None
+    stats: TableStats
+
+    @abstractmethod
+    def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
+        """Record a visit; return ``(is_new, should_expand)``."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of distinct states stored."""
+
+    def add(self, state_hash: str) -> bool:
+        """Insert a state hash; return True if it was new."""
+        is_new, _ = self.visit(state_hash, depth=0)
+        return is_new
+
+    @property
+    def duplicate_hit_ratio(self) -> float:
+        """Fraction of visits answered from the store (effectiveness)."""
+        return self.stats.duplicate_hit_ratio
+
+
+class VisitedStateTable(AbstractVisitedTable):
     """A visited-state set keyed by abstract-state hashes."""
 
     def __init__(self, memory: Optional[MemoryModel] = None,
@@ -78,10 +128,39 @@ class VisitedStateTable:
             return False, True
         return False, False
 
-    def add(self, state_hash: str) -> bool:
-        """Insert a state hash; return True if it was new."""
-        is_new, _ = self.visit(state_hash, depth=0)
-        return is_new
+    # ------------------------------------------------------------ accessors --
+    def export_seen(self) -> Dict[str, int]:
+        """A copy of the stored ``hash -> shallowest depth`` mapping.
+
+        Public boundary for persistence and the distributed merge; callers
+        must not reach into ``_seen`` directly.
+        """
+        return dict(self._seen)
+
+    def import_seen(self, seen: Mapping[str, int]) -> int:
+        """Bulk-merge a ``hash -> depth`` mapping; return how many were new.
+
+        Hashes are merged in sorted order so the table's iteration order
+        (and therefore anything derived from a later export) is identical
+        no matter how the mapping was assembled.  Known hashes keep the
+        shallower of the two depths; merged duplicates are *not* counted
+        as duplicate hits (they are bookkeeping, not exploration).
+        """
+        added = 0
+        for state_hash in sorted(seen):
+            depth = int(seen[state_hash])
+            existing = self._seen.get(state_hash)
+            if existing is None:
+                self._seen[state_hash] = depth
+                self.stats.inserts += 1
+                added += 1
+                if self.memory is not None:
+                    self.memory.store_state()
+                if len(self._seen) > self.buckets * self.max_load_factor:
+                    self._resize()
+            elif depth < existing:
+                self._seen[state_hash] = depth
+        return added
 
     def _resize(self) -> None:
         """Double the bucket array, rehashing every stored state.

@@ -13,18 +13,30 @@ re-exploring everything it already covered.
 
 Format: a single JSON document, versioned, written atomically (tmp file
 + rename) so a crash during save never corrupts the previous snapshot.
+
+Version history:
+
+* **v1** -- buckets, seen map, operations_completed, runs.
+* **v2** -- adds ``table_stats`` (insert/duplicate/resize counters, so a
+  resumed run's duplicate-hit ratio is meaningful), ``seed`` and
+  ``worker_id`` (so :mod:`repro.dist` workers can ship their periodic
+  checkpoints in this format and the coordinator knows whose leased work
+  a snapshot covers).  v1 documents still load.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import TableStats, VisitedStateTable
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: versions this module can still read
+SUPPORTED_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -34,18 +46,76 @@ class CheckerSnapshot:
     visited: VisitedStateTable
     operations_completed: int = 0
     runs: int = 1
+    #: exploration seed the snapshot belongs to (v2; None for v1 docs)
+    seed: Optional[int] = None
+    #: distributed worker that produced the snapshot (v2; None for v1)
+    worker_id: Optional[str] = None
+    table_stats: TableStats = field(default_factory=TableStats)
+
+
+def snapshot_document(visited: VisitedStateTable,
+                      operations_completed: int = 0, runs: int = 1,
+                      seed: Optional[int] = None,
+                      worker_id: Optional[str] = None) -> Dict[str, Any]:
+    """Build the (JSON-serialisable) v2 snapshot document.
+
+    Shared by :func:`save_checker_state` and the distributed workers,
+    which ship the same document over a pipe instead of writing a file.
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "buckets": visited.buckets,
+        "seen": visited.export_seen(),  # hash -> shallowest depth
+        "operations_completed": operations_completed,
+        "runs": runs,
+        "seed": seed,
+        "worker_id": worker_id,
+        "table_stats": visited.stats.to_dict(),
+    }
+
+
+def snapshot_from_document(document: Dict[str, Any],
+                           memory=None) -> CheckerSnapshot:
+    """Rebuild a :class:`CheckerSnapshot` from a v1 or v2 document."""
+    version = document.get("version")
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"checker snapshot has version {version}, "
+            f"expected one of {SUPPORTED_VERSIONS}"
+        )
+    visited = VisitedStateTable(memory=memory,
+                                initial_buckets=document["buckets"])
+    visited.import_seen({
+        state_hash: int(depth) for state_hash, depth in document["seen"].items()
+    })
+    stats = TableStats(inserts=len(visited))
+    if version >= 2:
+        raw = document.get("table_stats", {})
+        stats = TableStats(
+            inserts=int(raw.get("inserts", len(visited))),
+            duplicate_hits=int(raw.get("duplicate_hits", 0)),
+            resizes=int(raw.get("resizes", 0)),
+            resize_time=float(raw.get("resize_time", 0.0)),
+        )
+    visited.stats = stats
+    return CheckerSnapshot(
+        visited=visited,
+        operations_completed=int(document.get("operations_completed", 0)),
+        runs=int(document.get("runs", 1)),
+        seed=document.get("seed"),
+        worker_id=document.get("worker_id"),
+        table_stats=stats,
+    )
 
 
 def save_checker_state(path: str, visited: VisitedStateTable,
-                       operations_completed: int = 0, runs: int = 1) -> None:
-    """Atomically write the checker's knowledge to ``path``."""
-    document = {
-        "version": FORMAT_VERSION,
-        "buckets": visited.buckets,
-        "seen": visited._seen,  # hash -> shallowest depth
-        "operations_completed": operations_completed,
-        "runs": runs,
-    }
+                       operations_completed: int = 0, runs: int = 1,
+                       seed: Optional[int] = None,
+                       worker_id: Optional[str] = None) -> None:
+    """Atomically write the checker's knowledge to ``path`` (v2 format)."""
+    document = snapshot_document(visited,
+                                 operations_completed=operations_completed,
+                                 runs=runs, seed=seed, worker_id=worker_id)
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
@@ -58,23 +128,7 @@ def load_checker_state(path: str, memory=None) -> Optional[CheckerSnapshot]:
         return None
     with open(path, encoding="utf-8") as handle:
         document = json.load(handle)
-    if document.get("version") != FORMAT_VERSION:
-        raise ValueError(
-            f"checker snapshot {path} has version {document.get('version')}, "
-            f"expected {FORMAT_VERSION}"
-        )
-    visited = VisitedStateTable(memory=memory,
-                                initial_buckets=document["buckets"])
-    visited._seen = {
-        state_hash: int(depth) for state_hash, depth in document["seen"].items()
-    }
-    visited.stats.inserts = len(visited._seen)
-    if memory is not None:
-        # rebuild the memory model's accounting for the reloaded states
-        for _ in range(len(visited._seen)):
-            memory.store_state()
-    return CheckerSnapshot(
-        visited=visited,
-        operations_completed=int(document.get("operations_completed", 0)),
-        runs=int(document.get("runs", 1)),
-    )
+    try:
+        return snapshot_from_document(document, memory=memory)
+    except ValueError as error:
+        raise ValueError(f"{path}: {error}") from None

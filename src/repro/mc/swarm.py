@@ -8,19 +8,56 @@ spaces in parallel (sections 2 and 7).
 
 This implementation runs the members sequentially but accounts time as
 if they ran in parallel: the swarm's wall-clock is the *maximum* member
-time, and coverage is the union of member coverage.  Members may share
-one visited table (cooperative mode) or keep private tables (classic
-swarm; unions computed afterwards).
+time, and coverage is the union of member coverage.  Two sharing modes:
+
+* **classic** (default) -- every member keeps a private visited table
+  and the union is computed afterwards; members may re-explore each
+  other's territory, exactly like independent swarm processes.
+* **cooperative** -- members share one visited table (pass
+  ``cooperative=True``, optionally with a ``shared_table`` such as a
+  :mod:`repro.dist` service-backed one), so a state explored by an
+  earlier member is not expanded again by a later one.  Because members
+  run sequentially the result is still deterministic.
+
+For *real* parallel execution across processes, see
+:class:`repro.dist.DistributedChecker`, which runs diversified work
+units on a multiprocessing fleet backed by a shared visited-state
+service.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from typing import Callable, List, Optional, Set, Tuple
 
-from repro.clock import SimClock
 from repro.mc.explorer import ExplorationStats, Explorer
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
+
+
+class RecordingTable(AbstractVisitedTable):
+    """Wrap a shared table, recording which hashes *this* user inserted.
+
+    Cooperative swarm members share one store but still report their own
+    coverage; the recorder captures the hashes a member discovered first.
+    """
+
+    def __init__(self, inner: AbstractVisitedTable):
+        self.inner = inner
+        self.memory = inner.memory
+        self.discovered: Set[str] = set()
+
+    @property
+    def stats(self):
+        return self.inner.stats
+
+    def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
+        is_new, should_expand = self.inner.visit(state_hash, depth)
+        if is_new:
+            self.discovered.add(state_hash)
+        return is_new, should_expand
+
+    def __len__(self) -> int:
+        return len(self.inner)
 
 
 @dataclass
@@ -68,6 +105,13 @@ class SwarmVerifier:
     ``target_factory(seed)`` must build a *fresh* target (and its own
     clock) for each member -- swarm members are independent OS instances
     in the paper's setting.  It returns ``(target, clock)``.
+
+    ``cooperative=True`` makes the members share one visited table, so
+    later members skip (and never re-expand) states earlier members
+    covered -- the sequential, in-process analogue of the shared
+    visited-state service in :mod:`repro.dist`.  ``shared_table`` lets a
+    caller supply that table (e.g. a service-backed one); it implies
+    cooperative mode.
     """
 
     def __init__(
@@ -78,6 +122,8 @@ class SwarmVerifier:
         max_depth: int = 3,
         max_operations: Optional[int] = None,
         mode: str = "random",
+        cooperative: bool = False,
+        shared_table: Optional[AbstractVisitedTable] = None,
     ):
         if members < 1:
             raise ValueError("a swarm needs at least one member")
@@ -89,13 +135,23 @@ class SwarmVerifier:
         self.max_depth = max_depth
         self.max_operations = max_operations
         self.mode = mode
+        self.cooperative = cooperative or shared_table is not None
+        self.shared_table = shared_table
 
     def run(self) -> SwarmResult:
         result = SwarmResult()
+        shared: Optional[AbstractVisitedTable] = None
+        if self.cooperative:
+            # explicit None check: a fresh shared table is empty, hence falsy
+            shared = (self.shared_table if self.shared_table is not None
+                      else VisitedStateTable())
         for index in range(self.members):
             seed = self.base_seed + index * 7919  # diversified seeds
             target, clock = self.target_factory(seed)
-            visited = VisitedStateTable()
+            if shared is not None:
+                visited: AbstractVisitedTable = RecordingTable(shared)
+            else:
+                visited = VisitedStateTable()
             explorer = Explorer(
                 target,
                 clock,
@@ -110,11 +166,15 @@ class SwarmVerifier:
                 stats = explorer.run_dfs()
             else:
                 stats = explorer.run_random()
+            if isinstance(visited, RecordingTable):
+                coverage = set(visited.discovered)
+            else:
+                coverage = set(visited.export_seen())
             result.members.append(
                 SwarmMemberResult(
                     seed=seed,
                     stats=stats,
-                    coverage=set(visited._seen),
+                    coverage=coverage,
                     sim_time=clock.now - start,
                 )
             )

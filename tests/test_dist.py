@@ -1,0 +1,483 @@
+"""repro.dist: distributed exploration across a real multiprocessing fleet.
+
+The load-bearing properties under test:
+
+* **determinism** -- the merged result (visited-state count, operation
+  total, discrepancy signature) is identical for any worker count;
+* **fault tolerance** -- SIGKILLing a worker mid-run re-issues its
+  leased unit and the final result is still identical;
+* **exactness of the caches** -- the LRU/Bloom fast paths never lose a
+  hash, so the union at the service is exact.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.clock import SimClock
+from repro.core.report import RunSummary
+from repro.dist import (
+    BloomFilter,
+    CheckSpec,
+    DistributedChecker,
+    LRUSet,
+    ShippingVisitedTable,
+    VisitedStateService,
+    WorkerConfig,
+    unique_labels,
+)
+from repro.dist.spec import SEED_STRIDE
+from repro.mc.explorer import ExplorationTarget
+from repro.mc.hashtable import VisitedStateTable
+from repro.mc.persistence import (
+    load_checker_state,
+    save_checker_state,
+    snapshot_document,
+    snapshot_from_document,
+)
+from repro.mc.swarm import SwarmVerifier
+
+SPEC = CheckSpec(
+    filesystems=("verifs1", "verifs2"),
+    units=4,
+    base_seed=1,
+    unit_operations=100,
+    max_depth=8,
+)
+
+#: a chunkier spec with a known bug injected into the last file system
+BUG_SPEC = dataclasses.replace(
+    SPEC, units=6, unit_operations=150, verifs_bugs=("write-hole-stale",))
+
+#: chaos tests need ticks to fire well inside a 100-op unit
+CHAOS_CONFIG = WorkerConfig(heartbeat_operations=20, checkpoint_operations=40)
+
+
+def fingerprint(dist):
+    """Everything that must be invariant across fleets and crashes."""
+    return (
+        dist.visited_states,
+        dist.total_operations,
+        dist.discrepancy_signature(),
+        sorted((unit.index, unit.operations, unit.unique_states)
+               for unit in dist.unit_results),
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    """The workers=1 reference run every other fleet must reproduce."""
+    return DistributedChecker(SPEC, workers=1).run()
+
+
+# ---------------------------------------------------------------- caches --
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=1 << 12)
+        hashes = [f"hash-{i}" for i in range(200)]
+        for value in hashes:
+            bloom.add(value)
+        assert all(value in bloom for value in hashes)
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(bits=1 << 10)
+        assert bloom.fill_ratio == 0.0
+        for i in range(50):
+            bloom.add(f"h{i}")
+        assert 0.0 < bloom.fill_ratio <= 1.0
+
+    def test_mostly_rejects_unseen(self):
+        bloom = BloomFilter(bits=1 << 14)
+        for i in range(100):
+            bloom.add(f"present-{i}")
+        misses = sum(f"absent-{i}" in bloom for i in range(1000))
+        assert misses < 50  # comfortably under the design false-positive rate
+
+
+class TestLRUSet:
+    def test_evicts_oldest(self):
+        lru = LRUSet(capacity=2)
+        lru.add("a")
+        lru.add("b")
+        lru.add("c")  # evicts a
+        assert "a" not in lru
+        assert "b" in lru and "c" in lru
+        assert lru.evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        lru = LRUSet(capacity=2)
+        lru.add("a")
+        lru.add("b")
+        assert "a" in lru  # refresh: a is now the most recent
+        lru.add("c")  # evicts b, not a
+        assert "a" in lru
+        assert "b" not in lru
+
+
+# ------------------------------------------------------------------ spec --
+class TestCheckSpec:
+    def test_work_units_are_deterministic(self):
+        assert SPEC.work_units() == SPEC.work_units()
+
+    def test_units_diversified_like_swarm(self):
+        units = SPEC.work_units()
+        assert [unit.seed for unit in units] == [
+            1 + index * SEED_STRIDE for index in range(4)]
+        assert len({unit.max_depth for unit in units}) > 1
+
+    def test_unit_count_fixed_by_spec_not_fleet(self):
+        # the partition is a property of the spec alone
+        assert len(SPEC.work_units()) == SPEC.units
+
+    def test_rejects_single_filesystem(self):
+        with pytest.raises(ValueError):
+            CheckSpec(filesystems=("verifs1",))
+
+    def test_rejects_unknown_filesystem(self):
+        with pytest.raises(ValueError):
+            CheckSpec(filesystems=("verifs1", "nope"))
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            CheckSpec(filesystems=("verifs1", "verifs2"), units=0)
+
+    def test_unique_labels(self):
+        assert unique_labels(["ext4", "ext4", "ext4"]) == [
+            "ext4", "ext42", "ext43"]
+
+    def test_build_mcfs_attaches_spec(self):
+        mcfs = SPEC.build_mcfs()
+        assert mcfs.spec is SPEC
+        assert len(mcfs.futs) == 2
+
+
+# ------------------------------------------------------- shipping table --
+class TestShippingVisitedTable:
+    def test_batches_until_threshold(self):
+        shipped = []
+        table = ShippingVisitedTable(ship=shipped.append, batch_size=3)
+        table.visit("a", 1)
+        table.visit("b", 2)
+        assert shipped == []  # buffered
+        table.visit("c", 3)
+        assert shipped == [[("a", 1), ("b", 2), ("c", 3)]]  # eager flush
+
+    def test_flush_drains_partial_batch(self):
+        shipped = []
+        table = ShippingVisitedTable(ship=shipped.append, batch_size=64)
+        table.visit("a", 1)
+        table.flush()
+        assert shipped == [[("a", 1)]]
+        assert table.shipped_hashes == 1
+
+    def test_duplicates_never_ship(self):
+        shipped = []
+        table = ShippingVisitedTable(ship=shipped.append, batch_size=1)
+        table.visit("a", 1)
+        is_new, _ = table.visit("a", 2)
+        assert not is_new
+        assert shipped == [[("a", 1)]]  # shipped exactly once
+
+    def test_lru_suppresses_cross_unit_resends(self):
+        lru = LRUSet()
+        lru.add("a")  # an earlier unit of this worker shipped it
+        shipped = []
+        table = ShippingVisitedTable(ship=shipped.append, shipped_lru=lru,
+                                     batch_size=1)
+        table.visit("a", 1)
+        assert shipped == []
+        assert table.suppressed_hashes == 1
+
+    def test_bloom_hit_counts_but_still_ships(self):
+        bloom = BloomFilter()
+        bloom.add("a")  # another worker's confirmed territory
+        shipped = []
+        table = ShippingVisitedTable(ship=shipped.append, global_bloom=bloom,
+                                     batch_size=1)
+        table.visit("a", 1)
+        assert shipped == [[("a", 1)]]  # exactness beats the probable hit
+        assert table.probable_cross_duplicates == 1
+
+    def test_local_semantics_delegate(self):
+        table = ShippingVisitedTable(ship=lambda batch: None)
+        table.visit("a", 1)
+        assert len(table) == 1
+        assert "a" in table
+        assert table.stats.inserts == 1
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            ShippingVisitedTable(ship=lambda batch: None, batch_size=0)
+
+
+# --------------------------------------------------------------- service --
+class TestVisitedStateService:
+    def test_insert_batch_reports_new_flags(self):
+        service = VisitedStateService()
+        assert service.insert_batch([("a", 1), ("b", 2)]) == [True, True]
+        assert service.insert_batch([("a", 1), ("c", 3)]) == [False, True]
+        assert len(service) == 3
+        assert service.cross_worker_duplicates == 1
+
+    def test_lookup_batch_never_inserts(self):
+        service = VisitedStateService()
+        service.insert_batch([("a", 1)])
+        assert service.lookup_batch(["a", "b"]) == [True, False]
+        assert len(service) == 1
+
+    def test_import_snapshot_is_idempotent(self):
+        table = VisitedStateTable()
+        table.visit("a", 1)
+        table.visit("b", 2)
+        document = snapshot_document(table)
+        service = VisitedStateService()
+        assert service.import_snapshot(document) == 2
+        assert service.import_snapshot(document) == 0  # re-merge is a no-op
+        assert len(service) == 2
+
+
+# ----------------------------------------------------------- persistence --
+class TestPersistenceV2:
+    def test_roundtrip_carries_provenance(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        table = VisitedStateTable()
+        table.visit("aaa", 2)
+        table.visit("aaa", 5)  # duplicate hit
+        save_checker_state(path, table, operations_completed=7, runs=3,
+                           seed=42, worker_id="w1")
+        snapshot = load_checker_state(path)
+        assert snapshot.seed == 42
+        assert snapshot.worker_id == "w1"
+        assert snapshot.operations_completed == 7
+        assert snapshot.runs == 3
+        assert snapshot.visited.export_seen() == {"aaa": 2}
+        assert snapshot.table_stats.duplicate_hits == 1
+
+    def test_v1_documents_still_load(self):
+        snapshot = snapshot_from_document({
+            "version": 1,
+            "buckets": 64,
+            "seen": {"aaa": 2},
+            "operations_completed": 5,
+            "runs": 2,
+        })
+        assert snapshot.seed is None
+        assert snapshot.worker_id is None
+        assert snapshot.visited.export_seen() == {"aaa": 2}
+        assert snapshot.table_stats.inserts == 1
+
+    def test_unsupported_version_names_path(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text(json.dumps({"version": 99, "buckets": 64, "seen": {}}))
+        with pytest.raises(ValueError, match="state.json"):
+            load_checker_state(str(path))
+
+    def test_export_seen_returns_a_copy(self):
+        table = VisitedStateTable()
+        table.visit("a", 1)
+        seen = table.export_seen()
+        seen["b"] = 2
+        assert len(table) == 1
+
+    def test_import_seen_keeps_shallowest_depth(self):
+        table = VisitedStateTable()
+        table.visit("a", 5)
+        assert table.import_seen({"a": 2, "b": 3}) == 1  # only b is new
+        assert table.export_seen() == {"a": 2, "b": 3}
+
+
+# ----------------------------------------------------------- determinism --
+class TestDistributedDeterminism:
+    def test_single_worker_completes_all_units(self, baseline):
+        assert len(baseline.unit_results) == SPEC.units
+        assert baseline.visited_states == len(baseline.table)
+        assert baseline.total_operations == SPEC.units * SPEC.unit_operations
+
+    def test_worker_count_does_not_change_the_result(self, baseline):
+        fleet = DistributedChecker(SPEC, workers=3).run()
+        assert fingerprint(fleet) == fingerprint(baseline)
+
+    def test_modeled_speedup_uses_static_lanes(self, baseline):
+        fleet = DistributedChecker(SPEC, workers=4).run()
+        assert fleet.modeled_parallel_time < fleet.sequential_sim_time
+        assert fleet.speedup > 1.0
+        # sequential compute is fleet-invariant
+        assert fleet.sequential_sim_time == pytest.approx(
+            baseline.sequential_sim_time)
+
+    def test_bug_found_identically_at_any_fleet_size(self):
+        solo = DistributedChecker(BUG_SPEC, workers=1).run()
+        fleet = DistributedChecker(BUG_SPEC, workers=3).run()
+        assert solo.found_discrepancy
+        assert solo.discrepancy_signature() == fleet.discrepancy_signature()
+        # units after the first violation still ran: no global early stop
+        assert len(solo.unit_results) == BUG_SPEC.units
+        assert len(fleet.unit_results) == BUG_SPEC.units
+
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            DistributedChecker(SPEC, workers=0)
+
+
+# ------------------------------------------------------- fault tolerance --
+class TestFaultTolerance:
+    def test_sigkilled_worker_costs_nothing_but_time(self, baseline):
+        fleet = DistributedChecker(
+            SPEC, workers=2, config=CHAOS_CONFIG,
+            chaos_kill_after={"w1": 50},  # SIGKILL mid-unit
+        ).run()
+        assert fingerprint(fleet) == fingerprint(baseline)
+        assert fleet.recovered_units >= 1
+        dead = {s.worker_id: s for s in fleet.worker_summaries}["w1"]
+        assert not dead.alive_at_end
+
+    def test_whole_fleet_dead_finishes_inline(self, baseline):
+        fleet = DistributedChecker(
+            SPEC, workers=1, config=CHAOS_CONFIG,
+            chaos_kill_after={"w0": 50},
+        ).run()
+        assert fingerprint(fleet) == fingerprint(baseline)
+        assert fleet.inline_units >= 1
+
+    def test_state_file_resumes_across_campaigns(self, tmp_path, baseline):
+        path = str(tmp_path / "dist-state.json")
+        first = DistributedChecker(SPEC, workers=2, state_file=path).run()
+        assert fingerprint(first) == fingerprint(baseline)
+        snapshot = load_checker_state(path)
+        assert snapshot.runs == 1
+        assert snapshot.worker_id == "coordinator"
+        assert len(snapshot.visited) == first.visited_states
+        second = DistributedChecker(SPEC, workers=2, state_file=path).run()
+        # the union is already known: the second campaign adds nothing
+        assert second.visited_states == first.visited_states
+        assert load_checker_state(path).runs == 2
+
+
+# ----------------------------------------------------- cooperative swarm --
+class _Grid(ExplorationTarget):
+    def __init__(self, limit=6):
+        self.x = 0
+        self.y = 0
+        self.limit = limit
+        self.clock = SimClock()
+
+    def actions(self):
+        return ["right", "up"]
+
+    def apply(self, action):
+        self.clock.charge(0.001, "op")
+        if action == "right":
+            self.x = min(self.limit, self.x + 1)
+        else:
+            self.y = min(self.limit, self.y + 1)
+
+    def checkpoint(self):
+        return (self.x, self.y)
+
+    def restore(self, token):
+        self.x, self.y = token
+
+    def abstract_state(self):
+        return f"{self.x},{self.y}"
+
+
+class TestCooperativeSwarm:
+    @staticmethod
+    def _factory(seed):
+        target = _Grid()
+        return target, target.clock
+
+    def test_members_share_one_table(self):
+        shared = VisitedStateTable()
+        swarm = SwarmVerifier(self._factory, members=3, max_depth=6,
+                              max_operations=60, shared_table=shared)
+        assert swarm.cooperative  # shared_table implies cooperative
+        result = swarm.run()
+        assert result.union_coverage == set(shared.export_seen())
+
+    def test_member_coverages_are_disjoint(self):
+        swarm = SwarmVerifier(self._factory, members=3, max_depth=6,
+                              max_operations=60, cooperative=True)
+        result = swarm.run()
+        for i, first in enumerate(result.members):
+            for second in result.members[i + 1:]:
+                assert not (first.coverage & second.coverage)
+
+    def test_classic_members_may_overlap(self):
+        swarm = SwarmVerifier(self._factory, members=3, max_depth=6,
+                              max_operations=60)
+        result = swarm.run()
+        total = sum(len(member.coverage) for member in result.members)
+        assert total > len(result.union_coverage)  # re-explored territory
+
+
+# ------------------------------------------------------------ reporting --
+class TestRunSummary:
+    def test_render_includes_duplicate_hit_ratio(self):
+        summary = RunSummary(operations=10, unique_states=7, sim_time=0.5,
+                             ops_per_second=20.0, stopped_reason="budget",
+                             duplicate_hits=3, duplicate_hit_ratio=0.3)
+        text = summary.render()
+        assert "operations : 10" in text
+        assert "dup hits   : 3 (30.0% of visits)" in text
+        assert "fsck" not in text
+
+    def test_from_result_reads_table_stats(self):
+        mcfs = SPEC.build_mcfs()
+        result = mcfs.run_random(max_operations=50, seed=1)
+        summary = RunSummary.from_result(result)
+        assert summary.operations == 50
+        assert summary.duplicate_hits == result.table_stats.duplicate_hits
+        assert 0.0 <= summary.duplicate_hit_ratio <= 1.0
+
+
+class TestMCFSWorkersOption:
+    def test_run_random_workers_matches_inline(self):
+        distributed = SPEC.build_mcfs().run_random(
+            max_operations=400, seed=1, max_depth=8, workers=2, units=4)
+        inline = DistributedChecker(SPEC, workers=1).run()
+        assert distributed.unique_states == inline.visited_states
+        assert distributed.operations == inline.total_operations
+        assert distributed.dist.discrepancy_signature() == \
+            inline.discrepancy_signature()
+
+    def test_workers_require_a_spec(self):
+        from repro.core.mcfs import MCFS
+
+        mcfs = MCFS(SimClock())
+        with pytest.raises(ValueError):
+            mcfs.run_random(max_operations=10, workers=2)
+
+
+# ------------------------------------------------------------------- cli --
+class TestDistCLI:
+    def test_check_workers_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "random", "--max-ops", "400", "--seed", "1",
+                     "--workers", "2", "--units", "4", "--unit-depth", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers    : 2" in out
+        assert "speedup" in out
+
+    def test_check_workers_rejects_dfs(self, capsys):
+        from repro.cli import main
+
+        code = main(["check", "--fs", "verifs1", "--fs", "verifs2",
+                     "--mode", "dfs", "--workers", "2"])
+        assert code == 2
+
+    def test_swarm_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(["swarm", "--fs", "verifs1", "--fs", "verifs2",
+                     "--workers", "2", "--units", "4", "--max-ops", "400",
+                     "--unit-depth", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "w0" in out and "w1" in out
+        assert "merged states" in out
+        assert "speedup" in out
