@@ -18,6 +18,12 @@ These rules flag the source-level hazards that silently break that:
   without ``sorted(...)``.  Set order varies with hash randomisation,
   so anything derived from such a loop (reports, hashes, allocation
   order) varies run to run.
+* ``raw-device-data`` -- direct access to a device's backing store
+  (``._data``, ``._chunks``).  Outside :mod:`repro.storage` everything
+  must go through ``read``/``write``/``snapshot_*`` so the
+  copy-on-write dirty tracking and I/O accounting stay truthful;
+  a raw poke would silently corrupt both.  (Warn severity: enforced
+  by ``repro lint --strict``.)
 
 A finding on a given line is suppressed by an inline pragma **with a
 justification**::
@@ -60,6 +66,10 @@ WALL_CLOCK_TIME_NAMES = {
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
     "perf_counter_ns", "process_time", "process_time_ns",
 }
+
+#: private backing-store attributes of the storage layer; touching them
+#: from anywhere else bypasses COW dirty tracking and I/O accounting
+RAW_DEVICE_ATTRS = {"_data", "_chunks"}
 
 PRAGMA_RE = re.compile(r"#\s*det-lint:\s*allow\[([a-z-]+)\]\s*(.*)")
 
@@ -166,6 +176,16 @@ class DeterminismVisitor(ast.NodeVisitor):
                           "builtin hash() is randomised by PYTHONHASHSEED; "
                           "use repro.util.hashing for stable hashes")
 
+        self.generic_visit(node)
+
+    # ----------------------------------------------------------- attributes --
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in RAW_DEVICE_ATTRS:
+            self._finding("raw-device-data", node.lineno,
+                          f".{node.attr} reaches into a device's backing "
+                          f"store; use read/write/snapshot_* so COW dirty "
+                          f"tracking and stats stay correct",
+                          severity="warn")
         self.generic_visit(node)
 
     # ---------------------------------------------------- scope/assignment --

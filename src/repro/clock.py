@@ -93,6 +93,14 @@ class Cost:
     IOCTL_CHECKPOINT = 35e-6
     IOCTL_RESTORE = 40e-6
 
+    # Copy-on-write chunk-table checkpoints: the grab itself is O(1)
+    # (freeze the table, bump refcounts -- the mmap/fork trick), so the
+    # fixed part is small; the per-byte part applies only to chunks
+    # dirtied since the parent checkpoint.  Kept just above the VeriFS
+    # ioctl costs so the in-process strategies keep their edge.
+    COW_SNAPSHOT_FIXED = 40e-6
+    COW_RESTORE_FIXED = 45e-6
+
     # The VFS-level checkpoint API of the paper's future work: copies
     # driver in-memory state without any mount churn; cheaper than a
     # remount cycle, dearer than VeriFS's in-process ioctls.

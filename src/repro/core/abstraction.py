@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.errors import FsError
 from repro.kernel.stat import DT_DIR, DT_LNK, S_IFMT
@@ -96,6 +96,43 @@ class EntryRecord:
         return tuple(attrs)
 
 
+def _build_record(
+    kernel, mountpoint: str, rel_path: str, attrs, options: AbstractionOptions
+) -> EntryRecord:
+    """Build one :class:`EntryRecord` from already-fetched lstat data.
+
+    Shared between the full walk, the subtree re-walk, and the record
+    refresh so every path produces byte-identical records.
+    """
+    abs_path = mountpoint + rel_path
+    if attrs.is_symlink:
+        target = kernel.readlink(abs_path)
+        content = (
+            hashlib.md5(target.encode("utf-8")).hexdigest()
+            if options.include_symlink_targets
+            else ""
+        )
+    elif attrs.is_dir:
+        content = ""
+    else:
+        content = _hash_file_content(kernel, abs_path, attrs.st_size)
+    xattr_digest = ""
+    if options.include_xattrs and not attrs.is_symlink:
+        xattr_digest = _hash_xattrs(kernel, abs_path)
+    return EntryRecord(
+        path=rel_path,
+        mode=attrs.st_mode,
+        size=attrs.st_size,
+        nlink=attrs.st_nlink,
+        uid=attrs.st_uid,
+        gid=attrs.st_gid,
+        content_md5=content,
+        xattr_md5=xattr_digest,
+        atime=attrs.st_atime,
+        mtime=attrs.st_mtime,
+    )
+
+
 def collect_entries(
     kernel,
     mountpoint: str,
@@ -118,39 +155,50 @@ def collect_entries(
             if dirent.name in options.exception_list:
                 continue
             rel_path = (rel_dir if rel_dir != "/" else "") + "/" + dirent.name
-            abs_path = mountpoint + rel_path
-            attrs = kernel.lstat(abs_path)
-            if attrs.is_symlink:
-                target = kernel.readlink(abs_path)
-                content = (
-                    hashlib.md5(target.encode("utf-8")).hexdigest()
-                    if options.include_symlink_targets
-                    else ""
-                )
-            elif attrs.is_dir:
-                content = ""
+            attrs = kernel.lstat(mountpoint + rel_path)
+            if attrs.is_dir:
                 stack.append(rel_path)
-            else:
-                content = _hash_file_content(kernel, abs_path, attrs.st_size)
-            xattr_digest = ""
-            if options.include_xattrs and not attrs.is_symlink:
-                xattr_digest = _hash_xattrs(kernel, abs_path)
             records.append(
-                EntryRecord(
-                    path=rel_path,
-                    mode=attrs.st_mode,
-                    size=attrs.st_size,
-                    nlink=attrs.st_nlink,
-                    uid=attrs.st_uid,
-                    gid=attrs.st_gid,
-                    content_md5=content,
-                    xattr_md5=xattr_digest,
-                    atime=attrs.st_atime,
-                    mtime=attrs.st_mtime,
-                )
+                _build_record(kernel, mountpoint, rel_path, attrs, options)
             )
     if options.sort_entries:
         records.sort(key=lambda record: record.path)
+    return records
+
+
+def collect_subtree(
+    kernel, mountpoint: str, rel_root: str, options: AbstractionOptions
+) -> List[EntryRecord]:
+    """Collect records for ``rel_root`` and everything below it.
+
+    Returns an empty list if the path no longer exists (or an ancestor
+    stopped being a directory) -- the incremental walker treats that as
+    "the subtree is gone".
+    """
+    try:
+        attrs = kernel.lstat(mountpoint + rel_root)
+    except FsError as error:
+        from repro.errors import ENOENT, ENOTDIR
+
+        if error.code in (ENOENT, ENOTDIR):
+            return []
+        raise
+    records = [_build_record(kernel, mountpoint, rel_root, attrs, options)]
+    if not attrs.is_dir:
+        return records
+    stack: List[str] = [rel_root]
+    while stack:
+        rel_dir = stack.pop()
+        for dirent in kernel.getdents(mountpoint + rel_dir):
+            if dirent.name in options.exception_list:
+                continue
+            rel_path = rel_dir + "/" + dirent.name
+            child_attrs = kernel.lstat(mountpoint + rel_path)
+            if child_attrs.is_dir:
+                stack.append(rel_path)
+            records.append(
+                _build_record(kernel, mountpoint, rel_path, child_attrs, options)
+            )
     return records
 
 
@@ -223,3 +271,232 @@ def abstract_state(
 ) -> str:
     """Algorithm 1: the 128-bit abstract-state hash of one file system."""
     return hash_entries(collect_entries(kernel, mountpoint, options), options)
+
+
+# --------------------------------------------------------------------------
+# Incremental abstraction: a per-path record cache driven by the mount's
+# dirty-path tracking, so repeated walks re-hash only what changed.
+# --------------------------------------------------------------------------
+
+def cacheable_options(options: AbstractionOptions) -> bool:
+    """Whether the incremental cache can reproduce a full walk bit-for-bit.
+
+    * ``sort_entries=False`` emits records in raw DFS discovery order,
+      which a merge of cached and fresh records cannot reproduce.
+    * ``track_timestamps=True`` hashes atime/mtime; full walks have read
+      side effects (atime) and cached records hold stale times, so the
+      §3.3 ablation must keep using full walks.
+    """
+    return options.sort_entries and not options.track_timestamps
+
+
+@dataclass(frozen=True)
+class AbstractionToken:
+    """Checkpoint of an :class:`EntryCache` plus the mount's dirty state.
+
+    Captured alongside a checkpoint strategy's token and reinstated on
+    restore, so an exact rollback also rolls the incremental cache back
+    instead of degrading to a full re-walk.
+    """
+
+    options: AbstractionOptions
+    records: Optional[Dict[str, EntryRecord]]
+    generation: Optional[int]
+    fully_dirty: bool
+    dirty_paths: FrozenSet[str]
+    dirty_records: FrozenSet[str]
+    dirty_parents: FrozenSet[str]
+    multilink_inos: FrozenSet[int]
+    change_generation: int
+
+
+class EntryCache:
+    """Per-path :class:`EntryRecord` cache combined Merkle-style.
+
+    The cache holds the records of the last walk keyed by path.  On
+    refresh it consumes the mount's dirty sets at three granularities --
+    entry-dirty subtree re-walks, parent-dirty membership reconciles,
+    record-dirty re-stats -- and produces the same sorted record list a
+    full :func:`collect_entries` walk would, feeding the same
+    :func:`hash_entries`, so the final hash is bit-identical.
+    """
+
+    def __init__(self, options: AbstractionOptions):
+        self.options = options
+        self.records: Optional[Dict[str, EntryRecord]] = None
+        self.generation: Optional[int] = None
+        self._sorted: List[EntryRecord] = []
+
+    # -- the walk -----------------------------------------------------------
+    def refresh(self, kernel, mountpoint: str, mount) -> List[EntryRecord]:
+        """Return up-to-date records, re-walking only dirty regions."""
+        if (
+            self.records is not None
+            and not mount.fully_dirty
+            and self.generation == mount.change_generation
+        ):
+            return list(self._sorted)  # nothing changed: zero syscalls
+        if self.records is None or mount.fully_dirty:
+            self.records = {
+                record.path: record
+                for record in collect_entries(kernel, mountpoint, self.options)
+            }
+        else:
+            self._apply_dirty(kernel, mountpoint, mount)
+        mount.fully_dirty = False
+        mount.dirty_paths.clear()
+        mount.dirty_records.clear()
+        mount.dirty_parents.clear()
+        self.generation = mount.change_generation
+        self._sorted = sorted(self.records.values(), key=lambda r: r.path)
+        return list(self._sorted)
+
+    def _apply_dirty(self, kernel, mountpoint: str, mount) -> None:
+        from repro.errors import ENOENT, ENOTDIR
+
+        records = self.records
+        options = self.options
+        rewalked: List[str] = []  # subtree roots re-collected this refresh
+
+        def covered(path: str) -> bool:
+            return any(
+                path == root or path.startswith(root + "/") for root in rewalked
+            )
+
+        def evict(path: str) -> None:
+            for key in [
+                k for k in records if k == path or k.startswith(path + "/")
+            ]:
+                del records[key]
+
+        def excepted(path: str) -> bool:
+            return any(
+                part in options.exception_list
+                for part in path.split("/")
+                if part
+            )
+
+        def rewalk(path: str) -> None:
+            evict(path)
+            for record in collect_subtree(kernel, mountpoint, path, options):
+                records[record.path] = record
+            rewalked.append(path)
+
+        # 1. entry-dirty: content (and possibly the whole subtree) changed.
+        #    Ancestors sort first, so covered() suppresses nested re-walks.
+        for path in sorted(mount.dirty_paths):
+            if excepted(path) or covered(path):
+                continue
+            rewalk(path)
+
+        # 2. parent-dirty: directory membership changed; reconcile the
+        #    entry list and refresh the directory's own record, keeping
+        #    every untouched child subtree cached.
+        for rel_dir in sorted(mount.dirty_parents):
+            if excepted(rel_dir) or covered(rel_dir):
+                continue
+            abs_dir = mountpoint if rel_dir == "/" else mountpoint + rel_dir
+            try:
+                attrs = kernel.lstat(abs_dir)
+            except FsError as error:
+                if error.code in (ENOENT, ENOTDIR):
+                    evict(rel_dir)  # the directory itself is gone
+                    continue
+                raise
+            if not attrs.is_dir:
+                rewalk(rel_dir)  # replaced by a non-directory
+                continue
+            if rel_dir != "/" and rel_dir not in records:
+                rewalk(rel_dir)  # never cached: collect it whole
+                continue
+            prefix = "" if rel_dir == "/" else rel_dir
+            live_names = {
+                dirent.name
+                for dirent in kernel.getdents(abs_dir)
+                if dirent.name not in options.exception_list
+            }
+            cached_names = {
+                key[len(prefix) + 1 :]
+                for key in records
+                if key.startswith(prefix + "/")
+                and "/" not in key[len(prefix) + 1 :]
+            }
+            for name in sorted(live_names - cached_names):
+                rewalk(prefix + "/" + name)
+            for name in sorted(cached_names - live_names):
+                evict(prefix + "/" + name)
+            if rel_dir != "/":
+                # membership changes alter the dir's own nlink/size/times
+                # but never its content or xattrs
+                cached = records[rel_dir]
+                records[rel_dir] = replace(
+                    cached,
+                    mode=attrs.st_mode,
+                    size=attrs.st_size,
+                    nlink=attrs.st_nlink,
+                    uid=attrs.st_uid,
+                    gid=attrs.st_gid,
+                    atime=attrs.st_atime,
+                    mtime=attrs.st_mtime,
+                )
+
+        # 3. record-dirty: only the entry's own attributes (and possibly
+        #    xattrs) changed; content and children stay cached.
+        for path in sorted(mount.dirty_records):
+            if excepted(path) or covered(path):
+                continue
+            cached = records.get(path)
+            if cached is None:
+                continue  # evicted above; if it still exists it was re-walked
+            try:
+                attrs = kernel.lstat(mountpoint + path)
+            except FsError as error:
+                if error.code in (ENOENT, ENOTDIR):
+                    evict(path)
+                    continue
+                raise
+            xattr_digest = ""
+            if options.include_xattrs and not attrs.is_symlink:
+                xattr_digest = _hash_xattrs(kernel, mountpoint + path)
+            records[path] = replace(
+                cached,
+                mode=attrs.st_mode,
+                size=attrs.st_size,
+                nlink=attrs.st_nlink,
+                uid=attrs.st_uid,
+                gid=attrs.st_gid,
+                xattr_md5=xattr_digest,
+                atime=attrs.st_atime,
+                mtime=attrs.st_mtime,
+            )
+
+    # -- checkpoint plumbing -------------------------------------------------
+    def snapshot(self, mount) -> AbstractionToken:
+        """Capture the cache plus the mount's pending dirty state."""
+        return AbstractionToken(
+            options=self.options,
+            records=None if self.records is None else dict(self.records),
+            generation=self.generation,
+            fully_dirty=mount.fully_dirty,
+            dirty_paths=frozenset(mount.dirty_paths),
+            dirty_records=frozenset(mount.dirty_records),
+            dirty_parents=frozenset(mount.dirty_parents),
+            multilink_inos=frozenset(mount.multilink_inos),
+            change_generation=mount.change_generation,
+        )
+
+    def restore(self, token: AbstractionToken, mount) -> None:
+        """Reinstate a captured cache + dirty state after an exact rollback."""
+        self.records = None if token.records is None else dict(token.records)
+        self.generation = token.generation
+        self._sorted = (
+            sorted(self.records.values(), key=lambda r: r.path)
+            if self.records is not None
+            else []
+        )
+        mount.fully_dirty = token.fully_dirty
+        mount.dirty_paths = set(token.dirty_paths)
+        mount.dirty_records = set(token.dirty_records)
+        mount.dirty_parents = set(token.dirty_parents)
+        mount.multilink_inos = set(token.multilink_inos)
+        mount.change_generation = token.change_generation

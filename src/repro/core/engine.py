@@ -212,10 +212,19 @@ class MCFSTarget(ExplorationTarget):
         self.engine.run_operation(action)
 
     def checkpoint(self) -> Tuple[Dict[str, Any], int]:
-        tokens = {
-            fut.label: self.engine.strategy_for(fut).checkpoint(fut)
-            for fut in self.engine.futs
-        }
+        tokens: Dict[str, Any] = {}
+        for fut in self.engine.futs:
+            strategy = self.engine.strategy_for(fut)
+            state_token = strategy.checkpoint(fut)
+            # capture the incremental abstraction cache alongside the
+            # state -- but only when the strategy's restore is exact;
+            # otherwise the rollback must distrust the cache and re-walk
+            abstraction_token = (
+                fut.snapshot_abstraction()
+                if strategy.restores_exactly(fut)
+                else None
+            )
+            tokens[fut.label] = (state_token, abstraction_token)
         if self.engine.memory_model is not None:
             self.engine.memory_model.touch_state()
         return tokens, len(self.engine.operation_log)
@@ -223,7 +232,11 @@ class MCFSTarget(ExplorationTarget):
     def restore(self, token: Tuple[Dict[str, Any], int]) -> None:
         tokens, log_length = token
         for fut in self.engine.futs:
-            self.engine.strategy_for(fut).restore(fut, tokens[fut.label])
+            state_token, abstraction_token = tokens[fut.label]
+            self.engine.strategy_for(fut).restore(fut, state_token)
+            # strategy restores mark the mount fully dirty; reinstating
+            # the cache must come after (None forces a full re-walk)
+            fut.restore_abstraction(abstraction_token)
         if self.engine.memory_model is not None:
             self.engine.memory_model.touch_state()
         del self.engine.operation_log[log_length:]

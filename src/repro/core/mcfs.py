@@ -64,6 +64,11 @@ class MCFSOptions:
     fsck_every: Optional[int] = None
     #: worker-pool width for the fsck oracle's image checks
     fsck_max_workers: Optional[int] = None
+    #: pre-refactor checkpoint behaviour: full byte-image snapshots
+    #: charged per *used* byte, and no incremental abstraction hashing.
+    #: This is the paper's measured system; the Figure 2 reproduction and
+    #: the COW benchmark's baseline run in this mode.
+    legacy_snapshots: bool = False
 
 
 @dataclass
@@ -78,10 +83,26 @@ class MCFSResult:
     #: visited-table counters (inserts/duplicate hits) for the run, so
     #: reports can surface the table's duplicate-hit ratio
     table_stats: Optional[TableStats] = None
+    #: bytes the devices' snapshot paths actually copied (dirty chunks
+    #: for COW grabs, whole images in legacy mode)
+    bytes_snapshotted: int = 0
+    #: bytes rewritten by restores (diverged chunks only, for COW)
+    bytes_restored: int = 0
+    #: what a full-copy checkpointer would have copied: one whole device
+    #: image per snapshot taken
+    logical_snapshot_bytes: int = 0
 
     @property
     def found_discrepancy(self) -> bool:
         return self.report is not None
+
+    @property
+    def snapshot_dedup_ratio(self) -> float:
+        """Logical-to-physical snapshot ratio (>= 1 means chunk sharing
+        saved copies; 0.0 when no snapshot traffic was recorded)."""
+        if self.bytes_snapshotted <= 0:
+            return 0.0
+        return self.logical_snapshot_bytes / self.bytes_snapshotted
 
     @property
     def ops_per_second(self) -> float:
@@ -133,8 +154,28 @@ class MCFS:
         return self.add_filesystem(fut, strategy or IoctlStrategy())
 
     # ---------------------------------------------------------------- setup --
+    def _incremental_allowed(self) -> bool:
+        """Incremental abstraction hashing is sound only when neither the
+        integrity nor the matching abstraction needs what the dirty-path
+        tracking cannot see (timestamp churn, unsorted walks)."""
+        from repro.core.abstraction import cacheable_options
+
+        if self.options.legacy_snapshots:
+            return False
+        if not cacheable_options(self.options.abstraction):
+            return False
+        matching = self.options.matching_abstraction
+        return matching is None or cacheable_options(matching)
+
+    def _configure_futs(self) -> None:
+        incremental = self._incremental_allowed()
+        for fut in self.futs:
+            fut.legacy_snapshots = self.options.legacy_snapshots
+            fut.incremental_abstraction = incremental
+
     def engine(self) -> SyscallEngine:
         if self._engine is None:
+            self._configure_futs()
             catalog = OperationCatalog(
                 pool=self.options.pool,
                 include_extended=self.options.include_extended_operations,
@@ -323,6 +364,11 @@ class MCFS:
             operations=dist.total_operations,
             unique_states=dist.visited_states,
             table_stats=dist.table.stats,
+            bytes_snapshotted=dist.bytes_snapshotted,
+            bytes_restored=dist.bytes_restored,
+            logical_snapshot_bytes=sum(
+                unit.logical_snapshot_bytes for unit in dist.unit_results
+            ),
         )
         result.dist = dist  # full fleet detail for callers that want it
         return result
@@ -332,6 +378,7 @@ class MCFS:
         report: Optional[DiscrepancyReport] = None
         if isinstance(stats.violation, DiscrepancyError):
             report = stats.violation.report
+        devices = [fut.device for fut in self.futs if fut.device is not None]
         return MCFSResult(
             stats=stats,
             report=report,
@@ -339,4 +386,9 @@ class MCFS:
             operations=stats.operations,
             unique_states=stats.unique_states,
             table_stats=table_stats,
+            bytes_snapshotted=sum(d.stats.bytes_snapshotted for d in devices),
+            bytes_restored=sum(d.stats.bytes_restored for d in devices),
+            logical_snapshot_bytes=sum(
+                fut.logical_snapshot_bytes for fut in self.futs
+            ),
         )

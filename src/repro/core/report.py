@@ -204,6 +204,12 @@ class RunSummary:
     duplicate_hit_ratio: float = 0.0
     fsck_checks: int = 0
     show_fsck: bool = False
+    #: snapshot traffic: bytes the checkpoint path actually copied vs.
+    #: rewrote on restore, and the logical-to-physical dedup ratio the
+    #: copy-on-write chunk tables achieved (0.0 = no snapshot traffic)
+    bytes_snapshotted: int = 0
+    bytes_restored: int = 0
+    snapshot_dedup_ratio: float = 0.0
 
     @classmethod
     def from_result(cls, result, show_fsck: bool = False) -> "RunSummary":
@@ -222,6 +228,9 @@ class RunSummary:
                                  if table_stats is not None else 0.0),
             fsck_checks=result.stats.fsck_checks,
             show_fsck=show_fsck,
+            bytes_snapshotted=getattr(result, "bytes_snapshotted", 0),
+            bytes_restored=getattr(result, "bytes_restored", 0),
+            snapshot_dedup_ratio=getattr(result, "snapshot_dedup_ratio", 0.0),
         )
 
     def render(self) -> str:
@@ -234,6 +243,12 @@ class RunSummary:
             f"({self.ops_per_second:.1f} ops/s)",
             f"stopped    : {self.stopped_reason}",
         ]
+        if self.bytes_snapshotted or self.bytes_restored:
+            lines.append(
+                f"snapshots  : {self.bytes_snapshotted} B copied / "
+                f"{self.bytes_restored} B restored "
+                f"(dedup {self.snapshot_dedup_ratio:.1f}x)"
+            )
         if self.show_fsck:
             lines.append(f"fsck sweeps: {self.fsck_checks}")
         return "\n".join(lines)

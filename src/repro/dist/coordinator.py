@@ -139,6 +139,25 @@ class DistResult:
         return sum(unit.sim_time for unit in self.unit_results)
 
     @property
+    def bytes_snapshotted(self) -> int:
+        """Bytes the fleet's checkpoint paths physically copied."""
+        return sum(unit.bytes_snapshotted for unit in self.unit_results)
+
+    @property
+    def bytes_restored(self) -> int:
+        """Bytes the fleet's restores physically rewrote."""
+        return sum(unit.bytes_restored for unit in self.unit_results)
+
+    @property
+    def snapshot_dedup_ratio(self) -> float:
+        """Fleet-wide logical-to-physical snapshot ratio (0.0 = none)."""
+        physical = self.bytes_snapshotted
+        if physical <= 0:
+            return 0.0
+        logical = sum(unit.logical_snapshot_bytes for unit in self.unit_results)
+        return logical / physical
+
+    @property
     def modeled_parallel_time(self) -> float:
         """Simulated wall-clock of the seed partition on ``workers`` lanes.
 

@@ -94,6 +94,12 @@ class UnitResult:
     shipped_hashes: int = 0
     suppressed_hashes: int = 0
     probable_cross_duplicates: int = 0
+    #: snapshot traffic (defaulted so v1 result documents still load):
+    #: bytes the COW checkpoint path physically copied / rewrote, and
+    #: the full-copy volume it stood in for
+    bytes_snapshotted: int = 0
+    bytes_restored: int = 0
+    logical_snapshot_bytes: int = 0
 
 
 @dataclass(frozen=True)

@@ -179,6 +179,9 @@ def run_unit(spec: CheckSpec, unit: WorkUnit, worker_id: str,
         shipped_hashes=table.shipped_hashes,
         suppressed_hashes=table.suppressed_hashes,
         probable_cross_duplicates=table.probable_cross_duplicates,
+        bytes_snapshotted=result.bytes_snapshotted,
+        bytes_restored=result.bytes_restored,
+        logical_snapshot_bytes=result.logical_snapshot_bytes,
     )
 
 

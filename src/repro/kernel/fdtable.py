@@ -37,6 +37,10 @@ class OpenFile:
     flags: int
     offset: int = 0
     path: str = ""  # the path used at open time (for reports only)
+    #: fully-resolved fs-relative path, maintained by the kernel so
+    #: fd-based writes can feed the mount's dirty-path tracking; renames
+    #: of an ancestor rewrite it
+    dirty_rel: str = ""
 
     @property
     def readable(self) -> bool:

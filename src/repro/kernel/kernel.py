@@ -131,6 +131,9 @@ class Kernel:
         self.umount(mountpoint)
         new_mount = self.mount(fstype, device, mountpoint)
         new_mount.generation = generation + 1
+        # a clean remount does not change the observable tree, so the
+        # dirty-path tracking of the old mount stays valid
+        new_mount.carry_dirty_from(mount)
         return new_mount
 
     def mounts(self) -> List[Mount]:
@@ -152,8 +155,17 @@ class Kernel:
         self.dcache.invalidate_inode(mount_id, ino)
 
     def invalidate_mount_caches(self, mount_id: int) -> None:
-        """Drop every cached dentry of a mount (full invalidation)."""
+        """Drop every cached dentry of a mount (full invalidation).
+
+        Callers invalidate because the fs state changed underneath the
+        kernel (restores, rollbacks), so the dirty-path tracking cannot
+        be trusted either: the next abstraction walk must be full.
+        """
         self.dcache.invalidate_mount(mount_id)
+        for mount in self._mounts.values():
+            if mount.mount_id == mount_id:
+                mount.mark_fully_dirty()
+                break
 
     # ------------------------------------------------------------ path walking --
     def _find_mount(self, path: str) -> Tuple[Mount, str]:
@@ -189,14 +201,26 @@ class Kernel:
         self, path: str, follow_last_symlink: bool = True, _depth: int = 0
     ) -> Tuple[Mount, int]:
         """Resolve ``path`` to ``(mount, inode)``, following symlinks."""
+        mount, ino, _rel = self._resolve(path, follow_last_symlink, _depth)
+        return mount, ino
+
+    def _resolve(
+        self, path: str, follow_last_symlink: bool = True, _depth: int = 0
+    ) -> Tuple[Mount, int, str]:
+        """Resolve ``path`` to ``(mount, inode, fs-relative resolved path)``.
+
+        The returned relative path has every symlink expanded, so it is
+        the canonical name the dirty-path tracking indexes by.
+        """
         if _depth > MAX_SYMLINK_DEPTH:
             raise FsError(ELOOP, path)
         mount, relative = self._find_mount(path)
         ino = mount.fs.ROOT_INO
         if relative == "/":
-            return mount, ino
+            return mount, ino, "/"
         components = relative[1:].split("/")
         walked = mount.mountpoint if mount.mountpoint != "/" else ""
+        rel = ""
         for index, name in enumerate(components):
             attrs = mount.fs.getattr(ino)
             if not attrs.is_dir:
@@ -212,21 +236,44 @@ class Kernel:
                     base = (walked or "") + "/" + target
                 rest = "/".join(components[index + 1 :])
                 full = base + ("/" + rest if rest else "")
-                return self._walk(full, follow_last_symlink, _depth + 1)
+                return self._resolve(full, follow_last_symlink, _depth + 1)
             walked += "/" + name
+            rel += "/" + name
             ino = child
-        return mount, ino
+        return mount, ino, rel
 
-    def _walk_parent(self, path: str) -> Tuple[Mount, int, str]:
-        """Resolve the parent directory of ``path``; return (mount, dir_ino, name)."""
+    def _walk_parent(self, path: str) -> Tuple[Mount, int, str, str]:
+        """Resolve the parent directory of ``path``.
+
+        Returns ``(mount, dir_ino, name, parent's fs-relative path)``.
+        """
         parent, name = split_path(path)
         if not name:
             raise FsError(EINVAL, f"cannot take parent of {path!r}")
-        mount, dir_ino = self._walk(parent)
+        mount, dir_ino, rel_dir = self._resolve(parent)
         attrs = mount.fs.getattr(dir_ino)
         if not attrs.is_dir:
             raise FsError(ENOTDIR, parent)
-        return mount, dir_ino, name
+        return mount, dir_ino, name, rel_dir
+
+    @staticmethod
+    def _child_rel(rel_dir: str, name: str) -> str:
+        return (rel_dir if rel_dir != "/" else "") + "/" + name
+
+    def _mark_inode_entry(self, mount: Mount, rel: str, ino: int) -> None:
+        """Content under the name ``rel`` (inode ``ino``) changed."""
+        if ino in mount.multilink_inos:
+            # the same content is visible under other names we don't know
+            mount.mark_fully_dirty()
+        else:
+            mount.mark_dirty_entry(rel)
+
+    def _mark_inode_record(self, mount: Mount, rel: str, ino: int) -> None:
+        """Attributes of the inode named ``rel`` changed (not content)."""
+        if ino in mount.multilink_inos:
+            mount.mark_fully_dirty()
+        else:
+            mount.mark_dirty_record(rel)
 
     def _sys(self) -> None:
         self.syscall_count += 1
@@ -240,7 +287,8 @@ class Kernel:
         self._sys()
         path = normalize_path(path)
         if flags & O_CREAT:
-            mount, dir_ino, name = self._walk_parent(path)
+            mount, dir_ino, name, rel_dir = self._walk_parent(path)
+            rel = self._child_rel(rel_dir, name)
             existing: Optional[int]
             try:
                 existing = self._lookup_child(mount, dir_ino, name)
@@ -259,8 +307,9 @@ class Kernel:
                 ino = mount.fs.create(dir_ino, name, mode, self.uid, self.gid)
                 self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
                 self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+                mount.mark_dirty_parent(rel_dir)
         else:
-            mount, ino = self._walk(path)
+            mount, ino, rel = self._resolve(path)
             attrs = mount.fs.getattr(ino)
             if attrs.is_dir:
                 if (flags & O_ACCMODE) != O_RDONLY:
@@ -269,7 +318,9 @@ class Kernel:
                 raise FsError(ENOTDIR, path)
         if flags & O_TRUNC and (flags & O_ACCMODE) != O_RDONLY:
             mount.fs.truncate(ino, 0)
+            self._mark_inode_entry(mount, rel, ino)
         entry = self.fdtable.allocate(mount.mount_id, ino, flags, path)
+        entry.dirty_rel = rel
         return entry.fd
 
     def close(self, fd: int) -> None:
@@ -302,6 +353,9 @@ class Kernel:
             entry.offset = mount.fs.getattr(entry.ino).st_size
         written = mount.fs.write(entry.ino, entry.offset, data)
         entry.offset += written
+        # even zero-byte writes can change visible state in some drivers
+        # (e.g. a size-extending quirk), so mark unconditionally
+        self._mark_fd_write(mount, entry)
         return written
 
     def pread(self, fd: int, length: int, offset: int) -> bytes:
@@ -316,7 +370,17 @@ class Kernel:
         entry = self.fdtable.get(fd)
         if not entry.writable:
             raise FsError(EACCES, f"fd {fd} not open for writing")
-        return self._fd_mount(entry).fs.write(entry.ino, offset, data)
+        mount = self._fd_mount(entry)
+        written = mount.fs.write(entry.ino, offset, data)
+        self._mark_fd_write(mount, entry)
+        return written
+
+    def _mark_fd_write(self, mount: Mount, entry: OpenFile) -> None:
+        if entry.dirty_rel:
+            self._mark_inode_entry(mount, entry.dirty_rel, entry.ino)
+        else:
+            # fd predates tracking (or its name is unknown): be safe
+            mount.mark_fully_dirty()
 
     def lseek(self, fd: int, offset: int, whence: int = 0) -> int:
         self._sys()
@@ -337,7 +401,7 @@ class Kernel:
 
     def mkdir(self, path: str, mode: int = 0o755) -> None:
         self._sys()
-        mount, dir_ino, name = self._walk_parent(path)
+        mount, dir_ino, name, rel_dir = self._walk_parent(path)
         cached = self.dcache.get(mount.mount_id, dir_ino, name)
         if cached is not None and cached is not NEGATIVE:
             # A cached positive dentry answers without consulting the fs --
@@ -346,25 +410,36 @@ class Kernel:
         ino = mount.fs.mkdir(dir_ino, name, mode, self.uid, self.gid)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
         self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+        mount.mark_dirty_parent(rel_dir)
 
     def rmdir(self, path: str) -> None:
         self._sys()
-        mount, dir_ino, name = self._walk_parent(path)
+        mount, dir_ino, name, rel_dir = self._walk_parent(path)
         mount.fs.rmdir(dir_ino, name)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
         self.dcache.insert_negative(mount.mount_id, dir_ino, name)
+        mount.mark_dirty_parent(rel_dir)
 
     def unlink(self, path: str) -> None:
         self._sys()
-        mount, dir_ino, name = self._walk_parent(path)
+        mount, dir_ino, name, rel_dir = self._walk_parent(path)
+        try:
+            target_ino: Optional[int] = self._lookup_child(mount, dir_ino, name)
+        except FsError:
+            target_ino = None
         mount.fs.unlink(dir_ino, name)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
         self.dcache.insert_negative(mount.mount_id, dir_ino, name)
+        if target_ino is not None and target_ino in mount.multilink_inos:
+            # the surviving links' nlink just changed, names unknown
+            mount.mark_fully_dirty()
+        else:
+            mount.mark_dirty_parent(rel_dir)
 
     def rename(self, old_path: str, new_path: str) -> None:
         self._sys()
-        old_mount, old_dir, old_name = self._walk_parent(old_path)
-        new_mount, new_dir, new_name = self._walk_parent(new_path)
+        old_mount, old_dir, old_name, old_rel_dir = self._walk_parent(old_path)
+        new_mount, new_dir, new_name, new_rel_dir = self._walk_parent(new_path)
         if old_mount.mount_id != new_mount.mount_id:
             raise FsError(EXDEV, f"{old_path} -> {new_path}")
         # POSIX: renaming onto another hard link of the same inode (or onto
@@ -382,21 +457,48 @@ class Kernel:
         self.dcache.invalidate_entry(old_mount.mount_id, old_dir, old_name)
         self.dcache.invalidate_entry(new_mount.mount_id, new_dir, new_name)
         self.dcache.insert_negative(old_mount.mount_id, old_dir, old_name)
+        old_rel = self._child_rel(old_rel_dir, old_name)
+        new_rel = self._child_rel(new_rel_dir, new_name)
+        if target_ino is not None and target_ino in old_mount.multilink_inos:
+            # the overwritten target's other links changed nlink
+            old_mount.mark_fully_dirty()
+        else:
+            old_mount.mark_dirty_parent(old_rel_dir)
+            old_mount.mark_dirty_parent(new_rel_dir)
+            # the whole moved subtree got new path names (and a replaced
+            # target's old content is gone): re-walk it
+            old_mount.mark_dirty_entry(new_rel)
+        # open descriptors into the moved subtree follow the rename
+        for fd_entry in self.fdtable.open_fds_for_mount(old_mount.mount_id):
+            if fd_entry.dirty_rel == old_rel or \
+                    fd_entry.dirty_rel.startswith(old_rel + "/"):
+                fd_entry.dirty_rel = new_rel + fd_entry.dirty_rel[len(old_rel):]
 
     def link(self, existing_path: str, new_path: str) -> None:
         self._sys()
-        mount, ino = self._walk(existing_path, follow_last_symlink=False)
-        new_mount, dir_ino, name = self._walk_parent(new_path)
+        mount, ino, source_rel = self._resolve(
+            existing_path, follow_last_symlink=False
+        )
+        new_mount, dir_ino, name, rel_dir = self._walk_parent(new_path)
         if mount.mount_id != new_mount.mount_id:
             raise FsError(EXDEV, f"{existing_path} -> {new_path}")
         mount.fs.link(ino, dir_ino, name)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        if ino in mount.multilink_inos:
+            # a third (or later) link: the other names are unknown
+            mount.mark_fully_dirty()
+        else:
+            # first extra link: the inode's only other name is source_rel
+            mount.multilink_inos.add(ino)
+            mount.mark_dirty_record(source_rel)
+            mount.mark_dirty_parent(rel_dir)
 
     def symlink(self, target: str, link_path: str) -> None:
         self._sys()
-        mount, dir_ino, name = self._walk_parent(link_path)
+        mount, dir_ino, name, rel_dir = self._walk_parent(link_path)
         mount.fs.symlink(dir_ino, name, target, self.uid, self.gid)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        mount.mark_dirty_parent(rel_dir)
 
     def readlink(self, path: str) -> str:
         self._sys()
@@ -407,11 +509,12 @@ class Kernel:
         self._sys()
         if size < 0:
             raise FsError(EINVAL, f"negative truncate size {size}")
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         attrs = mount.fs.getattr(ino)
         if attrs.is_dir:
             raise FsError(EISDIR, path)
         mount.fs.truncate(ino, size)
+        self._mark_inode_entry(mount, rel, ino)
 
     def ftruncate(self, fd: int, size: int) -> None:
         self._sys()
@@ -420,7 +523,9 @@ class Kernel:
         entry = self.fdtable.get(fd)
         if not entry.writable:
             raise FsError(EACCES, f"fd {fd} not open for writing")
-        self._fd_mount(entry).fs.truncate(entry.ino, size)
+        mount = self._fd_mount(entry)
+        mount.fs.truncate(entry.ino, size)
+        self._mark_fd_write(mount, entry)
 
     def stat(self, path: str) -> StatResult:
         self._sys()
@@ -447,18 +552,21 @@ class Kernel:
 
     def chmod(self, path: str, mode: int) -> None:
         self._sys()
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         mount.fs.setattr(ino, mode=mode & 0o7777)
+        self._mark_inode_record(mount, rel, ino)
 
     def chown(self, path: str, uid: int, gid: int) -> None:
         self._sys()
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         mount.fs.setattr(ino, uid=uid if uid >= 0 else None, gid=gid if gid >= 0 else None)
+        self._mark_inode_record(mount, rel, ino)
 
     def utimens(self, path: str, atime: Optional[float], mtime: Optional[float]) -> None:
         self._sys()
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         mount.fs.setattr(ino, atime=atime, mtime=mtime)
+        self._mark_inode_record(mount, rel, ino)
 
     def access(self, path: str, amode: int = F_OK) -> None:
         """access(2): raise EACCES/ENOENT rather than returning -1."""
@@ -505,8 +613,9 @@ class Kernel:
     # xattrs ----------------------------------------------------------------
     def setxattr(self, path: str, key: str, value: bytes, flags: int = 0) -> None:
         self._sys()
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         mount.fs.setxattr(ino, key, value, flags)
+        self._mark_inode_record(mount, rel, ino)
 
     def getxattr(self, path: str, key: str) -> bytes:
         self._sys()
@@ -520,5 +629,6 @@ class Kernel:
 
     def removexattr(self, path: str, key: str) -> None:
         self._sys()
-        mount, ino = self._walk(path)
+        mount, ino, rel = self._resolve(path)
         mount.fs.removexattr(ino, key)
+        self._mark_inode_record(mount, rel, ino)

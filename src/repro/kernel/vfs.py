@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Set, Tuple
 
 from repro.errors import ENOTSUP, ENOTTY, FsError
 from repro.kernel.stat import Dirent, StatResult, StatVFS
@@ -45,7 +45,33 @@ class FileSystemType(ABC):
 
 @dataclass
 class Mount:
-    """One entry in the kernel's mount table."""
+    """One entry in the kernel's mount table.
+
+    Beyond the mount identity, the kernel keeps *dirty-path tracking*
+    here: every mutating syscall records which fs-relative paths it
+    touched since the abstraction function's last walk, so the walk can
+    re-hash only what changed (the incremental-abstraction hot path).
+    Three granularities, coarsest fallback first:
+
+    * ``fully_dirty`` -- nothing can be trusted; the next walk is full.
+      New mounts start fully dirty; restores and hard-link nlink fan-out
+      (where the other link names are unknown) fall back to it.
+    * ``dirty_paths`` -- the entry *and everything below it* changed
+      (writes, truncates, renamed-over targets): evict and re-walk the
+      subtree.
+    * ``dirty_records`` -- only the entry's own attributes changed
+      (chmod/chown/utimens/xattrs): re-stat without touching content or
+      children.
+    * ``dirty_parents`` -- a directory's *membership* changed (create,
+      unlink, mkdir, rmdir, rename): reconcile its entry list and
+      refresh its own record, leaving untouched children cached.
+
+    ``change_generation`` bumps on every mark, so a walker can skip all
+    work when nothing changed at all.  ``multilink_inos`` remembers file
+    inodes that ever gained a second hard link: mutating one of their
+    names changes the nlink visible at the *other* names, which the
+    path-granular sets cannot express.
+    """
 
     mountpoint: str
     fs: "MountedFileSystem"
@@ -53,6 +79,53 @@ class Mount:
     device: object = None
     mount_id: int = 0
     generation: int = 0  # bumped on each remount; stale-cache detection in tests
+    fully_dirty: bool = True
+    dirty_paths: Set[str] = field(default_factory=set)
+    dirty_records: Set[str] = field(default_factory=set)
+    dirty_parents: Set[str] = field(default_factory=set)
+    multilink_inos: Set[int] = field(default_factory=set)
+    change_generation: int = 0
+
+    # -- dirty-path marking (called by the kernel's mutating syscalls) -----
+    def mark_dirty_entry(self, rel_path: str) -> None:
+        """Entry content changed: the subtree at ``rel_path`` must be
+        re-walked."""
+        self.change_generation += 1
+        if rel_path == "/":
+            self.mark_fully_dirty()
+        elif not self.fully_dirty:
+            self.dirty_paths.add(rel_path)
+
+    def mark_dirty_record(self, rel_path: str) -> None:
+        """Only the entry's own attributes changed (not content or
+        membership): a re-stat suffices."""
+        self.change_generation += 1
+        if rel_path != "/" and not self.fully_dirty:
+            self.dirty_records.add(rel_path)
+
+    def mark_dirty_parent(self, rel_dir: str) -> None:
+        """Directory membership changed: reconcile its entry list."""
+        self.change_generation += 1
+        if not self.fully_dirty:
+            self.dirty_parents.add(rel_dir)
+
+    def mark_fully_dirty(self) -> None:
+        """Give up on path granularity: the next walk must be full."""
+        self.change_generation += 1
+        self.fully_dirty = True
+        self.dirty_paths.clear()
+        self.dirty_records.clear()
+        self.dirty_parents.clear()
+
+    def carry_dirty_from(self, previous: "Mount") -> None:
+        """Adopt another mount's dirty state (clean remounts preserve
+        the observable tree, so its tracking stays valid)."""
+        self.fully_dirty = previous.fully_dirty
+        self.dirty_paths = set(previous.dirty_paths)
+        self.dirty_records = set(previous.dirty_records)
+        self.dirty_parents = set(previous.dirty_parents)
+        self.multilink_inos = set(previous.multilink_inos)
+        self.change_generation = previous.change_generation + 1
 
 
 class MountedFileSystem(ABC):

@@ -46,6 +46,18 @@ class CheckpointStrategy(ABC):
     def restore(self, fut, token: Any) -> None:
         """Restore the state captured under ``token`` (single use)."""
 
+    def restores_exactly(self, fut) -> bool:
+        """Whether :meth:`restore` brings back the checkpointed state
+        *exactly* as observed through the syscall surface.
+
+        When True, MCFS may also roll back its incremental abstraction
+        cache to the checkpoint instead of re-walking the tree.  The
+        deliberately broken strategies (and bug-injected VeriFS, whose
+        missing cache invalidation leaves the kernel seeing ghosts)
+        answer False so their corruption stays observable.
+        """
+        return True
+
     def after_operation(self, fut) -> None:
         """Hook run after every operation (remount-per-op lives here)."""
 
@@ -109,6 +121,11 @@ class NaiveDiskStrategy(CheckpointStrategy):
     def restore(self, fut, token: bytes) -> None:
         fut.restore_disk(token, remount=False)
 
+    def restores_exactly(self, fut) -> bool:
+        # the visible state after restore is a corrupted mix of disk and
+        # stale caches; nothing may be reused from before
+        return False
+
 
 class IoctlStrategy(CheckpointStrategy):
     """The paper's proposal: the file system checkpoints itself.
@@ -132,6 +149,13 @@ class IoctlStrategy(CheckpointStrategy):
 
     def restore(self, fut, token: int) -> None:
         fut.ioctl_restore(token)
+
+    def restores_exactly(self, fut) -> bool:
+        server = fut.userspace_server()
+        filesystem = getattr(server, "filesystem", None)
+        if filesystem is not None and getattr(filesystem, "bugs", None):
+            return False  # bug-injected VeriFS may leave stale kernel caches
+        return True
 
 
 class ProcessSnapshotStrategy(CheckpointStrategy):

@@ -8,7 +8,7 @@ deterministic simulations that charge their latencies to a shared
 :class:`repro.clock.SimClock`.
 """
 
-from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.device import BlockDevice, DeviceStats, DiskSnapshot
 from repro.storage.ram import RAMBlockDevice, RamDiskRegistry
 from repro.storage.disk import HDDBlockDevice, SSDBlockDevice
 from repro.storage.mtd import MTDBlockAdapter, MTDDevice
@@ -17,6 +17,7 @@ from repro.storage.fault import PowerCutDevice, PowerCutMTD
 __all__ = [
     "BlockDevice",
     "DeviceStats",
+    "DiskSnapshot",
     "RAMBlockDevice",
     "RamDiskRegistry",
     "HDDBlockDevice",

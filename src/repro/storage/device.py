@@ -2,30 +2,50 @@
 
 A :class:`BlockDevice` is a flat array of fixed-size sectors.  File systems
 read and write whole blocks (their own block size, a multiple of the sector
-size).  Every access charges latency to the device's clock, and every device
-supports whole-image snapshot/restore -- the primitive MCFS uses to track
-persistent state (the paper mmaps the backing store into Spin's address
-space; we copy the image instead).
+size).  Every access charges latency to the device's clock.
+
+Storage is held as a table of *refcounted immutable chunks* rather than one
+flat buffer: a write copies only the touched chunk, a snapshot is an O(1)
+grab of the chunk table (:meth:`BlockDevice.snapshot_chunks`), and a restore
+swaps tables back.  Successive snapshots therefore share every chunk that
+was not rewritten between them -- the copy-on-write hot path MCFS leans on
+when it checkpoints before every operation (the paper mmaps the backing
+store into Spin's address space; chunk sharing is our equivalent of its
+page-granular copy-on-write).  :meth:`snapshot_image` still materializes
+the full byte image for legacy callers and the offline fsck checkers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from repro.clock import SimClock
 from repro.errors import DeviceError
 
+#: granularity of copy-on-write sharing.  4 KiB mirrors the page-cache
+#: granularity a real mmap-based checker would fault at.
+DEFAULT_CHUNK_SIZE = 4096
+
 
 @dataclass
 class DeviceStats:
-    """I/O accounting for a device (reads/writes in requests and bytes)."""
+    """I/O accounting for a device (reads/writes in requests and bytes).
+
+    ``bytes_snapshotted`` counts bytes the snapshot path actually copied
+    (the dirty chunks materialized by a chunk-table grab, or a whole
+    image materialization); ``bytes_restored`` counts bytes rewritten by
+    a restore.  Before these counters existed, snapshot traffic was
+    invisible to every report.
+    """
 
     read_requests: int = 0
     write_requests: int = 0
     bytes_read: int = 0
     bytes_written: int = 0
     erases: int = 0
+    bytes_snapshotted: int = 0
+    bytes_restored: int = 0
 
     def reset(self) -> None:
         self.read_requests = 0
@@ -33,14 +53,167 @@ class DeviceStats:
         self.bytes_read = 0
         self.bytes_written = 0
         self.erases = 0
+        self.bytes_snapshotted = 0
+        self.bytes_restored = 0
 
 
-class BlockDevice:
+@dataclass(frozen=True)
+class DiskSnapshot:
+    """An O(1) checkpoint token: a frozen grab of the chunk table.
+
+    Chunks are immutable ``bytes`` objects shared (refcounted) with the
+    live device and with every other snapshot that has not rewritten
+    them, so a DFS stack of snapshots is naturally a chain of deltas.
+    """
+
+    device_name: str
+    size_bytes: int
+    chunk_size: int
+    chunks: Tuple[bytes, ...]
+
+    def materialize(self) -> bytes:
+        """Flatten to the raw byte image (legacy/fsck consumers)."""
+        return b"".join(self.chunks)
+
+
+class ChunkedStore:
+    """Shared chunk-table mechanics for :class:`BlockDevice` and MTD.
+
+    Hosts hold ``_chunks`` (a list of immutable ``bytes``), ``_dirty``
+    (chunk indices rewritten since the last :meth:`snapshot_chunks`
+    grab), and a ``stats`` object with the snapshot/restore counters.
+    """
+
+    size_bytes: int
+    chunk_size: int
+    name: str
+    stats: DeviceStats
+    _chunks: List[bytes]
+    _dirty: Set[int]
+
+    def _init_chunks(self, size_bytes: int, chunk_size: int, fill: int = 0) -> None:
+        self.chunk_size = max(1, min(chunk_size, size_bytes))
+        full, tail = divmod(size_bytes, self.chunk_size)
+        # one shared fill chunk: an untouched device is a single refcounted
+        # chunk repeated, so empty regions never cost snapshot bytes
+        shared = bytes([fill]) * self.chunk_size
+        self._chunks = [shared] * full
+        if tail:
+            self._chunks.append(bytes([fill]) * tail)
+        self._dirty = set()
+
+    # -- ranged access over the chunk table ---------------------------------
+    def _read_range(self, offset: int, length: int) -> bytes:
+        cs = self.chunk_size
+        if length <= 0:
+            return b""
+        first = offset // cs
+        last = (offset + length - 1) // cs
+        if first == last:
+            within = offset - first * cs
+            return self._chunks[first][within : within + length]
+        parts = [self._chunks[first][offset - first * cs :]]
+        parts.extend(self._chunks[first + 1 : last])
+        parts.append(self._chunks[last][: offset + length - last * cs])
+        return b"".join(parts)
+
+    def _store_range(self, offset: int, data: bytes) -> None:
+        """Copy-on-write store: only chunks whose content changes are
+        replaced (and marked dirty); identical rewrites keep the shared
+        chunk object so snapshot chains stay deduplicated."""
+        cs = self.chunk_size
+        end = offset + len(data)
+        consumed = 0
+        position = offset
+        while consumed < len(data):
+            index = position // cs
+            within = position - index * cs
+            old = self._chunks[index]
+            take = min(len(old) - within, len(data) - consumed)
+            piece = data[consumed : consumed + take]
+            if old[within : within + take] != piece:
+                self._chunks[index] = old[:within] + piece + old[within + take :]
+                self._dirty.add(index)
+            position += take
+            consumed += take
+
+    # -- snapshot / restore --------------------------------------------------
+    @property
+    def dirty_bytes_since_snapshot(self) -> int:
+        """Bytes rewritten since the last chunk-table grab (what the next
+        snapshot will have to account as newly copied)."""
+        return sum(len(self._chunks[index]) for index in self._dirty)
+
+    def snapshot_chunks(self) -> DiskSnapshot:
+        """O(1) checkpoint: freeze the chunk table.  Only the chunks
+        dirtied since the previous grab count as copied bytes -- the
+        rest are shared with the parent snapshot."""
+        self.stats.bytes_snapshotted += self.dirty_bytes_since_snapshot
+        self._dirty.clear()
+        return DiskSnapshot(
+            device_name=self.name,
+            size_bytes=self.size_bytes,
+            chunk_size=self.chunk_size,
+            chunks=tuple(self._chunks),
+        )
+
+    def restore_snapshot(self, snapshot: DiskSnapshot) -> int:
+        """Swap the chunk table back to ``snapshot``; returns the number
+        of bytes actually rewritten (chunks that diverged)."""
+        if snapshot.size_bytes != self.size_bytes or \
+                snapshot.chunk_size != self.chunk_size:
+            raise DeviceError(
+                f"{self.name}: snapshot geometry {snapshot.size_bytes}/"
+                f"{snapshot.chunk_size} does not match device "
+                f"{self.size_bytes}/{self.chunk_size}"
+            )
+        changed = sum(
+            len(new)
+            for new, current in zip(snapshot.chunks, self._chunks)
+            if new is not current
+        )
+        self._chunks = list(snapshot.chunks)
+        self._dirty.clear()
+        self.stats.bytes_restored += changed
+        return changed
+
+    def snapshot_image(self) -> bytes:
+        """Materialize the whole device image (legacy callers and the
+        offline fsck checkers need flat bytes).  Counted as snapshot
+        traffic: unlike a chunk grab, this copies everything."""
+        self.stats.bytes_snapshotted += self.size_bytes
+        return b"".join(self._chunks)
+
+    def restore_image(self, image: bytes) -> None:
+        """Overwrite the device contents from a raw byte image.
+
+        Re-chunks with content comparison so chunks that match the live
+        content keep their identity (preserving sharing with existing
+        snapshots); only diverging chunks count as restored bytes.
+        """
+        if len(image) != self.size_bytes:
+            raise DeviceError(
+                f"{self.name}: snapshot image is {len(image)} bytes, "
+                f"device is {self.size_bytes}"
+            )
+        changed = 0
+        position = 0
+        for index, old in enumerate(self._chunks):
+            piece = image[position : position + len(old)]
+            if piece != old:
+                self._chunks[index] = piece
+                self._dirty.add(index)
+                changed += len(old)
+            position += len(old)
+        self.stats.bytes_restored += changed
+
+
+class BlockDevice(ChunkedStore):
     """A flat, sector-addressed storage device.
 
     Subclasses set the latency profile via ``access_cost`` (per request)
-    and ``per_byte_cost``; the base class handles bounds checks, the data
-    buffer, statistics, and image snapshot/restore.
+    and ``per_byte_cost``; the base class handles bounds checks, the
+    copy-on-write chunk table, statistics, and snapshot/restore.
     """
 
     #: label used for clock accounting ("ram-io", "hdd-io", ...)
@@ -54,6 +227,7 @@ class BlockDevice:
         sector_size: int = 512,
         clock: Optional[SimClock] = None,
         name: str = "dev",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
     ):
         if size_bytes <= 0 or size_bytes % sector_size != 0:
             raise ValueError(
@@ -66,7 +240,7 @@ class BlockDevice:
         self.name = name
         self.stats = DeviceStats()
         self.read_only = False
-        self._data = bytearray(size_bytes)
+        self._init_chunks(size_bytes, chunk_size)
 
     # -- raw byte access (used by file systems) --------------------------------
     def read(self, offset: int, length: int) -> bytes:
@@ -75,7 +249,7 @@ class BlockDevice:
         self._charge(length)
         self.stats.read_requests += 1
         self.stats.bytes_read += length
-        return bytes(self._data[offset : offset + length])
+        return self._read_range(offset, length)
 
     def write(self, offset: int, data: bytes) -> None:
         """Write ``data`` at ``offset``, charging device latency."""
@@ -85,7 +259,7 @@ class BlockDevice:
         self._charge(len(data))
         self.stats.write_requests += 1
         self.stats.bytes_written += len(data)
-        self._data[offset : offset + len(data)] = data
+        self._store_range(offset, bytes(data))
 
     def read_block(self, block_index: int, block_size: int) -> bytes:
         return self.read(block_index * block_size, block_size)
@@ -99,21 +273,6 @@ class BlockDevice:
         if len(data) < block_size:
             data = data + b"\x00" * (block_size - len(data))
         self.write(block_index * block_size, data)
-
-    # -- image snapshot / restore (used by the model checker) -------------------
-    def snapshot_image(self) -> bytes:
-        """Copy the whole device image (no latency: this models mmap access
-        by the checker, which the paper performs outside the timed path)."""
-        return bytes(self._data)
-
-    def restore_image(self, image: bytes) -> None:
-        """Overwrite the device contents from a snapshot image."""
-        if len(image) != self.size_bytes:
-            raise DeviceError(
-                f"{self.name}: snapshot image is {len(image)} bytes, "
-                f"device is {self.size_bytes}"
-            )
-        self._data[:] = image
 
     # -- helpers ----------------------------------------------------------------
     def _check_range(self, offset: int, length: int) -> None:

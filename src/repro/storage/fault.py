@@ -95,6 +95,16 @@ class PowerCutMTD:
     def is_block_erased(self, block_index: int) -> bool:
         return self.inner.is_block_erased(block_index)
 
+    @property
+    def dirty_bytes_since_snapshot(self) -> int:
+        return self.inner.dirty_bytes_since_snapshot
+
+    def snapshot_chunks(self):
+        return self.inner.snapshot_chunks()
+
+    def restore_snapshot(self, snapshot) -> int:
+        return self.inner.restore_snapshot(snapshot)
+
     def snapshot_image(self) -> bytes:
         return self.inner.snapshot_image()
 
@@ -178,6 +188,16 @@ class PowerCutDevice(BlockDevice):
         self.inner.write_block(block_index, block_size, data)
 
     # -- snapshots -------------------------------------------------------------
+    @property
+    def dirty_bytes_since_snapshot(self) -> int:
+        return self.inner.dirty_bytes_since_snapshot
+
+    def snapshot_chunks(self):
+        return self.inner.snapshot_chunks()
+
+    def restore_snapshot(self, snapshot) -> int:
+        return self.inner.restore_snapshot(snapshot)
+
     def snapshot_image(self) -> bytes:
         return self.inner.snapshot_image()
 

@@ -6,6 +6,10 @@ device) plus ``mtdblock`` (a block-interface shim) so Spin can mmap the MTD
 storage through the block layer.  :class:`MTDDevice` models mtdram --
 byte-readable, write-once-until-erased flash organised in erase blocks --
 and :class:`MTDBlockAdapter` models mtdblock.
+
+MTD storage uses the same copy-on-write chunk table as block devices, with
+one chunk per erase block: an erase installs the shared all-``0xFF`` chunk
+object, so freshly-erased blocks cost nothing to snapshot.
 """
 
 from __future__ import annotations
@@ -14,10 +18,15 @@ from typing import Optional
 
 from repro.clock import Cost, SimClock
 from repro.errors import DeviceError
-from repro.storage.device import BlockDevice, DeviceStats
+from repro.storage.device import (
+    BlockDevice,
+    ChunkedStore,
+    DeviceStats,
+    DiskSnapshot,
+)
 
 
-class MTDDevice:
+class MTDDevice(ChunkedStore):
     """A NOR-flash-like MTD device (the ``mtdram`` module).
 
     Semantics modelled:
@@ -48,7 +57,10 @@ class MTDDevice:
         self.clock = clock if clock is not None else SimClock()
         self.name = name
         self.stats = DeviceStats()
-        self._data = bytearray(b"\xff" * size_bytes)
+        # one COW chunk per erase block; the shared 0xFF chunk makes
+        # erased blocks free to snapshot
+        self._init_chunks(size_bytes, erase_block_size, fill=0xFF)
+        self._erased_chunk = bytes([0xFF]) * self.erase_block_size
         self.wear = [0] * self.erase_block_count
 
     # -- raw flash operations ----------------------------------------------------
@@ -57,23 +69,24 @@ class MTDDevice:
         self.clock.charge(Cost.MTD_ACCESS + Cost.MTD_PER_BYTE * length, "mtd-io")
         self.stats.read_requests += 1
         self.stats.bytes_read += length
-        return bytes(self._data[offset : offset + length])
+        return self._read_range(offset, length)
 
     def write(self, offset: int, data: bytes) -> None:
         """Program bytes.  Flash can only clear bits (1 -> 0)."""
         self._check_range(offset, len(data))
+        current = self._read_range(offset, len(data))
         for i, byte in enumerate(data):
-            current = self._data[offset + i]
-            if current & byte != byte:
+            if current[i] & byte != byte:
                 raise DeviceError(
-                    f"{self.name}: programming 0x{byte:02x} over 0x{current:02x} "
-                    f"at offset {offset + i} would set bits; erase first"
+                    f"{self.name}: programming 0x{byte:02x} over "
+                    f"0x{current[i]:02x} at offset {offset + i} would set "
+                    f"bits; erase first"
                 )
         self.clock.charge(Cost.MTD_ACCESS + Cost.MTD_PER_BYTE * len(data), "mtd-io")
         self.stats.write_requests += 1
         self.stats.bytes_written += len(data)
-        for i, byte in enumerate(data):
-            self._data[offset + i] &= byte
+        programmed = bytes(c & b for c, b in zip(current, data))
+        self._store_range(offset, programmed)
 
     def erase_block(self, block_index: int) -> None:
         if not 0 <= block_index < self.erase_block_count:
@@ -81,29 +94,13 @@ class MTDDevice:
         self.clock.charge(Cost.MTD_ERASE, "mtd-erase")
         self.stats.erases += 1
         self.wear[block_index] += 1
-        start = block_index * self.erase_block_size
-        self._data[start : start + self.erase_block_size] = (
-            b"\xff" * self.erase_block_size
-        )
+        if self._chunks[block_index] != self._erased_chunk:
+            # install the shared erased chunk so snapshots dedup it
+            self._chunks[block_index] = self._erased_chunk
+            self._dirty.add(block_index)
 
     def is_block_erased(self, block_index: int) -> bool:
-        start = block_index * self.erase_block_size
-        return all(
-            byte == 0xFF
-            for byte in self._data[start : start + self.erase_block_size]
-        )
-
-    # -- image snapshot/restore ----------------------------------------------------
-    def snapshot_image(self) -> bytes:
-        return bytes(self._data)
-
-    def restore_image(self, image: bytes) -> None:
-        if len(image) != self.size_bytes:
-            raise DeviceError(
-                f"{self.name}: snapshot image is {len(image)} bytes, "
-                f"device is {self.size_bytes}"
-            )
-        self._data[:] = image
+        return self._chunks[block_index] == self._erased_chunk
 
     def _check_range(self, offset: int, length: int) -> None:
         if length < 0 or offset < 0 or offset + length > self.size_bytes:
@@ -128,8 +125,10 @@ class MTDBlockAdapter(BlockDevice):
     def __init__(self, mtd: MTDDevice, sector_size: int = 512):
         super().__init__(mtd.size_bytes, sector_size, mtd.clock, mtd.name + "-blk")
         self.mtd = mtd
-        # the adapter has no storage of its own
-        self._data = None  # type: ignore[assignment]
+        # the adapter has no storage of its own; all snapshot/restore
+        # traffic flows through the MTD's chunk table
+        self._chunks = []
+        self._dirty = set()
 
     def read(self, offset: int, length: int) -> bytes:
         self.stats.read_requests += 1
@@ -156,6 +155,16 @@ class MTDBlockAdapter(BlockDevice):
             ]
             self.mtd.erase_block(block)
             self.mtd.write(block_start, bytes(current))
+
+    @property
+    def dirty_bytes_since_snapshot(self) -> int:
+        return self.mtd.dirty_bytes_since_snapshot
+
+    def snapshot_chunks(self) -> DiskSnapshot:
+        return self.mtd.snapshot_chunks()
+
+    def restore_snapshot(self, snapshot: DiskSnapshot) -> int:
+        return self.mtd.restore_snapshot(snapshot)
 
     def snapshot_image(self) -> bytes:
         return self.mtd.snapshot_image()

@@ -67,8 +67,12 @@ class V2Inode:
         self.atime = 0.0
         self.mtime = 0.0
         self.ctime = 0.0
-        #: chunk index -> bytearray(CHUNK_SIZE); missing chunks read as zeros
-        self.chunks: Dict[int, bytearray] = {}
+        #: chunk index -> immutable bytes(CHUNK_SIZE); missing chunks read
+        #: as zeros.  Immutability makes chunks shareable: the snapshot
+        #: pool's deep copies keep referencing the same chunk objects, so
+        #: a stack of ioctl checkpoints stores only the chunks that
+        #: actually changed between them.
+        self.chunks: Dict[int, bytes] = {}
         self.entries: Dict[str, int] = {}
         self.parent = 0
         self.symlink_target = ""
@@ -177,11 +181,15 @@ class VeriFS2(VeriFSBase):
             index = position // CHUNK_SIZE
             within = position % CHUNK_SIZE
             take = min(CHUNK_SIZE - within, len(data) - consumed)
-            chunk = inode.chunks.get(index)
-            if chunk is None:
-                chunk = bytearray(CHUNK_SIZE)
-                inode.chunks[index] = chunk
-            chunk[within : within + take] = data[consumed : consumed + take]
+            old = inode.chunks.get(index)
+            base = old if old is not None else b"\x00" * CHUNK_SIZE
+            piece = data[consumed : consumed + take]
+            # copy-on-write: rebuild the chunk only when its content
+            # changes, so unchanged chunks stay shared with snapshots
+            if old is None or base[within : within + take] != piece:
+                inode.chunks[index] = (
+                    base[:within] + piece + base[within + take :]
+                )
             position += take
             consumed += take
 
@@ -193,8 +201,11 @@ class VeriFS2(VeriFSBase):
             within = position % CHUNK_SIZE
             take = min(CHUNK_SIZE - within, end - position)
             chunk = inode.chunks.get(index)
-            if chunk is not None:
-                chunk[within : within + take] = b"\x00" * take
+            zeros = b"\x00" * take
+            if chunk is not None and chunk[within : within + take] != zeros:
+                inode.chunks[index] = (
+                    chunk[:within] + zeros + chunk[within + take :]
+                )
             position += take
 
     # ---------------------------------------------------------- FUSE methods --

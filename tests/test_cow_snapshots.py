@@ -1,0 +1,177 @@
+"""Copy-on-write device snapshots: sharing, accounting, restore.
+
+The storage refactor keeps the public ``read``/``write``/
+``snapshot_image``/``restore_image`` surface but stores data as a table
+of refcounted immutable chunks.  These tests pin down the contract the
+checkpoint hot path depends on: snapshots share untouched chunks, dirty
+accounting counts exactly the rewritten bytes, and the new
+``bytes_snapshotted``/``bytes_restored`` counters make snapshot traffic
+visible (restores used to be invisible to every report).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RAMBlockDevice, SimClock
+from repro.core.futs import make_block_fut
+from repro.errors import DeviceError
+from repro.fs.ext2 import Ext2FileSystemType
+from repro.storage.device import DiskSnapshot
+from repro.storage.fault import PowerCutDevice, PowerCutMTD
+from repro.storage.mtd import MTDBlockAdapter, MTDDevice
+
+CHUNK = 4096
+
+
+def make_device(size=16 * CHUNK):
+    return RAMBlockDevice(size, clock=SimClock(), name="dev")
+
+
+class TestChunkSharing:
+    def test_snapshot_shares_untouched_chunks(self):
+        device = make_device()
+        device.write(0, b"A" * CHUNK)
+        first = device.snapshot_chunks()
+        device.write(0, b"B" * CHUNK)
+        second = device.snapshot_chunks()
+        # chunk 0 diverged; every other chunk is the same object
+        assert first.chunks[0] is not second.chunks[0]
+        for index in range(1, len(first.chunks)):
+            assert first.chunks[index] is second.chunks[index]
+
+    def test_identical_rewrite_keeps_chunk_identity(self):
+        device = make_device()
+        device.write(0, b"A" * CHUNK)
+        snapshot = device.snapshot_chunks()
+        device.write(0, b"A" * CHUNK)  # same content: no COW copy
+        assert device.dirty_bytes_since_snapshot == 0
+        assert device.snapshot_chunks().chunks[0] is snapshot.chunks[0]
+
+    def test_materialize_round_trips(self):
+        device = make_device()
+        device.write(100, b"payload")
+        snapshot = device.snapshot_chunks()
+        image = snapshot.materialize()
+        assert len(image) == device.size_bytes
+        assert image[100:107] == b"payload"
+        assert image == device.snapshot_image()
+
+
+class TestDirtyAccounting:
+    def test_dirty_bytes_track_rewritten_chunks(self):
+        device = make_device()
+        assert device.dirty_bytes_since_snapshot == 0
+        device.write(0, b"x")  # dirties one whole chunk
+        assert device.dirty_bytes_since_snapshot == CHUNK
+        device.write(1, b"y")  # same chunk: no growth
+        assert device.dirty_bytes_since_snapshot == CHUNK
+        device.write(CHUNK, b"z")  # second chunk
+        assert device.dirty_bytes_since_snapshot == 2 * CHUNK
+
+    def test_snapshot_clears_dirty_and_counts_copied_bytes(self):
+        device = make_device()
+        device.write(0, b"x")
+        device.snapshot_chunks()
+        assert device.stats.bytes_snapshotted == CHUNK
+        assert device.dirty_bytes_since_snapshot == 0
+        device.snapshot_chunks()  # nothing new: free
+        assert device.stats.bytes_snapshotted == CHUNK
+
+    def test_snapshot_image_counts_the_whole_device(self):
+        device = make_device()
+        device.snapshot_image()
+        assert device.stats.bytes_snapshotted == device.size_bytes
+
+
+class TestRestore:
+    def test_restore_snapshot_returns_diverged_bytes(self):
+        device = make_device()
+        device.write(0, b"A" * CHUNK)
+        snapshot = device.snapshot_chunks()
+        device.write(0, b"B" * CHUNK)
+        device.write(CHUNK, b"C" * CHUNK)
+        changed = device.restore_snapshot(snapshot)
+        assert changed == 2 * CHUNK
+        assert device.stats.bytes_restored == 2 * CHUNK
+        assert device.read(0, CHUNK) == b"A" * CHUNK
+        assert device.read(CHUNK, 1) == b"\x00"
+
+    def test_restore_snapshot_rejects_wrong_geometry(self):
+        device = make_device()
+        other = make_device(size=8 * CHUNK)
+        with pytest.raises(DeviceError):
+            device.restore_snapshot(other.snapshot_chunks())
+
+    def test_restore_image_counts_only_diverged_chunks(self):
+        device = make_device()
+        device.write(0, b"A" * CHUNK)
+        image = device.snapshot_image()
+        device.stats.reset()
+        device.write(2 * CHUNK, b"D" * CHUNK)
+        device.restore_image(image)
+        # chunk 0 already matches the image; only chunk 2 is rewritten
+        assert device.stats.bytes_restored == CHUNK
+        assert device.read(2 * CHUNK, CHUNK) == b"\x00" * CHUNK
+
+    def test_restore_image_rejects_wrong_length(self):
+        device = make_device()
+        with pytest.raises(DeviceError):
+            device.restore_image(b"short")
+
+
+class TestMTDAndFaultProxies:
+    def test_mtd_snapshot_chunks_are_erase_blocks(self):
+        mtd = MTDDevice(64 * 1024, clock=SimClock(), name="mtd")
+        snapshot = mtd.snapshot_chunks()
+        assert snapshot.chunk_size == mtd.erase_block_size
+        assert snapshot.materialize() == b"\xff" * mtd.size_bytes
+
+    def test_mtd_erase_write_restore_round_trip(self):
+        mtd = MTDDevice(64 * 1024, clock=SimClock(), name="mtd")
+        snapshot = mtd.snapshot_chunks()
+        mtd.write(0, b"\x00" * 16)  # program bits down from 0xFF
+        assert mtd.dirty_bytes_since_snapshot == mtd.erase_block_size
+        mtd.restore_snapshot(snapshot)
+        assert mtd.read(0, 16) == b"\xff" * 16
+
+    def test_mtd_block_adapter_delegates_to_mtd(self):
+        mtd = MTDDevice(64 * 1024, clock=SimClock(), name="mtd")
+        adapter = MTDBlockAdapter(mtd)
+        adapter.write(0, b"hello")
+        snapshot = adapter.snapshot_chunks()
+        assert snapshot.device_name == mtd.name
+        adapter.write(0, b"WORLD")
+        adapter.restore_snapshot(snapshot)
+        assert adapter.read(0, 5) == b"hello"
+
+    def test_power_cut_proxies_delegate_cow_surface(self):
+        inner = make_device()
+        proxy = PowerCutDevice(inner)
+        proxy.write(0, b"abc")
+        assert proxy.dirty_bytes_since_snapshot == CHUNK
+        snapshot = proxy.snapshot_chunks()
+        proxy.write(0, b"xyz")
+        assert proxy.restore_snapshot(snapshot) == CHUNK
+        assert inner.read(0, 3) == b"abc"
+
+        mtd_proxy = PowerCutMTD(MTDDevice(64 * 1024, clock=SimClock()))
+        token = mtd_proxy.snapshot_chunks()
+        assert isinstance(token, DiskSnapshot)
+
+
+class TestVfsCheckpointRidesCow:
+    def test_vfs_checkpoint_data_plane_is_a_chunk_grab(self):
+        """The satellite fix: ``vfs_checkpoint`` used to deep-copy the
+        device along with the driver; now the data plane is a shared
+        DiskSnapshot and only the driver tables are copied."""
+        clock = SimClock()
+        device = RAMBlockDevice(256 * 1024, clock=clock, name="dev0")
+        fut = make_block_fut("ext2", Ext2FileSystemType(), device, clock)
+        token = fut.vfs_checkpoint()
+        assert isinstance(token["image"], DiskSnapshot)
+        # the snapshot's chunks are the device's own (shared, not copied)
+        live = device.snapshot_chunks()
+        assert all(a is b for a, b in zip(token["image"].chunks, live.chunks))
+        # the driver copy is pinned to the same device object
+        assert token["driver"].device is device

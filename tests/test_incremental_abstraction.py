@@ -1,0 +1,181 @@
+"""Incremental abstraction hashing must be bit-identical to a full walk.
+
+The EntryCache rebuilds only what the mount's dirty-path tracking says
+changed; the full walk re-reads everything.  If they ever disagree --
+after any operation, on any file system, or across a checkpoint/restore
+-- the model checker would hash states wrong and silently merge or split
+them.  These properties drive randomized operation sequences through the
+kernel on every file-system family and assert the two paths agree at
+every single step.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Ext2FileSystemType,
+    Ext4FileSystemType,
+    Jffs2FileSystemType,
+    MTDDevice,
+    RAMBlockDevice,
+    SimClock,
+    VeriFS2,
+    XfsFileSystemType,
+)
+from repro.core.abstraction import AbstractionOptions
+from repro.core.futs import make_block_fut, make_verifs_fut
+from repro.errors import FsError
+from repro.kernel.fdtable import O_CREAT, O_RDWR, O_TRUNC
+from repro.mc.strategies import IoctlStrategy, RemountStrategy
+
+OPTIONS = AbstractionOptions()
+
+NAMES = ("a", "b", "c", "sub")
+PAYLOADS = (b"", b"x", b"hello world", b"Z" * 700)
+
+
+def build_fut(family: str):
+    clock = SimClock()
+    if family == "verifs2":
+        return make_verifs_fut("verifs2", VeriFS2(), clock)
+    if family == "jffs2":
+        device = MTDDevice(256 * 1024, clock=clock, name="mtd0")
+        return make_block_fut("jffs2", Jffs2FileSystemType(), device, clock)
+    if family == "xfs":
+        device = RAMBlockDevice(16 * 1024 * 1024, clock=clock, name="dev0")
+        return make_block_fut("xfs", XfsFileSystemType(), device, clock)
+    fstype = {"ext2": Ext2FileSystemType, "ext4": Ext4FileSystemType}[family]()
+    device = RAMBlockDevice(256 * 1024, clock=clock, name="dev0")
+    return make_block_fut(family, fstype, device, clock)
+
+
+def apply_op(fut, op) -> None:
+    """Run one scripted operation; FsError outcomes are legal states."""
+    kernel, root = fut.kernel, fut.mountpoint
+    kind = op[0]
+    try:
+        if kind == "create":
+            fd = kernel.open(f"{root}/{op[1]}", O_CREAT | O_RDWR)
+            kernel.write(fd, op[2])
+            kernel.close(fd)
+        elif kind == "append":
+            fd = kernel.open(f"{root}/{op[1]}", O_RDWR)
+            kernel.pwrite(fd, op[2], op[3])
+            kernel.close(fd)
+        elif kind == "overwrite":
+            fd = kernel.open(f"{root}/{op[1]}", O_RDWR | O_TRUNC)
+            kernel.write(fd, op[2])
+            kernel.close(fd)
+        elif kind == "mkdir":
+            kernel.mkdir(f"{root}/{op[1]}")
+        elif kind == "rmdir":
+            kernel.rmdir(f"{root}/{op[1]}")
+        elif kind == "unlink":
+            kernel.unlink(f"{root}/{op[1]}")
+        elif kind == "rename":
+            kernel.rename(f"{root}/{op[1]}", f"{root}/{op[2]}")
+        elif kind == "symlink":
+            kernel.symlink(op[1], f"{root}/{op[2]}")
+        elif kind == "link":
+            kernel.link(f"{root}/{op[1]}", f"{root}/{op[2]}")
+        elif kind == "chmod":
+            kernel.chmod(f"{root}/{op[1]}", op[2])
+        elif kind == "truncate":
+            kernel.truncate(f"{root}/{op[1]}", op[2])
+        elif kind == "remount":
+            fut.remount()
+    except FsError:
+        pass
+
+
+def assert_incremental_matches(fut) -> None:
+    incremental = fut.abstract_state(OPTIONS, incremental=True)
+    full = fut.abstract_state(OPTIONS, incremental=False)
+    assert incremental == full, (
+        f"{fut.label}: incremental hash diverged from full walk"
+    )
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("create"), st.sampled_from(NAMES),
+                  st.sampled_from(PAYLOADS)),
+        st.tuples(st.just("append"), st.sampled_from(NAMES),
+                  st.sampled_from(PAYLOADS), st.integers(0, 900)),
+        st.tuples(st.just("overwrite"), st.sampled_from(NAMES),
+                  st.sampled_from(PAYLOADS)),
+        st.tuples(st.just("mkdir"), st.sampled_from(NAMES)),
+        st.tuples(st.just("rmdir"), st.sampled_from(NAMES)),
+        st.tuples(st.just("unlink"), st.sampled_from(NAMES)),
+        st.tuples(st.just("rename"), st.sampled_from(NAMES),
+                  st.sampled_from(NAMES)),
+        st.tuples(st.just("symlink"), st.sampled_from(NAMES),
+                  st.sampled_from(NAMES)),
+        st.tuples(st.just("link"), st.sampled_from(NAMES),
+                  st.sampled_from(NAMES)),
+        st.tuples(st.just("chmod"), st.sampled_from(NAMES),
+                  st.sampled_from((0o600, 0o755))),
+        st.tuples(st.just("truncate"), st.sampled_from(NAMES),
+                  st.integers(0, 1200)),
+        st.tuples(st.just("remount")),
+    ),
+    min_size=1, max_size=12,
+)
+
+FAMILIES = ("ext2", "ext4", "xfs", "jffs2", "verifs2")
+
+
+class TestIncrementalEqualsFullWalk:
+    @pytest.mark.parametrize("family", FAMILIES)
+    @settings(max_examples=12, deadline=None)
+    @given(ops=OPS)
+    def test_every_step_matches(self, family, ops):
+        fut = build_fut(family)
+        assert_incremental_matches(fut)  # fresh mount: full walk seeds cache
+        for op in ops:
+            apply_op(fut, op)
+            assert_incremental_matches(fut)
+
+    @pytest.mark.parametrize("family", FAMILIES)
+    @settings(max_examples=8, deadline=None)
+    @given(ops=OPS, more=OPS)
+    def test_matches_across_checkpoint_restore(self, family, ops, more):
+        """Exact-restore strategies may reinstate the cache; after the
+        rollback the incremental hash must still equal a fresh walk."""
+        fut = build_fut(family)
+        strategy = IoctlStrategy() if family == "verifs2" else RemountStrategy()
+        for op in ops:
+            apply_op(fut, op)
+        assert_incremental_matches(fut)
+
+        token = strategy.checkpoint(fut)
+        abstraction = (fut.snapshot_abstraction()
+                       if strategy.restores_exactly(fut) else None)
+        reference = fut.abstract_state(OPTIONS, incremental=False)
+
+        for op in more:
+            apply_op(fut, op)
+            assert_incremental_matches(fut)
+
+        strategy.restore(fut, token)
+        fut.restore_abstraction(abstraction)
+        assert_incremental_matches(fut)
+        assert fut.abstract_state(OPTIONS, incremental=True) == reference
+
+    def test_cache_hit_skips_syscalls(self):
+        """Unchanged mount + unchanged generation = zero-walk refresh."""
+        fut = build_fut("ext2")
+        apply_op(fut, ("create", "a", b"hello world"))
+        fut.abstract_state(OPTIONS, incremental=True)
+        before = fut.kernel.syscall_count
+        fut.abstract_state(OPTIONS, incremental=True)
+        assert fut.kernel.syscall_count == before
+
+    def test_uncacheable_options_fall_back_to_full_walks(self):
+        timestamps = AbstractionOptions(track_timestamps=True)
+        fut = build_fut("ext2")
+        apply_op(fut, ("create", "a", b"x"))
+        fut.abstract_state(timestamps, incremental=True)
+        assert fut._entry_cache is None  # never built for uncacheable options
