@@ -24,6 +24,13 @@ These rules flag the source-level hazards that silently break that:
   copy-on-write dirty tracking and I/O accounting stay truthful;
   a raw poke would silently corrupt both.  (Warn severity: enforced
   by ``repro lint --strict``.)
+* ``raw-visited-state`` -- direct access to a visited table's ``._seen``
+  map.  Outside :mod:`repro.mc` callers must use
+  ``export_seen``/``import_seen``/``visit``: not every store *has* a
+  hash map (bitstate keeps a bit array, hash compaction keeps
+  fingerprints -- see :mod:`repro.mc.statestore`), and a raw read
+  bypasses the stats/memory accounting.  (Warn severity: enforced by
+  ``repro lint --strict``.)
 
 A finding on a given line is suppressed by an inline pragma **with a
 justification**::
@@ -70,6 +77,10 @@ WALL_CLOCK_TIME_NAMES = {
 #: private backing-store attributes of the storage layer; touching them
 #: from anywhere else bypasses COW dirty tracking and I/O accounting
 RAW_DEVICE_ATTRS = {"_data", "_chunks"}
+
+#: the visited-state tables' private hash maps; callers outside
+#: ``repro.mc`` must use the export/import/visit boundary instead
+RAW_VISITED_ATTRS = {"_seen"}
 
 PRAGMA_RE = re.compile(r"#\s*det-lint:\s*allow\[([a-z-]+)\]\s*(.*)")
 
@@ -185,6 +196,12 @@ class DeterminismVisitor(ast.NodeVisitor):
                           f".{node.attr} reaches into a device's backing "
                           f"store; use read/write/snapshot_* so COW dirty "
                           f"tracking and stats stay correct",
+                          severity="warn")
+        if node.attr in RAW_VISITED_ATTRS:
+            self._finding("raw-visited-state", node.lineno,
+                          f".{node.attr} reaches into a visited table's "
+                          f"hash map; use export_seen/import_seen/visit -- "
+                          f"memory-bounded stores have no such map at all",
                           severity="warn")
         self.generic_visit(node)
 

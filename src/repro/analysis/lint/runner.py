@@ -42,9 +42,12 @@ def run_lint(paths: Optional[Iterable[str]] = None) -> List[Finding]:
     ``clock.py`` is the one module allowed to touch the wall clock -- it
     is the boundary the ``wall-clock`` rule polices -- so that rule is
     skipped there.  Likewise the storage layer owns the devices' chunk
-    tables, so ``raw-device-data`` is skipped under ``repro/storage``.
+    tables, so ``raw-device-data`` is skipped under ``repro/storage``,
+    and the state stores own their hash maps, so ``raw-visited-state``
+    is skipped under ``repro/mc``.
     """
     storage_dir = os.path.join("repro", "storage")
+    mc_dir = os.path.join("repro", "mc")
     findings: List[Finding] = []
     for path in iter_python_files(paths or default_paths()):
         try:
@@ -63,5 +66,8 @@ def run_lint(paths: Optional[Iterable[str]] = None) -> List[Finding]:
         if storage_dir in os.path.normpath(os.path.abspath(path)):
             file_findings = [f for f in file_findings
                              if f.invariant != "raw-device-data"]
+        if mc_dir in os.path.normpath(os.path.abspath(path)):
+            file_findings = [f for f in file_findings
+                             if f.invariant != "raw-visited-state"]
         findings.extend(file_findings)
     return findings

@@ -89,6 +89,7 @@ def _spec_from_args(args) -> CheckSpec:
         base_seed=args.seed,
         unit_operations=max(1, total_operations // args.units),
         max_depth=args.dist_depth,
+        state_store=args.state_store,
     )
 
 
@@ -116,6 +117,9 @@ def _run_distributed(args) -> int:
         stopped_reason="distributed campaign complete",
         duplicate_hits=dist.table.stats.duplicate_hits,
         duplicate_hit_ratio=dist.table.stats.duplicate_hit_ratio,
+        omission_possible=dist.omission_possible,
+        omission_probability=dist.omission_probability,
+        store_bits_per_state=dist.table.stats.bits_per_state,
     )
     print(summary.render())
     print(f"workers    : {dist.workers} ({len(dist.unit_results)} units, "
@@ -138,6 +142,13 @@ def cmd_check(args) -> int:
         print("error: --fs must be given at least twice (MCFS compares "
               "file systems)", file=sys.stderr)
         return 2
+    try:
+        from repro.mc.statestore import parse_store_spec
+
+        parse_store_spec(args.state_store)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.workers is not None:
         return _run_distributed(args)
     clock = SimClock()
@@ -150,6 +161,8 @@ def cmd_check(args) -> int:
         majority_voting=args.voting,
         track_coverage=args.coverage,
         fsck_every=fsck_every,
+        state_store=args.state_store,
+        store_seed=args.seed,
     )
     mcfs = MCFS(clock, options)
     for name, label in zip(args.fs, unique_labels(args.fs)):
@@ -202,6 +215,10 @@ def cmd_swarm(args) -> int:
     print(f"merged states : {dist.visited_states} "
           f"({dist.cross_worker_duplicates} cross-worker duplicates, "
           f"dup-hit ratio {dist.table.stats.duplicate_hit_ratio:.1%})")
+    if dist.omission_possible:
+        print(f"store         : LOSSY "
+              f"({dist.table.stats.bits_per_state:.1f} bits/state, "
+              f"omission p <= {dist.omission_probability:.2e})")
     print(f"speedup       : {dist.speedup:.2f}x modeled "
           f"({dist.sequential_sim_time:.3f}s sequential -> "
           f"{dist.modeled_parallel_time:.3f}s parallel, "
@@ -332,6 +349,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=12,
                        help="per-unit depth bound for distributed runs "
                             "(default 12)")
+    check.add_argument("--state-store", default="exact", metavar="SPEC",
+                       help="visited-state store: exact | hc[:bytes] | "
+                            "bitstate[:bits,k] | tiered[:hot] "
+                            "(lossy modes report their omission "
+                            "probability; default exact)")
     check.set_defaults(func=cmd_check)
 
     swarm = subparsers.add_parser(
@@ -362,6 +384,11 @@ def build_parser() -> argparse.ArgumentParser:
     swarm.add_argument("--fsck-every", type=int, default=None, metavar="N",
                        help="oracle period in operations (implies "
                             "--fsck-oracle; default 10)")
+    swarm.add_argument("--state-store", default="exact", metavar="SPEC",
+                       help="visited-state store for the fleet: exact | "
+                            "hc[:bytes] | bitstate[:bits,k] | tiered[:hot] "
+                            "(compact stores also ship integer "
+                            "fingerprints over the wire; default exact)")
     swarm.set_defaults(func=cmd_swarm)
 
     fsck = subparsers.add_parser(

@@ -69,6 +69,14 @@ class MCFSOptions:
     #: This is the paper's measured system; the Figure 2 reproduction and
     #: the COW benchmark's baseline run in this mode.
     legacy_snapshots: bool = False
+    #: visited-state store spec: ``exact`` (full-hash table), ``hc[:bytes]``
+    #: (hash compaction), ``bitstate[:bits,k]`` (supertrace), or
+    #: ``tiered[:hot]`` (hot/cold LRU split) -- see
+    #: :mod:`repro.mc.statestore`
+    state_store: str = "exact"
+    #: diversification seed for lossy stores (swarm members hash
+    #: differently so their omissions don't overlap)
+    store_seed: int = 0
 
 
 @dataclass
@@ -112,6 +120,18 @@ class MCFSResult:
     def duplicate_hit_ratio(self) -> float:
         """Fraction of state visits the visited table answered as known."""
         return (self.table_stats.duplicate_hit_ratio
+                if self.table_stats is not None else 0.0)
+
+    @property
+    def omission_possible(self) -> bool:
+        """True when a lossy store may have silently skipped states."""
+        return (self.table_stats.omission_possible
+                if self.table_stats is not None else False)
+
+    @property
+    def omission_probability(self) -> float:
+        """Per-query probability a fresh state was wrongly matched."""
+        return (self.table_stats.omission_probability
                 if self.table_stats is not None else 0.0)
 
 
@@ -229,7 +249,14 @@ class MCFS:
                 self._resumed_operations = snapshot.operations_completed
                 self._resumed_runs = snapshot.runs
         if visited is None:
-            visited = VisitedStateTable(memory=self.options.memory_model)
+            if self.options.state_store != "exact":
+                from repro.mc.statestore import make_store
+
+                visited = make_store(self.options.state_store,
+                                     memory=self.options.memory_model,
+                                     seed=self.options.store_seed)
+            else:
+                visited = VisitedStateTable(memory=self.options.memory_model)
         if self.options.fsck_every:
             from repro.analysis.oracle import FsckOracle
 

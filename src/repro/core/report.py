@@ -210,6 +210,11 @@ class RunSummary:
     bytes_snapshotted: int = 0
     bytes_restored: int = 0
     snapshot_dedup_ratio: float = 0.0
+    #: lossy visited-state stores (bitstate / hash compaction / tiered)
+    #: may silently omit states; coverage loss is surfaced, never hidden
+    omission_possible: bool = False
+    omission_probability: float = 0.0
+    store_bits_per_state: float = 0.0
 
     @classmethod
     def from_result(cls, result, show_fsck: bool = False) -> "RunSummary":
@@ -231,6 +236,12 @@ class RunSummary:
             bytes_snapshotted=getattr(result, "bytes_snapshotted", 0),
             bytes_restored=getattr(result, "bytes_restored", 0),
             snapshot_dedup_ratio=getattr(result, "snapshot_dedup_ratio", 0.0),
+            omission_possible=(table_stats.omission_possible
+                               if table_stats is not None else False),
+            omission_probability=(table_stats.omission_probability
+                                  if table_stats is not None else 0.0),
+            store_bits_per_state=(table_stats.bits_per_state
+                                  if table_stats is not None else 0.0),
         )
 
     def render(self) -> str:
@@ -243,6 +254,12 @@ class RunSummary:
             f"({self.ops_per_second:.1f} ops/s)",
             f"stopped    : {self.stopped_reason}",
         ]
+        if self.omission_possible:
+            lines.append(
+                f"store      : LOSSY ({self.store_bits_per_state:.1f} "
+                f"bits/state, omission p <= "
+                f"{self.omission_probability:.2e})"
+            )
         if self.bytes_snapshotted or self.bytes_restored:
             lines.append(
                 f"snapshots  : {self.bytes_snapshotted} B copied / "

@@ -41,9 +41,13 @@ class BloomFilter:
         self._array = bytearray(bits // 8 + 1)
         self.items_added = 0
 
-    def _indexes(self, item: str) -> Iterable[int]:
+    def _indexes(self, item) -> Iterable[int]:
         # Kirsch-Mitzenmacher double hashing: two 64-bit halves of one
         # MD5 digest generate all k indexes (one digest per operation).
+        # Items may be hex-digest strings or compact integer wire keys
+        # (see repro.mc.statestore); both hash on their text form.
+        if not isinstance(item, str):
+            item = str(item)
         digest = hashlib.md5(item.encode("utf-8")).digest()
         first = int.from_bytes(digest[:8], "little")
         second = int.from_bytes(digest[8:], "little") | 1

@@ -23,17 +23,24 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from repro.dist.bloom import BloomFilter, LRUSet
-from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, StateKey, VisitedStateTable
 
-#: ship callback: receives a drained batch of (hash, depth) pairs
-ShipFn = Callable[[List[Tuple[str, int]]], None]
+#: ship callback: receives a drained batch of (wire key, depth) pairs
+ShipFn = Callable[[List[Tuple[StateKey, int]]], None]
 
 
 class ShippingVisitedTable(AbstractVisitedTable):
-    """A per-unit local table that streams its discoveries to the service."""
+    """A per-unit local table that streams its discoveries to the service.
+
+    The local table can be any store (exact or one of the memory-bounded
+    :mod:`repro.mc.statestore` kinds).  What goes on the wire is the
+    local store's :meth:`wire_key` -- the full hex digest for an exact
+    table, a compact integer fingerprint for hc/bitstate -- so the
+    LRU/Bloom suppression layers and the service all key identically.
+    """
 
     def __init__(self, ship: ShipFn,
-                 local: Optional[VisitedStateTable] = None,
+                 local: Optional[AbstractVisitedTable] = None,
                  shipped_lru: Optional[LRUSet] = None,
                  global_bloom: Optional[BloomFilter] = None,
                  batch_size: int = 64):
@@ -46,7 +53,7 @@ class ShippingVisitedTable(AbstractVisitedTable):
         self.global_bloom = (global_bloom if global_bloom is not None
                              else BloomFilter())
         self.batch_size = batch_size
-        self._buffer: List[Tuple[str, int]] = []
+        self._buffer: List[Tuple[StateKey, int]] = []
         self.shipped_hashes = 0
         self.suppressed_hashes = 0
         self.probable_cross_duplicates = 0
@@ -55,20 +62,24 @@ class ShippingVisitedTable(AbstractVisitedTable):
     def stats(self):
         return self.local.stats
 
+    def wire_key(self, state_hash: str) -> StateKey:
+        return self.local.wire_key(state_hash)
+
     # ---------------------------------------------------------------- visit --
     def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
         is_new, should_expand = self.local.visit(state_hash, depth)
         if is_new:
-            if state_hash in self.shipped_lru:
+            wire_key = self.local.wire_key(state_hash)
+            if wire_key in self.shipped_lru:
                 # exact hit: this worker already shipped it (earlier unit)
                 self.suppressed_hashes += 1
             else:
-                if state_hash in self.global_bloom:
+                if wire_key in self.global_bloom:
                     # probably another worker's territory; ship anyway --
                     # the service's exact answer settles it
                     self.probable_cross_duplicates += 1
-                self._buffer.append((state_hash, depth))
-                self.shipped_lru.add(state_hash)
+                self._buffer.append((wire_key, depth))
+                self.shipped_lru.add(wire_key)
                 if len(self._buffer) >= self.batch_size:
                     self.flush()
         return is_new, should_expand

@@ -50,7 +50,8 @@ from repro.dist.protocol import (
 from repro.dist.service import VisitedStateService
 from repro.dist.spec import CheckSpec, WorkUnit
 from repro.dist.worker import WorkerConfig, ResultSink, run_unit, worker_main
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
+from repro.mc.statestore import merge_into
 
 
 @dataclass
@@ -100,7 +101,7 @@ class DistResult:
 
     workers: int
     unit_results: List[UnitResult] = field(default_factory=list)
-    table: VisitedStateTable = field(default_factory=VisitedStateTable)
+    table: AbstractVisitedTable = field(default_factory=VisitedStateTable)
     worker_summaries: List[WorkerSummary] = field(default_factory=list)
     wall_time: float = 0.0
     recovered_units: int = 0
@@ -137,6 +138,20 @@ class DistResult:
     def sequential_sim_time(self) -> float:
         """Simulated compute if every unit ran back to back."""
         return sum(unit.sim_time for unit in self.unit_results)
+
+    @property
+    def omission_possible(self) -> bool:
+        """True when the campaign's store could have omitted states."""
+        return (self.table.stats.omission_possible
+                or any(unit.omission_possible for unit in self.unit_results))
+
+    @property
+    def omission_probability(self) -> float:
+        """Worst per-query omission probability seen anywhere."""
+        return max(
+            [self.table.stats.omission_probability]
+            + [unit.omission_probability for unit in self.unit_results]
+        )
 
     @property
     def bytes_snapshotted(self) -> int:
@@ -234,7 +249,10 @@ class DistributedChecker:
     # ------------------------------------------------------------------ run --
     def run(self) -> DistResult:
         units = self.spec.work_units()
-        service = VisitedStateService()
+        service = VisitedStateService(
+            store=getattr(self.spec, "state_store", "exact"),
+            store_seed=self.spec.base_seed,
+        )
         resumed_operations = 0
         resumed_runs = 0
         if self.state_file is not None:
@@ -242,7 +260,7 @@ class DistributedChecker:
 
             snapshot = load_checker_state(self.state_file)
             if snapshot is not None:
-                service.table.import_seen(snapshot.visited.export_seen())
+                merge_into(service.table, snapshot.visited)
                 resumed_operations = snapshot.operations_completed
                 resumed_runs = snapshot.runs
 

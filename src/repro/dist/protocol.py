@@ -49,15 +49,18 @@ class Heartbeat:
 
 @dataclass(frozen=True)
 class VisitedBatch:
-    """Batched insert RPC: locally-new ``(hash, depth)`` pairs.
+    """Batched insert RPC: locally-new ``(wire key, depth)`` pairs.
 
-    The coordinator answers with a :class:`VisitedReply` carrying one
-    flag per entry (True = globally new).
+    Keys are whatever the campaign's store ships: full hex digests for
+    the exact table, compact integer fingerprints for the memory-bounded
+    stores (:mod:`repro.mc.statestore`).  The coordinator answers with a
+    :class:`VisitedReply` carrying one flag per entry (True = globally
+    new).
     """
 
     worker_id: str
     sequence: int
-    entries: Tuple[Tuple[str, int], ...]
+    entries: Tuple[Tuple[Any, int], ...]
 
 
 @dataclass(frozen=True)
@@ -100,6 +103,11 @@ class UnitResult:
     bytes_snapshotted: int = 0
     bytes_restored: int = 0
     logical_snapshot_bytes: int = 0
+    #: lossy-store accounting (defaulted so older result documents still
+    #: load): whether the unit's local store could omit states, and the
+    #: final per-query probability of such an omission
+    omission_possible: bool = False
+    omission_probability: float = 0.0
 
 
 @dataclass(frozen=True)

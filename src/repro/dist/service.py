@@ -14,15 +14,27 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.mc.hashtable import VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, StateKey
 from repro.mc.persistence import snapshot_from_document
+from repro.mc.statestore import make_store, merge_into
 
 
 class VisitedStateService:
-    """Answers batched insert/lookup requests against one global table."""
+    """Answers batched insert/lookup requests against one global table.
 
-    def __init__(self, table: Optional[VisitedStateTable] = None):
-        self.table = table if table is not None else VisitedStateTable()
+    ``store`` picks the authoritative table's kind (the
+    :mod:`repro.mc.statestore` spec grammar): with a compacted store the
+    workers ship integer fingerprints instead of hex strings, shrinking
+    both the wire traffic and the coordinator's memory.  ``store_seed``
+    must match the workers' local stores so fingerprints agree.
+    """
+
+    def __init__(self, table: Optional[AbstractVisitedTable] = None,
+                 store: str = "exact", store_seed: int = 0):
+        if table is not None:
+            self.table = table
+        else:
+            self.table = make_store(store, seed=store_seed)
         self.batches_served = 0
         self.hashes_received = 0
         #: hashes some *other* worker had already contributed
@@ -30,12 +42,15 @@ class VisitedStateService:
         self.snapshots_merged = 0
 
     # ------------------------------------------------------------- inserts --
-    def insert_batch(self, entries: Sequence[Tuple[str, int]]) -> List[bool]:
-        """Insert ``(hash, depth)`` pairs; return per-entry ``is_new`` flags.
+    def insert_batch(self, entries: Sequence[Tuple[StateKey, int]]) -> List[bool]:
+        """Insert ``(key, depth)`` pairs; return per-entry ``is_new`` flags.
 
-        Entries arrive in the worker's (deterministic) discovery order;
-        only membership matters for the merge, so the table's content is
-        interleaving-independent even though its insertion order is not.
+        Keys are whatever the store's ``wire_key`` produces: full hex
+        digests for the exact table, compact integer fingerprints for the
+        memory-bounded stores.  Entries arrive in the worker's
+        (deterministic) discovery order; only membership matters for the
+        merge, so the table's content is interleaving-independent even
+        though its insertion order is not.
         """
         flags: List[bool] = []
         for state_hash, depth in entries:
@@ -47,22 +62,25 @@ class VisitedStateService:
         self.hashes_received += len(entries)
         return flags
 
-    def lookup_batch(self, hashes: Sequence[str]) -> List[bool]:
+    def lookup_batch(self, hashes: Sequence[StateKey]) -> List[bool]:
         """Membership-only RPC (no insert); True = globally visited."""
         return [state_hash in self.table for state_hash in hashes]
 
     # ----------------------------------------------------------- snapshots --
     def import_snapshot(self, document: Dict[str, Any]) -> int:
-        """Merge a persistence-format snapshot (v1 or v2) into the table.
+        """Merge a persistence-format snapshot (v1/v2/v3) into the table.
 
         Used for a crashed worker's last shipped checkpoint and for
         resuming a whole distributed campaign from a state file.  Returns
         how many hashes were new; merging is idempotent, so replaying a
         checkpoint whose unit later re-runs in full is harmless (the
         checkpoint's states are a prefix of the deterministic re-run).
+        v3 (lossy-store) snapshots merge natively -- bit arrays OR
+        together, fingerprint maps union -- provided the snapshot's store
+        parameters match the service's.
         """
         snapshot = snapshot_from_document(document)
-        added = self.table.import_seen(snapshot.visited.export_seen())
+        added = merge_into(self.table, snapshot.visited)
         self.snapshots_merged += 1
         return added
 

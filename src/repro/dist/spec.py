@@ -140,6 +140,11 @@ class CheckSpec:
     #: VeriFS bug ids injected into the *last* file system (which must
     #: then be a verifs); lets distributed campaigns hunt a known bug
     verifs_bugs: Tuple[str, ...] = ()
+    #: visited-state store spec (``exact | hc[:bytes] | bitstate[:bits,k]
+    #: | tiered[:hot]``); workers build their local tables from it and
+    #: the coordinator's service matches on the same fingerprints, so
+    #: compact wire keys agree fleet-wide (see :mod:`repro.mc.statestore`)
+    state_store: str = "exact"
 
     def __post_init__(self):
         if len(self.filesystems) < 2:
@@ -149,6 +154,9 @@ class CheckSpec:
         for name in self.filesystems:
             if name not in FILESYSTEMS:
                 raise ValueError(f"unknown file system {name!r}")
+        from repro.mc.statestore import parse_store_spec
+
+        parse_store_spec(self.state_store)  # fail fast on a bad spec
 
     # ------------------------------------------------------------- harness --
     def build_mcfs(self):
@@ -167,6 +175,12 @@ class CheckSpec:
             majority_voting=self.voting,
             fsck_every=self.fsck_every,
             fsck_max_workers=1,  # workers must not nest their own pools
+            state_store=self.state_store,
+            # one fleet-wide store seed: every worker's fingerprints must
+            # match the service's, so the spec's base seed is used (swarm
+            # diversification is a *classic*-mode technique, not a
+            # shared-store one)
+            store_seed=self.base_seed,
         )
         mcfs = MCFS(clock, options)
         labels = unique_labels(list(self.filesystems))

@@ -43,6 +43,7 @@ from repro.dist.protocol import (
 )
 from repro.dist.spec import CheckSpec, WorkUnit
 from repro.mc.persistence import snapshot_document
+from repro.mc.statestore import make_store
 
 
 @dataclass
@@ -129,8 +130,14 @@ def run_unit(spec: CheckSpec, unit: WorkUnit, worker_id: str,
     earlier units (chaos fault injection triggers on the session total).
     """
     mcfs = spec.build_mcfs()
+    # the local store mirrors the service's spec (same kind, same seed),
+    # so the wire keys the two sides compute agree; for compacted stores
+    # those keys are small integers instead of 32-char hex strings
+    store_spec = getattr(spec, "state_store", "exact")
+    local = make_store(store_spec, seed=spec.base_seed)
     table = ShippingVisitedTable(
         ship=sink.ship_batch,
+        local=local,
         shipped_lru=shipped_lru,
         global_bloom=global_bloom,
         batch_size=config.batch_size,
@@ -179,6 +186,8 @@ def run_unit(spec: CheckSpec, unit: WorkUnit, worker_id: str,
         shipped_hashes=table.shipped_hashes,
         suppressed_hashes=table.suppressed_hashes,
         probable_cross_duplicates=table.probable_cross_duplicates,
+        omission_possible=table.stats.omission_possible,
+        omission_probability=table.stats.omission_probability,
         bytes_snapshotted=result.bytes_snapshotted,
         bytes_restored=result.bytes_restored,
         logical_snapshot_bytes=result.logical_snapshot_bytes,

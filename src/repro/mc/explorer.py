@@ -216,10 +216,14 @@ class Explorer:
         if reason:
             self.stats.stopped_reason = reason
             return
-        explored: List[Any] = []
+        # sleep-set candidates: the inherited sleep set plus every earlier
+        # sibling, maintained incrementally (one append per action instead
+        # of rebuilding `set(sleep) | set(explored)` for each one)
+        candidates: Optional[List[Any]] = list(sleep) if sleep is not None else None
         for action in self.target.actions():
-            if self._budget_exceeded():
-                self.stats.stopped_reason = self._budget_exceeded() or ""
+            reason = self._budget_exceeded()
+            if reason:
+                self.stats.stopped_reason = reason
                 return
             if sleep is not None and action in sleep:
                 # an independent permutation already covered this order
@@ -232,18 +236,19 @@ class Explorer:
             self.stats.transitions += 1
             if self._record_state(depth + 1):
                 child_sleep = None
-                if sleep is not None:
+                if candidates is not None:
                     # classic sleep sets: earlier siblings that commute
                     # with `action` stay asleep in its subtree
                     child_sleep = frozenset(
                         other
-                        for other in set(sleep) | set(explored)
+                        for other in candidates
                         if self.target.independent(action, other)
                     )
                 self._dfs(depth + 1, child_sleep)
             self.target.restore(token)
             self.stats.restores += 1
-            explored.append(action)
+            if candidates is not None:
+                candidates.append(action)
 
     # --------------------------------------------------------------- random --
     def run_random(self, backtrack_probability: float = 0.25) -> ExplorationStats:

@@ -11,16 +11,30 @@ modelled because they are visible in the paper's Figure 3:
   states;
 * **memory pressure** -- each stored state consumes RAM and eventually
   swap, via the attached :class:`~repro.mc.memory.MemoryModel`.
+
+:class:`VisitedStateTable` is the **exact** store: every abstract hash
+is kept in full and matching is collision-free (up to MD5 itself).  The
+memory-bounded alternatives -- bitstate hashing, hash compaction, and
+the two-tier hot/cold store -- live in :mod:`repro.mc.statestore` and
+plug in behind the same :class:`AbstractVisitedTable` interface.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.clock import Cost
 from repro.mc.memory import MemoryModel
+
+#: bookkeeping footprint of one exact-table entry: the 128-bit digest
+#: kept as a 32-byte hex string plus an 8-byte shallowest-depth slot
+EXACT_ENTRY_BYTES = 40
+
+#: a state key on the wire / in a store: the full 32-char hex digest or
+#: a compacted integer fingerprint (see :mod:`repro.mc.statestore`)
+StateKey = Union[str, int]
 
 
 @dataclass
@@ -29,6 +43,15 @@ class TableStats:
     duplicate_hits: int = 0
     resizes: int = 0
     resize_time: float = 0.0
+    #: bookkeeping bytes the store itself occupies (hash entries,
+    #: fingerprints, or the bitstate bit array -- not concrete states)
+    stored_bytes: int = 0
+    #: True when the store is lossy: a reported duplicate hit may have
+    #: been a fingerprint/bit collision, silently omitting a state
+    omission_possible: bool = False
+    #: current per-query probability that a *fresh* state is wrongly
+    #: reported as visited (0.0 for exact stores)
+    omission_probability: float = 0.0
 
     @property
     def visits(self) -> int:
@@ -39,19 +62,38 @@ class TableStats:
         """Fraction of visits that matched an already-stored state."""
         return self.duplicate_hits / self.visits if self.visits else 0.0
 
+    @property
+    def bits_per_state(self) -> float:
+        """Store bookkeeping bits per distinct stored state."""
+        return self.stored_bytes * 8 / self.inserts if self.inserts else 0.0
+
     def to_dict(self) -> Dict[str, float]:
         return {
             "inserts": self.inserts,
             "duplicate_hits": self.duplicate_hits,
             "resizes": self.resizes,
             "resize_time": self.resize_time,
+            "stored_bytes": self.stored_bytes,
+            "omission_possible": self.omission_possible,
+            "omission_probability": self.omission_probability,
         }
+
+    def reset(self) -> None:
+        """Zero every counter (``omission_possible`` is sticky: it
+        describes the store *mode*, not the traffic)."""
+        self.inserts = 0
+        self.duplicate_hits = 0
+        self.resizes = 0
+        self.resize_time = 0.0
+        self.stored_bytes = 0
+        self.omission_probability = 0.0
 
 
 class AbstractVisitedTable(ABC):
     """What the explorer needs from a visited-state store.
 
     The concrete :class:`VisitedStateTable` is the in-process default;
+    :mod:`repro.mc.statestore` provides the memory-bounded stores,
     :mod:`repro.dist` plugs in service-backed tables that ship newly
     discovered hashes to a coordinator, and swarm's cooperative mode
     wraps one shared table per member to record coverage.
@@ -62,17 +104,26 @@ class AbstractVisitedTable(ABC):
     stats: TableStats
 
     @abstractmethod
-    def visit(self, state_hash: str, depth: int = 0) -> Tuple[bool, bool]:
+    def visit(self, state_hash: StateKey, depth: int = 0) -> Tuple[bool, bool]:
         """Record a visit; return ``(is_new, should_expand)``."""
 
     @abstractmethod
     def __len__(self) -> int:
         """Number of distinct states stored."""
 
-    def add(self, state_hash: str) -> bool:
+    def add(self, state_hash: StateKey) -> bool:
         """Insert a state hash; return True if it was new."""
         is_new, _ = self.visit(state_hash, depth=0)
         return is_new
+
+    def wire_key(self, state_hash: str) -> StateKey:
+        """The key this store matches on, as shipped over the wire.
+
+        Exact stores ship the full hex digest; compacted stores override
+        this to ship their (much smaller) integer fingerprint, and their
+        :meth:`visit` accepts such pre-compacted keys directly.
+        """
+        return state_hash
 
     @property
     def duplicate_hit_ratio(self) -> float:
@@ -81,13 +132,14 @@ class AbstractVisitedTable(ABC):
 
 
 class VisitedStateTable(AbstractVisitedTable):
-    """A visited-state set keyed by abstract-state hashes."""
+    """A visited-state set keyed by full abstract-state hashes (exact)."""
 
     def __init__(self, memory: Optional[MemoryModel] = None,
                  initial_buckets: int = 1 << 10,
                  max_load_factor: float = 0.75):
         self.memory = memory
         self.buckets = initial_buckets
+        self.initial_buckets = initial_buckets
         self.max_load_factor = max_load_factor
         #: hash -> shallowest depth at which the state was reached
         self._seen: Dict[str, int] = {}
@@ -115,6 +167,7 @@ class VisitedStateTable(AbstractVisitedTable):
         if existing is None:
             self._seen[state_hash] = depth
             self.stats.inserts += 1
+            self.stats.stored_bytes += EXACT_ENTRY_BYTES
             if self.memory is not None:
                 self.memory.store_state()
             if len(self._seen) > self.buckets * self.max_load_factor:
@@ -153,6 +206,7 @@ class VisitedStateTable(AbstractVisitedTable):
             if existing is None:
                 self._seen[state_hash] = depth
                 self.stats.inserts += 1
+                self.stats.stored_bytes += EXACT_ENTRY_BYTES
                 added += 1
                 if self.memory is not None:
                     self.memory.store_state()
@@ -183,7 +237,19 @@ class VisitedStateTable(AbstractVisitedTable):
             hook(self.buckets)
 
     def clear(self) -> None:
+        """Empty the table and reset every observable side effect.
+
+        The stats are zeroed (a cleared table that still reports the old
+        inserts/resizes would poison any rate derived from them), the
+        memory model releases the stored states, and resize hooks are
+        notified of the bucket array shrinking back to its initial size
+        -- the same channel they use for growth, so event timelines stay
+        consistent.
+        """
         self._seen.clear()
-        self.buckets = 1 << 10
+        self.buckets = self.initial_buckets
+        self.stats.reset()
         if self.memory is not None:
             self.memory.reset()
+        for hook in self.resize_hooks:
+            hook(self.buckets)

@@ -22,6 +22,12 @@ Version history:
   ``worker_id`` (so :mod:`repro.dist` workers can ship their periodic
   checkpoints in this format and the coordinator knows whose leased work
   a snapshot covers).  v1 documents still load.
+* **v3** -- memory-bounded stores (:mod:`repro.mc.statestore`): instead
+  of a ``seen`` hash map, the document carries a ``store`` record (the
+  store's own serialised form -- bit array, fingerprint map, or hot/cold
+  tiers) so a bitstate or hash-compaction campaign resumes without the
+  full hashes it never kept.  Exact tables keep writing v2; v1/v2 still
+  load.
 """
 
 from __future__ import annotations
@@ -31,19 +37,22 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.mc.hashtable import TableStats, VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, TableStats, VisitedStateTable
 
 FORMAT_VERSION = 2
 
+#: version written for memory-bounded (lossy) stores
+LOSSY_FORMAT_VERSION = 3
+
 #: versions this module can still read
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 @dataclass
 class CheckerSnapshot:
     """Everything persisted between runs."""
 
-    visited: VisitedStateTable
+    visited: AbstractVisitedTable
     operations_completed: int = 0
     runs: int = 1
     #: exploration seed the snapshot belongs to (v2; None for v1 docs)
@@ -53,51 +62,96 @@ class CheckerSnapshot:
     table_stats: TableStats = field(default_factory=TableStats)
 
 
-def snapshot_document(visited: VisitedStateTable,
+def snapshot_document(visited: AbstractVisitedTable,
                       operations_completed: int = 0, runs: int = 1,
                       seed: Optional[int] = None,
                       worker_id: Optional[str] = None) -> Dict[str, Any]:
-    """Build the (JSON-serialisable) v2 snapshot document.
+    """Build the (JSON-serialisable) snapshot document.
 
-    Shared by :func:`save_checker_state` and the distributed workers,
-    which ship the same document over a pipe instead of writing a file.
+    Exact tables produce the v2 form (full ``seen`` map); memory-bounded
+    stores produce v3 with their own ``store`` record.  Shared by
+    :func:`save_checker_state` and the distributed workers, which ship
+    the same document over a pipe instead of writing a file.
     """
-    return {
-        "version": FORMAT_VERSION,
-        "buckets": visited.buckets,
-        "seen": visited.export_seen(),  # hash -> shallowest depth
+    common = {
         "operations_completed": operations_completed,
         "runs": runs,
         "seed": seed,
         "worker_id": worker_id,
         "table_stats": visited.stats.to_dict(),
     }
+    if isinstance(visited, VisitedStateTable):
+        return {
+            "version": FORMAT_VERSION,
+            "buckets": visited.buckets,
+            "seen": visited.export_seen(),  # hash -> shallowest depth
+            **common,
+        }
+    store_document = getattr(visited, "store_document", None)
+    if store_document is None:
+        raise ValueError(
+            f"{type(visited).__name__} does not support persistence "
+            f"(no store_document)"
+        )
+    return {
+        "version": LOSSY_FORMAT_VERSION,
+        "store": store_document(),
+        **common,
+    }
+
+
+def _stats_from_raw(raw: Dict[str, Any], fallback_inserts: int) -> TableStats:
+    return TableStats(
+        inserts=int(raw.get("inserts", fallback_inserts)),
+        duplicate_hits=int(raw.get("duplicate_hits", 0)),
+        resizes=int(raw.get("resizes", 0)),
+        resize_time=float(raw.get("resize_time", 0.0)),
+        stored_bytes=int(raw.get("stored_bytes", 0)),
+        omission_possible=bool(raw.get("omission_possible", False)),
+        omission_probability=float(raw.get("omission_probability", 0.0)),
+    )
 
 
 def snapshot_from_document(document: Dict[str, Any],
                            memory=None) -> CheckerSnapshot:
-    """Rebuild a :class:`CheckerSnapshot` from a v1 or v2 document."""
+    """Rebuild a :class:`CheckerSnapshot` from a v1, v2, or v3 document."""
     version = document.get("version")
     if version not in SUPPORTED_VERSIONS:
         raise ValueError(
             f"checker snapshot has version {version}, "
             f"expected one of {SUPPORTED_VERSIONS}"
         )
-    visited = VisitedStateTable(memory=memory,
-                                initial_buckets=document["buckets"])
-    visited.import_seen({
-        state_hash: int(depth) for state_hash, depth in document["seen"].items()
-    })
-    stats = TableStats(inserts=len(visited))
-    if version >= 2:
-        raw = document.get("table_stats", {})
-        stats = TableStats(
-            inserts=int(raw.get("inserts", len(visited))),
-            duplicate_hits=int(raw.get("duplicate_hits", 0)),
-            resizes=int(raw.get("resizes", 0)),
-            resize_time=float(raw.get("resize_time", 0.0)),
-        )
-    visited.stats = stats
+    if version >= 3:
+        from repro.mc.statestore import store_from_document
+
+        visited: AbstractVisitedTable = store_from_document(
+            document["store"], memory=memory)
+        stats = _stats_from_raw(document.get("table_stats", {}),
+                                fallback_inserts=len(visited))
+        # the rebuilt store already knows its footprint and omission
+        # state; the persisted counters restore the traffic history
+        stats.stored_bytes = max(stats.stored_bytes,
+                                 visited.stats.stored_bytes)
+        stats.omission_possible = (stats.omission_possible
+                                   or visited.stats.omission_possible)
+        stats.omission_probability = max(stats.omission_probability,
+                                         visited.stats.omission_probability)
+        visited.stats = stats
+    else:
+        visited = VisitedStateTable(memory=memory,
+                                    initial_buckets=document["buckets"])
+        visited.import_seen({
+            state_hash: int(depth)
+            for state_hash, depth in document["seen"].items()
+        })
+        stats = TableStats(inserts=len(visited),
+                           stored_bytes=visited.stats.stored_bytes)
+        if version >= 2:
+            stats = _stats_from_raw(document.get("table_stats", {}),
+                                    fallback_inserts=len(visited))
+            if not stats.stored_bytes:
+                stats.stored_bytes = visited.stats.stored_bytes
+        visited.stats = stats
     return CheckerSnapshot(
         visited=visited,
         operations_completed=int(document.get("operations_completed", 0)),
@@ -108,11 +162,11 @@ def snapshot_from_document(document: Dict[str, Any],
     )
 
 
-def save_checker_state(path: str, visited: VisitedStateTable,
+def save_checker_state(path: str, visited: AbstractVisitedTable,
                        operations_completed: int = 0, runs: int = 1,
                        seed: Optional[int] = None,
                        worker_id: Optional[str] = None) -> None:
-    """Atomically write the checker's knowledge to ``path`` (v2 format)."""
+    """Atomically write the checker's knowledge to ``path``."""
     document = snapshot_document(visited,
                                  operations_completed=operations_completed,
                                  runs=runs, seed=seed, worker_id=worker_id)

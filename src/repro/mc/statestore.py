@@ -1,0 +1,709 @@
+"""Memory-bounded visited-state stores (Spin ``-DBITSTATE`` / ``-DHC``).
+
+Figure 3's collapse is a *store* problem: the exact
+:class:`~repro.mc.hashtable.VisitedStateTable` keeps a full concrete
+snapshot per state, so a long run stalls when the table resizes and
+crawls once the store spills into swap.  Spin's classic remedies trade a
+quantified chance of *omitting* states for a bounded footprint, and this
+module reproduces them behind the same
+:class:`~repro.mc.hashtable.AbstractVisitedTable` interface:
+
+* :class:`BitstateTable` -- supertrace/bitstate hashing: ``k``
+  MD5-derived bit positions per state in one fixed bit array.  Zero
+  per-state heap growth, zero resizes; a fresh state whose bits are all
+  already set is silently skipped (an *omission*), with probability
+  ``(set_bits / bits) ** k``.
+* :class:`HashCompactionTable` -- store a 4/8-byte compacted fingerprint
+  (+ shallowest depth) instead of the 32-char hex digest.  Two distinct
+  states colliding on the fingerprint omit the younger one, with
+  per-query probability ``stored / 2**(8*fp_bytes)``.
+* :class:`TieredTable` -- a hot/cold split matching DFS locality: recent
+  states stay exact in a bounded LRU tier; cold states demote to the
+  compacted tier.  Exact while the campaign fits the hot tier, bounded
+  forever after.
+
+Every mode charges its true footprint to the attached
+:class:`~repro.mc.memory.MemoryModel` (the exact table charges one
+concrete snapshot per state; hash compaction charges bytes-per-entry;
+bitstate reserves its array once), and every lossy mode reports
+``omission_possible`` / ``omission_probability`` through
+:class:`~repro.mc.hashtable.TableStats` so coverage loss is never
+silent.
+
+Seeded diversification (``seed=...``) re-mixes the hash positions /
+fingerprints per store, which is what makes classic swarm+bitstate work:
+members with different seeds omit *different* states, so the union
+recovers coverage a single same-budget member loses.
+
+``parse_store_spec``/``make_store`` accept the CLI grammar::
+
+    exact | hc[:fp_bytes] | bitstate[:bits,k] | tiered[:hot_capacity]
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.clock import Cost
+from repro.mc.hashtable import (
+    EXACT_ENTRY_BYTES,
+    AbstractVisitedTable,
+    StateKey,
+    TableStats,
+    VisitedStateTable,
+)
+from repro.mc.memory import MemoryModel
+
+#: bytes of one compacted entry beyond the fingerprint: the shallowest
+#: depth slot (the fingerprint itself adds ``fp_bytes``)
+DEPTH_SLOT_BYTES = 4
+
+DEFAULT_FP_BYTES = 4
+DEFAULT_BITS = 1 << 23  # 1 MiB bit array
+DEFAULT_K = 3
+DEFAULT_HOT_CAPACITY = 1 << 12
+
+#: optional test hook type: maps a state hash to a 16-byte digest
+DigestFn = Callable[[str], bytes]
+
+
+def _digest(state_hash: StateKey, seed: int,
+            digest_fn: Optional[DigestFn] = None) -> bytes:
+    """The 16 bytes a store derives its fingerprint/positions from.
+
+    Abstract-state hashes are already MD5 hex digests, so the unseeded
+    fast path just decodes them; a nonzero seed re-mixes the digest so
+    differently-seeded stores collide on *different* state pairs.  A
+    128-bit integer (the wire form) decodes to the same bytes as its hex
+    string, so pre-compacted keys hash identically.
+    """
+    if isinstance(state_hash, int):
+        raw = state_hash.to_bytes(16, "big")
+    elif digest_fn is not None:
+        raw = digest_fn(state_hash)
+    else:
+        try:
+            raw = bytes.fromhex(state_hash)
+        except ValueError:
+            raw = hashlib.md5(state_hash.encode("utf-8")).digest()
+        if len(raw) != 16:
+            raw = hashlib.md5(state_hash.encode("utf-8")).digest()
+    if seed:
+        raw = hashlib.md5(seed.to_bytes(8, "big", signed=True) + raw).digest()
+    return raw
+
+
+class BitstateTable(AbstractVisitedTable):
+    """Supertrace/bitstate hashing: ``k`` bits per state, never resizes.
+
+    The whole store is one fixed bit array: no per-state heap growth, so
+    a Figure-3-length run never hits a resize stall or a swap-bound
+    store.  The price is a quantified omission probability, exactly like
+    Spin's ``-DBITSTATE``.
+
+    Depth-bounded search needs one more thing: a known state re-reached
+    at a *shallower* depth must be re-expanded, or frontier subtrees are
+    silently truncated (the problem Spin's ``-DREACH`` solves for exact
+    stores).  A pure bit array cannot remember depths, so the table
+    keeps a second **fixed-size** saturating array of shallowest-depth
+    slots, indexed by the state's first hash position.  Slot collisions
+    can only *under*-trigger re-expansion (a colliding state's smaller
+    depth masks ours), so the array stays an approximation -- but it is
+    allocated once, like the bit array, preserving the zero-growth /
+    zero-resize property.
+    """
+
+    #: depth-slot value meaning "no depth recorded yet"
+    _DEPTH_UNSET = 0xFF
+
+    def __init__(self, bits: int = DEFAULT_BITS, k: int = DEFAULT_K,
+                 seed: int = 0, memory: Optional[MemoryModel] = None,
+                 digest_fn: Optional[DigestFn] = None):
+        if bits < 64:
+            raise ValueError("a bitstate array needs at least 64 bits")
+        if k < 1:
+            raise ValueError("bitstate needs at least one bit per state")
+        self.bits = bits
+        self.k = k
+        self.seed = seed
+        self.memory = memory
+        self._digest_fn = digest_fn
+        self._array = bytearray(bits // 8 + 1)
+        #: shallowest depth per slot (saturating at 0xFE; 0xFF = unset)
+        self._depths = bytearray([self._DEPTH_UNSET]) * (bits // 8 + 1)
+        self._set_bits = 0
+        self._count = 0
+        self.stats = TableStats(omission_possible=True,
+                                stored_bytes=len(self._array)
+                                + len(self._depths))
+        if memory is not None:
+            # both arrays are allocated once, up front -- this is the
+            # whole footprint, which is why bitstate defers the
+            # swap collapse
+            memory.store_bytes(len(self._array) + len(self._depths))
+
+    def _positions(self, state_hash: StateKey):
+        digest = _digest(state_hash, self.seed, self._digest_fn)
+        first = int.from_bytes(digest[:8], "little")
+        second = int.from_bytes(digest[8:], "little") | 1
+        for i in range(self.k):
+            yield (first + i * second) % self.bits
+
+    def visit(self, state_hash: StateKey, depth: int = 0) -> Tuple[bool, bool]:
+        is_new = False
+        slot = None
+        for position in self._positions(state_hash):
+            if slot is None:
+                slot = position % len(self._depths)
+            byte, bit = position >> 3, 1 << (position & 7)
+            if not self._array[byte] & bit:
+                is_new = True
+                self._array[byte] |= bit
+                self._set_bits += 1
+        if self.memory is not None:
+            self.memory.touch_bytes(self.k)
+        clamped = min(depth, 0xFE)
+        if is_new:
+            self._count += 1
+            self.stats.inserts += 1
+            self.stats.omission_probability = self.false_hit_probability
+            if clamped < self._depths[slot]:
+                self._depths[slot] = clamped
+            return True, True
+        self.stats.duplicate_hits += 1
+        if clamped < self._depths[slot]:
+            # shallower re-reach: re-expand so the bounded search keeps
+            # the subtree it would otherwise truncate
+            self._depths[slot] = clamped
+            return False, True
+        return False, False
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, state_hash: StateKey) -> bool:
+        return all(self._array[p >> 3] & (1 << (p & 7))
+                   for p in self._positions(state_hash))
+
+    def wire_key(self, state_hash: str) -> int:
+        """Ship the digest as a 128-bit integer (16 bytes vs 32+ on the
+        wire); the seed re-mix happens store-side, so pre-compacted keys
+        land on the same bit positions."""
+        return int(state_hash, 16)
+
+    @property
+    def fill_ratio(self) -> float:
+        return self._set_bits / self.bits
+
+    @property
+    def false_hit_probability(self) -> float:
+        """Probability that a *fresh* state finds all ``k`` bits set."""
+        return self.fill_ratio ** self.k
+
+    # ------------------------------------------------------- merge/persist --
+    def import_seen(self, seen: Mapping[str, int]) -> int:
+        """Merge full ``hash -> depth`` knowledge (depths are dropped)."""
+        added = 0
+        for state_hash in sorted(seen):
+            is_new, _ = self.visit(state_hash, int(seen[state_hash]))
+            if is_new:
+                added += 1
+                self.stats.inserts -= 1  # bookkeeping merge, not exploration
+            else:
+                self.stats.duplicate_hits -= 1
+        return added
+
+    def merge_from(self, other: "BitstateTable") -> int:
+        """OR in another member's bit array (same bits/k/seed only)."""
+        if (other.bits, other.k, other.seed) != (self.bits, self.k, self.seed):
+            raise ValueError("cannot merge bitstate tables with different "
+                             "bits/k/seed parameters")
+        before = self._set_bits
+        set_bits = 0
+        for index, byte in enumerate(other._array):
+            merged = self._array[index] | byte
+            self._array[index] = merged
+            set_bits += bin(merged).count("1")
+        for index, depth in enumerate(other._depths):
+            if depth < self._depths[index]:
+                self._depths[index] = depth
+        self._set_bits = set_bits
+        # states are not individually recoverable from a bit array; grow
+        # the count by the other store's, capped by what the bits allow
+        self._count += other._count
+        self.stats.omission_probability = self.false_hit_probability
+        return max(0, set_bits - before)
+
+    def store_document(self) -> Dict:
+        return {
+            "kind": "bitstate",
+            "bits": self.bits,
+            "k": self.k,
+            "seed": self.seed,
+            "count": self._count,
+            "array": bytes(self._array).hex(),
+            "depths": bytes(self._depths).hex(),
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping,
+                      memory: Optional[MemoryModel] = None) -> "BitstateTable":
+        table = cls(bits=int(document["bits"]), k=int(document["k"]),
+                    seed=int(document.get("seed", 0)), memory=memory)
+        array = bytearray(bytes.fromhex(document["array"]))
+        if len(array) != len(table._array):
+            raise ValueError("bitstate snapshot array length mismatch")
+        table._array = array
+        if "depths" in document:
+            depths = bytearray(bytes.fromhex(document["depths"]))
+            if len(depths) == len(table._depths):
+                table._depths = depths
+        table._set_bits = sum(bin(byte).count("1") for byte in array)
+        table._count = int(document.get("count", 0))
+        table.stats.inserts = table._count
+        table.stats.omission_probability = table.false_hit_probability
+        return table
+
+
+class HashCompactionTable(AbstractVisitedTable):
+    """Spin ``-DHC``: store a compacted fingerprint + shallowest depth.
+
+    Matching happens on a ``fp_bytes``-byte fingerprint of the abstract
+    hash, so each entry costs ``fp_bytes + 4`` bookkeeping bytes instead
+    of a 40-byte exact entry -- and, unlike the exact table, no concrete
+    snapshot is retained, so the memory model only grows by entry bytes.
+    Depth memory is kept (Spin's HC stores the depth too), so
+    depth-bounded re-expansion still works.
+    """
+
+    def __init__(self, fp_bytes: int = DEFAULT_FP_BYTES, seed: int = 0,
+                 memory: Optional[MemoryModel] = None,
+                 initial_buckets: int = 1 << 10,
+                 max_load_factor: float = 0.75,
+                 digest_fn: Optional[DigestFn] = None):
+        if fp_bytes not in (2, 4, 8):
+            raise ValueError("hash compaction supports 2/4/8-byte "
+                             "fingerprints")
+        self.fp_bytes = fp_bytes
+        self.seed = seed
+        self.memory = memory
+        self.buckets = initial_buckets
+        self.max_load_factor = max_load_factor
+        self._digest_fn = digest_fn
+        self._seen: Dict[int, int] = {}  # fingerprint -> shallowest depth
+        self.entry_bytes = fp_bytes + DEPTH_SLOT_BYTES
+        self.stats = TableStats(omission_possible=True)
+        self.resize_hooks = []
+
+    def fingerprint(self, state_hash: StateKey) -> int:
+        if isinstance(state_hash, int):
+            return state_hash  # already compacted (wire form)
+        digest = _digest(state_hash, self.seed, self._digest_fn)
+        return int.from_bytes(digest[:self.fp_bytes], "little")
+
+    def wire_key(self, state_hash: str) -> int:
+        return self.fingerprint(state_hash)
+
+    def visit(self, state_hash: StateKey, depth: int = 0) -> Tuple[bool, bool]:
+        fingerprint = self.fingerprint(state_hash)
+        existing = self._seen.get(fingerprint)
+        if existing is None:
+            self._seen[fingerprint] = depth
+            self.stats.inserts += 1
+            self.stats.stored_bytes += self.entry_bytes
+            self.stats.omission_probability = self.false_hit_probability
+            if self.memory is not None:
+                self.memory.store_bytes(self.entry_bytes)
+                self.memory.touch_bytes(self.entry_bytes)
+            if len(self._seen) > self.buckets * self.max_load_factor:
+                self._resize()
+            return True, True
+        self.stats.duplicate_hits += 1
+        if self.memory is not None:
+            self.memory.touch_bytes(self.entry_bytes)
+        if depth < existing:
+            self._seen[fingerprint] = depth
+            return False, True
+        return False, False
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def __contains__(self, state_hash: StateKey) -> bool:
+        return self.fingerprint(state_hash) in self._seen
+
+    @property
+    def false_hit_probability(self) -> float:
+        """Probability a fresh state's fingerprint collides with a
+        stored one (birthday-style per-query bound)."""
+        return len(self._seen) / float(1 << (8 * self.fp_bytes))
+
+    def _resize(self) -> None:
+        """Rehash stalls shrink with the entries: compacted records
+        sweep far fewer bytes than full exact entries."""
+        self.buckets *= 2
+        self.stats.resizes += 1
+        scale = self.entry_bytes / EXACT_ENTRY_BYTES
+        cost = Cost.HASH_RESIZE_PER_STATE * len(self._seen) * scale
+        if self.memory is not None:
+            hit = self.memory.ram_hit_ratio()
+            cost += ((1.0 - hit) * Cost.SWAP_STATE_TOUCH
+                     * len(self._seen) * scale)
+            self.memory.clock.charge(cost, "hash-resize")
+            self.stats.resize_time += cost
+        for hook in self.resize_hooks:
+            hook(self.buckets)
+
+    # ------------------------------------------------------- merge/persist --
+    def export_fingerprints(self) -> Dict[int, int]:
+        return dict(self._seen)
+
+    def import_seen(self, seen: Mapping[str, int]) -> int:
+        """Merge full ``hash -> depth`` knowledge by compacting it."""
+        added = 0
+        for state_hash in sorted(seen):
+            depth = int(seen[state_hash])
+            fingerprint = self.fingerprint(state_hash)
+            existing = self._seen.get(fingerprint)
+            if existing is None:
+                self._seen[fingerprint] = depth
+                self.stats.inserts += 1
+                self.stats.stored_bytes += self.entry_bytes
+                added += 1
+                if self.memory is not None:
+                    self.memory.store_bytes(self.entry_bytes)
+            elif depth < existing:
+                self._seen[fingerprint] = depth
+        self.stats.omission_probability = self.false_hit_probability
+        return added
+
+    def merge_from(self, other: "HashCompactionTable") -> int:
+        if (other.fp_bytes, other.seed) != (self.fp_bytes, self.seed):
+            raise ValueError("cannot merge hash-compaction tables with "
+                             "different fp_bytes/seed parameters")
+        added = 0
+        for fingerprint in sorted(other._seen):
+            depth = other._seen[fingerprint]
+            existing = self._seen.get(fingerprint)
+            if existing is None:
+                self._seen[fingerprint] = depth
+                self.stats.inserts += 1
+                self.stats.stored_bytes += self.entry_bytes
+                added += 1
+                if self.memory is not None:
+                    self.memory.store_bytes(self.entry_bytes)
+            elif depth < existing:
+                self._seen[fingerprint] = depth
+        self.stats.omission_probability = self.false_hit_probability
+        return added
+
+    def store_document(self) -> Dict:
+        return {
+            "kind": "hc",
+            "fp_bytes": self.fp_bytes,
+            "seed": self.seed,
+            "buckets": self.buckets,
+            "seen": {str(fp): depth for fp, depth in self._seen.items()},
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping,
+                      memory: Optional[MemoryModel] = None
+                      ) -> "HashCompactionTable":
+        table = cls(fp_bytes=int(document["fp_bytes"]),
+                    seed=int(document.get("seed", 0)), memory=memory,
+                    initial_buckets=int(document.get("buckets", 1 << 10)))
+        for fp_text in sorted(document["seen"]):
+            fingerprint = int(fp_text)
+            table._seen[fingerprint] = int(document["seen"][fp_text])
+            table.stats.inserts += 1
+            table.stats.stored_bytes += table.entry_bytes
+            if memory is not None:
+                memory.store_bytes(table.entry_bytes)
+        table.stats.omission_probability = table.false_hit_probability
+        return table
+
+
+class TieredTable(AbstractVisitedTable):
+    """Hot/cold two-tier store: exact LRU tier + compacted cold tier.
+
+    DFS locality means most duplicate hits land on recently stored
+    states; the hot tier answers those exactly (full hash, full depth
+    memory, full concrete-snapshot charge).  When the hot tier exceeds
+    ``hot_capacity`` its least-recently-used entry demotes to the cold
+    tier, shrinking from a concrete snapshot to a fingerprint -- so the
+    store's RAM ceiling is ``hot_capacity`` snapshots plus entry bytes,
+    no matter how long the campaign runs.  Omissions are only possible
+    between cold fingerprints, so the probability scales with the cold
+    tier, not the whole history.
+    """
+
+    def __init__(self, hot_capacity: int = DEFAULT_HOT_CAPACITY,
+                 fp_bytes: int = DEFAULT_FP_BYTES, seed: int = 0,
+                 memory: Optional[MemoryModel] = None,
+                 digest_fn: Optional[DigestFn] = None):
+        if hot_capacity < 1:
+            raise ValueError("the hot tier needs at least one slot")
+        if fp_bytes not in (2, 4, 8):
+            raise ValueError("the cold tier supports 2/4/8-byte "
+                             "fingerprints")
+        self.hot_capacity = hot_capacity
+        self.fp_bytes = fp_bytes
+        self.seed = seed
+        self.memory = memory
+        self._digest_fn = digest_fn
+        self._hot: "OrderedDict[str, int]" = OrderedDict()
+        self._cold: Dict[int, int] = {}
+        self.entry_bytes = fp_bytes + DEPTH_SLOT_BYTES
+        self.demotions = 0
+        self.stats = TableStats()  # exact until the first demotion
+
+    def fingerprint(self, state_hash: StateKey) -> int:
+        if isinstance(state_hash, int):
+            return state_hash
+        digest = _digest(state_hash, self.seed, self._digest_fn)
+        return int.from_bytes(digest[:self.fp_bytes], "little")
+
+    def visit(self, state_hash: StateKey, depth: int = 0) -> Tuple[bool, bool]:
+        hot_depth = None
+        if isinstance(state_hash, str):
+            hot_depth = self._hot.get(state_hash)
+        if hot_depth is not None:
+            self._hot.move_to_end(state_hash)
+            self.stats.duplicate_hits += 1
+            if self.memory is not None:
+                self.memory.touch_state()
+            if depth < hot_depth:
+                self._hot[state_hash] = depth
+                return False, True
+            return False, False
+        fingerprint = self.fingerprint(state_hash)
+        cold_depth = self._cold.get(fingerprint)
+        if cold_depth is not None:
+            self.stats.duplicate_hits += 1
+            if self.memory is not None:
+                self.memory.touch_bytes(self.entry_bytes)
+            if depth < cold_depth:
+                self._cold[fingerprint] = depth
+                return False, True
+            return False, False
+        self._insert_hot(state_hash, fingerprint, depth)
+        return True, True
+
+    def _insert_hot(self, state_hash: StateKey, fingerprint: int,
+                    depth: int) -> None:
+        # wire-form integer keys have no hex string to keep exact; they
+        # go straight to the cold tier (the service-side path)
+        if isinstance(state_hash, int):
+            self._cold[fingerprint] = depth
+            self.stats.inserts += 1
+            self.stats.stored_bytes += self.entry_bytes
+            if self.memory is not None:
+                self.memory.store_bytes(self.entry_bytes)
+            self._after_insert()
+            return
+        self._hot[state_hash] = depth
+        self.stats.inserts += 1
+        self.stats.stored_bytes += EXACT_ENTRY_BYTES
+        if self.memory is not None:
+            self.memory.store_state()
+        if len(self._hot) > self.hot_capacity:
+            cold_hash, cold_depth = self._hot.popitem(last=False)
+            self._cold[self.fingerprint(cold_hash)] = cold_depth
+            self.demotions += 1
+            self.stats.stored_bytes += self.entry_bytes - EXACT_ENTRY_BYTES
+            if self.memory is not None:
+                # the demoted state's concrete snapshot is dropped; only
+                # the fingerprint entry remains
+                self.memory.release_bytes(self.memory.state_bytes)
+                self.memory.store_bytes(self.entry_bytes)
+        self._after_insert()
+
+    def _after_insert(self) -> None:
+        if self._cold:
+            self.stats.omission_possible = True
+        self.stats.omission_probability = self.false_hit_probability
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._cold)
+
+    def __contains__(self, state_hash: StateKey) -> bool:
+        if isinstance(state_hash, str) and state_hash in self._hot:
+            return True
+        return self.fingerprint(state_hash) in self._cold
+
+    @property
+    def false_hit_probability(self) -> float:
+        """Collisions only happen against cold fingerprints."""
+        return len(self._cold) / float(1 << (8 * self.fp_bytes))
+
+    # ------------------------------------------------------- merge/persist --
+    def import_seen(self, seen: Mapping[str, int]) -> int:
+        added = 0
+        for state_hash in sorted(seen):
+            is_new, _ = self.visit(state_hash, int(seen[state_hash]))
+            if is_new:
+                added += 1
+            else:
+                self.stats.duplicate_hits -= 1  # bookkeeping, not a visit
+        return added
+
+    def merge_from(self, other: "TieredTable") -> int:
+        if (other.fp_bytes, other.seed) != (self.fp_bytes, self.seed):
+            raise ValueError("cannot merge tiered tables with different "
+                             "fp_bytes/seed parameters")
+        added = self.import_seen(dict(other._hot))
+        for fingerprint in sorted(other._cold):
+            depth = other._cold[fingerprint]
+            existing = self._cold.get(fingerprint)
+            if existing is None:
+                self._cold[fingerprint] = depth
+                self.stats.inserts += 1
+                self.stats.stored_bytes += self.entry_bytes
+                added += 1
+                if self.memory is not None:
+                    self.memory.store_bytes(self.entry_bytes)
+            elif depth < existing:
+                self._cold[fingerprint] = depth
+        self._after_insert()
+        return added
+
+    def store_document(self) -> Dict:
+        return {
+            "kind": "tiered",
+            "hot_capacity": self.hot_capacity,
+            "fp_bytes": self.fp_bytes,
+            "seed": self.seed,
+            "hot": dict(self._hot),
+            "cold": {str(fp): depth for fp, depth in self._cold.items()},
+        }
+
+    @classmethod
+    def from_document(cls, document: Mapping,
+                      memory: Optional[MemoryModel] = None) -> "TieredTable":
+        table = cls(hot_capacity=int(document["hot_capacity"]),
+                    fp_bytes=int(document["fp_bytes"]),
+                    seed=int(document.get("seed", 0)), memory=memory)
+        table.import_seen({h: int(d) for h, d in document["hot"].items()})
+        for fp_text in sorted(document["cold"]):
+            fingerprint = int(fp_text)
+            if fingerprint not in table._cold:
+                table._cold[fingerprint] = int(document["cold"][fp_text])
+                table.stats.inserts += 1
+                table.stats.stored_bytes += table.entry_bytes
+                if memory is not None:
+                    memory.store_bytes(table.entry_bytes)
+        table._after_insert()
+        return table
+
+
+# ------------------------------------------------------------------- specs --
+@dataclass(frozen=True)
+class StoreSpec:
+    """A parsed ``--state-store`` argument; picklable and hashable."""
+
+    kind: str  # "exact" | "hc" | "bitstate" | "tiered"
+    fp_bytes: int = DEFAULT_FP_BYTES
+    bits: int = DEFAULT_BITS
+    k: int = DEFAULT_K
+    hot_capacity: int = DEFAULT_HOT_CAPACITY
+
+    def build(self, memory: Optional[MemoryModel] = None,
+              seed: int = 0) -> AbstractVisitedTable:
+        """Construct the store (``seed`` diversifies lossy hashing)."""
+        if self.kind == "exact":
+            return VisitedStateTable(memory=memory)
+        if self.kind == "hc":
+            return HashCompactionTable(fp_bytes=self.fp_bytes, seed=seed,
+                                       memory=memory)
+        if self.kind == "bitstate":
+            return BitstateTable(bits=self.bits, k=self.k, seed=seed,
+                                 memory=memory)
+        if self.kind == "tiered":
+            return TieredTable(hot_capacity=self.hot_capacity,
+                               fp_bytes=self.fp_bytes, seed=seed,
+                               memory=memory)
+        raise ValueError(f"unknown state-store kind {self.kind!r}")
+
+    def describe(self) -> str:
+        if self.kind == "hc":
+            return f"hc:{self.fp_bytes}"
+        if self.kind == "bitstate":
+            return f"bitstate:{self.bits},{self.k}"
+        if self.kind == "tiered":
+            return f"tiered:{self.hot_capacity}"
+        return self.kind
+
+
+def parse_store_spec(text: str) -> StoreSpec:
+    """Parse ``exact | hc[:bytes] | bitstate[:bits,k] | tiered[:hot]``."""
+    kind, separator, params = text.strip().partition(":")
+    kind = kind.lower()
+    if separator and not params:
+        raise ValueError(f"bad state-store spec {text!r}: "
+                         f"':' must be followed by parameters")
+    try:
+        if kind == "exact":
+            if params:
+                raise ValueError("exact takes no parameters")
+            return StoreSpec(kind="exact")
+        if kind == "hc":
+            fp_bytes = int(params) if params else DEFAULT_FP_BYTES
+            return StoreSpec(kind="hc", fp_bytes=fp_bytes)
+        if kind == "bitstate":
+            bits, k = DEFAULT_BITS, DEFAULT_K
+            if params:
+                first, _, second = params.partition(",")
+                bits = int(first)
+                if second:
+                    k = int(second)
+            return StoreSpec(kind="bitstate", bits=bits, k=k)
+        if kind == "tiered":
+            hot = int(params) if params else DEFAULT_HOT_CAPACITY
+            return StoreSpec(kind="tiered", hot_capacity=hot)
+    except ValueError as error:
+        raise ValueError(f"bad state-store spec {text!r}: {error}") from None
+    raise ValueError(
+        f"unknown state-store {text!r}; expected "
+        f"exact | hc[:bytes] | bitstate[:bits,k] | tiered[:hot]"
+    )
+
+
+def make_store(spec: str, memory: Optional[MemoryModel] = None,
+               seed: int = 0) -> AbstractVisitedTable:
+    """One-call convenience: parse a spec string and build the store."""
+    return parse_store_spec(spec).build(memory=memory, seed=seed)
+
+
+def merge_into(dst: AbstractVisitedTable, src: AbstractVisitedTable) -> int:
+    """Merge ``src``'s knowledge into ``dst``; return how many were new.
+
+    Exact sources merge into anything (their full hashes re-compact);
+    lossy sources only merge into a same-kind, same-parameter store --
+    fingerprints cannot be widened back into hashes.
+    """
+    if isinstance(src, VisitedStateTable):
+        return dst.import_seen(src.export_seen())
+    if type(src) is type(dst):
+        return dst.merge_from(src)
+    raise ValueError(
+        f"cannot merge a {type(src).__name__} snapshot into a "
+        f"{type(dst).__name__} store; store specs must match"
+    )
+
+
+def store_from_document(document: Mapping,
+                        memory: Optional[MemoryModel] = None
+                        ) -> AbstractVisitedTable:
+    """Rebuild a lossy store from its persistence-v3 ``store`` record."""
+    kind = document.get("kind")
+    if kind == "hc":
+        return HashCompactionTable.from_document(document, memory=memory)
+    if kind == "bitstate":
+        return BitstateTable.from_document(document, memory=memory)
+    if kind == "tiered":
+        return TieredTable.from_document(document, memory=memory)
+    raise ValueError(f"unknown persisted store kind {kind!r}")

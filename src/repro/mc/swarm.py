@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Set, Tuple
 
 from repro.mc.explorer import ExplorationStats, Explorer
-from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
+from repro.mc.hashtable import AbstractVisitedTable, TableStats, VisitedStateTable
+from repro.mc.statestore import parse_store_spec
 
 
 class RecordingTable(AbstractVisitedTable):
@@ -66,6 +67,9 @@ class SwarmMemberResult:
     stats: ExplorationStats
     coverage: Set[str]
     sim_time: float
+    #: the member's visited-store counters (omission accounting for
+    #: lossy stores); shared in cooperative mode
+    table_stats: Optional[TableStats] = None
 
 
 @dataclass
@@ -91,6 +95,20 @@ class SwarmResult:
     @property
     def total_operations(self) -> int:
         return sum(member.stats.operations for member in self.members)
+
+    @property
+    def omission_possible(self) -> bool:
+        """True when any member ran a lossy visited-state store."""
+        return any(member.table_stats is not None
+                   and member.table_stats.omission_possible
+                   for member in self.members)
+
+    @property
+    def omission_probability(self) -> float:
+        """Worst member omission probability (0.0 for exact stores)."""
+        return max((member.table_stats.omission_probability
+                    for member in self.members
+                    if member.table_stats is not None), default=0.0)
 
     def first_violation(self):
         for member in self.members:
@@ -124,6 +142,7 @@ class SwarmVerifier:
         mode: str = "random",
         cooperative: bool = False,
         shared_table: Optional[AbstractVisitedTable] = None,
+        state_store: str = "exact",
     ):
         if members < 1:
             raise ValueError("a swarm needs at least one member")
@@ -137,6 +156,16 @@ class SwarmVerifier:
         self.mode = mode
         self.cooperative = cooperative or shared_table is not None
         self.shared_table = shared_table
+        #: visited-store spec for *private* member tables.  Lossy specs
+        #: are the classic Holzmann swarm+bitstate setup: each member
+        #: hashes with its own seed, so members omit *different* states
+        #: and the union recovers coverage one bounded member loses.
+        self.store_spec = parse_store_spec(state_store)
+        if self.cooperative and self.store_spec.kind != "exact":
+            raise ValueError(
+                "cooperative swarm shares one table; per-member lossy "
+                "stores only apply to classic (non-cooperative) mode"
+            )
 
     def run(self) -> SwarmResult:
         result = SwarmResult()
@@ -150,6 +179,13 @@ class SwarmVerifier:
             target, clock = self.target_factory(seed)
             if shared is not None:
                 visited: AbstractVisitedTable = RecordingTable(shared)
+            elif self.store_spec.kind != "exact":
+                # per-member diversified hashing: the member's store seed
+                # is its swarm seed, so no two members share collisions;
+                # the recorder captures full hashes for union coverage
+                # (lossy stores cannot export their keys)
+                visited = RecordingTable(
+                    self.store_spec.build(seed=seed))
             else:
                 visited = VisitedStateTable()
             explorer = Explorer(
@@ -176,6 +212,7 @@ class SwarmVerifier:
                     stats=stats,
                     coverage=coverage,
                     sim_time=clock.now - start,
+                    table_stats=visited.stats,
                 )
             )
             if stats.violation is not None:

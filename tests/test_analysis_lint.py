@@ -115,6 +115,21 @@ def test_direct_set_expression_iteration():
     """) == ["unordered-iteration"]
 
 
+def test_raw_visited_state_access():
+    assert invariants("count = len(table._seen)") == ["raw-visited-state"]
+
+
+def test_raw_visited_state_allowed_inside_mc_package():
+    path = os.path.join(os.path.dirname(repro.__file__),
+                        "mc", "hashtable.py")
+    findings = run_lint([path])
+    assert not [f for f in findings if f.invariant == "raw-visited-state"]
+
+
+def test_visited_table_public_api_is_fine():
+    assert invariants("seen = table.export_seen()") == []
+
+
 def test_syntax_error_is_reported_not_raised():
     assert invariants("def broken(:\n") == ["syntax-error"]
 

@@ -1,0 +1,537 @@
+"""Memory-bounded visited-state stores (Spin -DBITSTATE / -DHC).
+
+The contract every store must honour, lossy or not:
+
+* **soundness** -- a store may *omit* states (report a fresh state as
+  visited) but must never do so silently: any store whose hashing can
+  collide reports ``omission_possible`` and a nonzero
+  ``omission_probability`` the moment a collision is possible;
+* **no invented hits without a collision** -- under an injective hash
+  every first visit of a distinct state reports ``is_new=True``;
+* **equal bug discovery** -- the four seeded VeriFS bugs are found in
+  every store mode, at the same operation count as the exact table;
+* **truthful accounting** -- each mode charges its real footprint to the
+  memory model (bitstate reserves everything up front and never grows).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    Ext4FileSystemType,
+    MCFS,
+    MCFSOptions,
+    RAMBlockDevice,
+    SimClock,
+    VeriFS1,
+    VeriFS2,
+    VeriFSBug,
+)
+from repro.core.report import RunSummary
+from repro.mc.explorer import Explorer
+from repro.mc.hashtable import EXACT_ENTRY_BYTES, VisitedStateTable
+from repro.mc.memory import MemoryModel
+from repro.mc.persistence import (
+    LOSSY_FORMAT_VERSION,
+    save_checker_state,
+    load_checker_state,
+    snapshot_document,
+    snapshot_from_document,
+)
+from repro.mc.statestore import (
+    BitstateTable,
+    HashCompactionTable,
+    StoreSpec,
+    TieredTable,
+    make_store,
+    merge_into,
+    parse_store_spec,
+    store_from_document,
+)
+from repro.mc.swarm import SwarmVerifier
+from repro.util.hashing import md5_hex
+
+ALL_STORE_SPECS = ["exact", "hc", "bitstate:65536,3", "tiered:64"]
+
+
+def hashes(n, prefix="s"):
+    """n distinct well-formed (hex MD5) state hashes."""
+    return [md5_hex(f"{prefix}{i}") for i in range(n)]
+
+
+# --------------------------------------------------------------- spec parsing
+class TestParseStoreSpec:
+    def test_defaults(self):
+        assert parse_store_spec("exact").kind == "exact"
+        spec = parse_store_spec("hc")
+        assert (spec.kind, spec.fp_bytes) == ("hc", 4)
+        spec = parse_store_spec("bitstate")
+        assert spec.kind == "bitstate" and spec.bits > 0 and spec.k >= 1
+        assert parse_store_spec("tiered").kind == "tiered"
+
+    def test_parameters(self):
+        assert parse_store_spec("hc:8").fp_bytes == 8
+        spec = parse_store_spec("bitstate:65536,2")
+        assert (spec.bits, spec.k) == (65536, 2)
+        assert parse_store_spec("bitstate:1024").bits == 1024
+        assert parse_store_spec("tiered:128").hot_capacity == 128
+
+    def test_describe_round_trips(self):
+        for text in ("exact", "hc:8", "bitstate:65536,2", "tiered:128"):
+            spec = parse_store_spec(text)
+            assert parse_store_spec(spec.describe()) == spec
+
+    @pytest.mark.parametrize("bad", [
+        "bogus", "exact:4", "hc:banana", "bitstate:x,y", "tiered:", "",
+    ])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_store_spec(bad)
+
+    def test_build_types(self):
+        assert isinstance(make_store("exact"), VisitedStateTable)
+        assert isinstance(make_store("hc"), HashCompactionTable)
+        assert isinstance(make_store("bitstate:65536,2"), BitstateTable)
+        assert isinstance(make_store("tiered:16"), TieredTable)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            HashCompactionTable(fp_bytes=3)
+        with pytest.raises(ValueError):
+            BitstateTable(bits=8)
+        with pytest.raises(ValueError):
+            BitstateTable(k=0)
+        with pytest.raises(ValueError):
+            TieredTable(hot_capacity=0)
+
+
+# ---------------------------------------------------------- soundness (PBT)
+def injective_digest(state_hash: str) -> bytes:
+    """A fake digest assigning every hash its own disjoint bit range.
+
+    ``first = index * 64`` with ``second = 1`` makes state ``i`` use bit
+    positions ``64i .. 64i+k-1`` -- no two distinct states can ever
+    share a bit (or a fingerprint prefix), so a lossy store has no
+    excuse to invent a visited hit.
+    """
+    index = int(state_hash[1:]) if state_hash[0] == "x" else int(state_hash, 16)
+    return (index * 64).to_bytes(8, "little") + (1).to_bytes(8, "little")
+
+
+def colliding_digest(state_hash: str) -> bytes:
+    """Every state hashes to the same digest: a guaranteed collision."""
+    return b"\x2a" * 16
+
+
+LOSSY_BUILDERS = [
+    pytest.param(lambda fn: HashCompactionTable(fp_bytes=8, digest_fn=fn),
+                 id="hc"),
+    pytest.param(lambda fn: BitstateTable(bits=1 << 20, k=3, digest_fn=fn),
+                 id="bitstate"),
+    pytest.param(lambda fn: TieredTable(hot_capacity=1, fp_bytes=8,
+                                        digest_fn=fn),
+                 id="tiered"),
+]
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("build", LOSSY_BUILDERS)
+    @given(count=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_never_invents_hits_without_collisions(self, build, count):
+        """Under an injective hash, every distinct state is new."""
+        table = build(injective_digest)
+        for i in range(count):
+            is_new, should_expand = table.visit(f"x{i}", depth=i % 5)
+            assert is_new and should_expand
+        assert table.stats.inserts == count
+
+    @pytest.mark.parametrize("build", LOSSY_BUILDERS)
+    @given(count=st.integers(min_value=3, max_value=50))
+    @settings(max_examples=25, deadline=None)
+    def test_collisions_are_never_silent(self, build, count):
+        """A forced collision omits states -- and the stats must say so."""
+        table = build(colliding_digest)
+        new_states = sum(1 for i in range(count)
+                         if table.visit(f"x{i}")[0])
+        assert new_states < count  # states were omitted...
+        assert table.stats.omission_possible  # ...and the store admits it
+        assert table.stats.omission_probability > 0.0
+
+    def test_exact_table_reports_no_omission(self):
+        table = VisitedStateTable()
+        for state_hash in hashes(50):
+            table.visit(state_hash)
+        assert not table.stats.omission_possible
+        assert table.stats.omission_probability == 0.0
+
+
+# -------------------------------------------------------------- bitstate
+class TestBitstate:
+    def test_zero_growth_after_init(self):
+        """The whole footprint is reserved up front -- Figure 3's swap
+        collapse cannot creep up on a bitstate run."""
+        memory = MemoryModel(clock=SimClock(), ram_bytes=1 << 30,
+                             swap_bytes=1 << 30, state_bytes=1 << 20)
+        table = BitstateTable(bits=1 << 16, memory=memory)
+        initial = memory.stored_bytes
+        assert initial == table.stats.stored_bytes > 0
+        for state_hash in hashes(500):
+            table.visit(state_hash)
+        assert memory.stored_bytes == initial  # not one byte more
+        assert table.stats.resizes == 0
+
+    def test_depth_reexpansion(self):
+        """A state re-reached shallower must be re-expanded (else the
+        bounded search silently truncates frontier subtrees)."""
+        table = BitstateTable(bits=1 << 16)
+        state = md5_hex("deep-then-shallow")
+        assert table.visit(state, depth=3) == (True, True)
+        assert table.visit(state, depth=3) == (False, False)
+        assert table.visit(state, depth=1) == (False, True)
+        assert table.visit(state, depth=2) == (False, False)
+
+    def test_wire_key_is_int(self):
+        table = BitstateTable(bits=1 << 16)
+        state = md5_hex("wire")
+        key = table.wire_key(state)
+        assert isinstance(key, int)
+        # a pre-compacted wire key lands on the same bits
+        table.visit(state)
+        assert table.visit(key)[0] is False
+
+    def test_merge_requires_same_parameters(self):
+        a = BitstateTable(bits=1 << 16, k=3)
+        with pytest.raises(ValueError):
+            a.merge_from(BitstateTable(bits=1 << 16, k=2))
+        with pytest.raises(ValueError):
+            a.merge_from(BitstateTable(bits=1 << 16, k=3, seed=9))
+
+    def test_merge_unions_bits_and_depths(self):
+        a, b = BitstateTable(bits=1 << 16), BitstateTable(bits=1 << 16)
+        left, right = hashes(20, "left"), hashes(20, "right")
+        for state_hash in left:
+            a.visit(state_hash, depth=2)
+        for state_hash in right:
+            b.visit(state_hash, depth=1)
+        a.merge_from(b)
+        for state_hash in left + right:
+            assert state_hash in a
+
+
+# ------------------------------------------------------- hash compaction
+class TestHashCompaction:
+    def test_entry_is_5x_smaller_than_exact(self):
+        table = HashCompactionTable(fp_bytes=4)
+        assert EXACT_ENTRY_BYTES / table.entry_bytes == 5.0
+        for state_hash in hashes(100):
+            table.visit(state_hash)
+        assert table.stats.stored_bytes == 100 * table.entry_bytes
+        assert table.stats.bits_per_state == table.entry_bytes * 8
+
+    def test_memory_charged_in_entry_bytes(self):
+        memory = MemoryModel(clock=SimClock(), ram_bytes=1 << 30,
+                             swap_bytes=1 << 30, state_bytes=1 << 20)
+        table = HashCompactionTable(fp_bytes=4, memory=memory)
+        for state_hash in hashes(100):
+            table.visit(state_hash)
+        assert memory.stored_bytes == 100 * table.entry_bytes
+
+    def test_wire_key_round_trip(self):
+        """The service matches on fingerprints a worker pre-compacted."""
+        table = HashCompactionTable(fp_bytes=8, seed=42)
+        state = md5_hex("shipped")
+        fingerprint = table.wire_key(state)
+        assert isinstance(fingerprint, int)
+        assert table.visit(fingerprint)[0] is True
+        assert table.visit(state)[0] is False  # same state, either form
+
+    def test_depth_reexpansion(self):
+        table = HashCompactionTable()
+        state = md5_hex("hc-depth")
+        assert table.visit(state, depth=4) == (True, True)
+        assert table.visit(state, depth=2) == (False, True)
+        assert table.visit(state, depth=3) == (False, False)
+
+    def test_resizes_are_counted(self):
+        table = HashCompactionTable(initial_buckets=8)
+        for state_hash in hashes(100):
+            table.visit(state_hash)
+        assert table.stats.resizes > 0
+
+
+# ---------------------------------------------------------------- tiered
+class TestTiered:
+    def test_exact_until_hot_tier_overflows(self):
+        table = TieredTable(hot_capacity=32)
+        for state_hash in hashes(32):
+            table.visit(state_hash)
+        assert table.demotions == 0
+        assert not table.stats.omission_possible
+        assert table.stats.omission_probability == 0.0
+
+    def test_demotion_shrinks_footprint(self):
+        memory = MemoryModel(clock=SimClock(), ram_bytes=1 << 30,
+                             swap_bytes=1 << 30, state_bytes=1 << 20)
+        table = TieredTable(hot_capacity=8, memory=memory)
+        for state_hash in hashes(8):
+            table.visit(state_hash)
+        full = memory.stored_bytes
+        table.visit(md5_hex("overflow"))  # LRU entry demotes to cold
+        assert table.demotions == 1
+        assert memory.stored_bytes < full + memory.state_bytes
+        assert table.stats.omission_possible  # cold tier now non-empty
+
+    def test_lru_keeps_recent_states_exact(self):
+        table = TieredTable(hot_capacity=2)
+        first, second, third = hashes(3, "lru")
+        table.visit(first)
+        table.visit(second)
+        table.visit(first)  # refresh first: second is now LRU
+        table.visit(third)
+        assert second not in table._hot  # noqa: SLF001 -- tier inspection
+        assert first in table._hot and third in table._hot
+        assert len(table) == 3
+
+    def test_len_counts_both_tiers(self):
+        table = TieredTable(hot_capacity=4)
+        for state_hash in hashes(10):
+            table.visit(state_hash)
+        assert len(table) == 10
+
+
+# ------------------------------------------------------------- merge_into
+class TestMergeInto:
+    @pytest.mark.parametrize("spec", ["hc", "bitstate:65536,3", "tiered:16"])
+    def test_exact_source_merges_into_any_store(self, spec):
+        source = VisitedStateTable()
+        for state_hash in hashes(25):
+            source.visit(state_hash)
+        destination = make_store(spec)
+        assert merge_into(destination, source) == 25
+        for state_hash in hashes(25):
+            assert destination.visit(state_hash)[0] is False
+
+    def test_lossy_kind_mismatch_is_an_error(self):
+        with pytest.raises(ValueError):
+            merge_into(HashCompactionTable(), BitstateTable(bits=1 << 16))
+
+    def test_same_kind_merges(self):
+        a, b = HashCompactionTable(seed=5), HashCompactionTable(seed=5)
+        for state_hash in hashes(10, "a"):
+            a.visit(state_hash)
+        for state_hash in hashes(10, "b"):
+            b.visit(state_hash)
+        assert merge_into(a, b) == 10
+        assert len(a) == 20
+
+
+# ------------------------------------------------------- persistence (v3)
+class TestPersistenceV3:
+    @pytest.mark.parametrize("spec", ["hc:8", "bitstate:65536,3", "tiered:16"])
+    def test_round_trip(self, tmp_path, spec):
+        path = str(tmp_path / "state.json")
+        table = make_store(spec, seed=7)
+        for i, state_hash in enumerate(hashes(40)):
+            table.visit(state_hash, depth=i % 4)
+        save_checker_state(path, table, operations_completed=123, runs=2,
+                           seed=7, worker_id="w1")
+        snapshot = load_checker_state(path)
+        assert snapshot.operations_completed == 123
+        assert snapshot.runs == 2
+        assert snapshot.worker_id == "w1"
+        assert type(snapshot.visited) is type(table)
+        assert snapshot.table_stats.omission_possible
+        # resumed store still knows every state
+        for state_hash in hashes(40):
+            assert snapshot.visited.visit(state_hash, depth=10)[0] is False
+
+    def test_lossy_documents_are_version_3(self):
+        table = make_store("hc")
+        table.visit(md5_hex("one"))
+        document = snapshot_document(table)
+        assert document["version"] == LOSSY_FORMAT_VERSION
+        assert document["store"]["kind"] == "hc"
+        assert "seen" not in document
+
+    def test_exact_documents_stay_version_2(self):
+        table = VisitedStateTable()
+        table.visit(md5_hex("one"))
+        assert snapshot_document(table)["version"] == 2
+
+    def test_v1_documents_still_load(self):
+        document = {"version": 1, "buckets": 1024,
+                    "seen": {md5_hex("old"): 2}, "operations_completed": 5,
+                    "runs": 1}
+        snapshot = snapshot_from_document(document)
+        assert isinstance(snapshot.visited, VisitedStateTable)
+        assert md5_hex("old") in snapshot.visited
+
+    def test_bitstate_depth_slots_survive(self):
+        table = BitstateTable(bits=1 << 16)
+        state = md5_hex("frontier")
+        table.visit(state, depth=3)
+        restored = store_from_document(table.store_document())
+        # the restored store remembers depth 3: shallower re-reach still
+        # triggers re-expansion after a resume
+        assert restored.visit(state, depth=1) == (False, True)
+
+    def test_unknown_store_kind_rejected(self):
+        with pytest.raises(ValueError):
+            store_from_document({"kind": "martian"})
+
+
+# ------------------------------------------------- satellite: clear() stats
+class TestClearResetsEverything:
+    def test_clear_zeroes_stats_and_buckets(self):
+        """A cleared table reporting stale inserts/resizes poisons every
+        rate derived from its stats (the bug this release fixes)."""
+        memory = MemoryModel(clock=SimClock(), ram_bytes=1 << 30,
+                             swap_bytes=1 << 30, state_bytes=1 << 20)
+        table = VisitedStateTable(memory=memory, initial_buckets=8)
+        events = []
+        table.resize_hooks.append(events.append)
+        for state_hash in hashes(50):
+            table.visit(state_hash)
+            table.visit(state_hash)  # a duplicate hit each
+        assert table.stats.resizes > 0
+        table.clear()
+        assert len(table) == 0
+        assert table.buckets == 8
+        assert table.stats.inserts == 0
+        assert table.stats.duplicate_hits == 0
+        assert table.stats.resizes == 0
+        assert table.stats.stored_bytes == 0
+        assert memory.stored_bytes == 0
+        assert events[-1] == 8  # hooks saw the shrink
+
+    def test_sticky_omission_mode_survives_reset(self):
+        table = BitstateTable(bits=1 << 16)
+        table.stats.reset()
+        assert table.stats.omission_possible  # mode, not traffic
+
+
+# ------------------------------------------------------------ swarm wiring
+def counting_factory(limit=6):
+    from tests.test_mc_engine import CounterTarget
+
+    def factory(seed):
+        clock = SimClock()
+        return CounterTarget(limit=limit, clock=clock), clock
+
+    return factory
+
+
+class TestSwarmStores:
+    def test_cooperative_rejects_lossy_stores(self):
+        with pytest.raises(ValueError):
+            SwarmVerifier(counting_factory(), members=2, cooperative=True,
+                          state_store="bitstate")
+
+    def test_lossy_members_report_omission(self):
+        swarm = SwarmVerifier(counting_factory(), members=3, mode="dfs",
+                              max_depth=3, state_store="hc")
+        result = swarm.run()
+        assert result.omission_possible
+        assert all(m.table_stats is not None and m.table_stats.omission_possible
+                   for m in result.members)
+
+    def test_exact_swarm_reports_no_omission(self):
+        swarm = SwarmVerifier(counting_factory(), members=2, mode="dfs",
+                              max_depth=3)
+        result = swarm.run()
+        assert not result.omission_possible
+        assert result.omission_probability == 0.0
+
+    def test_members_get_diversified_store_seeds(self):
+        """Classic swarm + lossy store: every member hashes with its own
+        seed, so members collide on different state pairs (Holzmann's
+        swarm+bitstate union-coverage argument)."""
+        swarm = SwarmVerifier(counting_factory(), members=3, mode="dfs",
+                              max_depth=2, state_store="bitstate:65536,2")
+        result = swarm.run()
+        assert len({m.seed for m in result.members}) == 3
+        assert result.union_coverage  # recorder captured full hashes
+
+
+# ------------------------------------------------ end-to-end bug discovery
+def build_mcfs(bug, store):
+    clock = SimClock()
+    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False,
+                                   state_store=store))
+    if bug in (VeriFSBug.TRUNCATE_STALE_DATA,
+               VeriFSBug.MISSING_CACHE_INVALIDATION):
+        mcfs.add_block_filesystem("ext4", Ext4FileSystemType(),
+                                  RAMBlockDevice(256 * 1024, clock=clock))
+        mcfs.add_verifs("verifs1", VeriFS1(bugs=[bug]))
+    else:
+        mcfs.add_verifs("verifs1", VeriFS1())
+        mcfs.add_verifs("verifs2", VeriFS2(bugs=[bug]))
+    return mcfs
+
+
+BUG_DEPTHS = [
+    (VeriFSBug.TRUNCATE_STALE_DATA, 4),
+    (VeriFSBug.MISSING_CACHE_INVALIDATION, 3),
+    (VeriFSBug.WRITE_HOLE_STALE, 3),
+    (VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY, 3),
+]
+
+
+class TestBugDiscoveryAcrossStores:
+    @pytest.mark.parametrize("bug,depth", BUG_DEPTHS,
+                             ids=[b.value for b, _ in BUG_DEPTHS])
+    def test_every_store_finds_every_bug(self, bug, depth):
+        """The acceptance bar: identical bug discovery in every mode --
+        same bug, same operation count as the exact table."""
+        exact = build_mcfs(bug, "exact").run_dfs(max_depth=depth,
+                                                 max_operations=400_000)
+        assert exact.found_discrepancy
+        for store in ALL_STORE_SPECS[1:]:
+            result = build_mcfs(bug, store).run_dfs(max_depth=depth,
+                                                    max_operations=400_000)
+            assert result.found_discrepancy, f"{bug.value} lost under {store}"
+            assert result.operations == exact.operations
+
+    def test_lossy_result_carries_omission(self):
+        mcfs = build_mcfs(VeriFSBug.MISSING_CACHE_INVALIDATION, "hc")
+        result = mcfs.run_dfs(max_depth=3, max_operations=10_000)
+        assert result.omission_possible
+        assert result.table_stats.bits_per_state < EXACT_ENTRY_BYTES * 8
+        summary = RunSummary.from_result(result)
+        assert summary.omission_possible
+        assert "LOSSY" in summary.render()
+
+    def test_exact_result_renders_without_store_line(self):
+        mcfs = build_mcfs(VeriFSBug.MISSING_CACHE_INVALIDATION, "exact")
+        result = mcfs.run_dfs(max_depth=2, max_operations=5_000)
+        assert not result.omission_possible
+        assert "LOSSY" not in RunSummary.from_result(result).render()
+
+
+# ------------------------------------------------- satellite: explorer fix
+class TestExplorerBudgetAccounting:
+    def test_budget_checked_once_per_action(self):
+        """_dfs used to evaluate the budget twice per loop iteration;
+        the check must stay de-duplicated (once per node entry plus once
+        per action)."""
+        from tests.test_mc_engine import CounterTarget
+
+        calls = []
+        clock = SimClock()
+        explorer = Explorer(CounterTarget(limit=4, clock=clock), clock,
+                            max_depth=3, max_operations=50)
+        original = explorer._budget_exceeded
+
+        def counting():
+            calls.append(1)
+            return original()
+
+        explorer._budget_exceeded = counting
+        stats = explorer.run_dfs()
+        # one check per node entry plus one per attempted action; the
+        # old double-call per action would exceed this bound
+        assert len(calls) <= 2 * stats.transitions + 2
+        assert stats.stopped_reason
