@@ -12,6 +12,14 @@ Examples::
     python -m repro bugdemo --bug write-hole-stale
     python -m repro fsck image.ext2 other.img
     python -m repro lint --strict
+
+Counterexample trails (the ``spin -t`` loop)::
+
+    python -m repro check --fs ext4 --fs verifs1 --mode random \
+        --inject-bug truncate-stale-data --max-ops 5000 \
+        --check-every 1000 --trail-dir trails/
+    python -m repro replay trails/ext4-verifs1-random-seed0.trail.json
+    python -m repro minimize trails/ext4-verifs1-random-seed0.trail.json
 """
 
 from __future__ import annotations
@@ -20,19 +28,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.clock import SimClock
-from repro.core.mcfs import MCFS, MCFSOptions
 from repro.core.report import RunSummary
 from repro.dist.spec import (
     FILESYSTEMS,
     KERNEL_FS,
     STRATEGIES,
     CheckSpec,
-    add_filesystem_by_name,
-    unique_labels,
 )
 from repro.verifs import VeriFSBug
-from repro.workload import PRESETS, preset
+from repro.workload import PRESETS
 
 BUG_PAIRS = {
     VeriFSBug.TRUNCATE_STALE_DATA.value: ("ext4", "verifs1", 4),
@@ -40,16 +44,6 @@ BUG_PAIRS = {
     VeriFSBug.WRITE_HOLE_STALE.value: ("verifs1", "verifs2", 3),
     VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY.value: ("verifs1", "verifs2", 3),
 }
-
-
-def _add_filesystem(mcfs: MCFS, clock: SimClock, name: str, label: str,
-                    strategy_name: Optional[str],
-                    verifs_bugs: Optional[List[VeriFSBug]] = None) -> None:
-    try:
-        add_filesystem_by_name(mcfs, clock, name, label, strategy_name,
-                               verifs_bugs=verifs_bugs)
-    except ValueError:
-        raise SystemExit(f"unknown file system {name!r}; see 'repro list'")
 
 
 def cmd_list(_args) -> int:
@@ -75,6 +69,17 @@ def _fsck_every_from_args(args) -> Optional[int]:
     return None
 
 
+def _validate_fs_and_bugs(args) -> None:
+    for name in args.fs:
+        if name not in FILESYSTEMS:
+            raise SystemExit(f"unknown file system {name!r}; see 'repro list'")
+    for bug in getattr(args, "inject_bug", None) or ():
+        try:
+            VeriFSBug(bug)
+        except ValueError:
+            raise SystemExit(f"unknown bug {bug!r}; see 'repro list'")
+
+
 def _spec_from_args(args) -> CheckSpec:
     """Build the picklable run description a worker fleet needs."""
     total_operations = args.max_ops or 1000
@@ -90,7 +95,25 @@ def _spec_from_args(args) -> CheckSpec:
         unit_operations=max(1, total_operations // args.units),
         max_depth=args.dist_depth,
         state_store=args.state_store,
+        verifs_bugs=tuple(getattr(args, "inject_bug", None) or ()),
+        state_check_every=max(1, getattr(args, "check_every", 1)),
     )
+
+
+def _minimize_into(trail_path: str, summary: RunSummary) -> None:
+    """``--minimize``: shrink a freshly captured trail, save it next to
+    the original, and fold the result into the run summary."""
+    from repro.trail import Trail, minimize_trail
+
+    result = minimize_trail(Trail.load(trail_path))
+    stem = trail_path
+    if stem.endswith(".trail.json"):
+        stem = stem[:-len(".trail.json")]
+    minimized_path = f"{stem}.min.trail.json"
+    result.trail.save(minimized_path)
+    summary.minimized_operations = result.minimized_operations
+    print(result.describe())
+    print(f"minimized trail: {minimized_path}")
 
 
 def _run_distributed(args) -> int:
@@ -107,7 +130,8 @@ def _run_distributed(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     dist = DistributedChecker(spec, workers=args.workers,
-                              state_file=args.state_file).run()
+                              state_file=args.state_file,
+                              trail_dir=args.trail_dir).run()
     parallel = dist.modeled_parallel_time
     summary = RunSummary(
         operations=dist.total_operations,
@@ -121,7 +145,11 @@ def _run_distributed(args) -> int:
         omission_probability=dist.omission_probability,
         store_bits_per_state=dist.table.stats.bits_per_state,
     )
+    if dist.trail_paths:
+        summary.trail_path = dist.trail_paths[0]
     print(summary.render())
+    for path in dist.trail_paths[1:]:
+        print(f"trail      : {path}")
     print(f"workers    : {dist.workers} ({len(dist.unit_results)} units, "
           f"{dist.stolen_units} stolen, {dist.recovered_units} recovered)")
     print(f"speedup    : {dist.speedup:.2f}x modeled "
@@ -142,6 +170,7 @@ def cmd_check(args) -> int:
         print("error: --fs must be given at least twice (MCFS compares "
               "file systems)", file=sys.stderr)
         return 2
+    _validate_fs_and_bugs(args)
     try:
         from repro.mc.statestore import parse_store_spec
 
@@ -151,22 +180,13 @@ def cmd_check(args) -> int:
         return 2
     if args.workers is not None:
         return _run_distributed(args)
-    clock = SimClock()
-    extended = all(name != "verifs1" for name in args.fs)
-    fsck_every = _fsck_every_from_args(args)
-    options = MCFSOptions(
-        include_extended_operations=extended,
-        pool=preset(args.pool),
-        equalize_free_space=args.equalize,
-        majority_voting=args.voting,
-        track_coverage=args.coverage,
-        fsck_every=fsck_every,
-        state_store=args.state_store,
-        store_seed=args.seed,
-    )
-    mcfs = MCFS(clock, options)
-    for name, label in zip(args.fs, unique_labels(args.fs)):
-        _add_filesystem(mcfs, clock, name, label, args.strategy)
+    # the local path builds from the same spec a worker fleet would use,
+    # so a trail captured here embeds everything a replay needs
+    spec = _spec_from_args(args)
+    mcfs = spec.build_mcfs()
+    mcfs.options.track_coverage = args.coverage
+    mcfs.options.trail_dir = args.trail_dir
+    fsck_every = spec.fsck_every
     if args.mode == "dfs":
         result = mcfs.run_dfs(max_depth=args.depth,
                               max_operations=args.max_ops,
@@ -176,7 +196,10 @@ def cmd_check(args) -> int:
         result = mcfs.run_random(max_operations=args.max_ops or 1000,
                                  seed=args.seed,
                                  state_file=args.state_file)
-    print(RunSummary.from_result(result, show_fsck=bool(fsck_every)).render())
+    summary = RunSummary.from_result(result, show_fsck=bool(fsck_every))
+    if result.trail_path and args.minimize:
+        _minimize_into(result.trail_path, summary)
+    print(summary.render())
     if args.coverage:
         print("\ncoverage:")
         print(mcfs.coverage_report().render())
@@ -195,12 +218,14 @@ def cmd_swarm(args) -> int:
         print("error: --fs must be given at least twice (MCFS compares "
               "file systems)", file=sys.stderr)
         return 2
+    _validate_fs_and_bugs(args)
     try:
         spec = _spec_from_args(args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    dist = DistributedChecker(spec, workers=args.workers).run()
+    dist = DistributedChecker(spec, workers=args.workers,
+                              trail_dir=args.trail_dir).run()
     print(f"{dist.workers} workers, {len(dist.unit_results)} units "
           f"({dist.stolen_units} stolen, {dist.recovered_units} recovered, "
           f"{dist.inline_units} inline)")
@@ -224,6 +249,8 @@ def cmd_swarm(args) -> int:
           f"{dist.modeled_parallel_time:.3f}s parallel, "
           f"{dist.states_per_second:.1f} states/s)")
     print(f"wall time     : {dist.wall_time:.2f}s")
+    for path in dist.trail_paths:
+        print(f"trail         : {path}")
     if dist.found_discrepancy:
         for report in dist.discrepancies:
             print("\n" + str(report))
@@ -281,19 +308,67 @@ def cmd_bugdemo(args) -> int:
         print(f"unknown bug {args.bug!r}; see 'repro list'", file=sys.stderr)
         return 2
     reference, buggy, depth = BUG_PAIRS[args.bug]
-    bug = VeriFSBug(args.bug)
-    clock = SimClock()
-    mcfs = MCFS(clock, MCFSOptions(include_extended_operations=False))
-    _add_filesystem(mcfs, clock, reference, reference, None)
-    _add_filesystem(mcfs, clock, buggy, f"buggy-{buggy}", None,
-                    verifs_bugs=[bug])
+    spec = CheckSpec(filesystems=(reference, buggy),
+                     include_extended=False,
+                     verifs_bugs=(args.bug,))
+    mcfs = spec.build_mcfs()
+    mcfs.options.trail_dir = args.trail_dir
     print(f"hunting {args.bug} in {buggy} (reference: {reference}) ...")
     result = mcfs.run_dfs(max_depth=depth, max_operations=400_000)
     if result.found_discrepancy:
         print(f"found after {result.operations} operations\n")
+        if result.trail_path:
+            print(f"trail: {result.trail_path}\n")
         print(result.report)
         return 1
     print("bug not found within the bounded search (unexpected)")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """Re-execute a trail; exit 0 only on CONFIRMED.
+
+    Anything else on a freshly captured trail means the harness itself
+    is non-deterministic -- which is why CI runs this as a smoke test.
+    """
+    from repro.trail import Trail, TrailFormatError, replay_trail
+
+    try:
+        trail = Trail.load(args.trail)
+    except (TrailFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(trail.describe())
+    result = replay_trail(trail)
+    print(result.describe())
+    return 0 if result.confirmed else 1
+
+
+def cmd_minimize(args) -> int:
+    """ddmin a trail down to a 1-minimal reproducer."""
+    from repro.trail import Trail, TrailFormatError, minimize_trail
+
+    try:
+        trail = Trail.load(args.trail)
+    except (TrailFormatError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(trail.describe())
+    try:
+        result = minimize_trail(trail, max_probes=args.max_probes)
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    output = args.output
+    if output is None:
+        stem = args.trail
+        if stem.endswith(".trail.json"):
+            stem = stem[:-len(".trail.json")]
+        output = f"{stem}.min.trail.json"
+    result.trail.save(output)
+    print(f"wrote {output}")
+    print(result.trail.describe())
     return 0
 
 
@@ -354,6 +429,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "bitstate[:bits,k] | tiered[:hot] "
                             "(lossy modes report their omission "
                             "probability; default exact)")
+    check.add_argument("--check-every", type=int, default=1, metavar="N",
+                       help="random mode: compare abstract states only "
+                            "every N operations (amortised checking; "
+                            "trails get longer, which 'repro minimize' "
+                            "exists for; default 1)")
+    check.add_argument("--trail-dir", default=None, metavar="DIR",
+                       help="capture every discrepancy as a replayable "
+                            "*.trail.json under DIR")
+    check.add_argument("--minimize", action="store_true",
+                       help="ddmin a captured trail to a 1-minimal "
+                            "reproducer before exiting (needs --trail-dir)")
+    check.add_argument("--inject-bug", action="append", default=[],
+                       metavar="BUG",
+                       help="inject a VeriFS bug (repeatable; the last "
+                            "--fs must be a verifs); see 'repro list'")
     check.set_defaults(func=cmd_check)
 
     swarm = subparsers.add_parser(
@@ -389,6 +479,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "hc[:bytes] | bitstate[:bits,k] | tiered[:hot] "
                             "(compact stores also ship integer "
                             "fingerprints over the wire; default exact)")
+    swarm.add_argument("--check-every", type=int, default=1, metavar="N",
+                       help="compare abstract states only every N "
+                            "operations per unit (default 1)")
+    swarm.add_argument("--trail-dir", default=None, metavar="DIR",
+                       help="capture each unit's discrepancy as a "
+                            "replayable *.trail.json under DIR")
+    swarm.add_argument("--inject-bug", action="append", default=[],
+                       metavar="BUG",
+                       help="inject a VeriFS bug (repeatable; the last "
+                            "--fs must be a verifs); see 'repro list'")
     swarm.set_defaults(func=cmd_swarm)
 
     fsck = subparsers.add_parser(
@@ -419,7 +519,25 @@ def build_parser() -> argparse.ArgumentParser:
         "bugdemo", help="reproduce one of the paper's §6 historical bugs")
     bugdemo.add_argument("--bug", required=True,
                          help="bug id (see 'repro list')")
+    bugdemo.add_argument("--trail-dir", default=None, metavar="DIR",
+                         help="capture the find as a replayable "
+                              "*.trail.json under DIR")
     bugdemo.set_defaults(func=cmd_bugdemo)
+
+    replay = subparsers.add_parser(
+        "replay", help="deterministically re-execute a captured trail")
+    replay.add_argument("trail", help="a *.trail.json file")
+    replay.set_defaults(func=cmd_replay)
+
+    minimize = subparsers.add_parser(
+        "minimize", help="ddmin a trail to a 1-minimal reproducer")
+    minimize.add_argument("trail", help="a *.trail.json file")
+    minimize.add_argument("-o", "--output", default=None,
+                          help="where to write the minimized trail "
+                               "(default: alongside, *.min.trail.json)")
+    minimize.add_argument("--max-probes", type=int, default=5000,
+                          help="ddmin probe budget (default 5000)")
+    minimize.set_defaults(func=cmd_minimize)
     return parser
 
 

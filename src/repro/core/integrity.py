@@ -78,6 +78,24 @@ class StateDiff:
         lines.extend(f"  content differs:{entry}" for entry in self.content_mismatches)
         return "\n".join(lines) if lines else "  (states identical)"
 
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, List[str]]:
+        return {
+            "only_in_first": list(self.only_in_first),
+            "only_in_second": list(self.only_in_second),
+            "attribute_mismatches": list(self.attribute_mismatches),
+            "content_mismatches": list(self.content_mismatches),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, List[str]]) -> "StateDiff":
+        return cls(
+            only_in_first=list(document.get("only_in_first", [])),
+            only_in_second=list(document.get("only_in_second", [])),
+            attribute_mismatches=list(document.get("attribute_mismatches", [])),
+            content_mismatches=list(document.get("content_mismatches", [])),
+        )
+
 
 def diff_entries(
     first: Sequence[EntryRecord],

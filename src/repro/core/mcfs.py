@@ -77,6 +77,16 @@ class MCFSOptions:
     #: diversification seed for lossy stores (swarm members hash
     #: differently so their omissions don't overlap)
     store_seed: int = 0
+    #: random mode: hash + cross-compare abstract states only every N
+    #: operations (1 = classic per-operation checking).  Amortising the
+    #: state walk raises throughput; detection is delayed to the next
+    #: check, so the resulting trails carry long operation logs (which
+    #: ``repro minimize`` then shrinks)
+    state_check_every: int = 1
+    #: write a self-contained ``*.trail.json`` counterexample here when a
+    #: run finds a discrepancy (requires a spec-built harness); None
+    #: disables capture
+    trail_dir: Optional[str] = None
 
 
 @dataclass
@@ -99,6 +109,9 @@ class MCFSResult:
     #: what a full-copy checkpointer would have copied: one whole device
     #: image per snapshot taken
     logical_snapshot_bytes: int = 0
+    #: where the counterexample trail was written (``trail_dir`` set and
+    #: a discrepancy found); None otherwise
+    trail_path: Optional[str] = None
 
     @property
     def found_discrepancy(self) -> bool:
@@ -305,7 +318,9 @@ class MCFS:
         )
         start = self.clock.now
         explorer.run_dfs(por=por)
-        return self._finish_run(explorer, start, state_file)
+        result = self._finish_run(explorer, start, state_file)
+        self._maybe_capture_trail(result, mode="dfs", seed=0)
+        return result
 
     def run_random(self, max_operations: int, seed: int = 0,
                    max_depth: int = 64,
@@ -343,10 +358,13 @@ class MCFS:
             max_depth=max_depth, max_operations=max_operations,
             seed=seed, sample_every=sample_every, sample_hook=sample_hook,
             sim_time_budget=sim_time_budget,
+            state_check_every=self.options.state_check_every,
         )
         start = self.clock.now
         explorer.run_random(backtrack_probability=backtrack_probability)
-        return self._finish_run(explorer, start, state_file)
+        result = self._finish_run(explorer, start, state_file)
+        self._maybe_capture_trail(result, mode="random", seed=seed)
+        return result
 
     def _run_distributed(self, workers: int, max_operations: int, seed: int,
                          max_depth: int, backtrack_probability: float,
@@ -372,7 +390,8 @@ class MCFS:
             max_depth=max_depth,
             backtrack_probability=backtrack_probability,
         )
-        dist = DistributedChecker(spec, workers=workers).run()
+        dist = DistributedChecker(spec, workers=workers,
+                                  trail_dir=self.options.trail_dir).run()
         stats = ExplorationStats()
         stats.operations = dist.total_operations
         stats.transitions = sum(u.transitions for u in dist.unit_results)
@@ -396,9 +415,28 @@ class MCFS:
             logical_snapshot_bytes=sum(
                 unit.logical_snapshot_bytes for unit in dist.unit_results
             ),
+            trail_path=dist.trail_paths[0] if dist.trail_paths else None,
         )
         result.dist = dist  # full fleet detail for callers that want it
         return result
+
+    def _maybe_capture_trail(self, result: MCFSResult, mode: str,
+                             seed: int) -> None:
+        """Write the run's counterexample trail (``options.trail_dir``).
+
+        Needs a spec-built harness: the trail embeds the CheckSpec so a
+        replay can rebuild identical targets in any process.
+        """
+        if self.options.trail_dir is None or result.report is None:
+            return
+        if result.report.schedule is None or self.spec is None:
+            return
+        from repro.trail import capture_trail
+
+        result.trail_path = capture_trail(
+            result.report, self.spec, self.options.trail_dir,
+            mode=mode, seed=seed,
+        )
 
     def _result(self, stats: ExplorationStats, start_time: float,
                 table_stats: Optional[TableStats] = None) -> MCFSResult:

@@ -17,6 +17,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.findings import Finding, finding_from_dict
 from repro.core.integrity import Outcome, StateDiff
 from repro.core.ops import Operation
+from repro.mc import trace
 
 
 def _encode_arg(value: Any) -> Any:
@@ -57,6 +58,25 @@ def _outcome_from_dict(document: Dict[str, Any]) -> Outcome:
                    errno=document.get("errno"))
 
 
+def schedule_event_to_dict(event: Tuple) -> Dict[str, Any]:
+    """Serialise one explorer schedule event (see :mod:`repro.mc.trace`)."""
+    tag = event[0]
+    if tag == trace.OP:
+        return {"event": tag, "operation": operation_to_dict(event[1])}
+    if tag in (trace.CHECKPOINT, trace.RESTORE):
+        return {"event": tag, "id": event[1]}
+    return {"event": tag}
+
+
+def schedule_event_from_dict(document: Dict[str, Any]) -> Tuple:
+    tag = document["event"]
+    if tag == trace.OP:
+        return (tag, operation_from_dict(document["operation"]))
+    if tag in (trace.CHECKPOINT, trace.RESTORE):
+        return (tag, document["id"])
+    return (tag,)
+
+
 @dataclass
 class LoggedOperation:
     """One executed operation with its per-file-system outcomes."""
@@ -89,6 +109,11 @@ class DiscrepancyReport:
     #: structured fsck findings (set for ``kind="corruption"`` reports
     #: raised by the :mod:`repro.analysis` oracle)
     findings: List[Finding] = field(default_factory=list)
+    #: the explorer's full event schedule (operations, checkpoints,
+    #: restores, checks) from run start to detection -- what
+    #: :mod:`repro.trail` replays; None when the run recorded none
+    #: (e.g. a violation raised outside an explorer)
+    schedule: Optional[List[Tuple]] = None
 
     @property
     def failing_operation(self) -> Optional[LoggedOperation]:
@@ -109,6 +134,11 @@ class DiscrepancyReport:
             "sim_time": self.sim_time,
             "suspects": list(self.suspects),
             "findings": [finding.to_dict() for finding in self.findings],
+            "state_diff": (self.state_diff.to_dict()
+                           if self.state_diff is not None else None),
+            "schedule": ([schedule_event_to_dict(event)
+                          for event in self.schedule]
+                         if self.schedule is not None else None),
             "operation_log": [
                 {
                     "operation": operation_to_dict(logged.operation),
@@ -123,6 +153,8 @@ class DiscrepancyReport:
 
     @classmethod
     def from_dict(cls, document: Dict[str, Any]) -> "DiscrepancyReport":
+        state_diff = document.get("state_diff")
+        schedule = document.get("schedule")
         return cls(
             kind=document["kind"],
             summary=document["summary"],
@@ -133,6 +165,10 @@ class DiscrepancyReport:
             suspects=list(document.get("suspects", [])),
             findings=[finding_from_dict(entry)
                       for entry in document.get("findings", [])],
+            state_diff=(StateDiff.from_dict(state_diff)
+                        if state_diff is not None else None),
+            schedule=([schedule_event_from_dict(entry) for entry in schedule]
+                      if schedule is not None else None),
             operation_log=[
                 LoggedOperation(
                     operation=operation_from_dict(entry["operation"]),
@@ -215,6 +251,12 @@ class RunSummary:
     omission_possible: bool = False
     omission_probability: float = 0.0
     store_bits_per_state: float = 0.0
+    #: where the run's counterexample trail was written (``--trail-dir``);
+    #: None when no discrepancy was found or capture was off
+    trail_path: Optional[str] = None
+    #: operation count of the minimized reproducer (``repro minimize`` /
+    #: ``--minimize``); None when no minimization ran
+    minimized_operations: Optional[int] = None
 
     @classmethod
     def from_result(cls, result, show_fsck: bool = False) -> "RunSummary":
@@ -242,6 +284,53 @@ class RunSummary:
                                   if table_stats is not None else 0.0),
             store_bits_per_state=(table_stats.bits_per_state
                                   if table_stats is not None else 0.0),
+            trail_path=getattr(result, "trail_path", None),
+        )
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "operations": self.operations,
+            "unique_states": self.unique_states,
+            "sim_time": self.sim_time,
+            "ops_per_second": self.ops_per_second,
+            "stopped_reason": self.stopped_reason,
+            "revisited_states": self.revisited_states,
+            "duplicate_hits": self.duplicate_hits,
+            "duplicate_hit_ratio": self.duplicate_hit_ratio,
+            "fsck_checks": self.fsck_checks,
+            "show_fsck": self.show_fsck,
+            "bytes_snapshotted": self.bytes_snapshotted,
+            "bytes_restored": self.bytes_restored,
+            "snapshot_dedup_ratio": self.snapshot_dedup_ratio,
+            "omission_possible": self.omission_possible,
+            "omission_probability": self.omission_probability,
+            "store_bits_per_state": self.store_bits_per_state,
+            "trail_path": self.trail_path,
+            "minimized_operations": self.minimized_operations,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "RunSummary":
+        return cls(
+            operations=document["operations"],
+            unique_states=document["unique_states"],
+            sim_time=document["sim_time"],
+            ops_per_second=document["ops_per_second"],
+            stopped_reason=document["stopped_reason"],
+            revisited_states=document.get("revisited_states", 0),
+            duplicate_hits=document.get("duplicate_hits", 0),
+            duplicate_hit_ratio=document.get("duplicate_hit_ratio", 0.0),
+            fsck_checks=document.get("fsck_checks", 0),
+            show_fsck=document.get("show_fsck", False),
+            bytes_snapshotted=document.get("bytes_snapshotted", 0),
+            bytes_restored=document.get("bytes_restored", 0),
+            snapshot_dedup_ratio=document.get("snapshot_dedup_ratio", 0.0),
+            omission_possible=document.get("omission_possible", False),
+            omission_probability=document.get("omission_probability", 0.0),
+            store_bits_per_state=document.get("store_bits_per_state", 0.0),
+            trail_path=document.get("trail_path"),
+            minimized_operations=document.get("minimized_operations"),
         )
 
     def render(self) -> str:
@@ -268,6 +357,10 @@ class RunSummary:
             )
         if self.show_fsck:
             lines.append(f"fsck sweeps: {self.fsck_checks}")
+        if self.trail_path:
+            lines.append(f"trail      : {self.trail_path}")
+        if self.minimized_operations is not None:
+            lines.append(f"minimized  : {self.minimized_operations} operation(s)")
         return "\n".join(lines)
 
 

@@ -108,6 +108,9 @@ class DistResult:
     stolen_units: int = 0
     inline_units: int = 0
     cross_worker_duplicates: int = 0
+    #: trail files written from unit violations (``trail_dir`` set),
+    #: ordered by unit index like :attr:`discrepancies`
+    trail_paths: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------- derived --
     @property
@@ -230,6 +233,9 @@ class DistributedChecker:
         mp_context=None,
         #: fault injection: worker_id -> SIGKILL-self after N operations
         chaos_kill_after: Optional[Dict[str, int]] = None,
+        #: write a ``*.trail.json`` per unit violation into this
+        #: directory, so distributed finds replay locally; None disables
+        trail_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("the fleet needs at least one worker")
@@ -239,6 +245,7 @@ class DistributedChecker:
         self.lease_timeout = lease_timeout
         self.poll_interval = poll_interval
         self.state_file = state_file
+        self.trail_dir = trail_dir
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = multiprocessing.get_context(
@@ -281,6 +288,8 @@ class DistributedChecker:
 
         result.unit_results.sort(key=lambda unit: unit.index)
         result.table = service.table
+        if self.trail_dir is not None:
+            self._capture_trails(result)
         result.cross_worker_duplicates = service.cross_worker_duplicates
         result.worker_summaries = [
             WorkerSummary(
@@ -307,6 +316,24 @@ class DistributedChecker:
         return result
 
     # ------------------------------------------------------------ internals --
+    def _capture_trails(self, result: DistResult) -> None:
+        """Write one trail per unit violation: the worker's schedule came
+        back through the wire inside the serialised report, so a
+        distributed find is locally replayable like any other."""
+        from repro.trail import capture_trail
+
+        for unit in result.unit_results:
+            if unit.violation is None:
+                continue
+            report = DiscrepancyReport.from_dict(unit.violation)
+            if report.schedule is None:
+                continue
+            result.trail_paths.append(capture_trail(
+                report, self.spec, self.trail_dir,
+                mode="random", seed=unit.seed,
+                name=f"unit{unit.index:03d}-seed{unit.seed}",
+            ))
+
     def _spawn_fleet(self) -> List[WorkerRecord]:
         records: List[WorkerRecord] = []
         for slot in range(self.workers):

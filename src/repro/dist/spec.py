@@ -17,8 +17,8 @@ independent of worker count and scheduling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.clock import SimClock
 from repro.mc.strategies import (
@@ -145,6 +145,12 @@ class CheckSpec:
     #: the coordinator's service matches on the same fingerprints, so
     #: compact wire keys agree fleet-wide (see :mod:`repro.mc.statestore`)
     state_store: str = "exact"
+    #: random mode: hash + cross-compare abstract states only every N
+    #: operations (1 = the classic per-operation check).  N > 1 trades
+    #: detection latency for throughput -- and because detection is
+    #: delayed, the counterexample trails it produces carry long
+    #: operation logs, which is what the trail minimizer is for.
+    state_check_every: int = 1
 
     def __post_init__(self):
         if len(self.filesystems) < 2:
@@ -157,6 +163,33 @@ class CheckSpec:
         from repro.mc.statestore import parse_store_spec
 
         parse_store_spec(self.state_store)  # fail fast on a bad spec
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (tuples become lists); trail files embed this."""
+        document: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            document[spec_field.name] = (
+                list(value) if isinstance(value, tuple) else value
+            )
+        return document
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "CheckSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys are ignored and missing keys fall back to the
+        dataclass defaults, so trail files survive spec evolution in
+        both directions.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        kwargs = {key: value for key, value in document.items()
+                  if key in known}
+        for name in ("filesystems", "verifs_bugs"):
+            if name in kwargs and kwargs[name] is not None:
+                kwargs[name] = tuple(kwargs[name])
+        return cls(**kwargs)
 
     # ------------------------------------------------------------- harness --
     def build_mcfs(self):
@@ -176,6 +209,7 @@ class CheckSpec:
             fsck_every=self.fsck_every,
             fsck_max_workers=1,  # workers must not nest their own pools
             state_store=self.state_store,
+            state_check_every=self.state_check_every,
             # one fleet-wide store seed: every worker's fingerprints must
             # match the service's, so the spec's base seed is used (swarm
             # diversification is a *classic*-mode technique, not a

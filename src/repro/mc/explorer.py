@@ -26,6 +26,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from repro.clock import SimClock
 from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
 from repro.mc.memory import OutOfMemoryError
+from repro.mc.trace import TrailRecorder
 
 
 class PropertyViolation(Exception):
@@ -116,6 +117,7 @@ class Explorer:
         sample_hook: Optional[Callable[[ExplorationStats], None]] = None,
         fsck_every: Optional[int] = None,
         fsck_oracle: Optional[Callable[[], Any]] = None,
+        state_check_every: int = 1,
     ):
         self.target = target
         self.clock = clock
@@ -132,6 +134,14 @@ class Explorer:
         #: ``fsck_every`` operations; raises PropertyViolation on a hit
         self.fsck_every = fsck_every
         self.fsck_oracle = fsck_oracle
+        #: random mode: hash + cross-compare states only every N
+        #: operations (N > 1 amortises the per-operation tree walk, the
+        #: dominant cost of a random walk, at the price of delayed
+        #: detection -- the discrepancy surfaces at the next check)
+        self.state_check_every = max(1, state_check_every)
+        #: always-on schedule log; on a violation the schedule is
+        #: attached to the report so it can be captured as a trail
+        self.recorder = TrailRecorder()
         self.stats = ExplorationStats()
 
     # ---------------------------------------------------------------- common --
@@ -158,6 +168,7 @@ class Explorer:
             and self.stats.operations % self.fsck_every == 0
         ):
             self.stats.fsck_checks += 1
+            self.recorder.fsck()
             self.fsck_oracle()  # PropertyViolation propagates: halt
         if self.sample_every and self.stats.operations % self.sample_every == 0:
             swap = 0
@@ -176,6 +187,7 @@ class Explorer:
         expanded again (Spin's fix for depth-bounded search losing the
         subtrees of frontier states).
         """
+        self.recorder.check()
         state_hash = self.target.abstract_state()
         is_new, should_expand = self.visited.visit(state_hash, depth)
         if is_new:
@@ -183,6 +195,13 @@ class Explorer:
         else:
             self.stats.revisited_states += 1
         return should_expand
+
+    def _attach_schedule(self, violation: PropertyViolation) -> None:
+        """Hang the recorded schedule off the violation's report (if any)
+        so the run's exact event sequence survives into the trail."""
+        report = getattr(violation, "report", None)
+        if report is not None and getattr(report, "schedule", None) is None:
+            report.schedule = self.recorder.schedule()
 
     # ------------------------------------------------------------------ DFS --
     def run_dfs(self, por: bool = False) -> ExplorationStats:
@@ -203,6 +222,7 @@ class Explorer:
         except PropertyViolation as violation:
             self.stats.violation = violation
             self.stats.stopped_reason = "property violation"
+            self._attach_schedule(violation)
         except OutOfMemoryError:
             self.stats.stopped_reason = "out of memory"
         self.stats.end_time = self.clock.now
@@ -229,8 +249,10 @@ class Explorer:
                 # an independent permutation already covered this order
                 self.stats.por_pruned += 1
                 continue
+            checkpoint_id = self.recorder.checkpoint()
             token = self.target.checkpoint()
             self.stats.checkpoints += 1
+            self.recorder.operation(action)
             self.target.apply(action)  # PropertyViolation propagates: halt
             self._note_operation()
             self.stats.transitions += 1
@@ -245,6 +267,7 @@ class Explorer:
                         if self.target.independent(action, other)
                     )
                 self._dfs(depth + 1, child_sleep)
+            self.recorder.restore(checkpoint_id)
             self.target.restore(token)
             self.stats.restores += 1
             if candidates is not None:
@@ -261,7 +284,9 @@ class Explorer:
         re-entering unexplored regions.
         """
         self.stats = ExplorationStats(start_time=self.clock.now)
-        checkpoints: List[Any] = [self.target.checkpoint()]
+        checkpoints: List[Tuple[int, Any]] = [
+            (self.recorder.checkpoint(), self.target.checkpoint())
+        ]
         self.stats.checkpoints += 1
         try:
             self._record_state()
@@ -275,28 +300,37 @@ class Explorer:
                     self.stats.stopped_reason = "no enabled actions"
                     break
                 action = self.rng.choice(actions)
+                self.recorder.operation(action)
                 self.target.apply(action)
                 self._note_operation()
                 self.stats.transitions += 1
+                if self.stats.operations % self.state_check_every != 0:
+                    continue  # between amortised checks: straight-line walk
                 is_new = self._record_state()
                 should_backtrack = (not is_new) or (
                     self.rng.random() < backtrack_probability
                 )
                 if is_new and len(checkpoints) < self.max_depth:
-                    checkpoints.append(self.target.checkpoint())
+                    checkpoints.append(
+                        (self.recorder.checkpoint(), self.target.checkpoint())
+                    )
                     self.stats.checkpoints += 1
                 elif should_backtrack and checkpoints:
                     index = self.rng.randrange(len(checkpoints))
-                    token = checkpoints[index]
+                    checkpoint_id, token = checkpoints[index]
                     # Replace the consumed checkpoint with a fresh one of
                     # the restored state so it can be revisited again.
+                    self.recorder.restore(checkpoint_id)
                     self.target.restore(token)
                     self.stats.restores += 1
-                    checkpoints[index] = self.target.checkpoint()
+                    checkpoints[index] = (
+                        self.recorder.checkpoint(), self.target.checkpoint()
+                    )
                     self.stats.checkpoints += 1
         except PropertyViolation as violation:
             self.stats.violation = violation
             self.stats.stopped_reason = "property violation"
+            self._attach_schedule(violation)
         except OutOfMemoryError:
             self.stats.stopped_reason = "out of memory"
         self.stats.end_time = self.clock.now

@@ -1,0 +1,392 @@
+"""Trail minimization: ddmin delta debugging over schedule events.
+
+A ``run_random`` campaign with amortised state checking detects a bug
+thousands of operations after the walk started; the raw trail is a
+faithful reproducer but a hopeless diagnostic.  This module shrinks it
+with Zeller's ddmin: test ever-smaller subsets (then complements) of the
+schedule, keeping any candidate that still raises the *same* discrepancy
+(matched on the trail's structured signature, which survives the value
+churn that deleting operations causes), until no single event can be
+removed -- a 1-minimal reproducer.
+
+Probes are cheap because of prefix checkpoints: candidates produced by
+ddmin share long prefixes, so the prober snapshots the concrete target
+state every ``checkpoint_every`` events (copy-on-write
+``snapshot_chunks()`` grabs for block devices, re-armable ioctl keys for
+VeriFS) and each probe restores the longest cached prefix and re-executes
+only the suffix.  :func:`minimize_trail_naive` is the deliberately
+cache-less one-event-at-a-time baseline the ``BENCH_trail`` benchmark
+compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.mc import trace
+from repro.mc.explorer import PropertyViolation
+from repro.trail.capture import Trail, signature
+from repro.trail.replay import TrailExecutor
+
+Event = Tuple[Any, ...]
+
+
+class _BudgetExceeded(Exception):
+    """Raised by a prober when its probe budget runs out."""
+
+
+@dataclass
+class MinimizeResult:
+    """Outcome of a minimization run."""
+
+    #: the minimized trail (same spec, shrunken schedule, fresh report)
+    trail: Trail
+    probes: int
+    #: schedule events actually executed across all probes (the work
+    #: metric prefix caching reduces)
+    events_executed: int
+    original_operations: int
+    minimized_operations: int
+    original_events: int
+    minimized_events: int
+    #: True when the probe budget ran out before reaching 1-minimality
+    #: (the result is still a valid, smaller reproducer)
+    exhausted: bool = False
+
+    def describe(self) -> str:
+        line = (f"minimized {self.original_operations} -> "
+                f"{self.minimized_operations} operation(s) "
+                f"({self.original_events} -> {self.minimized_events} events) "
+                f"in {self.probes} probe(s), "
+                f"{self.events_executed} event(s) executed")
+        if self.exhausted:
+            line += " [probe budget exhausted: not 1-minimal]"
+        return line
+
+
+class _Prober:
+    """Runs candidate schedules against one long-lived harness.
+
+    The harness is rebuilt never; every probe rolls back to the initial
+    checkpoint (or to the longest cached prefix of its candidate) via
+    ``restore_reusable``.  The engine's operation log is part of the
+    rolled-back state a strategy token only knows the *length* of, so
+    each cache entry carries its own copy of the log.
+    """
+
+    def __init__(self, spec, checkpoint_every: int = 64,
+                 cache_limit: int = 48, max_probes: Optional[int] = None):
+        self.executor = TrailExecutor(spec)
+        self.checkpoint_every = checkpoint_every
+        self.cache_limit = cache_limit
+        self.max_probes = max_probes
+        self.probes = 0
+        self.events_executed = 0
+        self.cache_hits = 0
+        #: pristine initial state: every probe starts here or later
+        self._base = (self.executor.target.checkpoint(), [])
+        #: (events_prefix, token, operation_log copy), oldest first
+        self._cache: List[Tuple[Tuple[Event, ...], Any, list]] = []
+
+    def _best_start(self, events: List[Event]):
+        start, token, log = 0, self._base[0], self._base[1]
+        for cached_events, cached_token, cached_log in self._cache:
+            length = len(cached_events)
+            if (length > start and length <= len(events)
+                    and list(cached_events) == events[:length]):
+                start, token, log = length, cached_token, cached_log
+        return start, token, log
+
+    def _remember(self, prefix: List[Event], token: Any, log: list) -> None:
+        if len(self._cache) >= self.cache_limit:
+            self._cache.pop(0)
+        self._cache.append((tuple(prefix), token, list(log)))
+
+    def run(self, events: List[Event]) -> Tuple[int, Optional[PropertyViolation]]:
+        """Execute one candidate; same contract as TrailExecutor.execute."""
+        if self.max_probes is not None and self.probes >= self.max_probes:
+            raise _BudgetExceeded()
+        self.probes += 1
+        executor = self.executor
+        start, token, log = self._best_start(events)
+        if start:
+            self.cache_hits += 1
+        executor.target.restore_reusable(token)
+        executor.engine.operation_log[:] = log
+        since_checkpoint = 0
+        for offset, event in enumerate(events[start:]):
+            index = start + offset
+            try:
+                executor.execute_one(event)
+            except PropertyViolation as violation:
+                self.events_executed += offset + 1
+                return index, violation
+            since_checkpoint += 1
+            if (since_checkpoint >= self.checkpoint_every
+                    and index + 1 < len(events)):
+                since_checkpoint = 0
+                self._remember(events[:index + 1],
+                               executor.target.checkpoint(),
+                               executor.engine.operation_log)
+        self.events_executed += len(events) - start
+        return len(events), None
+
+
+def _split(events: List[Event], n: int) -> List[List[Event]]:
+    """Split into n chunks of near-equal size (none empty)."""
+    chunks: List[List[Event]] = []
+    start = 0
+    for index in range(n):
+        end = start + (len(events) - start) // (n - index)
+        if end > start:
+            chunks.append(events[start:end])
+        start = end
+    return chunks
+
+
+def _ddmin(events: List[Event], failing) -> List[Event]:
+    """Zeller's ddmin: subsets, then complements, doubling granularity."""
+    current = events
+    n = 2
+    while len(current) >= 2:
+        chunks = _split(current, n)
+        reduced = False
+        for chunk in chunks:
+            result = failing(chunk)
+            if result is not None and len(result) < len(current):
+                current, n, reduced = result, 2, True
+                break
+        if not reduced and n > 2:
+            # at n == 2 each complement IS the other chunk: skip
+            for index in range(len(chunks)):
+                complement = [event
+                              for position, chunk in enumerate(chunks)
+                              if position != index
+                              for event in chunk]
+                result = failing(complement)
+                if result is not None and len(result) < len(current):
+                    current, n, reduced = result, max(n - 1, 2), True
+                    break
+        if not reduced:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    return current
+
+
+class _FreshProber:
+    """The sound (and slow) prober: a fresh harness per probe.
+
+    Ground truth by construction -- nothing carries over between probes.
+    Used directly by :func:`minimize_trail_naive`, and as the fallback
+    :class:`_HybridTest` switches to when the fast prober turns out to
+    be polluted.
+    """
+
+    def __init__(self, spec, max_probes: Optional[int] = None):
+        self.spec = spec
+        self.max_probes = max_probes
+        self.probes = 0
+        self.events_executed = 0
+
+    def run(self, events: List[Event]) -> Tuple[int, Optional[PropertyViolation]]:
+        if self.max_probes is not None and self.probes >= self.max_probes:
+            raise _BudgetExceeded()
+        self.probes += 1
+        executor = TrailExecutor(self.spec)
+        result = executor.execute(events)
+        self.events_executed += executor.events_executed
+        return result
+
+
+class _HybridTest:
+    """ddmin's test function: fast prefix-cached probes, fresh-harness
+    ground truth where it matters.
+
+    The long-lived prober assumes checkpoint/restore is exact -- but the
+    bug being minimized may corrupt restore *itself* (VeriFS's missing
+    cache invalidation leaves dcache ghosts that survive every rollback),
+    in which case pollution accumulates across probes and the prober
+    raises spurious violations.  Two guards keep the result sound and
+    recover minimization power:
+
+    * every apparent success is confirmed on a fresh harness before
+      ddmin may keep it (so the final answer is always genuine);
+    * the first time the prober contradicts a fresh run -- a rejected
+      confirmation, or a mismatched-signature violation where a fresh
+      run stays clean -- the prober is declared polluted and all
+      remaining probes run fresh.
+    """
+
+    def __init__(self, spec, expected, prober: _Prober,
+                 max_probes: Optional[int]):
+        self.expected = expected
+        self.prober = prober
+        self.fresh = _FreshProber(spec)
+        self.max_probes = max_probes
+        self.polluted = False
+        #: a fresh run agreed with a prober mismatch once: stop paying
+        #: for cross-checks of further mismatches
+        self._mismatch_validated = False
+
+    @property
+    def probes(self) -> int:
+        return self.prober.probes + self.fresh.probes
+
+    @property
+    def events_executed(self) -> int:
+        return self.prober.events_executed + self.fresh.events_executed
+
+    def _charge(self) -> None:
+        if self.max_probes is not None and self.probes >= self.max_probes:
+            raise _BudgetExceeded()
+
+    def _accept(self, run_result, candidate: List[Event]) -> Optional[List[Event]]:
+        index, violation = run_result
+        report = getattr(violation, "report", None)
+        if report is not None and signature(report) == self.expected:
+            return candidate[:index + 1]
+        return None
+
+    def __call__(self, candidate: List[Event]) -> Optional[List[Event]]:
+        candidate = trace.normalize(candidate)
+        if not candidate:
+            return None
+        self._charge()
+        if self.polluted:
+            return self._accept(self.fresh.run(candidate), candidate)
+        index, violation = self.prober.run(candidate)
+        report = getattr(violation, "report", None)
+        if report is None:
+            # clean run: trust it.  Pollution adds spurious violations;
+            # it cannot make two file systems agree where they would
+            # genuinely diverge.
+            return None
+        if signature(report) == self.expected:
+            trimmed = candidate[:index + 1]
+            self._charge()
+            confirmed = self._accept(self.fresh.run(trimmed), trimmed)
+            if confirmed is None:
+                self.polluted = True
+            return confirmed
+        # a violation that is not ours: legitimate (dropping operations
+        # can surface a different manifestation) or pollution masking
+        # the real reproducer.  Ask a fresh harness once.
+        if not self._mismatch_validated:
+            self._charge()
+            fresh_index, fresh_violation = self.fresh.run(candidate)
+            if fresh_violation is None:
+                self.polluted = True
+                return None
+            self._mismatch_validated = True
+            return self._accept((fresh_index, fresh_violation), candidate)
+        return None
+
+
+def _finalize(trail: Trail, minimized: List[Event], probes: int,
+              events_executed: int, expected, exhausted: bool) -> MinimizeResult:
+    """Re-run the minimized schedule on a *fresh* harness and package the
+    result as a new trail (clean report, correct digest)."""
+    executor = TrailExecutor(trail.spec)
+    index, violation = executor.execute(minimized)
+    report = getattr(violation, "report", None)
+    if report is None or signature(report) != expected:
+        raise RuntimeError(
+            "minimized schedule failed to reproduce on a fresh harness; "
+            "this is a determinism bug in the harness (run 'repro lint')")
+    minimized = minimized[:index + 1]
+    report.schedule = list(minimized)
+    new_trail = Trail(
+        spec=trail.spec,
+        report=report,
+        mode=trail.mode,
+        seed=trail.seed,
+        minimized_from=trail.operations,
+        probes=probes,
+    )
+    return MinimizeResult(
+        trail=new_trail,
+        probes=probes,
+        events_executed=events_executed + executor.events_executed,
+        original_operations=trail.operations,
+        minimized_operations=new_trail.operations,
+        original_events=trail.events,
+        minimized_events=new_trail.events,
+        exhausted=exhausted,
+    )
+
+
+def minimize_trail(trail: Trail, max_probes: Optional[int] = 5000,
+                   checkpoint_every: int = 64,
+                   cache_limit: int = 48) -> MinimizeResult:
+    """Shrink a trail to a 1-minimal reproducer with prefix-cached ddmin."""
+    events = trace.normalize(list(trail.report.schedule or []))
+    if not events:
+        raise ValueError("trail carries no schedule to minimize")
+    expected = trail.signature()
+    prober = _Prober(trail.spec, checkpoint_every=checkpoint_every,
+                     cache_limit=cache_limit)
+    failing = _HybridTest(trail.spec, expected, prober, max_probes)
+
+    current = failing(events)
+    if current is None:
+        raise ValueError(
+            "trail does not reproduce here; refusing to minimize a flaky "
+            "counterexample (replay it first: 'repro replay')")
+    exhausted = False
+    try:
+        current = _ddmin(current, failing)
+    except _BudgetExceeded:
+        exhausted = True
+    return _finalize(trail, current, failing.probes, failing.events_executed,
+                     expected, exhausted)
+
+
+def minimize_trail_naive(trail: Trail,
+                         max_probes: Optional[int] = 5000) -> MinimizeResult:
+    """The baseline minimizer: delete one event at a time, re-executing
+    every candidate from scratch on a freshly built harness.
+
+    Exists for the ``BENCH_trail`` comparison; it reaches the same
+    1-minimal answer but pays full re-execution (and harness rebuild)
+    per probe.
+    """
+    events = trace.normalize(list(trail.report.schedule or []))
+    if not events:
+        raise ValueError("trail carries no schedule to minimize")
+    expected = trail.signature()
+    fresh = _FreshProber(trail.spec, max_probes=max_probes)
+
+    def failing(candidate: List[Event]) -> Optional[List[Event]]:
+        candidate = trace.normalize(candidate)
+        if not candidate:
+            return None
+        index, violation = fresh.run(candidate)
+        report = getattr(violation, "report", None)
+        if report is not None and signature(report) == expected:
+            return candidate[:index + 1]
+        return None
+
+    current = failing(events)
+    if current is None:
+        raise ValueError(
+            "trail does not reproduce here; refusing to minimize a flaky "
+            "counterexample (replay it first: 'repro replay')")
+    exhausted = False
+    try:
+        changed = True
+        while changed:
+            changed = False
+            index = 0
+            while index < len(current):
+                result = failing(current[:index] + current[index + 1:])
+                if result is not None and len(result) < len(current):
+                    current = result
+                    changed = True
+                else:
+                    index += 1
+    except _BudgetExceeded:
+        exhausted = True
+    return _finalize(trail, current, fresh.probes, fresh.events_executed,
+                     expected, exhausted)
