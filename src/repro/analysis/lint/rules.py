@@ -31,9 +31,18 @@ These rules flag the source-level hazards that silently break that:
   fingerprints -- see :mod:`repro.mc.statestore`), and a raw read
   bypasses the stats/memory accounting.  (Warn severity: enforced by
   ``repro lint --strict``.)
+* ``unsorted-fs-listing`` -- bare ``os.listdir``/``os.scandir``/
+  ``glob.glob``/``glob.iglob``/``Path.iterdir`` results used without
+  ``sorted(...)``.  The OS returns directory entries in on-disk order,
+  which varies across machines and runs; anything derived from the raw
+  listing (reports, walk order, hashes) varies with it.
+* ``set-pop`` -- ``set.pop()`` removes and returns an *arbitrary*
+  element (whichever hash bucket comes first), so the popped value --
+  and everything downstream of it -- varies with ``PYTHONHASHSEED``.
 
 A finding on a given line is suppressed by an inline pragma **with a
-justification**::
+justification** (see :mod:`repro.analysis.pragmas` for the stacked and
+multi-line forms)::
 
     for block in blocks:  # det-lint: allow[unordered-iteration] result is a count, order-free
 
@@ -44,14 +53,20 @@ so the allowlist stays self-documenting.
 from __future__ import annotations
 
 import ast
-import io
-import re
-import tokenize
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.findings import Finding
+from repro.analysis.pragmas import apply_pragmas
 
 CHECKER = "lint.determinism"
+
+#: rule ids this module can emit (the pragma machinery treats pragmas
+#: for other rules as belonging to the whole-program passes)
+DETERMINISM_RULE_IDS = frozenset({
+    "unseeded-random", "wall-clock", "builtin-hash", "unordered-iteration",
+    "raw-device-data", "raw-visited-state", "unsorted-fs-listing",
+    "set-pop", "syntax-error",
+})
 
 #: module-global functions of :mod:`random` that use the shared unseeded RNG
 RANDOM_GLOBALS = {
@@ -82,7 +97,12 @@ RAW_DEVICE_ATTRS = {"_data", "_chunks"}
 #: ``repro.mc`` must use the export/import/visit boundary instead
 RAW_VISITED_ATTRS = {"_seen"}
 
-PRAGMA_RE = re.compile(r"#\s*det-lint:\s*allow\[([a-z-]+)\]\s*(.*)")
+#: dotted call suffixes returning OS-ordered directory listings
+FS_LISTING_SUFFIXES = ("os.listdir", "os.scandir", "glob.glob", "glob.iglob")
+
+#: bare names that, when imported from ``os``/``glob``, list in OS order
+FS_LISTING_NAMES = {"listdir": "os", "scandir": "os", "glob": "glob",
+                    "iglob": "glob"}
 
 
 def _dotted_name(node: ast.AST) -> Optional[str]:
@@ -114,11 +134,16 @@ class DeterminismVisitor(ast.NodeVisitor):
         self.random_aliases: Set[str] = set()       # modules acting as `random`
         self.random_func_aliases: Dict[str, str] = {}  # name -> random.<fn>
         self.time_func_aliases: Dict[str, str] = {}    # name -> time.<fn>
+        self.listing_func_aliases: Dict[str, str] = {}  # name -> os/glob.<fn>
         self.set_locals: List[Set[str]] = [set()]      # per-scope set-typed names
+        self._sorted_depth = 0  # > 0 while inside a sorted(...) call
 
     # ------------------------------------------------------------- helpers --
     def _finding(self, invariant: str, lineno: int, message: str,
-                 severity: str = "error", **detail) -> None:
+                 severity: str = "error",
+                 end_lineno: Optional[int] = None, **detail) -> None:
+        if end_lineno is not None and end_lineno > lineno:
+            detail["end_line"] = end_lineno
         self.findings.append(Finding(
             checker=CHECKER, invariant=invariant, message=message,
             severity=severity, location=f"{self.path}:{lineno}",
@@ -144,6 +169,12 @@ class DeterminismVisitor(ast.NodeVisitor):
             for alias in node.names:
                 if alias.name in WALL_CLOCK_TIME_NAMES:
                     self.time_func_aliases[alias.asname or alias.name] = alias.name
+        elif node.module in ("os", "glob"):
+            for alias in node.names:
+                if FS_LISTING_NAMES.get(alias.name) == node.module:
+                    self.listing_func_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
         self.generic_visit(node)
 
     # ---------------------------------------------------------------- calls --
@@ -156,37 +187,77 @@ class DeterminismVisitor(ast.NodeVisitor):
             if head in self.random_aliases and tail in RANDOM_GLOBALS:
                 self._finding("unseeded-random", node.lineno,
                               f"{dotted}() uses the module-global RNG; "
-                              f"construct random.Random(seed) instead")
+                              f"construct random.Random(seed) instead",
+                              end_lineno=node.end_lineno)
             if head in self.random_aliases and tail == "Random" and not node.args:
                 self._finding("unseeded-random", node.lineno,
-                              f"{dotted}() constructed without a seed")
+                              f"{dotted}() constructed without a seed",
+                              end_lineno=node.end_lineno)
         if isinstance(node.func, ast.Name):
             mapped = self.random_func_aliases.get(node.func.id)
             if mapped == "Random" and not node.args:
                 self._finding("unseeded-random", node.lineno,
-                              f"{node.func.id}() constructed without a seed")
+                              f"{node.func.id}() constructed without a seed",
+                              end_lineno=node.end_lineno)
             elif mapped is not None and mapped != "Random":
                 self._finding("unseeded-random", node.lineno,
                               f"{node.func.id}() (= random.{mapped}) uses the "
-                              f"module-global RNG")
+                              f"module-global RNG",
+                              end_lineno=node.end_lineno)
 
         # wall-clock
         if dotted and dotted.endswith(WALL_CLOCK_SUFFIXES):
             self._finding("wall-clock", node.lineno,
                           f"{dotted}() reads the wall clock; use the SimClock "
-                          f"(repro.clock) instead")
+                          f"(repro.clock) instead",
+                          end_lineno=node.end_lineno)
         if isinstance(node.func, ast.Name) and node.func.id in self.time_func_aliases:
             self._finding("wall-clock", node.lineno,
                           f"{node.func.id}() (= time."
                           f"{self.time_func_aliases[node.func.id]}) reads the "
-                          f"wall clock; use the SimClock (repro.clock) instead")
+                          f"wall clock; use the SimClock (repro.clock) instead",
+                          end_lineno=node.end_lineno)
 
         # builtin-hash
         if isinstance(node.func, ast.Name) and node.func.id == "hash":
             self._finding("builtin-hash", node.lineno,
                           "builtin hash() is randomised by PYTHONHASHSEED; "
-                          "use repro.util.hashing for stable hashes")
+                          "use repro.util.hashing for stable hashes",
+                          end_lineno=node.end_lineno)
 
+        # unsorted-fs-listing: OS-ordered directory results used raw.
+        # Anything lexically inside a sorted(...) call is determinized.
+        if self._sorted_depth == 0:
+            listing: Optional[str] = None
+            if dotted and dotted.endswith(FS_LISTING_SUFFIXES):
+                listing = dotted
+            elif (isinstance(node.func, ast.Name)
+                    and node.func.id in self.listing_func_aliases):
+                listing = self.listing_func_aliases[node.func.id]
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "iterdir" and not node.args):
+                listing = "iterdir"
+            if listing is not None:
+                self._finding("unsorted-fs-listing", node.lineno,
+                              f"{listing}() yields entries in on-disk order; "
+                              f"wrap in sorted(...) so walks and reports are "
+                              f"stable across machines",
+                              end_lineno=node.end_lineno)
+
+        # set-pop: removes an arbitrary (hash-order) element
+        if (isinstance(node.func, ast.Attribute) and node.func.attr == "pop"
+                and not node.args and not node.keywords
+                and self._is_known_set(node.func.value)):
+            self._finding("set-pop", node.lineno,
+                          "set.pop() returns an arbitrary element (hash "
+                          "order); pop from a sorted list instead",
+                          end_lineno=node.end_lineno)
+
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            self._sorted_depth += 1
+            self.generic_visit(node)
+            self._sorted_depth -= 1
+            return
         self.generic_visit(node)
 
     # ----------------------------------------------------------- attributes --
@@ -275,45 +346,5 @@ def lint_source(source: str, path: str) -> List[Finding]:
         )]
     visitor = DeterminismVisitor(path)
     visitor.visit(tree)
-
-    # Pragmas live in real comments only -- tokenize so a docstring that
-    # merely *documents* the pragma syntax is not mistaken for one.
-    pragmas: Dict[int, Tuple[str, str]] = {}
-    try:
-        for token in tokenize.generate_tokens(io.StringIO(source).readline):
-            if token.type == tokenize.COMMENT:
-                match = PRAGMA_RE.search(token.string)
-                if match:
-                    pragmas[token.start[0]] = (match.group(1),
-                                               match.group(2).strip())
-    except tokenize.TokenizeError:
-        pass
-
-    kept: List[Finding] = []
-    used: Set[int] = set()
-    for finding in visitor.findings:
-        line = finding.detail.get("line", 0)
-        pragma = pragmas.get(line)
-        if pragma and pragma[0] == finding.invariant and pragma[1]:
-            used.add(line)
-            continue  # allowlisted with a justification
-        if pragma and pragma[0] == finding.invariant and not pragma[1]:
-            used.add(line)
-            kept.append(Finding(
-                checker=CHECKER, invariant="bare-pragma",
-                message=f"pragma allow[{pragma[0]}] needs a one-line "
-                        f"justification", location=f"{path}:{line}",
-                detail={"line": line},
-            ))
-            continue
-        kept.append(finding)
-    for line, (rule, _reason) in sorted(pragmas.items()):
-        if line not in used:
-            kept.append(Finding(
-                checker=CHECKER, invariant="unused-pragma",
-                message=f"pragma allow[{rule}] suppresses nothing",
-                severity="warn", location=f"{path}:{line}",
-                detail={"line": line},
-            ))
-    kept.sort(key=lambda f: (f.detail.get("line", 0), f.invariant))
-    return kept
+    return apply_pragmas(visitor.findings, source, path,
+                         active_rules=DETERMINISM_RULE_IDS)

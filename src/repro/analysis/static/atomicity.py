@@ -1,0 +1,269 @@
+"""Error-path atomicity pass: mutate-then-raise without a fence.
+
+A checkpointed exploration step is allowed to fail -- ``ENOSPC``,
+``ENOENT``, a power-cut mid-write -- but a *failed* operation must leave
+the component in a state the caller can reason about: either the
+mutation is rolled back, or the dirty tracker / cache is re-marked so
+the next abstraction pass sees the partial write.  An operation that
+mutates state and then raises with neither is a corruption hazard: the
+exception propagates, the exploration continues from a half-mutated
+state, and the eventual discrepancy report points at the wrong
+operation.
+
+The pass walks every write-surface-named method in ``fs``/``kernel``/
+``verifs``/``fuse`` modules and builds a *lexical* event stream:
+
+* **mutation** -- a store through ``self`` (bind, subscript, or
+  attribute chain), a store through a local derived from ``self``
+  (``inode = self._get(ino); inode.size = 0``), a device-write call
+  (``self.cache.write_block(...)``), or a call to a ``self`` helper
+  that *definitely* mutates -- see :func:`_definite_mutators`.  Read
+  helpers that merely fill an LRU cache (and write back only on
+  eviction) and stat-counter bumps (``self.n += 1``) are discounted:
+  both are idempotent with, or irrelevant to, the persistent state a
+  failed op could corrupt.
+* **fence** -- a call whose terminal name is a dirty-mark, invalidate,
+  rollback, or restore API; a fence discharges the hazard.
+* **raise** -- an explicit ``raise X`` outside any ``except`` handler
+  (re-raises and error-path cleanup are exactly the handling this pass
+  wants to see, so they never count).
+
+Compound statements contribute only their *header* expressions
+(``if``/``while`` tests, ``for`` iterables, ``with`` items) at their
+own line; their bodies are scanned recursively, keeping the stream in
+true source order.
+
+A raise lexically after a mutation with no fence between them is
+flagged ``raise-after-mutate`` (warn severity: the stream is lexical,
+not path-sensitive, so a mutation in one branch and a raise in a
+sibling branch can false-positive -- that is what the pragma and the
+baseline are for, and why this is a warning rather than an error).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.static.dirtymark import MARK_APIS, WRITE_SURFACE
+from repro.analysis.static.model import (
+    MethodInfo,
+    ProjectModel,
+    _self_root,
+    _terminal_name,
+)
+
+CHECKER = "analyze.atomicity"
+
+#: module-name segments in scope for this pass
+SCOPE_SEGMENTS = frozenset({"fs", "kernel", "verifs", "fuse"})
+
+#: call terminals that discharge a pending mutation: the state is either
+#: rolled back or the caches/trackers are told about the partial write
+FENCE_TERMINALS = frozenset(MARK_APIS | {
+    "invalidate", "invalidate_entry", "invalidate_record", "invalidate_all",
+    "rollback", "roll_back", "undo", "abort", "restore", "_restore_state",
+    "vfs_restore", "restore_snapshot",
+})
+
+#: call terminals that persist state to a device or block cache; a
+#: helper reaching one of these is a semantic mutator even if it never
+#: rebinds a ``self`` attribute
+DEVICE_WRITE_TERMINALS = frozenset({
+    "write", "pwrite", "write_block", "write_blocks", "writeblocks",
+    "erase_block", "program_page", "write_page", "append_node",
+})
+
+
+class _EventScan:
+    """Lexical (source-order) mutation/fence/raise events of one method."""
+
+    def __init__(self, self_name: str, mutating_helpers: Set[str]):
+        self.self_name = self_name
+        self.mutating_helpers = mutating_helpers
+        self.aliases: Set[str] = set()
+        self.events: List[Tuple[int, str]] = []  # (line, kind) in order
+
+    # ------------------------------------------------------------ helpers --
+    def _derived_from_self(self, node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and (sub.id == self.self_name
+                                              or sub.id in self.aliases):
+                return True
+        return False
+
+    def _root_is_state(self, node: ast.AST) -> bool:
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        return isinstance(node, ast.Name) and (node.id == self.self_name
+                                               or node.id in self.aliases)
+
+    def _target_mutates(self, target: ast.AST) -> bool:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            return any(self._target_mutates(t) for t in target.elts)
+        if isinstance(target, ast.Starred):
+            return self._target_mutates(target.value)
+        if _self_root(target, self.self_name) is not None:
+            return True
+        # a *plain* local rebind is not a mutation; a store through an
+        # attribute/subscript of a self-derived local is
+        return (not isinstance(target, ast.Name)) and self._root_is_state(target)
+
+    def _scan_expr(self, node: ast.AST, lineno: int) -> None:
+        """Emit fence/mutation events for calls inside one expression."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef,
+                                ast.AsyncFunctionDef)):
+                continue
+            if not isinstance(sub, ast.Call):
+                continue
+            line = getattr(sub, "lineno", lineno)
+            terminal = _terminal_name(sub.func)
+            if terminal in FENCE_TERMINALS:
+                self.events.append((line, "fence"))
+            elif (isinstance(sub.func, ast.Attribute)
+                    and isinstance(sub.func.value, ast.Name)
+                    and sub.func.value.id == self.self_name
+                    and terminal in self.mutating_helpers):
+                self.events.append((line, "mut"))
+            elif (terminal in DEVICE_WRITE_TERMINALS
+                    and isinstance(sub.func, ast.Attribute)
+                    and self._root_is_state(sub.func.value)):
+                self.events.append((line, "mut"))
+
+    # --------------------------------------------------------- statements --
+    def scan_body(self, body: List[ast.stmt], in_handler: bool) -> None:
+        for stmt in body:
+            self.scan_stmt(stmt, in_handler)
+
+    def scan_stmt(self, stmt: ast.stmt, in_handler: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested definitions run later, not on this error path
+        if isinstance(stmt, ast.Raise):
+            self._scan_expr(stmt, stmt.lineno)
+            if stmt.exc is not None and not in_handler:
+                self.events.append((stmt.lineno, "raise"))
+            return
+        if isinstance(stmt, ast.Try):
+            self.scan_body(stmt.body, in_handler)
+            for handler in stmt.handlers:
+                self.scan_body(handler.body, True)
+            self.scan_body(stmt.orelse, in_handler)
+            self.scan_body(stmt.finalbody, in_handler)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._scan_expr(stmt.test, stmt.lineno)
+            self.scan_body(stmt.body, in_handler)
+            self.scan_body(stmt.orelse, in_handler)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(stmt.iter, stmt.lineno)
+            if (isinstance(stmt.target, ast.Name)
+                    and self._derived_from_self(stmt.iter)):
+                self.aliases.add(stmt.target.id)
+            self.scan_body(stmt.body, in_handler)
+            self.scan_body(stmt.orelse, in_handler)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, stmt.lineno)
+            self.scan_body(stmt.body, in_handler)
+            return
+        # simple statement: scan it whole.  Fences and helper calls are
+        # emitted by _scan_expr first, then the store event, so a
+        # one-line `self.x = 0; self.mark_dirty_entry(p)` pattern
+        # cannot arm the hazard after its own fence.
+        self._scan_expr(stmt, stmt.lineno)
+        if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                       else [stmt.target])
+            value = getattr(stmt, "value", None)
+            if any(self._target_mutates(t) for t in targets):
+                self.events.append((stmt.lineno, "mut"))
+            # track locals bound from self-derived expressions
+            if value is not None and self._derived_from_self(value):
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.aliases.add(target.id)
+            elif value is not None:
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        self.aliases.discard(target.id)
+        elif isinstance(stmt, ast.Delete):
+            if any(self._target_mutates(t) for t in stmt.targets):
+                self.events.append((stmt.lineno, "mut"))
+
+
+def _definite_mutators(table: Dict[str, MethodInfo]) -> Set[str]:
+    """Method names that *definitely* mutate semantic state on every
+    call: an unconditional top-level instance rebind (stat-counter
+    bumps discounted), an unconditional in-place store into a non-cache
+    attribute (``self.inodes[ino] = None``), an unconditional device
+    write, or an unconditional call to another definite mutator.
+
+    The unconditionality requirement plus the cache-name exemption is
+    what keeps read helpers out: a loader that fills an LRU cache
+    (``self._inode_cache[ino] = loaded``) and only writes the device
+    back on *eviction* (guarded) is idempotent with persistent state,
+    so a raise after it abandons nothing."""
+    definite: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(table):
+            if name in definite:
+                continue
+            info = table[name]
+            semantic_muts = {attr for attr in info.uncond_muts
+                             if "cache" not in attr}
+            if ((info.uncond_binds - info.counter_bumps)
+                    or semantic_muts
+                    or (info.uncond_call_terminals & DEVICE_WRITE_TERMINALS)
+                    or (info.uncond_self_calls & definite)):
+                definite.add(name)
+                changed = True
+    return definite
+
+
+def run_atomicity_pass(model: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int]] = set()
+    for qualname in sorted(model.classes):
+        cls = model.classes[qualname]
+        module = model.modules.get(cls.module)
+        if module is None or not (module.segments & SCOPE_SEGMENTS):
+            continue
+        table = cls.mro_methods(model)
+        helpers = _definite_mutators(table)
+        for name in sorted(WRITE_SURFACE & set(cls.methods)):
+            info = cls.methods[name]
+            args = info.node.args.posonlyargs + info.node.args.args
+            self_name = args[0].arg if args else "self"
+            scan = _EventScan(self_name, helpers)
+            scan.scan_body(info.node.body, in_handler=False)
+            mutated_at = None
+            for line, kind in scan.events:
+                if kind == "mut":
+                    mutated_at = mutated_at or line
+                elif kind == "fence":
+                    mutated_at = None
+                elif kind == "raise" and mutated_at is not None:
+                    site = (info.path, line)
+                    if site in reported:
+                        continue
+                    reported.add(site)
+                    owner = info.owner.rpartition(".")[2]
+                    findings.append(Finding(
+                        checker=CHECKER, invariant="raise-after-mutate",
+                        message=(f"{owner}.{name}() mutates state (line "
+                                 f"{mutated_at}) and can then raise without "
+                                 f"rollback or re-mark; a failed op would "
+                                 f"leave half-applied state behind"),
+                        severity="warn", location=f"{info.path}:{line}",
+                        detail={"line": line, "mutation_line": mutated_at,
+                                "symbol": f"{owner}.{name}"},
+                    ))
+    findings.sort(key=lambda f: (f.location, f.detail.get("symbol", "")))
+    return findings

@@ -1,0 +1,163 @@
+"""Committed baseline of accepted findings.
+
+A pragma is the right tool when the justification belongs next to the
+code; the baseline is the right tool when the finding is accepted *as a
+finding* -- a known over-approximation of a pass, or debt scheduled for
+a later PR -- and the justification belongs in review history instead
+of in a driver's hot path.  The file is JSON, committed, and every
+entry must carry a justification::
+
+    {
+      "version": 1,
+      "entries": [
+        {"invariant": "raise-after-mutate",
+         "path": "fs/ext2.py",
+         "symbol": "Ext2FS.rename",
+         "justification": "guard raise precedes the mutation on every real path; lexical stream over-approximates"}
+      ]
+    }
+
+Matching is by ``(invariant, path, symbol)`` with ``path`` relative to
+the ``repro`` package root, so the baseline survives checkouts at
+different prefixes.  The mechanism polices itself:
+
+* an entry matching no current finding is reported ``stale-baseline``
+  (warn) -- fixed code must shed its baseline entry;
+* an entry with an empty justification is reported
+  ``unjustified-baseline`` (error) even while it suppresses, so
+  ``--write-baseline`` output cannot be committed unreviewed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.findings import Finding
+
+CHECKER = "analyze.baseline"
+
+BASELINE_VERSION = 1
+
+#: the default committed baseline, shipped inside the package
+DEFAULT_BASENAME = "analysis-baseline.json"
+
+
+def default_baseline_path() -> str:
+    import repro
+
+    return os.path.join(os.path.dirname(os.path.abspath(repro.__file__)),
+                        DEFAULT_BASENAME)
+
+
+def _relative_path(location: str, root: str) -> str:
+    path = location.rpartition(":")[0] if ":" in location else location
+    try:
+        relative = os.path.relpath(os.path.abspath(path), root)
+    except ValueError:
+        return path.replace(os.sep, "/")
+    if relative.startswith(".."):
+        return path.replace(os.sep, "/")
+    return relative.replace(os.sep, "/")
+
+
+def _fingerprint(finding: Finding, root: str) -> Tuple[str, str, str]:
+    return (finding.invariant,
+            _relative_path(finding.location, root),
+            str(finding.detail.get("symbol", "")))
+
+
+def load_baseline(path: str) -> List[Dict[str, Any]]:
+    """Parse a baseline file; raises ValueError on a malformed document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "entries" not in document:
+        raise ValueError(f"{path}: not a baseline document")
+    entries = document["entries"]
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: 'entries' must be a list")
+    for entry in entries:
+        for key in ("invariant", "path", "symbol"):
+            if key not in entry:
+                raise ValueError(f"{path}: baseline entry missing {key!r}")
+        entry.setdefault("justification", "")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding],
+    entries: List[Dict[str, Any]],
+    root: str,
+    baseline_path: str,
+) -> List[Finding]:
+    """Drop baselined findings; report stale and unjustified entries."""
+    index: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for entry in entries:
+        index[(entry["invariant"], entry["path"], entry["symbol"])] = entry
+    used: set = set()
+    kept: List[Finding] = []
+    for finding in findings:
+        key = _fingerprint(finding, root)
+        if key in index:
+            used.add(key)
+            continue
+        kept.append(finding)
+    for key in sorted(index):
+        entry = index[key]
+        where = f"{baseline_path}: {entry['invariant']} @ " \
+                f"{entry['path']} {entry['symbol']}".rstrip()
+        if key not in used:
+            kept.append(Finding(
+                checker=CHECKER, invariant="stale-baseline",
+                message=(f"baseline entry matches no current finding -- the "
+                         f"code was fixed, drop the entry ({where})"),
+                severity="warn", location=baseline_path,
+                detail={"entry": dict(entry)},
+            ))
+        if not str(entry.get("justification", "")).strip():
+            kept.append(Finding(
+                checker=CHECKER, invariant="unjustified-baseline",
+                message=(f"baseline entry has no justification; write why "
+                         f"this finding is accepted ({where})"),
+                severity="error", location=baseline_path,
+                detail={"entry": dict(entry)},
+            ))
+    return kept
+
+
+def render_baseline(findings: List[Finding], root: str) -> str:
+    """A fresh baseline document accepting every given finding.
+
+    Justifications are left empty on purpose: the unjustified-baseline
+    rule keeps the result failing ``--strict`` until a human writes why
+    each entry is acceptable.
+    """
+    entries = []
+    seen: set = set()
+    for finding in findings:
+        key = _fingerprint(finding, root)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({
+            "invariant": key[0], "path": key[1], "symbol": key[2],
+            "justification": "",
+        })
+    entries.sort(key=lambda e: (e["path"], e["invariant"], e["symbol"]))
+    return json.dumps({"version": BASELINE_VERSION, "entries": entries},
+                      indent=2) + "\n"
+
+
+def resolve_baseline(path: Optional[str]) -> Tuple[str, List[Dict[str, Any]]]:
+    """(path, entries) for an explicit or the default baseline.
+
+    An explicit path must exist; the default one is optional (an absent
+    file is an empty baseline).
+    """
+    if path is not None:
+        return path, load_baseline(path)
+    path = default_baseline_path()
+    if os.path.exists(path):
+        return path, load_baseline(path)
+    return path, []

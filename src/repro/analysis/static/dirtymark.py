@@ -1,0 +1,84 @@
+"""Dirty-mark coverage pass: write-surface methods must mark a path.
+
+PR 3's hypothesis suite found a real bug in this class *dynamically*: a
+zero-length ``pwrite`` mutated mount-visible state without marking the
+path dirty, so the incremental abstraction hash went stale and two
+diverging file systems compared equal.  That hunt covered one op shape
+per property; this pass closes the class statically.
+
+Scope: a class is a *mount-state mutator* if some method in its
+effective method table calls one of the dirty-marking APIs but the
+class does not itself define any of them.  (The class that defines the
+APIs -- the mount's dirty tracker -- is the mechanism, not a client,
+and is exempt; so is any class that never marks at all, because it
+evidently maintains no tracked mount state.)
+
+For each mount-state mutator, every method named like the VFS write
+surface (``write``, ``truncate``, ``rename``, ...) must reach a
+dirty-marking call somewhere in its call closure.  A write-surface
+method whose closure never marks is flagged ``dirty-mark-missing``:
+either it silently skips invalidation on some path (the PR 3 bug) or it
+is misnamed.  Both deserve a look; a justified pragma records the
+verdict when the analyzer is wrong.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.findings import Finding
+from repro.analysis.static.model import ProjectModel, reach
+
+CHECKER = "analyze.dirtymark"
+
+#: the mount's dirty-path tracking APIs (terminal call names)
+MARK_APIS = frozenset({
+    "mark_dirty_entry", "mark_dirty_record", "mark_dirty_parent",
+    "mark_fully_dirty",
+})
+
+#: method names forming the VFS write surface -- anything with one of
+#: these names on a mount-state mutator is presumed to change state
+#: that the incremental abstraction cache must hear about
+WRITE_SURFACE = frozenset({
+    "write", "pwrite", "truncate", "ftruncate", "mkdir", "rmdir", "unlink",
+    "rename", "link", "symlink", "setattr", "chmod", "chown", "utimens",
+    "setxattr", "removexattr", "create", "open",
+})
+
+
+def run_dirtymark_pass(model: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int, str]] = set()
+    for qualname in sorted(model.classes):
+        cls = model.classes[qualname]
+        table = cls.mro_methods(model)
+        if MARK_APIS & set(table):
+            continue  # defines the marking API: the tracker, not a client
+        marks_somewhere = any(table[name].call_terminals & MARK_APIS
+                              for name in sorted(table))
+        if not marks_somewhere:
+            continue  # maintains no tracked mount state
+        for surface_name in sorted(WRITE_SURFACE & set(table)):
+            closure = reach(table, [surface_name])
+            if any(table[name].call_terminals & MARK_APIS
+                   for name in sorted(closure)):
+                continue
+            info = table[surface_name]
+            site = (info.path, info.lineno, surface_name)
+            if site in reported:
+                continue
+            reported.add(site)
+            owner = info.owner.rpartition(".")[2]
+            findings.append(Finding(
+                checker=CHECKER, invariant="dirty-mark-missing",
+                message=(f"{owner}.{surface_name}() mutates mount-visible "
+                         f"state but no path through it calls a dirty-mark "
+                         f"API ({'/'.join(sorted(MARK_APIS))}); the "
+                         f"incremental abstraction cache will go stale"),
+                severity="error", location=f"{info.path}:{info.lineno}",
+                detail={"line": info.lineno,
+                        "symbol": f"{owner}.{surface_name}"},
+            ))
+    findings.sort(key=lambda f: (f.location, f.detail.get("symbol", "")))
+    return findings

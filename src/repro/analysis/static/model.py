@@ -1,0 +1,427 @@
+"""The project-wide model every whole-program pass runs over.
+
+One parse of the tree yields, per module: the import map (local name ->
+dotted target), and per class an inventory of methods summarising what
+each method does to ``self``:
+
+* ``bind_stores`` -- ``self.x = ...`` rebinds (incl. ``+=`` and
+  annotated assignments), attr -> first line;
+* ``mut_stores``  -- in-place mutations through an attribute
+  (``self.x[i] = ...``, ``self.x.y = ...``, ``del self.x``);
+* ``attr_reads``  -- every ``self.x`` read (also how bound-method and
+  property references are seen);
+* ``self_calls``  -- ``self.m(...)`` and ``super().m(...)`` call targets;
+* ``call_terminals`` -- the terminal name of *every* call in the method
+  (``self.mount.mark_dirty_entry(...)`` -> ``mark_dirty_entry``), which
+  is how the dirty-mark pass recognises marking without caring what
+  object the API hangs off.
+
+Classes resolve their bases across modules through the import map, so
+:meth:`ClassInfo.mro_methods` gives the effective method table of a
+subclass (own methods shadow base methods, bases walked left-to-right).
+:func:`reach` computes call closures over that table: from a seed set of
+method names, follow ``self_calls`` plus any ``attr_reads`` that name a
+method/property (a restore surface that reads ``self.snapshot`` reaches
+``snapshot``).
+
+The model is deliberately flow-insensitive and alias-free -- it
+over-approximates, and every pass built on it pairs findings with the
+pragma/baseline escape hatches.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name, walking up while ``__init__.py`` packages last."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def _self_root(node: ast.AST, self_name: str) -> Optional[str]:
+    """If ``node`` is a ``self.attr[...].x`` chain, the first attr name."""
+    attr: Optional[str] = None
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute):
+            attr = node.attr
+        node = node.value
+    if isinstance(node, ast.Name) and node.id == self_name:
+        return attr
+    return None
+
+
+def _terminal_name(func: ast.AST) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@dataclass
+class MethodInfo:
+    """Flow-insensitive summary of one method body."""
+
+    name: str
+    owner: str                      # qualname of the defining class
+    path: str
+    lineno: int
+    node: ast.AST
+    is_property: bool = False
+    bind_stores: Dict[str, int] = field(default_factory=dict)
+    mut_stores: Dict[str, int] = field(default_factory=dict)
+    attr_reads: Set[str] = field(default_factory=set)
+    self_calls: Set[str] = field(default_factory=set)
+    call_terminals: Set[str] = field(default_factory=set)
+    #: attrs only ever bumped by a constant (``self.n += 1``) -- stat
+    #: counters, which some clients (the atomicity pass) discount
+    counter_bumps: Set[str] = field(default_factory=set)
+    #: effects of *unconditional* top-level statements only -- what the
+    #: method does on every call, guards and loops excluded
+    uncond_binds: Set[str] = field(default_factory=set)
+    #: in-place stores through an attribute (``self.x[i] = ...``,
+    #: ``del self.x[i]``) at depth 0 -- mutation that happens every call
+    uncond_muts: Set[str] = field(default_factory=set)
+    uncond_self_calls: Set[str] = field(default_factory=set)
+    uncond_call_terminals: Set[str] = field(default_factory=set)
+
+    @property
+    def stored_attrs(self) -> Dict[str, int]:
+        """All attrs this method stores to (bind or in-place), first line."""
+        merged = dict(self.mut_stores)
+        for attr, line in self.bind_stores.items():
+            merged[attr] = min(line, merged.get(attr, line))
+        return merged
+
+
+class _MethodScan(ast.NodeVisitor):
+    """Fill a :class:`MethodInfo` from a method body."""
+
+    def __init__(self, info: MethodInfo, self_name: str):
+        self.info = info
+        self.self_name = self_name
+
+    def _store(self, target: ast.AST, lineno: int) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._store(element, lineno)
+            return
+        if isinstance(target, ast.Starred):
+            self._store(target.value, lineno)
+            return
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self.self_name):
+            self.info.bind_stores.setdefault(target.attr, lineno)
+            return
+        attr = _self_root(target, self.self_name)
+        if attr is not None:
+            self.info.mut_stores.setdefault(attr, lineno)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._store(target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._store(node.target, node.lineno)
+        if (isinstance(node.target, ast.Attribute)
+                and isinstance(node.target.value, ast.Name)
+                and node.target.value.id == self.self_name
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and isinstance(node.value, ast.Constant)):
+            self.info.counter_bumps.add(node.target.attr)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._store(node.target, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            attr = _self_root(target, self.self_name)
+            if attr is not None:
+                self.info.mut_stores.setdefault(attr, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name)
+                and node.value.id == self.self_name
+                and isinstance(node.ctx, ast.Load)):
+            self.info.attr_reads.add(node.attr)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        terminal = _terminal_name(node.func)
+        if terminal is not None:
+            self.info.call_terminals.add(terminal)
+        if isinstance(node.func, ast.Attribute):
+            receiver = node.func.value
+            if (isinstance(receiver, ast.Name)
+                    and receiver.id == self.self_name):
+                self.info.self_calls.add(node.func.attr)
+            elif (isinstance(receiver, ast.Call)
+                    and isinstance(receiver.func, ast.Name)
+                    and receiver.func.id == "super"):
+                self.info.self_calls.add(node.func.attr)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # a nested class has its own `self`
+
+
+def _scan_unconditional(info: MethodInfo, self_name: str,
+                        body: List[ast.stmt]) -> None:
+    """Effects of the method's depth-0 simple statements: what happens
+    on *every* call.  Guarded/looped statements are excluded, so a load
+    helper that only writes back on cache eviction does not look like
+    an unconditional writer."""
+    for stmt in body:
+        if not isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign,
+                                 ast.Expr, ast.Return, ast.Delete)):
+            continue
+        for sub in ast.walk(stmt):
+            if (isinstance(sub, ast.Attribute)
+                    and isinstance(sub.ctx, ast.Store)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == self_name):
+                info.uncond_binds.add(sub.attr)
+            elif (isinstance(sub, (ast.Attribute, ast.Subscript))
+                    and isinstance(sub.ctx, (ast.Store, ast.Del))):
+                attr = _self_root(sub, self_name)
+                if attr is not None:
+                    info.uncond_muts.add(attr)
+            elif isinstance(sub, ast.Call):
+                terminal = _terminal_name(sub.func)
+                if terminal is not None:
+                    info.uncond_call_terminals.add(terminal)
+                if (isinstance(sub.func, ast.Attribute)
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == self_name):
+                    info.uncond_self_calls.add(sub.func.attr)
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module: str
+    path: str
+    lineno: int
+    base_exprs: List[str]           # bases as written ("ChunkedStore", "a.B")
+    methods: Dict[str, MethodInfo]
+    decorator_names: Set[str]
+    node: ast.ClassDef
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.module}.{self.name}"
+
+    @property
+    def is_dataclass(self) -> bool:
+        return "dataclass" in self.decorator_names
+
+    def mro_methods(self, model: "ProjectModel") -> Dict[str, MethodInfo]:
+        """Effective method table: own methods shadow bases, left-to-right."""
+        table: Dict[str, MethodInfo] = {}
+        for cls in model.mro(self):
+            for name, info in cls.methods.items():
+                table.setdefault(name, info)
+        return table
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: str
+    source: str
+    tree: Optional[ast.Module]
+    imports: Dict[str, str]         # local name -> dotted target
+    classes: Dict[str, ClassInfo]
+
+    @property
+    def segments(self) -> Set[str]:
+        return set(self.name.split("."))
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _scan_class(node: ast.ClassDef, module: str, path: str) -> ClassInfo:
+    methods: Dict[str, MethodInfo] = {}
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = item.args.posonlyargs + item.args.args
+        self_name = args[0].arg if args else "self"
+        decorators = sorted(d for d in (_dotted(dec)
+                                        for dec in item.decorator_list)
+                            if d is not None)
+        if any(d == "staticmethod" or d == "classmethod" for d in decorators):
+            continue  # no instance state
+        info = MethodInfo(
+            name=item.name, owner=f"{module}.{node.name}", path=path,
+            lineno=item.lineno, node=item,
+            is_property=any(d in ("property", "functools.cached_property",
+                                  "cached_property") or d.endswith(".setter")
+                            or d.endswith(".getter") or d.endswith(".deleter")
+                            for d in decorators),
+        )
+        _MethodScan(info, self_name).visit(item)
+        _scan_unconditional(info, self_name, item.body)
+        methods.setdefault(item.name, info)
+    bases = [b for b in (_dotted(base) for base in node.bases)
+             if b is not None]
+    decorator_names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = _dotted(target)
+        if name is not None:
+            decorator_names.add(name.rpartition(".")[2])
+    return ClassInfo(name=node.name, module=module, path=path,
+                     lineno=node.lineno, base_exprs=bases, methods=methods,
+                     decorator_names=decorator_names, node=node)
+
+
+class ProjectModel:
+    """Modules, classes, imports, and the cross-module base resolver."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+
+    # -------------------------------------------------------------- build --
+    def add_file(self, path: str, source: str) -> None:
+        name = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            self.modules[name] = ModuleInfo(name=name, path=path,
+                                            source=source, tree=None,
+                                            imports={}, classes={})
+            return
+        imports: Dict[str, str] = {}
+        classes: Dict[str, ClassInfo] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        imports[alias.asname] = alias.name
+                    else:
+                        root = alias.name.partition(".")[0]
+                        imports[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                base = node.module
+                if node.level:  # relative import: anchor at this package
+                    package = name.split(".")[:-node.level]
+                    base = ".".join(package + [node.module])
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = f"{base}.{alias.name}"
+            elif isinstance(node, ast.ClassDef):
+                info = _scan_class(node, name, path)
+                classes[info.name] = info
+                self.classes[info.qualname] = info
+        self.modules[name] = ModuleInfo(name=name, path=path, source=source,
+                                        tree=tree, imports=imports,
+                                        classes=classes)
+
+    # ------------------------------------------------------------ resolve --
+    def resolve_class(self, module: ModuleInfo,
+                      name: str) -> Optional[ClassInfo]:
+        """Resolve a base/annotation name as written in ``module``."""
+        if name in module.classes:
+            return module.classes[name]
+        target = module.imports.get(name)
+        if target is not None and target in self.classes:
+            return self.classes[target]
+        head, _, tail = name.rpartition(".")
+        if head:
+            prefix = module.imports.get(head, head)
+            qualified = f"{prefix}.{tail}"
+            if qualified in self.classes:
+                return self.classes[qualified]
+        if name in self.classes:
+            return self.classes[name]
+        return None
+
+    def mro(self, cls: ClassInfo) -> List[ClassInfo]:
+        """Approximate linearisation: depth-first, left-to-right, deduped."""
+        order: List[ClassInfo] = []
+        seen: Set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            order.append(current)
+            module = self.modules.get(current.module)
+            if module is None:
+                continue
+            bases = [self.resolve_class(module, base)
+                     for base in current.base_exprs]
+            stack = [b for b in bases if b is not None] + stack
+        return order
+
+    def base_names(self, cls: ClassInfo) -> Set[str]:
+        """Terminal names of the full (resolved) base chain, as written."""
+        names: Set[str] = set()
+        for ancestor in self.mro(cls):
+            for base in ancestor.base_exprs:
+                names.add(base.rpartition(".")[2])
+        return names
+
+
+def reach(table: Dict[str, MethodInfo],
+          seeds: Iterable[str]) -> Set[str]:
+    """Method names reachable from ``seeds`` through the method table.
+
+    Edges: ``self_calls``, plus ``attr_reads`` naming a method/property
+    (how ``getattr(self, "snapshot")``-free code still reaches a
+    property or a bound-method reference).
+    """
+    names = set(table)
+    seen: Set[str] = set()
+    work = [s for s in sorted(set(seeds)) if s in table]
+    while work:
+        current = work.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        info = table[current]
+        for nxt in sorted((info.self_calls | info.attr_reads) & names):
+            if nxt not in seen:
+                work.append(nxt)
+    return seen
+
+
+def build_model(files: Iterable[str]) -> ProjectModel:
+    model = ProjectModel()
+    for path in sorted(set(files)):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            continue
+        model.add_file(path, source)
+    return model

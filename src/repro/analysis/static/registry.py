@@ -1,0 +1,152 @@
+"""Rule registry and orchestration for ``repro analyze``.
+
+One catalogue covers every rule the analyzer can emit -- the per-file
+determinism rules inherited from ``repro lint`` plus the four
+whole-program passes -- so the CLI, the SARIF report, and the docs all
+describe the same universe.  :func:`run_analysis` is the engine:
+
+1. expand paths to files and build the :class:`ProjectModel` once;
+2. run the determinism linter per file (it applies pragmas itself,
+   scoped to the determinism rule ids);
+3. run the four whole-program passes over the model;
+4. apply pragmas to the whole-program findings per file, scoped to the
+   static rule ids -- the two scopes partition the rule universe, so a
+   pragma is examined by exactly one side and ``unused-pragma`` never
+   double-fires;
+5. apply the committed baseline (explicit path, or the package default)
+   and append its self-policing findings.
+
+Everything is sorted ``(path, line, rule, message)`` so output is
+byte-stable run to run -- the analyzer holds itself to the determinism
+bar it enforces.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import repro
+from repro.analysis.findings import Finding
+from repro.analysis.lint.rules import DETERMINISM_RULE_IDS
+from repro.analysis.lint.runner import default_paths, iter_python_files, run_lint
+from repro.analysis.pragmas import apply_pragmas
+from repro.analysis.static.atomicity import run_atomicity_pass
+from repro.analysis.static.baseline import apply_baseline, resolve_baseline
+from repro.analysis.static.dirtymark import run_dirtymark_pass
+from repro.analysis.static.model import ProjectModel, build_model
+from repro.analysis.static.snapshot import run_snapshot_pass
+from repro.analysis.static.wire import run_wire_pass
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rule the analyzer can emit."""
+
+    rule_id: str
+    checker: str
+    severity: str
+    summary: str
+
+
+RULES: Tuple[Rule, ...] = (
+    # ------------------------------------------- per-file determinism rules
+    Rule("unseeded-random", "lint.determinism", "error",
+         "module-global RNG or Random() without a seed"),
+    Rule("wall-clock", "lint.determinism", "error",
+         "reads real time instead of the SimClock"),
+    Rule("builtin-hash", "lint.determinism", "error",
+         "builtin hash() is randomised by PYTHONHASHSEED"),
+    Rule("unordered-iteration", "lint.determinism", "error",
+         "iterates a set in arbitrary order"),
+    Rule("unsorted-fs-listing", "lint.determinism", "error",
+         "uses an OS-ordered directory listing without sorted(...)"),
+    Rule("set-pop", "lint.determinism", "error",
+         "set.pop() removes an arbitrary element"),
+    Rule("raw-device-data", "lint.determinism", "warn",
+         "reaches into a device's private backing store"),
+    Rule("raw-visited-state", "lint.determinism", "warn",
+         "reaches into a visited table's private hash map"),
+    Rule("syntax-error", "lint.determinism", "error",
+         "file does not parse"),
+    Rule("unreadable-file", "lint.determinism", "error",
+         "file cannot be read"),
+    # ------------------------------------------------- whole-program passes
+    Rule("restore-blind", "analyze.snapshot", "error",
+         "instance attribute survives a snapshot/restore rewind"),
+    Rule("dirty-mark-missing", "analyze.dirtymark", "error",
+         "VFS write-surface method never marks a dirty path"),
+    Rule("unpicklable-field", "analyze.wire", "error",
+         "dist protocol field cannot cross the pickle wire"),
+    Rule("raise-after-mutate", "analyze.atomicity", "warn",
+         "op mutates state then raises without rollback or re-mark"),
+    # --------------------------------------------------- self-policing meta
+    Rule("bare-pragma", "lint.determinism", "error",
+         "allow[...] pragma lacks a justification"),
+    Rule("unused-pragma", "lint.determinism", "warn",
+         "allow[...] pragma suppresses nothing"),
+    Rule("stale-baseline", "analyze.baseline", "warn",
+         "baseline entry matches no current finding"),
+    Rule("unjustified-baseline", "analyze.baseline", "error",
+         "baseline entry lacks a justification"),
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
+
+#: rule ids owned by the whole-program passes (the pragma scope that
+#: complements DETERMINISM_RULE_IDS)
+STATIC_RULE_IDS = frozenset({
+    "restore-blind", "dirty-mark-missing", "unpicklable-field",
+    "raise-after-mutate",
+})
+
+
+def _finding_line(finding: Finding) -> int:
+    line = finding.detail.get("line")
+    if isinstance(line, int):
+        return line
+    _, _, tail = finding.location.rpartition(":")
+    return int(tail) if tail.isdigit() else 0
+
+
+def _sort_key(finding: Finding):
+    path = finding.location.rpartition(":")[0] or finding.location
+    return (path, _finding_line(finding), finding.invariant, finding.message)
+
+
+def run_static_passes(model: ProjectModel) -> List[Finding]:
+    """The four whole-program passes, pragma-filtered per file."""
+    raw = (run_snapshot_pass(model) + run_dirtymark_pass(model)
+           + run_wire_pass(model) + run_atomicity_pass(model))
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in raw:
+        path = finding.location.rpartition(":")[0] or finding.location
+        by_path.setdefault(path, []).append(finding)
+    sources = {module.path: module.source
+               for module in model.modules.values()}
+    filtered: List[Finding] = []
+    for path in sorted(by_path):
+        source = sources.get(path, "")
+        filtered.extend(apply_pragmas(by_path[path], source, path,
+                                      active_rules=STATIC_RULE_IDS))
+    return filtered
+
+
+def run_analysis(
+    paths: Optional[Iterable[str]] = None,
+    baseline_path: Optional[str] = None,
+    use_baseline: bool = True,
+) -> List[Finding]:
+    """Determinism lint + whole-program passes + baseline, sorted."""
+    path_list = list(paths) if paths is not None else default_paths()
+    files = iter_python_files(path_list)
+    findings = run_lint(path_list)
+    model = build_model(files)
+    findings.extend(run_static_passes(model))
+    if use_baseline:
+        resolved_path, entries = resolve_baseline(baseline_path)
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        findings = apply_baseline(findings, entries, root, resolved_path)
+    findings.sort(key=_sort_key)
+    return findings

@@ -1,0 +1,102 @@
+"""Analyzer output: human text, machine JSON, and SARIF 2.1.0.
+
+The text format keeps the exact summary line the CI gate greps for
+(``N finding(s), E error(s)``); JSON is for scripting over results;
+SARIF is for code-scanning UIs (uploaded as a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: finding severity -> SARIF result level
+_SARIF_LEVELS = {"error": "error", "warn": "warning", "info": "note"}
+
+
+def summary_line(findings: List[Finding]) -> str:
+    errors = [f for f in findings if f.severity == "error"]
+    return f"{len(findings)} finding(s), {len(errors)} error(s)"
+
+
+def render_text(findings: List[Finding]) -> str:
+    lines = [finding.describe() for finding in findings]
+    lines.append(summary_line(findings))
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding]) -> str:
+    by_severity = {severity: sum(1 for f in findings
+                                 if f.severity == severity)
+                   for severity in ("error", "warn", "info")}
+    document = {
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": {"total": len(findings), **by_severity},
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+def _split_location(location: str):
+    path, _, line = location.rpartition(":")
+    if path and line.isdigit():
+        return path, int(line)
+    return location, None
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    from repro.analysis.static.registry import RULES
+
+    rules = [{
+        "id": rule.rule_id,
+        "shortDescription": {"text": rule.summary},
+        "defaultConfiguration": {
+            "level": _SARIF_LEVELS.get(rule.severity, "warning"),
+        },
+        "properties": {"checker": rule.checker},
+    } for rule in RULES]
+    results = []
+    for finding in findings:
+        path, line = _split_location(finding.location)
+        result = {
+            "ruleId": finding.invariant,
+            "level": _SARIF_LEVELS.get(finding.severity, "warning"),
+            "message": {"text": finding.message},
+        }
+        if path:
+            location = {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": path.replace("\\", "/")},
+                },
+            }
+            if line is not None:
+                location["physicalLocation"]["region"] = {"startLine": line}
+            result["locations"] = [location]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analyze",
+                    "informationUri": "https://example.invalid/repro",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

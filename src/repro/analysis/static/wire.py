@@ -1,0 +1,215 @@
+"""Wire-safety pass: everything crossing the dist protocol must pickle.
+
+The distributed checker ships :class:`~repro.dist.spec.CheckSpec`, work
+units, and result payloads between processes via the multiprocessing
+queue (pickle).  A field that cannot pickle -- a lambda, an open handle,
+a thread lock, a live device object -- fails at *dispatch time*, midway
+through a campaign, on whichever worker first touches it.  This pass
+moves that failure to lint time by checking every dataclass field in
+``dist`` modules against a static picklability model:
+
+* primitives and ``None`` are safe; standard containers recurse into
+  their type arguments;
+* enums are safe (pickled by name);
+* project dataclasses recurse into their own fields (cycle-guarded);
+* known-unpicklable stdlib types (locks, sockets, IO handles, threads,
+  queues, ``Callable``) are flagged;
+* any annotation resolving into ``repro.storage`` is flagged -- device
+  objects are identity-bearing simulator state and must never ride the
+  wire (workers rebuild devices from the spec);
+* a lambda as the field default is flagged (every instance would carry
+  an unpicklable function object).
+
+Unresolvable annotations are assumed safe: the pass must never block a
+legitimate type it simply cannot see, and the mutation self-tests pin
+the known-bad catalogue instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.findings import Finding
+from repro.analysis.static.model import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+CHECKER = "analyze.wire"
+
+#: terminal annotation names that are always picklable
+SAFE_TERMINALS = frozenset({
+    "int", "float", "complex", "str", "bytes", "bytearray", "bool", "None",
+    "NoneType", "Any", "object", "Decimal", "Fraction", "Path", "PurePath",
+    "datetime", "date", "timedelta", "Enum", "IntEnum",
+})
+
+#: container heads whose *arguments* are checked recursively
+SAFE_CONTAINERS = frozenset({
+    "Tuple", "List", "Dict", "Set", "FrozenSet", "Optional", "Union",
+    "Sequence", "Mapping", "MutableMapping", "Iterable", "Collection",
+    "tuple", "list", "dict", "set", "frozenset", "type", "Type",
+    "ClassVar", "Final", "Literal", "Annotated", "Counter", "OrderedDict",
+    "DefaultDict", "defaultdict", "deque", "Deque",
+})
+
+#: terminal names that are statically unpicklable (or unshippable)
+UNPICKLABLE_TERMINALS = frozenset({
+    "Lock", "RLock", "Condition", "Event", "Semaphore", "BoundedSemaphore",
+    "Barrier", "Thread", "Process", "Queue", "SimpleQueue", "JoinableQueue",
+    "Connection", "PipeConnection", "socket", "Socket", "IO", "TextIO",
+    "BinaryIO", "TextIOWrapper", "BufferedReader", "BufferedWriter",
+    "BufferedRandom", "FileIO", "Callable", "Generator", "Iterator",
+    "AsyncIterator", "Coroutine", "FunctionType", "LambdaType", "frame",
+    "FrameType", "TracebackType", "ModuleType", "Pool", "Manager",
+})
+
+#: enum base names: a class inheriting one of these pickles by name
+ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})
+
+
+def _terminal(name: str) -> str:
+    return name.rpartition(".")[2]
+
+
+def _annotation_problem(
+    model: ProjectModel,
+    module: ModuleInfo,
+    node: ast.AST,
+    visiting: Set[str],
+) -> Optional[str]:
+    """The first picklability problem in an annotation, or None."""
+    if isinstance(node, ast.Constant):
+        if node.value is None or node.value is Ellipsis:
+            return None
+        if isinstance(node.value, str):  # string annotation: parse + recurse
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return None
+            return _annotation_problem(model, module, parsed, visiting)
+        return None
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return (_annotation_problem(model, module, node.left, visiting)
+                or _annotation_problem(model, module, node.right, visiting))
+    if isinstance(node, ast.Subscript):
+        head = _annotation_problem(model, module, node.value, visiting)
+        if head is not None:
+            return head
+        inner = node.slice
+        elements = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        for element in elements:
+            problem = _annotation_problem(model, module, element, visiting)
+            if problem is not None:
+                return problem
+        return None
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        dotted = _dotted_of(node)
+        if dotted is None:
+            return None
+        terminal = _terminal(dotted)
+        if terminal in UNPICKLABLE_TERMINALS:
+            return f"{dotted} is not picklable"
+        if terminal in SAFE_TERMINALS or terminal in SAFE_CONTAINERS:
+            return None
+        resolved = model.resolve_class(module, dotted)
+        if resolved is None:
+            return None  # unknown type: assume safe, do not block
+        if "storage" in resolved.module.split("."):
+            return (f"{dotted} resolves to {resolved.qualname}: device "
+                    f"objects must not cross the wire (rebuild from the "
+                    f"spec on the worker)")
+        if model.base_names(resolved) & ENUM_BASES:
+            return None  # enums pickle by name
+        if resolved.is_dataclass:
+            if resolved.qualname in visiting:
+                return None  # recursive type: already being checked
+            problem = _class_fields_problem(model, resolved,
+                                            visiting | {resolved.qualname})
+            if problem is not None:
+                return f"{dotted} -> {problem}"
+        return None
+    return None
+
+
+def _dotted_of(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _class_fields_problem(model: ProjectModel, cls: ClassInfo,
+                          visiting: Set[str]) -> Optional[str]:
+    module = model.modules.get(cls.module)
+    if module is None:
+        return None
+    for item in cls.node.body:
+        if isinstance(item, ast.AnnAssign) and item.annotation is not None:
+            problem = _annotation_problem(model, module, item.annotation,
+                                          visiting)
+            if problem is not None:
+                field = (item.target.id
+                         if isinstance(item.target, ast.Name) else "?")
+                return f"field {field}: {problem}"
+    return None
+
+
+def _default_lambda(value: Optional[ast.AST]) -> bool:
+    """True if the field default *is* (or carries) a lambda the instance
+    would hold.  ``field(default_factory=lambda: [])`` is exempt: the
+    instance stores the factory's *result*, not the factory."""
+    if value is None:
+        return False
+    if isinstance(value, ast.Lambda):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted_of(value.func)
+        if name is not None and _terminal(name) == "field":
+            for keyword in value.keywords:
+                if keyword.arg == "default" and isinstance(keyword.value,
+                                                           ast.Lambda):
+                    return True
+            return False
+    return any(isinstance(sub, ast.Lambda) for sub in ast.walk(value))
+
+
+def run_wire_pass(model: ProjectModel) -> List[Finding]:
+    findings: List[Finding] = []
+    for module_name in sorted(model.modules):
+        module = model.modules[module_name]
+        if "dist" not in module.segments:
+            continue
+        for class_name in sorted(module.classes):
+            cls = module.classes[class_name]
+            if not cls.is_dataclass:
+                continue
+            for item in cls.node.body:
+                if not isinstance(item, ast.AnnAssign):
+                    continue
+                field_name = (item.target.id
+                              if isinstance(item.target, ast.Name) else "?")
+                problem = _annotation_problem(model, module, item.annotation,
+                                              {cls.qualname})
+                if problem is None and _default_lambda(item.value):
+                    problem = ("default is a lambda; every instance would "
+                               "carry an unpicklable function object")
+                if problem is None:
+                    continue
+                findings.append(Finding(
+                    checker=CHECKER, invariant="unpicklable-field",
+                    message=(f"{cls.name}.{field_name} crosses the dist "
+                             f"wire but cannot pickle: {problem}"),
+                    severity="error",
+                    location=f"{module.path}:{item.lineno}",
+                    detail={"line": item.lineno,
+                            "symbol": f"{cls.name}.{field_name}"},
+                ))
+    findings.sort(key=lambda f: (f.location, f.detail.get("symbol", "")))
+    return findings

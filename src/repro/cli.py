@@ -25,6 +25,7 @@ Counterexample trails (the ``spin -t`` loop)::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -289,18 +290,40 @@ def cmd_fsck(args) -> int:
     return 1 if total_errors else 0
 
 
-def cmd_lint(args) -> int:
-    """Determinism lint over the repro sources (repro.analysis.lint)."""
-    from repro.analysis.lint import run_lint
+def cmd_analyze(args) -> int:
+    """Whole-program analyzer: determinism lint + the four soundness
+    passes, unified behind one rule registry (``repro lint`` is an
+    alias).  Errors are always fatal; warns only under ``--strict``;
+    info never."""
+    import repro
+    from repro.analysis.static import RENDERERS, run_analysis
+    from repro.analysis.static.baseline import render_baseline
 
-    findings = run_lint(args.path or None)
-    for finding in findings:
-        print(finding.describe())
+    try:
+        findings = run_analysis(
+            args.path or None,
+            baseline_path=args.baseline,
+            use_baseline=not args.no_baseline,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        suppressible = [f for f in findings
+                        if f.detail.get("symbol")]
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(suppressible, root))
+        print(f"wrote {len(suppressible)} baseline entr"
+              f"{'y' if len(suppressible) == 1 else 'ies'} to "
+              f"{args.write_baseline}; fill in the justifications")
+    rendered = RENDERERS[args.format](findings)
+    sys.stdout.write(rendered if rendered.endswith("\n") else rendered + "\n")
     errors = [f for f in findings if f.severity == "error"]
-    print(f"{len(findings)} finding(s), {len(errors)} error(s)")
-    if args.strict:
-        return 1 if findings else 0
-    return 1 if errors else 0
+    warns = [f for f in findings if f.severity == "warn"]
+    if errors or (args.strict and warns):
+        return 1
+    return 0
 
 
 def cmd_bugdemo(args) -> int:
@@ -506,14 +529,30 @@ def build_parser() -> argparse.ArgumentParser:
                            "capped at the CPU count)")
     fsck.set_defaults(func=cmd_fsck)
 
-    lint = subparsers.add_parser(
-        "lint", help="lint sources for determinism hazards")
-    lint.add_argument("path", nargs="*",
-                      help="files/directories to lint (default: the "
-                           "installed repro package)")
-    lint.add_argument("--strict", action="store_true",
-                      help="exit nonzero on warnings too")
-    lint.set_defaults(func=cmd_lint)
+    for name, title in (("analyze", "whole-program soundness analysis "
+                                    "(determinism lint + static passes)"),
+                        ("lint", "alias for 'analyze'")):
+        analyze = subparsers.add_parser(name, help=title)
+        analyze.add_argument("path", nargs="*",
+                             help="files/directories to analyze (default: "
+                                  "the installed repro package)")
+        analyze.add_argument("--strict", action="store_true",
+                             help="exit nonzero on warnings too")
+        analyze.add_argument("--format", default="text",
+                             choices=("text", "json", "sarif"),
+                             help="output format (default: text)")
+        analyze.add_argument("--baseline", default=None, metavar="FILE",
+                             help="baseline file of accepted findings "
+                                  "(default: the committed "
+                                  "analysis-baseline.json)")
+        analyze.add_argument("--no-baseline", action="store_true",
+                             help="report findings the baseline would "
+                                  "otherwise suppress")
+        analyze.add_argument("--write-baseline", default=None, metavar="FILE",
+                             help="write the current findings as a baseline "
+                                  "skeleton (justifications left empty on "
+                                  "purpose)")
+        analyze.set_defaults(func=cmd_analyze)
 
     bugdemo = subparsers.add_parser(
         "bugdemo", help="reproduce one of the paper's §6 historical bugs")

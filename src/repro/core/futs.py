@@ -96,7 +96,7 @@ class FilesystemUnderTest:
         )
         if use_cache and cacheable_options(options):
             if self._entry_cache is None or self._entry_cache.options != options:
-                self._entry_cache = EntryCache(options)
+                self._entry_cache = EntryCache(options)  # det-lint: allow[restore-blind] paired surface: the engine checkpoints/restores this cache via snapshot_abstraction/restore_abstraction
             mount = self.kernel.mount_at(self.mountpoint)
             return self._entry_cache.refresh(self.kernel, self.mountpoint, mount)
         return collect_entries(self.kernel, self.mountpoint, options)
@@ -124,7 +124,7 @@ class FilesystemUnderTest:
         ):
             mount.mark_fully_dirty()
             if self._entry_cache is not None:
-                self._entry_cache.records = None
+                self._entry_cache.records = None  # det-lint: allow[restore-blind] this IS the cache's restore path; the engine calls it after every rollback
             return
         self._entry_cache.restore(token, mount)
 

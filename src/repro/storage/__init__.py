@@ -11,7 +11,7 @@ deterministic simulations that charge their latencies to a shared
 from repro.storage.device import BlockDevice, DeviceStats, DiskSnapshot
 from repro.storage.ram import RAMBlockDevice, RamDiskRegistry
 from repro.storage.disk import HDDBlockDevice, SSDBlockDevice
-from repro.storage.mtd import MTDBlockAdapter, MTDDevice
+from repro.storage.mtd import MTDBlockAdapter, MTDDevice, MTDSnapshot
 from repro.storage.fault import PowerCutDevice, PowerCutMTD
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "SSDBlockDevice",
     "MTDDevice",
     "MTDBlockAdapter",
+    "MTDSnapshot",
     "PowerCutDevice",
     "PowerCutMTD",
 ]

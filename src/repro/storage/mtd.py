@@ -14,7 +14,8 @@ object, so freshly-erased blocks cost nothing to snapshot.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from repro.clock import Cost, SimClock
 from repro.errors import DeviceError
@@ -24,6 +25,20 @@ from repro.storage.device import (
     DeviceStats,
     DiskSnapshot,
 )
+
+
+@dataclass(frozen=True)
+class MTDSnapshot(DiskSnapshot):
+    """A chunk-table grab that also carries the per-block wear counters.
+
+    Wear is device state, not a diagnostic: JFFS2's wear levelling steers
+    garbage collection by it, so a rewind that restored the flash contents
+    but kept post-branch wear would let one explored branch bias another's
+    GC decisions.  ``isinstance`` checks against :class:`DiskSnapshot`
+    (the strategies, ``restore_disk``) keep working by subclassing.
+    """
+
+    wear: Tuple[int, ...] = ()
 
 
 class MTDDevice(ChunkedStore):
@@ -101,6 +116,23 @@ class MTDDevice(ChunkedStore):
 
     def is_block_erased(self, block_index: int) -> bool:
         return self._chunks[block_index] == self._erased_chunk
+
+    # -- snapshot / restore (wear rides the checkpoint token) ---------------
+    def snapshot_chunks(self) -> MTDSnapshot:
+        base = super().snapshot_chunks()
+        return MTDSnapshot(
+            device_name=base.device_name,
+            size_bytes=base.size_bytes,
+            chunk_size=base.chunk_size,
+            chunks=base.chunks,
+            wear=tuple(self.wear),
+        )
+
+    def restore_snapshot(self, snapshot: DiskSnapshot) -> int:
+        changed = super().restore_snapshot(snapshot)
+        if isinstance(snapshot, MTDSnapshot):
+            self.wear = list(snapshot.wear)
+        return changed
 
     def _check_range(self, offset: int, length: int) -> None:
         if length < 0 or offset < 0 or offset + length > self.size_bytes:

@@ -111,14 +111,14 @@ class VeriFSBase(FuseFileSystem):
             key = self._ioctl_key(arg)
             self._charge(Cost.IOCTL_CHECKPOINT, "verifs-checkpoint")
             self.snapshots.store(key, self._capture_state())
-            self.checkpoint_count += 1
+            self.checkpoint_count += 1  # det-lint: allow[restore-blind] cumulative observability counter; rewinding it would erase real event history
             return 0
         if request == IOCTL_RESTORE:
             key = self._ioctl_key(arg)
             self._charge(Cost.IOCTL_RESTORE, "verifs-restore")
             state = self.snapshots.pop(key)
             self._restore_state(state)
-            self.restore_count += 1
+            self.restore_count += 1  # det-lint: allow[restore-blind] cumulative observability counter; rewinding it would erase real event history
             if not self.has_bug(VeriFSBug.MISSING_CACHE_INVALIDATION):
                 # The fix for VeriFS1 bug 2: tell the kernel its dentry
                 # and inode caches no longer describe this file system.

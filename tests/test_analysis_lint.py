@@ -134,6 +134,82 @@ def test_syntax_error_is_reported_not_raised():
     assert invariants("def broken(:\n") == ["syntax-error"]
 
 
+def test_unsorted_fs_listing():
+    assert invariants("""
+        import os
+        names = os.listdir("/tmp")
+    """) == ["unsorted-fs-listing"]
+
+
+def test_unsorted_fs_listing_variants():
+    assert invariants("""
+        import glob
+        import os
+        a = glob.glob("*.img")
+        b = glob.iglob("*.img")
+        c = os.scandir(".")
+    """) == ["unsorted-fs-listing"] * 3
+
+
+def test_from_import_listing_and_alias():
+    assert invariants("""
+        from os import listdir as ls
+        names = ls("/tmp")
+    """) == ["unsorted-fs-listing"]
+
+
+def test_iterdir_listing():
+    assert invariants("""
+        def walk(path):
+            return [p for p in path.iterdir()]
+    """) == ["unsorted-fs-listing"]
+
+
+def test_sorted_listing_is_fine():
+    assert invariants("""
+        import os
+        import glob
+        names = sorted(os.listdir("/tmp"))
+        images = sorted(glob.glob("*.img"))
+    """) == []
+
+
+def test_set_pop():
+    assert invariants("""
+        def f(items):
+            pending = set(items)
+            return pending.pop()
+    """) == ["set-pop"]
+
+
+def test_set_pop_on_literal():
+    assert invariants("""
+        def f():
+            work = {1, 2, 3}
+            while work:
+                work.pop()
+    """) == ["set-pop"]
+
+
+def test_dict_and_list_pop_are_fine():
+    assert invariants("""
+        def f(mapping, items):
+            a = mapping.pop("key")
+            b = items.pop()
+            c = mapping.pop("key", None)
+            return a, b, c
+    """) == []
+
+
+def test_set_rebound_before_pop_is_fine():
+    assert invariants("""
+        def f(items):
+            work = set(items)
+            work = sorted(work)
+            return work.pop()
+    """) == []
+
+
 # ------------------------------------------------------------------ pragmas --
 def test_pragma_with_justification_suppresses():
     assert invariants("""

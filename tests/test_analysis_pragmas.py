@@ -1,0 +1,140 @@
+"""Pragma machinery edge cases (repro.analysis.pragmas).
+
+The machinery is shared between the determinism linter and the
+whole-program passes, so the edge cases are tested once here: pragmas
+on multi-line statements, stacked pragmas in one comment, pragma-shaped
+text in strings, and the ``active_rules`` scoping that keeps partial
+runs from flagging each other's allowlists.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.findings import Finding
+from repro.analysis.lint import lint_source
+from repro.analysis.pragmas import apply_pragmas, collect_pragmas
+
+
+def lint(snippet: str):
+    return lint_source(textwrap.dedent(snippet), "snippet.py")
+
+
+def invariants(snippet: str):
+    return [f.invariant for f in lint(snippet)]
+
+
+def finding(invariant: str, line: int, end_line=None, severity="error"):
+    detail = {"line": line}
+    if end_line is not None:
+        detail["end_line"] = end_line
+    return Finding(checker="test", invariant=invariant, message="x",
+                   severity=severity, location=f"snippet.py:{line}",
+                   detail=detail)
+
+
+# -------------------------------------------------------- collect_pragmas --
+def test_collect_maps_line_to_rule_and_justification():
+    pragmas = collect_pragmas(
+        "x = 1  # det-lint: allow[wall-clock] frozen fixture\n")
+    assert pragmas == {1: {"wall-clock": "frozen fixture"}}
+
+
+def test_stacked_pragmas_in_one_comment():
+    pragmas = collect_pragmas(
+        "x = f()  # det-lint: allow[set-pop] empty ok"
+        "  # det-lint: allow[unordered-iteration] one elem\n")
+    assert pragmas[1] == {"set-pop": "empty ok",
+                          "unordered-iteration": "one elem"}
+
+
+def test_pragma_in_string_is_not_collected():
+    pragmas = collect_pragmas(
+        's = "# det-lint: allow[wall-clock] not a comment"\n'
+        'f = f"# det-lint: allow[set-pop] {s}"\n')
+    assert pragmas == {}
+
+
+# ------------------------------------------------- multi-line statements --
+def test_pragma_on_closing_line_of_multiline_statement():
+    assert invariants("""
+        import time
+        t = time.time(
+        )  # det-lint: allow[wall-clock] span reaches the closing paren
+    """) == []
+
+
+def test_pragma_on_opening_line_of_multiline_statement():
+    assert invariants("""
+        import time
+        t = time.time(  # det-lint: allow[wall-clock] opening line works too
+        )
+    """) == []
+
+
+def test_span_matching_uses_end_line():
+    source = "x = (\n    1\n)\n"
+    pragmas_line = 3
+    suppressed = apply_pragmas(
+        [finding("wall-clock", 1, end_line=3)],
+        "x = (\n    1\n)  # det-lint: allow[wall-clock] spans lines 1-3\n",
+        "snippet.py")
+    assert suppressed == []
+    # without the end_line the span is one line and the pragma misses
+    missed = apply_pragmas(
+        [finding("wall-clock", 1)],
+        source + "# det-lint: allow[wall-clock] wrong line\n",
+        "snippet.py")
+    assert [f.invariant for f in missed] == ["wall-clock", "unused-pragma"]
+
+
+# --------------------------------------------------- strings vs comments --
+def test_fstring_pragma_neither_suppresses_nor_bare_flags():
+    assert invariants('''
+        def f(x):
+            return f"# det-lint: allow[wall-clock] {x}"
+    ''') == []
+
+
+def test_bare_pragma_in_comment_after_fstring_line():
+    assert invariants("""
+        import time
+        t = time.time()  # det-lint: allow[wall-clock]
+    """) == ["bare-pragma"]
+
+
+def test_stacked_pragma_one_bare_one_justified():
+    findings = lint("""
+        def f(items):
+            seen = set(items)
+            for i in seen:  # det-lint: allow[unordered-iteration] ok justified  # det-lint: allow[set-pop]
+                pass
+    """)
+    # the justified pragma suppresses; the stacked bare one matches no
+    # set-pop finding, so it is unused (not bare: bare needs a match)
+    assert [f.invariant for f in findings] == ["unused-pragma"]
+
+
+# -------------------------------------------------------- active_rules ----
+def test_inactive_rule_pragma_is_left_alone():
+    suppressed = apply_pragmas(
+        [], "x = 1  # det-lint: allow[restore-blind] handled elsewhere\n",
+        "snippet.py", active_rules={"wall-clock"})
+    assert suppressed == []
+
+
+def test_active_rule_pragma_unused_is_flagged():
+    flagged = apply_pragmas(
+        [], "x = 1  # det-lint: allow[restore-blind] stale reason\n",
+        "snippet.py", active_rules={"restore-blind"})
+    assert [f.invariant for f in flagged] == ["unused-pragma"]
+
+
+def test_determinism_lint_ignores_static_pass_pragmas():
+    # a restore-blind pragma must not be "unused" during a
+    # determinism-only lint: that pass never checks the rule
+    assert invariants("""
+        class C:
+            def f(self):
+                self.cache = {}  # det-lint: allow[restore-blind] paired surface
+    """) == []
