@@ -7,22 +7,31 @@ state service, work stealing); this benchmark measures how throughput
 scales with fleet size and -- the property everything else rests on --
 that the *merged result does not change* as the fleet grows.
 
-Throughput is reported on the **modeled parallel clock** (the slowest
-static lane's simulated time, see ``DistResult.modeled_parallel_time``),
-consistent with every other benchmark here: the container this suite
-runs in has a single CPU, so real wall-clock parallelism is not
-measurable, while the modeled number is deterministic and matches
-``SwarmResult.parallel_time``'s accounting.  Wall-clock seconds are
-recorded as informational columns only.
+The headline number is **wall time**: real seconds from fleet launch to
+merged result, the cost a user actually pays per campaign.  The modeled
+parallel clock (the slowest static lane's simulated time, see
+``DistResult.modeled_parallel_time``) is kept as an informational column
+-- it is what the *scaling assertions* check, because the container this
+suite runs in has a single CPU, so wall-clock parallelism is noise
+while the modeled number is deterministic.
 
-Emits ``BENCH_dist.json`` at the repo root.
+A second experiment measures what the campaign *server* adds on top: the
+same spec run once directly and once submitted through a live daemon
+(Unix socket, JSON-lines protocol, streamed events), with the overhead
+recorded to ``BENCH_server.json``.
+
+Emits ``BENCH_dist.json`` and ``BENCH_server.json`` at the repo root.
 """
 
 import json
+import threading
 from pathlib import Path
 
 from conftest import record_result
 from repro.dist import CheckSpec, DistributedChecker
+from repro.dist import realtime
+from repro.dist.coordinator import DistResult
+from repro.server import ReproClient, ReproServer, EngineConfig
 
 SPEC = CheckSpec(
     filesystems=("verifs1", "verifs2"),
@@ -45,32 +54,38 @@ def test_dist_scaling(benchmark):
 
     rows = []
     for workers, dist in results.items():
+        wall_rate = (dist.visited_states / dist.wall_time
+                     if dist.wall_time > 0 else 0.0)
         rows.append({
             "workers": workers,
             "units": len(dist.unit_results),
             "operations": dist.total_operations,
             "visited_states": dist.visited_states,
-            "modeled_parallel_time": dist.modeled_parallel_time,
+            "wall_time": dist.wall_time,
+            "wall_states_per_second": wall_rate,
+            "modeled_parallel_time_informational":
+                dist.modeled_parallel_time,
             "sequential_sim_time": dist.sequential_sim_time,
-            "states_per_second": dist.states_per_second,
-            "speedup": dist.speedup,
+            "modeled_states_per_second": dist.states_per_second,
+            "modeled_speedup": dist.speedup,
             "stolen_units": dist.stolen_units,
             "recovered_units": dist.recovered_units,
             "cross_worker_duplicates": dist.cross_worker_duplicates,
-            "wall_time_informational": dist.wall_time,
         })
         record_result(
             "distributed scaling (verifs1 vs verifs2, 8 units)",
             f"{workers} worker(s): {dist.visited_states:4d} merged states "
-            f"in {dist.modeled_parallel_time:6.3f}s modeled "
-            f"= {dist.states_per_second:7.1f} states/s "
-            f"({dist.speedup:4.2f}x speedup, {dist.stolen_units} stolen, "
-            f"wall {dist.wall_time:5.2f}s)",
+            f"in {dist.wall_time:5.2f}s wall "
+            f"= {wall_rate:7.1f} states/s "
+            f"(modeled {dist.modeled_parallel_time:6.3f}s, "
+            f"{dist.speedup:4.2f}x modeled speedup, "
+            f"{dist.stolen_units} stolen)",
         )
 
     out_path = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
     out_path.write_text(json.dumps({
         "experiment": "distributed scaling",
+        "headline_metric": "wall_time",
         "spec": {
             "filesystems": list(SPEC.filesystems),
             "units": SPEC.units,
@@ -86,6 +101,77 @@ def test_dist_scaling(benchmark):
         assert dist.visited_states == solo.visited_states
         assert dist.total_operations == solo.total_operations
         assert dist.discrepancy_signature() == solo.discrepancy_signature()
-    # throughput scales: 4 workers must clear 1.5x the single-lane rate
+    # modeled throughput scales (wall time cannot on a single-CPU box):
+    # 4 workers must clear 1.5x the single-lane modeled rate
     assert results[4].states_per_second >= 1.5 * solo.states_per_second
     assert results[2].states_per_second > solo.states_per_second
+
+
+def test_server_submission_overhead(benchmark, tmp_path):
+    """Direct run vs the same campaign through a live daemon.
+
+    The daemon adds queueing, JSON framing, event streaming, and spool
+    writes around the identical unit work -- this measures that tax and
+    asserts the served result is byte-equivalent to the direct one.
+    """
+    def measure():
+        start = realtime.now()
+        direct = DistributedChecker(SPEC, workers=1).run()
+        direct_wall = realtime.now() - start
+
+        server = ReproServer(
+            socket_path=str(tmp_path / "bench.sock"),
+            config=EngineConfig(slots=1,
+                                spool_dir=str(tmp_path / "spool")))
+        server.start()  # bind before the loop thread: no connect race
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        start = realtime.now()
+        with ReproClient(socket_path=server.socket_path,
+                         timeout=300.0) as client:
+            job = client.submit(SPEC)
+            events = list(client.watch(job["job_id"]))
+            served = DistResult.from_dict(client.result(job["job_id"]))
+            client.shutdown()
+        served_wall = realtime.now() - start
+        thread.join(timeout=30)
+        return direct, direct_wall, served, served_wall, len(events)
+
+    direct, direct_wall, served, served_wall, event_count = \
+        benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    overhead = served_wall - direct_wall
+    relative = served_wall / direct_wall if direct_wall > 0 else 0.0
+    record_result(
+        "server submission overhead (verifs1 vs verifs2, 8 units)",
+        f"direct {direct_wall:5.2f}s, served {served_wall:5.2f}s "
+        f"({relative:4.2f}x, +{overhead:5.2f}s, "
+        f"{event_count} streamed events)",
+    )
+
+    out_path = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+    out_path.write_text(json.dumps({
+        "experiment": "server submission overhead",
+        "headline_metric": "wall_time",
+        "spec": {
+            "filesystems": list(SPEC.filesystems),
+            "units": SPEC.units,
+            "unit_operations": SPEC.unit_operations,
+            "base_seed": SPEC.base_seed,
+            "max_depth": SPEC.max_depth,
+        },
+        "results": {
+            "direct_wall_time": direct_wall,
+            "served_wall_time": served_wall,
+            "overhead_seconds": overhead,
+            "overhead_relative": relative,
+            "streamed_events": event_count,
+            "visited_states": served.visited_states,
+        },
+    }, indent=2))
+
+    # the daemon must not change the campaign's outcome, only wrap it
+    assert served.visited_states == direct.visited_states
+    assert served.total_operations == direct.total_operations
+    assert served.discrepancy_signature() == direct.discrepancy_signature()
+    assert event_count > 0

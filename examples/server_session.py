@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Campaign-as-a-service: a full scripted session against the daemon.
+
+The checking daemon (``repro serve``) turns one-shot campaigns into
+queued, budgeted, resumable *jobs*.  This session exercises the whole
+lifecycle the way CI does:
+
+1. boot a daemon (Unix socket, 2 slots, per-tenant memory budgets);
+2. two clients submit three campaigns -- tenant "ci" with a roomy
+   budget, tenant "fuzz" with a 4 KiB budget that forces its job onto a
+   lossy bitstate store;
+3. both clients stream events concurrently while the jobs interleave;
+4. one job is paused mid-campaign, the daemon is shut down (spooling
+   everything), a *new* daemon boots from the same spool and resumes;
+5. every final result is compared against an equivalent one-shot
+   ``DistributedChecker`` run -- identical states, operations, and
+   discrepancy signatures, pause and restart notwithstanding.
+
+Run:  PYTHONPATH=src python examples/server_session.py
+"""
+
+import dataclasses
+import os
+import tempfile
+import threading
+
+from repro.dist import CheckSpec, DistributedChecker
+from repro.dist.coordinator import DistResult
+from repro.server import EngineConfig, ReproClient, ReproServer
+
+CLEAN_SPEC = CheckSpec(
+    filesystems=("verifs1", "verifs2"),
+    units=4,
+    base_seed=11,
+    unit_operations=100,
+    max_depth=8,
+)
+
+BUGGY_SPEC = dataclasses.replace(
+    CLEAN_SPEC, units=8, unit_operations=150,
+    verifs_bugs=("write-hole-stale",))
+
+
+def boot(socket_path: str, spool_dir: str, trail_dir: str):
+    server = ReproServer(
+        socket_path=socket_path,
+        config=EngineConfig(
+            slots=2,
+            spool_dir=spool_dir,
+            trail_dir=trail_dir,
+            tenant_budgets={"ci": 1 << 26, "fuzz": 4096}))
+    server.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread
+
+
+def fingerprint(result):
+    return (result.visited_states, result.total_operations,
+            result.discrepancy_signature())
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="repro-server-session-")
+    socket_path = os.path.join(workdir, "repro.sock")
+    spool_dir = os.path.join(workdir, "spool")
+    trail_dir = os.path.join(workdir, "trails")
+
+    print("=== booting the daemon (2 slots, budgets: ci=64M fuzz=4K) ===")
+    server, thread = boot(socket_path, spool_dir, trail_dir)
+
+    alice = ReproClient(socket_path=socket_path, timeout=600.0)
+    bob = ReproClient(socket_path=socket_path, timeout=600.0)
+
+    print("\n=== three campaigns from two clients ===")
+    clean = alice.submit(CLEAN_SPEC, tenant="ci", priority=1)
+    buggy = alice.submit(BUGGY_SPEC, tenant="ci", priority=0)
+    forced = bob.submit(CLEAN_SPEC, tenant="fuzz")
+    for job in (clean, buggy, forced):
+        tag = " [forced by budget]" if job["store_forced"] else ""
+        print(f"  {job['job_id']}  tenant={job['tenant']:4s} "
+              f"store={job['effective_store']}{tag}")
+    assert forced["store_forced"], "the 4K tenant must be forced lossy"
+
+    print("\n=== concurrent streams (alice watches the buggy job, "
+          "bob watches his) ===")
+    paused_at = None
+    for event in alice.watch(buggy["job_id"]):
+        payload = event["payload"]
+        if event["kind"] == "progress":
+            print(f"  [alice] {buggy['job_id']} "
+                  f"unit {payload['units_done']}/{payload['units_total']} "
+                  f"({payload['visited_states']} states)")
+            # pause mid-campaign, while work remains
+            if payload["units_done"] == 3 and paused_at is None:
+                alice.pause(buggy["job_id"])
+        elif event["kind"] == "discrepancy":
+            print(f"  [alice] {buggy['job_id']} DISCREPANCY in unit "
+                  f"{payload['unit']}: {payload['summary']}")
+        elif event["kind"] == "trail":
+            print(f"  [alice] {buggy['job_id']} trail -> {payload['path']}")
+        elif event["kind"] == "paused":
+            paused_at = payload["units_done"]
+            print(f"  [alice] {buggy['job_id']} paused at "
+                  f"{paused_at}/{payload['units_total']} units")
+            break
+    for event in bob.watch(forced["job_id"]):
+        if event["kind"] in ("progress", "done"):
+            payload = event["payload"]
+            print(f"  [bob]   {forced['job_id']} {event['kind']} "
+                  f"({payload.get('visited_states', '?')} states)")
+    alice.wait(clean["job_id"])
+    assert paused_at is not None and paused_at < BUGGY_SPEC.units
+
+    print("\n=== daemon restart: shutdown spools, a new daemon resumes ===")
+    alice.shutdown()
+    alice.close()
+    bob.close()
+    thread.join(timeout=30)
+    print("  first daemon gone; booting a second one on the same spool")
+
+    socket_path2 = os.path.join(workdir, "repro2.sock")
+    server2, thread2 = boot(socket_path2, spool_dir, trail_dir)
+    carol = ReproClient(socket_path=socket_path2, timeout=600.0)
+    restored = carol.job(buggy["job_id"])
+    print(f"  {restored['job_id']} restored as {restored['state']} "
+          f"({restored['units_done']}/{restored['units_total']} units kept)")
+    carol.resume(buggy["job_id"])
+    final = carol.wait(buggy["job_id"])
+    print(f"  resumed to completion: {final['units_done']} units, "
+          f"{final['discrepancies']} discrepancies, "
+          f"{final['visited_states']} states")
+
+    print("\n=== served results vs equivalent one-shot runs ===")
+    for label, job, spec in (("clean ", clean, CLEAN_SPEC),
+                             ("buggy ", buggy, BUGGY_SPEC),
+                             ("forced", forced, CLEAN_SPEC)):
+        served = DistResult.from_dict(carol.result(job["job_id"]))
+        one_shot = DistributedChecker(spec, workers=1).run()
+        match = fingerprint(served) == fingerprint(one_shot)
+        print(f"  {label} {job['job_id']}: served "
+              f"{served.visited_states} states / "
+              f"{len(served.discrepancy_signature())} findings -- "
+              f"{'IDENTICAL to one-shot' if match else 'MISMATCH'}")
+        assert match, f"{job['job_id']} diverged from its one-shot run"
+
+    carol.shutdown()
+    carol.close()
+    thread2.join(timeout=30)
+    print("\nall three campaigns match their one-shot equivalents; "
+          "pause + restart changed nothing")
+
+
+if __name__ == "__main__":
+    main()

@@ -78,7 +78,7 @@ RULES: Tuple[Rule, ...] = (
     Rule("dirty-mark-missing", "analyze.dirtymark", "error",
          "VFS write-surface method never marks a dirty path"),
     Rule("unpicklable-field", "analyze.wire", "error",
-         "dist protocol field cannot cross the pickle wire"),
+         "dist/server protocol field cannot cross the wire"),
     Rule("raise-after-mutate", "analyze.atomicity", "warn",
          "op mutates state then raises without rollback or re-mark"),
     # --------------------------------------------------- self-policing meta

@@ -39,6 +39,10 @@ from repro.analysis.static.model import (
 
 CHECKER = "analyze.wire"
 
+#: package segments whose dataclasses cross a wire (pickle pipes for
+#: ``dist``, JSON-lines sockets and the spool for ``server``)
+WIRE_SEGMENTS = frozenset({"dist", "server"})
+
 #: terminal annotation names that are always picklable
 SAFE_TERMINALS = frozenset({
     "int", "float", "complex", "str", "bytes", "bytearray", "bool", "None",
@@ -184,7 +188,11 @@ def run_wire_pass(model: ProjectModel) -> List[Finding]:
     findings: List[Finding] = []
     for module_name in sorted(model.modules):
         module = model.modules[module_name]
-        if "dist" not in module.segments:
+        # two wire surfaces: the dist protocol (pickle over process
+        # pipes) and the campaign server protocol (JSON over sockets,
+        # plus the spool on disk) -- both fail mid-campaign if a
+        # dataclass grows an unserialisable field
+        if WIRE_SEGMENTS.isdisjoint(module.segments):
             continue
         for class_name in sorted(module.classes):
             cls = module.classes[class_name]

@@ -395,6 +395,204 @@ def cmd_minimize(args) -> int:
     return 0
 
 
+# ------------------------------------------------------------------ server --
+def _parse_budget(text: str):
+    """``tenant=BYTES`` with optional k/m/g suffix (e.g. ``ci=64m``)."""
+    name, separator, amount = text.partition("=")
+    if not separator or not name or not amount:
+        raise argparse.ArgumentTypeError(
+            f"budget must look like tenant=BYTES, got {text!r}")
+    multiplier = 1
+    suffix = amount[-1].lower()
+    if suffix in "kmg":
+        multiplier = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}[suffix]
+        amount = amount[:-1]
+    try:
+        return name, int(amount) * multiplier
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"budget amount {amount!r} is not an integer")
+
+
+def _client_from_args(args):
+    from repro.server import ReproClient
+
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        return ReproClient(host=host or "127.0.0.1", port=int(port))
+    return ReproClient(socket_path=args.socket)
+
+
+def _render_event(event) -> str:
+    payload = event.get("payload", {})
+    detail = " ".join(f"{key}={payload[key]}" for key in sorted(payload))
+    return (f"[{event.get('vtime', 0.0):10.3f}] "
+            f"{event.get('job_id', '?'):10s} {event.get('kind', '?'):12s} "
+            f"{detail}")
+
+
+def cmd_serve(args) -> int:
+    """Run the campaign daemon in the foreground."""
+    from repro.server import EngineConfig, ReproServer
+
+    config = EngineConfig(
+        slots=args.slots,
+        tenant_budgets=dict(args.budget or ()),
+        trail_dir=args.trail_dir,
+        spool_dir=args.spool,
+        heartbeat_operations=args.heartbeat_ops,
+    )
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        server = ReproServer(host=host or "127.0.0.1",
+                             port=int(port), config=config)
+    else:
+        server = ReproServer(socket_path=args.socket, config=config)
+    server.start()
+    restored = len(server.engine.jobs)
+    print(f"repro server listening on {server.address} "
+          f"({args.slots} slot(s)"
+          + (f", {restored} job(s) restored from spool" if restored else "")
+          + ")")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down: pausing running jobs into the spool")
+        server.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Queue a campaign on a running daemon (optionally watch it)."""
+    from repro.server import RequestFailed, ServerUnavailable
+
+    if len(args.fs) < 2:
+        print("error: --fs must be given at least twice (MCFS compares "
+              "file systems)", file=sys.stderr)
+        return 2
+    _validate_fs_and_bugs(args)
+    spec = _spec_from_args(args)
+    try:
+        with _client_from_args(args) as client:
+            job = client.submit(spec, tenant=args.tenant,
+                                priority=args.priority,
+                                workers=args.job_workers)
+            print(f"submitted {job['job_id']} "
+                  f"(tenant {job['tenant']}, priority {job['priority']}, "
+                  f"{job['units_total']} units, "
+                  f"store {job['effective_store']}"
+                  + (" [forced by budget]" if job["store_forced"] else "")
+                  + ")")
+            if not args.watch:
+                return 0
+            return _watch_until_done(client, job["job_id"], from_seq=0)
+    except (ServerUnavailable, RequestFailed) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _watch_until_done(client, job_id: str, from_seq: int) -> int:
+    for event in client.watch(job_id, from_seq=from_seq):
+        print(_render_event(event))
+    final = client.job(job_id)
+    if final["state"] != "done" or final["discrepancies"]:
+        return 1
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    """List the daemon's job table."""
+    from repro.server import ServerUnavailable
+
+    try:
+        with _client_from_args(args) as client:
+            jobs = client.jobs()
+    except ServerUnavailable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("no jobs")
+        return 0
+    print(f"{'job':10s} {'tenant':10s} {'state':10s} {'prio':>4s} "
+          f"{'units':>9s} {'ops':>8s} {'states':>8s} {'disc':>4s} store")
+    for job in jobs:
+        units = f"{job['units_done']}/{job['units_total']}"
+        forced = " (forced)" if job["store_forced"] else ""
+        print(f"{job['job_id']:10s} {job['tenant']:10s} {job['state']:10s} "
+              f"{job['priority']:4d} {units:>9s} {job['operations']:8d} "
+              f"{job['visited_states']:8d} {job['discrepancies']:4d} "
+              f"{job['effective_store']}{forced}")
+    return 0
+
+
+def cmd_watch(args) -> int:
+    """Stream one job's (or every job's) events to stdout."""
+    from repro.server import RequestFailed, ServerUnavailable
+
+    try:
+        with _client_from_args(args) as client:
+            if args.job == "*":
+                for event in client.watch("*", from_seq=args.from_seq,
+                                          follow=args.follow):
+                    print(_render_event(event))
+                return 0
+            return _watch_until_done(client, args.job,
+                                     from_seq=args.from_seq)
+    except (ServerUnavailable, RequestFailed) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _job_verb(args, verb: str) -> int:
+    from repro.server import RequestFailed, ServerUnavailable
+
+    try:
+        with _client_from_args(args) as client:
+            job = getattr(client, verb)(args.job)
+            print(f"{job['job_id']}: {job['state']} "
+                  f"({job['units_done']}/{job['units_total']} units)")
+            return 0
+    except (ServerUnavailable, RequestFailed) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def cmd_pause(args) -> int:
+    return _job_verb(args, "pause")
+
+
+def cmd_resume(args) -> int:
+    return _job_verb(args, "resume")
+
+
+def cmd_cancel(args) -> int:
+    return _job_verb(args, "cancel")
+
+
+def cmd_shutdown(args) -> int:
+    """Stop a running daemon gracefully (running jobs spool as paused)."""
+    from repro.server import RequestFailed, ServerUnavailable
+
+    try:
+        with _client_from_args(args) as client:
+            client.shutdown()
+            print("daemon stopping (running jobs paused into the spool)")
+            return 0
+    except (ServerUnavailable, RequestFailed) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _add_address_arguments(parser) -> None:
+    parser.add_argument("--socket", default="repro-server.sock",
+                        metavar="PATH",
+                        help="unix socket the daemon listens on "
+                             "(default repro-server.sock)")
+    parser.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                        help="listen/connect over TCP instead of the "
+                             "unix socket")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -577,6 +775,112 @@ def build_parser() -> argparse.ArgumentParser:
     minimize.add_argument("--max-probes", type=int, default=5000,
                           help="ddmin probe budget (default 5000)")
     minimize.set_defaults(func=cmd_minimize)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the campaign daemon (campaign-as-a-service)")
+    _add_address_arguments(serve)
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrently running jobs (default 2)")
+    serve.add_argument("--spool", default=None, metavar="DIR",
+                       help="job spool directory: queued and paused jobs "
+                            "survive a daemon restart")
+    serve.add_argument("--trail-dir", default=None, metavar="DIR",
+                       help="capture job discrepancies as *.trail.json "
+                            "under DIR (streamed to watchers)")
+    serve.add_argument("--budget", action="append", type=_parse_budget,
+                       metavar="TENANT=BYTES",
+                       help="per-tenant visited-store byte budget "
+                            "(repeatable; suffixes k/m/g; over-budget "
+                            "submissions are forced to a bitstate store)")
+    serve.add_argument("--heartbeat-ops", type=int, default=100,
+                       help="in-unit heartbeat period in operations "
+                            "(default 100)")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="queue a campaign on a running daemon")
+    _add_address_arguments(submit)
+    submit.add_argument("--fs", action="append", default=[],
+                        help=f"file system to check (repeatable); one of "
+                             f"{', '.join(FILESYSTEMS)}")
+    submit.add_argument("--tenant", default="default",
+                        help="tenant the job's store budget is charged to")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="queue priority (higher runs first; default 0)")
+    submit.add_argument("--job-workers", type=int, default=1, metavar="N",
+                        help="fleet width for this job: 1 runs units "
+                             "inline in the daemon, N>1 drives a real "
+                             "worker fleet per slice (default 1)")
+    submit.add_argument("--watch", action="store_true",
+                        help="stream the job's events until it finishes "
+                             "(exit 1 on discrepancies)")
+    submit.add_argument("--units", type=int, default=8,
+                        help="work units to partition the campaign into "
+                             "(default 8)")
+    submit.add_argument("--max-ops", type=int, default=None,
+                        help="total operation budget across units")
+    submit.add_argument("--seed", type=int, default=1, help="base seed")
+    submit.add_argument("--pool", choices=sorted(PRESETS), default="default",
+                        help="workload preset (see repro.workload)")
+    submit.add_argument("--unit-depth", dest="dist_depth", type=int,
+                        default=12, help="per-unit depth bound (default 12)")
+    submit.add_argument("--strategy", choices=tuple(STRATEGIES), default=None,
+                        help="checkpoint strategy for every fs")
+    submit.add_argument("--equalize", action="store_true",
+                        help="equalize free space at startup (§3.4)")
+    submit.add_argument("--voting", action="store_true",
+                        help="majority voting with >= 3 file systems (§7)")
+    submit.add_argument("--fsck-oracle", action="store_true",
+                        help="run the offline fsck oracle during "
+                             "exploration")
+    submit.add_argument("--fsck-every", type=int, default=None, metavar="N",
+                        help="oracle period in operations (implies "
+                             "--fsck-oracle; default 10)")
+    submit.add_argument("--state-store", default="exact", metavar="SPEC",
+                        help="visited-state store: exact | hc[:bytes] | "
+                             "bitstate[:bits,k] | tiered[:hot] (a tenant "
+                             "over budget is forced to bitstate)")
+    submit.add_argument("--check-every", type=int, default=1, metavar="N",
+                        help="compare abstract states only every N "
+                             "operations per unit (default 1)")
+    submit.add_argument("--inject-bug", action="append", default=[],
+                        metavar="BUG",
+                        help="inject a VeriFS bug (repeatable); see "
+                             "'repro list'")
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = subparsers.add_parser(
+        "jobs", help="list the daemon's job table")
+    _add_address_arguments(jobs)
+    jobs.set_defaults(func=cmd_jobs)
+
+    watch = subparsers.add_parser(
+        "watch", help="stream a job's event log (or '*' for all jobs)")
+    _add_address_arguments(watch)
+    watch.add_argument("job", help="job id, or '*' for every job")
+    watch.add_argument("--from-seq", type=int, default=0,
+                       help="replay the log from this sequence number "
+                            "(default 0: everything)")
+    watch.add_argument("--no-follow", dest="follow", action="store_false",
+                       help="with '*': stop after the replay instead of "
+                            "streaming live events")
+    watch.set_defaults(func=cmd_watch)
+
+    for verb, handler, title in (
+            ("pause", cmd_pause,
+             "pause a job at its next unit boundary (snapshot to spool)"),
+            ("resume", cmd_resume, "re-queue a paused job"),
+            ("cancel", cmd_cancel, "cancel a queued/running/paused job")):
+        verb_parser = subparsers.add_parser(verb, help=title)
+        _add_address_arguments(verb_parser)
+        verb_parser.add_argument("job", help="job id")
+        verb_parser.set_defaults(func=handler)
+
+    shutdown = subparsers.add_parser(
+        "shutdown", help="stop a running daemon (running jobs spool "
+                         "as paused)")
+    _add_address_arguments(shutdown)
+    shutdown.set_defaults(func=cmd_shutdown)
     return parser
 
 

@@ -94,6 +94,28 @@ class WorkerSummary:
     def wall_ops_per_second(self) -> float:
         return self.operations / self.wall_time if self.wall_time > 0 else 0.0
 
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "worker_id": self.worker_id,
+            "units_completed": self.units_completed,
+            "operations": self.operations,
+            "sim_time": self.sim_time,
+            "wall_time": self.wall_time,
+            "alive_at_end": self.alive_at_end,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "WorkerSummary":
+        return cls(
+            worker_id=document["worker_id"],
+            units_completed=int(document.get("units_completed", 0)),
+            operations=int(document.get("operations", 0)),
+            sim_time=float(document.get("sim_time", 0.0)),
+            wall_time=float(document.get("wall_time", 0.0)),
+            alive_at_end=bool(document.get("alive_at_end", True)),
+        )
+
 
 @dataclass
 class DistResult:
@@ -202,6 +224,61 @@ class DistResult:
         parallel = self.modeled_parallel_time
         return self.visited_states / parallel if parallel > 0 else 0.0
 
+    @property
+    def wall_states_per_second(self) -> float:
+        """Merged unique states per real wall-clock second -- the honest
+        throughput headline (the modeled number is the *shape* check)."""
+        return self.visited_states / self.wall_time if self.wall_time > 0 else 0.0
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-ready form (the server result wire and spool).
+
+        The merged visited table rides along as a
+        :mod:`repro.mc.persistence` snapshot document, so exact *and*
+        memory-bounded stores round-trip with their own record formats.
+        """
+        from repro.mc.persistence import snapshot_document
+
+        return {
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "recovered_units": self.recovered_units,
+            "stolen_units": self.stolen_units,
+            "inline_units": self.inline_units,
+            "cross_worker_duplicates": self.cross_worker_duplicates,
+            "trail_paths": list(self.trail_paths),
+            "unit_results": [unit.to_dict() for unit in self.unit_results],
+            "worker_summaries": [summary.to_dict()
+                                 for summary in self.worker_summaries],
+            "table": snapshot_document(self.table),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "DistResult":
+        from repro.mc.persistence import snapshot_from_document
+
+        result = cls(
+            workers=int(document["workers"]),
+            wall_time=float(document.get("wall_time", 0.0)),
+            recovered_units=int(document.get("recovered_units", 0)),
+            stolen_units=int(document.get("stolen_units", 0)),
+            inline_units=int(document.get("inline_units", 0)),
+            cross_worker_duplicates=int(
+                document.get("cross_worker_duplicates", 0)),
+            trail_paths=list(document.get("trail_paths", [])),
+            unit_results=[UnitResult.from_dict(entry)
+                          for entry in document.get("unit_results", [])],
+            worker_summaries=[WorkerSummary.from_dict(entry)
+                              for entry in document.get("worker_summaries",
+                                                        [])],
+        )
+        table_document = document.get("table")
+        if table_document is not None:
+            snapshot = snapshot_from_document(table_document)
+            result.table = snapshot.visited
+        return result
+
 
 class _ServiceSink(ResultSink):
     """Inline-fallback sink: feed the service directly, no wire."""
@@ -236,11 +313,23 @@ class DistributedChecker:
         #: write a ``*.trail.json`` per unit violation into this
         #: directory, so distributed finds replay locally; None disables
         trail_dir: Optional[str] = None,
+        #: embedding hooks (the campaign server drives the fleet through
+        #: these): an explicit unit subset to run instead of the spec's
+        #: full partition, an external visited-state service to merge
+        #: into, and progress callbacks fired as the fleet reports
+        units: Optional[List[WorkUnit]] = None,
+        service: Optional[VisitedStateService] = None,
+        on_unit_done=None,
+        on_progress=None,
     ):
         if workers < 1:
             raise ValueError("the fleet needs at least one worker")
         self.spec = spec
         self.workers = workers
+        self.units_override = units
+        self.external_service = service
+        self.on_unit_done = on_unit_done
+        self.on_progress = on_progress
         self.config = config if config is not None else WorkerConfig()
         self.lease_timeout = lease_timeout
         self.poll_interval = poll_interval
@@ -255,11 +344,14 @@ class DistributedChecker:
 
     # ------------------------------------------------------------------ run --
     def run(self) -> DistResult:
-        units = self.spec.work_units()
-        service = VisitedStateService(
-            store=getattr(self.spec, "state_store", "exact"),
-            store_seed=self.spec.base_seed,
-        )
+        units = (self.units_override if self.units_override is not None
+                 else self.spec.work_units())
+        service = self.external_service
+        if service is None:
+            service = VisitedStateService(
+                store=getattr(self.spec, "state_store", "exact"),
+                store_seed=self.spec.base_seed,
+            )
         resumed_operations = 0
         resumed_runs = 0
         if self.state_file is not None:
@@ -431,6 +523,9 @@ class DistributedChecker:
                     lease.deadline = now + self.lease_timeout
                     lease.heartbeats += 1
                     lease.operations_reported = message.operations
+                    if self.on_progress is not None:
+                        self.on_progress(message.unit_index,
+                                         message.operations)
             elif isinstance(message, VisitedBatch):
                 flags = service.insert_batch(message.entries)
                 record.conn.send(VisitedReply(message.sequence, tuple(flags)))
@@ -448,6 +543,8 @@ class DistributedChecker:
                     record.wall_time += now - wall_started.pop(record.worker_id)
                 if unit_result.index not in results:
                     results[unit_result.index] = unit_result
+                    if self.on_unit_done is not None:
+                        self.on_unit_done(unit_result)
 
         while len(results) < len(units):
             connections = [record.conn for record in live()]
@@ -490,6 +587,8 @@ class DistributedChecker:
             results[unit.index] = run_unit(
                 self.spec, unit, "coordinator", config, sink)
             result.inline_units += 1
+            if self.on_unit_done is not None:
+                self.on_unit_done(results[unit.index])
 
     def _shutdown_fleet(self, records: List[WorkerRecord]) -> None:
         for record in records:

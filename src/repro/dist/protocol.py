@@ -16,7 +16,7 @@ fault-tolerance semantics built on heartbeats and lease deadlines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Optional, Tuple
 
 from repro.dist.spec import WorkUnit
@@ -108,6 +108,21 @@ class UnitResult:
     #: final per-query probability of such an omission
     omission_possible: bool = False
     omission_probability: float = 0.0
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; the server wire and result spool use this."""
+        return {result_field.name: getattr(self, result_field.name)
+                for result_field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "UnitResult":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored
+        and missing keys fall back to defaults, so result documents
+        survive protocol evolution in both directions."""
+        known = {result_field.name for result_field in fields(cls)}
+        return cls(**{key: value for key, value in document.items()
+                      if key in known})
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ from __future__ import annotations
 import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.clock import SimClock
 from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
@@ -98,6 +98,68 @@ class ExplorationStats:
     @property
     def ops_per_second(self) -> float:
         return self.operations / self.elapsed if self.elapsed > 0 else 0.0
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form.  A violation is carried as its message plus
+        the embedded :class:`~repro.core.report.DiscrepancyReport` (when
+        it has one) -- everything a remote consumer can act on."""
+        violation = None
+        if self.violation is not None:
+            report = getattr(self.violation, "report", None)
+            violation = {
+                "message": str(self.violation),
+                "report": report.to_dict() if report is not None else None,
+            }
+        return {
+            "operations": self.operations,
+            "transitions": self.transitions,
+            "unique_states": self.unique_states,
+            "revisited_states": self.revisited_states,
+            "checkpoints": self.checkpoints,
+            "restores": self.restores,
+            "por_pruned": self.por_pruned,
+            "fsck_checks": self.fsck_checks,
+            "max_depth_reached": self.max_depth_reached,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "stopped_reason": self.stopped_reason,
+            "samples": [list(sample) for sample in self.samples],
+            "violation": violation,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "ExplorationStats":
+        """Rebuild from :meth:`to_dict` output.  A violation with a
+        report becomes a :class:`~repro.core.integrity.DiscrepancyError`
+        again; one without stays a bare :class:`PropertyViolation`."""
+        violation: Optional[PropertyViolation] = None
+        raw = document.get("violation")
+        if raw is not None:
+            if raw.get("report") is not None:
+                from repro.core.integrity import DiscrepancyError
+                from repro.core.report import DiscrepancyReport
+
+                violation = DiscrepancyError(
+                    DiscrepancyReport.from_dict(raw["report"]))
+            else:
+                violation = PropertyViolation(raw.get("message", ""))
+        return cls(
+            operations=int(document.get("operations", 0)),
+            transitions=int(document.get("transitions", 0)),
+            unique_states=int(document.get("unique_states", 0)),
+            revisited_states=int(document.get("revisited_states", 0)),
+            checkpoints=int(document.get("checkpoints", 0)),
+            restores=int(document.get("restores", 0)),
+            por_pruned=int(document.get("por_pruned", 0)),
+            fsck_checks=int(document.get("fsck_checks", 0)),
+            max_depth_reached=int(document.get("max_depth_reached", 0)),
+            start_time=float(document.get("start_time", 0.0)),
+            end_time=float(document.get("end_time", 0.0)),
+            stopped_reason=document.get("stopped_reason", ""),
+            samples=[tuple(sample) for sample in document.get("samples", [])],
+            violation=violation,
+        )
 
 
 class Explorer:

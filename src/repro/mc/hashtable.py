@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 from repro.clock import Cost
 from repro.mc.memory import MemoryModel
@@ -77,6 +77,20 @@ class TableStats:
             "omission_possible": self.omission_possible,
             "omission_probability": self.omission_probability,
         }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "TableStats":
+        """Rebuild from :meth:`to_dict` output (missing keys default)."""
+        return cls(
+            inserts=int(document.get("inserts", 0)),
+            duplicate_hits=int(document.get("duplicate_hits", 0)),
+            resizes=int(document.get("resizes", 0)),
+            resize_time=float(document.get("resize_time", 0.0)),
+            stored_bytes=int(document.get("stored_bytes", 0)),
+            omission_possible=bool(document.get("omission_possible", False)),
+            omission_probability=float(
+                document.get("omission_probability", 0.0)),
+        )
 
     def reset(self) -> None:
         """Zero every counter (``omission_possible`` is sticky: it

@@ -35,7 +35,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.mc.hashtable import AbstractVisitedTable, TableStats, VisitedStateTable
 
@@ -60,12 +60,20 @@ class CheckerSnapshot:
     #: distributed worker that produced the snapshot (v2; None for v1)
     worker_id: Optional[str] = None
     table_stats: TableStats = field(default_factory=TableStats)
+    #: pending work-unit indices at pause time (the campaign server's
+    #: pause/resume hook): a paused campaign serialises its visited
+    #: store *and* the frontier of not-yet-run units, so resume -- in
+    #: the same daemon or after a restart -- re-derives exactly the
+    #: remaining work from the spec.  None for snapshots of completed
+    #: or non-job runs.
+    frontier: Optional[List[int]] = None
 
 
 def snapshot_document(visited: AbstractVisitedTable,
                       operations_completed: int = 0, runs: int = 1,
                       seed: Optional[int] = None,
-                      worker_id: Optional[str] = None) -> Dict[str, Any]:
+                      worker_id: Optional[str] = None,
+                      frontier: Optional[List[int]] = None) -> Dict[str, Any]:
     """Build the (JSON-serialisable) snapshot document.
 
     Exact tables produce the v2 form (full ``seen`` map); memory-bounded
@@ -80,6 +88,8 @@ def snapshot_document(visited: AbstractVisitedTable,
         "worker_id": worker_id,
         "table_stats": visited.stats.to_dict(),
     }
+    if frontier is not None:
+        common["frontier"] = [int(index) for index in frontier]
     if isinstance(visited, VisitedStateTable):
         return {
             "version": FORMAT_VERSION,
@@ -152,6 +162,7 @@ def snapshot_from_document(document: Dict[str, Any],
             if not stats.stored_bytes:
                 stats.stored_bytes = visited.stats.stored_bytes
         visited.stats = stats
+    raw_frontier = document.get("frontier")
     return CheckerSnapshot(
         visited=visited,
         operations_completed=int(document.get("operations_completed", 0)),
@@ -159,17 +170,21 @@ def snapshot_from_document(document: Dict[str, Any],
         seed=document.get("seed"),
         worker_id=document.get("worker_id"),
         table_stats=stats,
+        frontier=(None if raw_frontier is None
+                  else [int(index) for index in raw_frontier]),
     )
 
 
 def save_checker_state(path: str, visited: AbstractVisitedTable,
                        operations_completed: int = 0, runs: int = 1,
                        seed: Optional[int] = None,
-                       worker_id: Optional[str] = None) -> None:
+                       worker_id: Optional[str] = None,
+                       frontier: Optional[List[int]] = None) -> None:
     """Atomically write the checker's knowledge to ``path``."""
     document = snapshot_document(visited,
                                  operations_completed=operations_completed,
-                                 runs=runs, seed=seed, worker_id=worker_id)
+                                 runs=runs, seed=seed, worker_id=worker_id,
+                                 frontier=frontier)
     tmp_path = path + ".tmp"
     with open(tmp_path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)

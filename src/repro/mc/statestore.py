@@ -637,6 +637,30 @@ class StoreSpec:
             return f"tiered:{self.hot_capacity}"
         return self.kind
 
+    def planned_bytes(self, expected_states: int) -> int:
+        """Worst-case store footprint for a campaign expected to visit
+        at most ``expected_states`` distinct states.
+
+        The campaign server charges this *reservation* against a
+        tenant's memory budget at admission time (before any state has
+        been stored), so the bound must be closed-form: exact and
+        compacted stores grow per state (every operation could discover
+        a new state), bitstate is its two fixed arrays regardless of
+        traffic, and tiered is a full hot tier plus a compacted entry
+        for everything else.
+        """
+        if self.kind == "exact":
+            return expected_states * EXACT_ENTRY_BYTES
+        if self.kind == "hc":
+            return expected_states * (self.fp_bytes + DEPTH_SLOT_BYTES)
+        if self.kind == "bitstate":
+            return 2 * (self.bits // 8 + 1)  # bit array + depth slots
+        if self.kind == "tiered":
+            return (self.hot_capacity * EXACT_ENTRY_BYTES
+                    + max(0, expected_states - self.hot_capacity)
+                    * (self.fp_bytes + DEPTH_SLOT_BYTES))
+        raise ValueError(f"unknown state-store kind {self.kind!r}")
+
 
 def parse_store_spec(text: str) -> StoreSpec:
     """Parse ``exact | hc[:bytes] | bitstate[:bits,k] | tiered[:hot]``."""

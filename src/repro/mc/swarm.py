@@ -71,6 +71,31 @@ class SwarmMemberResult:
     #: lossy stores); shared in cooperative mode
     table_stats: Optional[TableStats] = None
 
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> dict:
+        """JSON-ready form (coverage is sorted so the document -- like
+        every merge in this repo -- is deterministic)."""
+        return {
+            "seed": self.seed,
+            "sim_time": self.sim_time,
+            "coverage": sorted(self.coverage),
+            "stats": self.stats.to_dict(),
+            "table_stats": (self.table_stats.to_dict()
+                            if self.table_stats is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SwarmMemberResult":
+        raw_stats = document.get("table_stats")
+        return cls(
+            seed=int(document["seed"]),
+            stats=ExplorationStats.from_dict(document.get("stats", {})),
+            coverage=set(document.get("coverage", [])),
+            sim_time=float(document.get("sim_time", 0.0)),
+            table_stats=(TableStats.from_dict(raw_stats)
+                         if raw_stats is not None else None),
+        )
+
 
 @dataclass
 class SwarmResult:
@@ -115,6 +140,15 @@ class SwarmResult:
             if member.stats.violation is not None:
                 return member.stats.violation
         return None
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> dict:
+        return {"members": [member.to_dict() for member in self.members]}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "SwarmResult":
+        return cls(members=[SwarmMemberResult.from_dict(entry)
+                            for entry in document.get("members", [])])
 
 
 class SwarmVerifier:

@@ -1,0 +1,177 @@
+"""Client library for the checking daemon.
+
+:class:`ReproClient` is a blocking, synchronous wrapper over the
+JSON-lines protocol: one socket, request ids for correlation, and a
+small event buffer so pushed events arriving while a response is awaited
+are never lost -- they are yielded by the next :meth:`watch` iteration.
+
+Typical session::
+
+    with ReproClient(socket_path=".repro.sock") as client:
+        job = client.submit(spec, tenant="ci", priority=5)
+        for event in client.watch(job["job_id"]):
+            print(event["kind"], event["payload"])
+        result = client.result(job["job_id"])
+
+The CLI verbs (``repro submit``, ``repro watch``, ...) are thin shells
+around this class, and the test-suite drives a threaded daemon with it.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+from repro.dist.spec import CheckSpec
+from repro.server.protocol import (
+    TERMINAL_EVENTS,
+    ProtocolError,
+    decode_line,
+    encode_line,
+)
+
+
+class ServerUnavailable(ConnectionError):
+    """The daemon is not listening where we were told to look."""
+
+
+class RequestFailed(RuntimeError):
+    """The daemon answered ``ok: false``; the message is its error."""
+
+
+class ReproClient:
+    """One connection to a campaign daemon."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: Optional[str] = None, port: int = 0,
+                 timeout: Optional[float] = 30.0):
+        if socket_path is None and host is None:
+            raise ValueError("need a unix socket path or a TCP host")
+        try:
+            if socket_path is not None:
+                self._sock = socket.socket(socket.AF_UNIX,
+                                           socket.SOCK_STREAM)
+                self._sock.settimeout(timeout)
+                self._sock.connect(socket_path)
+            else:
+                self._sock = socket.create_connection((host, port),
+                                                      timeout=timeout)
+        except OSError as error:
+            raise ServerUnavailable(
+                f"no daemon at {socket_path or f'{host}:{port}'}: {error}"
+            ) from None
+        self._buffer = bytearray()
+        #: events pushed while awaiting a response, in arrival order
+        self._events: Deque[Dict[str, Any]] = deque()
+        self._next_id = 0
+
+    # -------------------------------------------------------------- plumbing --
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _read_document(self) -> Dict[str, Any]:
+        """Next wire document (response or event), blocking."""
+        while b"\n" not in self._buffer:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServerUnavailable("daemon closed the connection")
+            self._buffer.extend(chunk)
+        line, _, rest = bytes(self._buffer).partition(b"\n")
+        self._buffer = bytearray(rest)
+        return decode_line(line)
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; return its payload (events are buffered)."""
+        self._next_id += 1
+        request_id = self._next_id
+        document = {"id": request_id, "op": op}
+        document.update(params)
+        self._sock.sendall(encode_line(document))
+        while True:
+            reply = self._read_document()
+            if "event" in reply:
+                self._events.append(reply["event"])
+                continue
+            if reply.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {reply.get('id')!r} does not match "
+                    f"request id {request_id}")
+            if not reply.get("ok"):
+                raise RequestFailed(reply.get("error", "unknown error"))
+            return reply
+
+    # ----------------------------------------------------------------- verbs --
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def submit(self, spec: Any, tenant: str = "default", priority: int = 0,
+               workers: int = 1) -> Dict[str, Any]:
+        """Submit a campaign; returns the job descriptor document."""
+        spec_document = (spec.to_dict() if isinstance(spec, CheckSpec)
+                         else dict(spec))
+        return self.request("submit", spec=spec_document, tenant=tenant,
+                            priority=priority, workers=workers)["job"]
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self.request("jobs")["jobs"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("job", job_id=job_id)["job"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """The finished job's full DistResult document."""
+        return self.request("result", job_id=job_id)["result"]
+
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        return self.request("pause", job_id=job_id)["job"]
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self.request("resume", job_id=job_id)["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request("cancel", job_id=job_id)["job"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self.request("shutdown")
+
+    def watch(self, job_id: str = "*", from_seq: int = 0,
+              follow: bool = True) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events; stops after its terminal event.
+
+        Watching ``"*"`` streams every job and never terminates on its
+        own (pass ``follow=False`` to stop once the buffered replay is
+        exhausted).  A job that was already finished when the watch
+        started yields its replayed events and returns -- the watch
+        response carries the job's state, so there is no race against a
+        terminal event the replay filter skipped.
+        """
+        reply = self.request("watch", job_id=job_id, from_seq=from_seq)
+        already_over = reply.get("state") in ("done", "failed", "cancelled")
+        while True:
+            while self._events:
+                event = self._events.popleft()
+                yield event
+                if job_id != "*" and event.get("job_id") == job_id \
+                        and event.get("kind") in TERMINAL_EVENTS:
+                    return
+            if not follow or (job_id != "*" and already_over):
+                return
+            reply = self._read_document()
+            if "event" in reply:
+                self._events.append(reply["event"])
+
+    def wait(self, job_id: str, from_seq: int = 0) -> Dict[str, Any]:
+        """Block until the job ends; returns its final descriptor."""
+        for _event in self.watch(job_id, from_seq=from_seq):
+            pass
+        return self.job(job_id)

@@ -169,12 +169,18 @@ class Trail:
 
 def capture_trail(report: DiscrepancyReport, spec: CheckSpec,
                   trail_dir: str, mode: str = "random", seed: int = 0,
-                  name: Optional[str] = None) -> str:
+                  name: Optional[str] = None, notify=None) -> str:
     """Write ``report`` (which must carry a schedule) as a trail file.
 
     Returns the path written.  Filenames never clash: an existing name
     gets a numeric suffix, so a campaign directory accumulates every
     find.
+
+    ``notify`` is the streaming hook: a callable invoked with the
+    written path *after* the file is durably on disk, so a subscriber
+    told about a trail can immediately open it.  The campaign server
+    uses this to push trail notifications to watching clients the
+    moment a unit's violation is captured.
     """
     if not report.schedule:
         raise ValueError("report has no schedule; nothing to capture")
@@ -185,4 +191,7 @@ def capture_trail(report: DiscrepancyReport, spec: CheckSpec,
     while os.path.exists(path):
         path = os.path.join(trail_dir, f"{stem}-{suffix}.trail.json")
         suffix += 1
-    return Trail(spec=spec, report=report, mode=mode, seed=seed).save(path)
+    written = Trail(spec=spec, report=report, mode=mode, seed=seed).save(path)
+    if notify is not None:
+        notify(written)
+    return written

@@ -371,6 +371,38 @@ def test_non_dist_dataclass_is_out_of_scope(tmp_path):
     assert findings == []
 
 
+def test_server_protocol_dataclasses_are_in_scope(tmp_path):
+    """The campaign-server wire (JSON lines + spool) is policed like the
+    dist wire: a server dataclass growing an unserialisable field is a
+    lint error, not a mid-campaign surprise."""
+    findings = run_wire_pass(model_of(tmp_path, {"pkg/server/protocol.py": """
+        import socket
+        from dataclasses import dataclass
+
+
+        @dataclass
+        class JobEvent:
+            kind: str
+            conn: socket.socket
+    """}))
+    assert [f.detail["symbol"] for f in findings] == ["JobEvent.conn"]
+    assert all(f.invariant == "unpicklable-field" for f in findings)
+
+
+def test_real_server_protocol_is_wire_clean():
+    """Mutation guard for the live tree: the shipped repro.server
+    dataclasses must stay serialisable (the pass scans them for real)."""
+    from repro.analysis.lint.runner import iter_python_files
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    model = build_model(iter_python_files([root]))
+    scanned = [name for name in model.modules if "server" in name.split(".")]
+    assert scanned, "repro.server modules must be in the analysis model"
+    findings = [f for f in run_wire_pass(model)
+                if "server" in f.location.replace(os.sep, "/").split("/")]
+    assert findings == []
+
+
 # ------------------------------------------------- error-path atomicity ----
 ATOMICITY_SEEDED = {"pkg/fs/drv.py": """
     class Driver:

@@ -353,6 +353,28 @@ class TestFaultTolerance:
         assert second.visited_states == first.visited_states
         assert load_checker_state(path).runs == 2
 
+    def test_server_pause_restart_resume_matches_one_shot(self, tmp_path,
+                                                          baseline):
+        """The campaign server's pause/resume rides the same unit
+        determinism the crash tests above pin: pausing mid-campaign,
+        losing the engine entirely, and resuming from its spool explores
+        the identical state set as an uninterrupted run."""
+        from repro.server import CampaignEngine, EngineConfig, SubmitRequest
+
+        spool = str(tmp_path / "spool")
+        engine = CampaignEngine(EngineConfig(slots=1, spool_dir=spool))
+        job = engine.submit(SubmitRequest(spec=SPEC.to_dict()))
+        engine.step()  # one unit lands
+        engine.pause(job.job_id)
+        engine.step()  # the pause snapshot (store + frontier) is spooled
+        assert engine.job(job.job_id).state == "paused"
+
+        reborn = CampaignEngine(EngineConfig(slots=1, spool_dir=spool))
+        reborn.resume(job.job_id)
+        reborn.run_until_idle()
+        assert fingerprint(reborn.result(job.job_id)) == \
+            fingerprint(baseline)
+
 
 # ----------------------------------------------------- cooperative swarm --
 class _Grid(ExplorationTarget):
