@@ -4,16 +4,19 @@ The paper positions swarm/parallel exploration as the answer to state
 spaces a single checker cannot cover (sections 2 and 7).  ``repro.dist``
 runs that fleet for real (multiprocessing workers, a shared visited-
 state service, work stealing); this benchmark measures how throughput
-scales with fleet size and -- the property everything else rests on --
-that the *merged result does not change* as the fleet grows.
+scales with fleet size, compares the two visited-state data planes
+(sharded shared-memory segments vs batched pipe RPC), and checks the
+property everything else rests on -- that the *merged result does not
+change* with the fleet size or the plane.
 
-The headline number is **wall time**: real seconds from fleet launch to
-merged result, the cost a user actually pays per campaign.  The modeled
-parallel clock (the slowest static lane's simulated time, see
-``DistResult.modeled_parallel_time``) is kept as an informational column
--- it is what the *scaling assertions* check, because the container this
-suite runs in has a single CPU, so wall-clock parallelism is noise
-while the modeled number is deterministic.
+The headline number is **wall states/second with its cost profile**:
+real merged-state throughput, decomposed into abstraction-walk /
+fingerprint / ship / snapshot-restore buckets (:mod:`repro.mc.perf`),
+so a rate change is attributable to a specific cost.  Wall-clock
+*scaling* assertions are gated on ``os.cpu_count()``: on a single-CPU
+container 4 workers time-slice one core and wall parallelism is
+physically impossible, so there the guards check the deterministic
+modeled clock plus plane parity instead.
 
 A second experiment measures what the campaign *server* adds on top: the
 same spec run once directly and once submitted through a live daemon
@@ -24,13 +27,18 @@ Emits ``BENCH_dist.json`` and ``BENCH_server.json`` at the repo root.
 """
 
 import json
+import multiprocessing
+import os
 import threading
+from dataclasses import replace
 from pathlib import Path
 
 from conftest import record_result
 from repro.dist import CheckSpec, DistributedChecker
 from repro.dist import realtime
 from repro.dist.coordinator import DistResult
+from repro.mc.perf import CostProfile
+from repro.mc.shardmem import shared_memory_available
 from repro.server import ReproClient, ReproServer, EngineConfig
 
 SPEC = CheckSpec(
@@ -39,32 +47,50 @@ SPEC = CheckSpec(
     base_seed=7,
     unit_operations=200,
     max_depth=10,
+    profile=True,
 )
 
 FLEETS = (1, 2, 4)
 
+SHM_SUPPORTED = (shared_memory_available()
+                 and "fork" in multiprocessing.get_all_start_methods())
+PLANES = ("rpc", "shm") if SHM_SUPPORTED else ("rpc",)
+
 
 def test_dist_scaling(benchmark):
+    def best_of(plane, workers, rounds=5):
+        # best-of-N is the standard defence against scheduler noise on a
+        # shared box: the fastest round is the closest estimate of the
+        # true cost (every run does identical deterministic work)
+        runs = [DistributedChecker(replace(SPEC, data_plane=plane),
+                                   workers=workers).run()
+                for _ in range(rounds)]
+        return max(runs, key=lambda dist: dist.wall_states_per_second)
+
     def measure():
-        return {workers: DistributedChecker(SPEC, workers=workers).run()
+        return {(plane, workers): best_of(plane, workers)
+                for plane in PLANES
                 for workers in FLEETS}
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
-    solo = results[1]
+    solo = results[(PLANES[-1], 1)]
 
     rows = []
-    for workers, dist in results.items():
-        wall_rate = (dist.visited_states / dist.wall_time
-                     if dist.wall_time > 0 else 0.0)
+    for (plane, workers), dist in sorted(results.items()):
+        profile = (CostProfile.from_dict(dist.cost_profile)
+                   if dist.cost_profile else CostProfile())
         rows.append({
             "workers": workers,
+            "data_plane": dist.data_plane,
             "units": len(dist.unit_results),
             "operations": dist.total_operations,
             "visited_states": dist.visited_states,
+            "visited_fingerprint": dist.table.visited_fingerprint(),
             "wall_time": dist.wall_time,
-            "wall_states_per_second": wall_rate,
-            "modeled_parallel_time_informational":
-                dist.modeled_parallel_time,
+            "wall_states_per_second": dist.wall_states_per_second,
+            "cost_per_state_us": profile.per_state_microseconds(),
+            "cost_profile": dist.cost_profile,
+            "modeled_parallel_time": dist.modeled_parallel_time,
             "sequential_sim_time": dist.sequential_sim_time,
             "modeled_states_per_second": dist.states_per_second,
             "modeled_speedup": dist.speedup,
@@ -74,37 +100,57 @@ def test_dist_scaling(benchmark):
         })
         record_result(
             "distributed scaling (verifs1 vs verifs2, 8 units)",
-            f"{workers} worker(s): {dist.visited_states:4d} merged states "
+            f"{workers} worker(s) via {dist.data_plane}: "
+            f"{dist.visited_states:4d} merged states "
             f"in {dist.wall_time:5.2f}s wall "
-            f"= {wall_rate:7.1f} states/s "
-            f"(modeled {dist.modeled_parallel_time:6.3f}s, "
-            f"{dist.speedup:4.2f}x modeled speedup, "
-            f"{dist.stolen_units} stolen)",
+            f"= {dist.wall_states_per_second:7.1f} states/s "
+            f"[{profile.describe()}] "
+            f"({dist.speedup:4.2f}x modeled, {dist.stolen_units} stolen)",
         )
 
     out_path = Path(__file__).resolve().parent.parent / "BENCH_dist.json"
     out_path.write_text(json.dumps({
         "experiment": "distributed scaling",
-        "headline_metric": "wall_time",
+        "headline_metric": "wall_states_per_second",
+        "available_cores": os.cpu_count(),
         "spec": {
             "filesystems": list(SPEC.filesystems),
             "units": SPEC.units,
             "unit_operations": SPEC.unit_operations,
             "base_seed": SPEC.base_seed,
             "max_depth": SPEC.max_depth,
+            "state_store": SPEC.state_store,
         },
         "results": rows,
     }, indent=2))
 
-    # the merge is fleet-invariant: same union, same work, same findings
+    # the merge is plane- and fleet-invariant: same union (byte-identical
+    # visited fingerprints), same work, same findings -- for any worker
+    # count on either data plane
+    solo_fingerprint = solo.table.visited_fingerprint()
     for dist in results.values():
         assert dist.visited_states == solo.visited_states
         assert dist.total_operations == solo.total_operations
         assert dist.discrepancy_signature() == solo.discrepancy_signature()
-    # modeled throughput scales (wall time cannot on a single-CPU box):
-    # 4 workers must clear 1.5x the single-lane modeled rate
-    assert results[4].states_per_second >= 1.5 * solo.states_per_second
-    assert results[2].states_per_second > solo.states_per_second
+        assert dist.table.visited_fingerprint() == solo_fingerprint
+    # modeled throughput scales regardless of the host: 4 workers must
+    # clear 1.5x the single-lane modeled rate
+    best = PLANES[-1]
+    assert (results[(best, 4)].states_per_second
+            >= 1.5 * solo.states_per_second)
+    assert results[(best, 2)].states_per_second > solo.states_per_second
+    # wall-clock scaling needs real cores: only assert it where the OS
+    # actually offers 4 (a 1-CPU container time-slices the fleet)
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert (results[(best, 4)].wall_states_per_second
+                >= 1.5 * solo.wall_states_per_second)
+    if SHM_SUPPORTED:
+        # the shm plane must never lose meaningfully to RPC at any
+        # fleet size (slack absorbs single-box timing noise)
+        for workers in FLEETS[1:]:
+            assert (results[("shm", workers)].wall_states_per_second
+                    >= 0.75 * results[("rpc", workers)].wall_states_per_second)
 
 
 def test_server_submission_overhead(benchmark, tmp_path):

@@ -79,6 +79,9 @@ RULES: Tuple[Rule, ...] = (
          "VFS write-surface method never marks a dirty path"),
     Rule("unpicklable-field", "analyze.wire", "error",
          "dist/server protocol field cannot cross the wire"),
+    Rule("shm-handle-field", "analyze.wire", "error",
+         "dist/server field carries a raw shared-memory handle "
+         "(ship the segment name and reattach instead)"),
     Rule("raise-after-mutate", "analyze.atomicity", "warn",
          "op mutates state then raises without rollback or re-mark"),
     # --------------------------------------------------- self-policing meta
@@ -98,7 +101,7 @@ RULES_BY_ID: Dict[str, Rule] = {rule.rule_id: rule for rule in RULES}
 #: complements DETERMINISM_RULE_IDS)
 STATIC_RULE_IDS = frozenset({
     "restore-blind", "dirty-mark-missing", "unpicklable-field",
-    "raise-after-mutate",
+    "shm-handle-field", "raise-after-mutate",
 })
 
 

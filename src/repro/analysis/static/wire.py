@@ -18,7 +18,13 @@ moves that failure to lint time by checking every dataclass field in
   objects are identity-bearing simulator state and must never ride the
   wire (workers rebuild devices from the spec);
 * a lambda as the field default is flagged (every instance would carry
-  an unpicklable function object).
+  an unpicklable function object);
+* raw shared-memory handles (``SharedMemory``, ``ShardSegment``,
+  ``memoryview``) are flagged as ``shm-handle-field`` -- a live mapping
+  must never ride the wire.  Workers attach by segment *name*
+  (:meth:`repro.mc.shardmem.ShardSegment.attach`); a pickled handle
+  would at best duplicate the mapping and at worst leak the segment
+  through the resource tracker.
 
 Unresolvable annotations are assumed safe: the pass must never block a
 legitimate type it simply cannot see, and the mutation self-tests pin
@@ -72,6 +78,13 @@ UNPICKLABLE_TERMINALS = frozenset({
 
 #: enum base names: a class inheriting one of these pickles by name
 ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})
+
+#: raw shared-memory handle types: attach is by *name*, so a live
+#: handle in a wire dataclass is always a design error (the shm data
+#: plane ships ``ShardLayout`` geometry + segment name strings instead)
+SHM_HANDLE_TERMINALS = frozenset({
+    "SharedMemory", "ShardSegment", "memoryview",
+})
 
 
 def _terminal(name: str) -> str:
@@ -135,6 +148,26 @@ def _annotation_problem(
             if problem is not None:
                 return f"{dotted} -> {problem}"
         return None
+    return None
+
+
+def _shm_handle_in(node: ast.AST) -> Optional[str]:
+    """The first shared-memory handle type named in an annotation."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+        return _shm_handle_in(parsed)
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute)):
+            dotted = _dotted_of(sub)
+            if dotted is not None and _terminal(dotted) in SHM_HANDLE_TERMINALS:
+                return dotted
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            nested = _shm_handle_in(sub)
+            if nested is not None:
+                return nested
     return None
 
 
@@ -203,6 +236,20 @@ def run_wire_pass(model: ProjectModel) -> List[Finding]:
                     continue
                 field_name = (item.target.id
                               if isinstance(item.target, ast.Name) else "?")
+                handle = _shm_handle_in(item.annotation)
+                if handle is not None:
+                    findings.append(Finding(
+                        checker=CHECKER, invariant="shm-handle-field",
+                        message=(f"{cls.name}.{field_name} carries a raw "
+                                 f"shared-memory handle ({handle}); ship "
+                                 f"the segment *name* and reattach with "
+                                 f"ShardSegment.attach on the worker"),
+                        severity="error",
+                        location=f"{module.path}:{item.lineno}",
+                        detail={"line": item.lineno,
+                                "symbol": f"{cls.name}.{field_name}"},
+                    ))
+                    continue
                 problem = _annotation_problem(model, module, item.annotation,
                                               {cls.qualname})
                 if problem is None and _default_lambda(item.value):

@@ -98,6 +98,9 @@ def _spec_from_args(args) -> CheckSpec:
         state_store=args.state_store,
         verifs_bugs=tuple(getattr(args, "inject_bug", None) or ()),
         state_check_every=max(1, getattr(args, "check_every", 1)),
+        data_plane=getattr(args, "data_plane", "auto"),
+        shards=getattr(args, "shards", 4),
+        profile=bool(getattr(args, "profile", False)),
     )
 
 
@@ -130,9 +133,15 @@ def _run_distributed(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    dist = DistributedChecker(spec, workers=args.workers,
-                              state_file=args.state_file,
-                              trail_dir=args.trail_dir).run()
+    try:
+        dist = DistributedChecker(spec, workers=args.workers,
+                                  state_file=args.state_file,
+                                  trail_dir=args.trail_dir).run()
+    except ValueError as error:
+        # e.g. --data-plane shm forced on a platform (or store) that
+        # cannot carry it; same contract as the other spec validation
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parallel = dist.modeled_parallel_time
     summary = RunSummary(
         operations=dist.total_operations,
@@ -145,6 +154,7 @@ def _run_distributed(args) -> int:
         omission_possible=dist.omission_possible,
         omission_probability=dist.omission_probability,
         store_bits_per_state=dist.table.stats.bits_per_state,
+        cost_profile=dist.cost_profile,
     )
     if dist.trail_paths:
         summary.trail_path = dist.trail_paths[0]
@@ -153,6 +163,8 @@ def _run_distributed(args) -> int:
         print(f"trail      : {path}")
     print(f"workers    : {dist.workers} ({len(dist.unit_results)} units, "
           f"{dist.stolen_units} stolen, {dist.recovered_units} recovered)")
+    print(f"data plane : {dist.data_plane} "
+          f"({dist.wall_states_per_second:.1f} states/s wall)")
     print(f"speedup    : {dist.speedup:.2f}x modeled "
           f"({dist.sequential_sim_time:.3f}s sequential -> "
           f"{parallel:.3f}s parallel)")
@@ -225,8 +237,12 @@ def cmd_swarm(args) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    dist = DistributedChecker(spec, workers=args.workers,
-                              trail_dir=args.trail_dir).run()
+    try:
+        dist = DistributedChecker(spec, workers=args.workers,
+                                  trail_dir=args.trail_dir).run()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(f"{dist.workers} workers, {len(dist.unit_results)} units "
           f"({dist.stolen_units} stolen, {dist.recovered_units} recovered, "
           f"{dist.inline_units} inline)")
@@ -249,6 +265,13 @@ def cmd_swarm(args) -> int:
           f"({dist.sequential_sim_time:.3f}s sequential -> "
           f"{dist.modeled_parallel_time:.3f}s parallel, "
           f"{dist.states_per_second:.1f} states/s)")
+    print(f"data plane    : {dist.data_plane} "
+          f"({dist.wall_states_per_second:.1f} states/s wall)")
+    if dist.cost_profile is not None:
+        from repro.mc.perf import CostProfile
+
+        print("cost/state    : "
+              + CostProfile.from_dict(dist.cost_profile).describe())
     print(f"wall time     : {dist.wall_time:.2f}s")
     for path in dist.trail_paths:
         print(f"trail         : {path}")
@@ -655,6 +678,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "every N operations (amortised checking; "
                             "trails get longer, which 'repro minimize' "
                             "exists for; default 1)")
+    check.add_argument("--data-plane", choices=("auto", "shm", "rpc"),
+                       default="auto",
+                       help="distributed visited-state plane: sharded "
+                            "shared-memory segments or batched pipe RPC "
+                            "(auto picks shm when the platform supports "
+                            "it; the plane never changes what is found)")
+    check.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="fingerprint-space shards per worker segment "
+                            "on the shm plane (default 4)")
+    check.add_argument("--profile", action="store_true",
+                       help="break per-state cost into abstraction-walk / "
+                            "fingerprint / ship / snapshot-restore "
+                            "buckets (measurement only)")
     check.add_argument("--trail-dir", default=None, metavar="DIR",
                        help="capture every discrepancy as a replayable "
                             "*.trail.json under DIR")
@@ -703,6 +739,17 @@ def build_parser() -> argparse.ArgumentParser:
     swarm.add_argument("--check-every", type=int, default=1, metavar="N",
                        help="compare abstract states only every N "
                             "operations per unit (default 1)")
+    swarm.add_argument("--data-plane", choices=("auto", "shm", "rpc"),
+                       default="auto",
+                       help="visited-state plane: sharded shared-memory "
+                            "segments or batched pipe RPC (auto prefers "
+                            "shm where supported)")
+    swarm.add_argument("--shards", type=int, default=4, metavar="N",
+                       help="fingerprint-space shards per worker segment "
+                            "on the shm plane (default 4)")
+    swarm.add_argument("--profile", action="store_true",
+                       help="report the fleet's merged per-state cost "
+                            "breakdown (measurement only)")
     swarm.add_argument("--trail-dir", default=None, metavar="DIR",
                        help="capture each unit's discrepancy as a "
                             "replayable *.trail.json under DIR")

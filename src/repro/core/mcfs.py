@@ -87,6 +87,11 @@ class MCFSOptions:
     #: run finds a discrepancy (requires a spec-built harness); None
     #: disables capture
     trail_dir: Optional[str] = None
+    #: attach a per-state cost profiler (:mod:`repro.mc.perf`): wall time
+    #: charged to abstraction-walk / fingerprint / ship /
+    #: snapshot-restore buckets.  Measurement only -- cannot change what
+    #: a run finds
+    profile: bool = False
 
 
 @dataclass
@@ -112,6 +117,9 @@ class MCFSResult:
     #: where the counterexample trail was written (``trail_dir`` set and
     #: a discrepancy found); None otherwise
     trail_path: Optional[str] = None
+    #: per-state cost breakdown (:class:`repro.mc.perf.CostProfile`) when
+    #: the run profiled; None otherwise
+    cost_profile: Optional[Any] = None
 
     @property
     def found_discrepancy(self) -> bool:
@@ -276,6 +284,10 @@ class MCFS:
             kwargs.setdefault("fsck_every", self.options.fsck_every)
             kwargs.setdefault("fsck_oracle", FsckOracle(
                 self.engine(), max_workers=self.options.fsck_max_workers))
+        if kwargs.get("profile") is None and self.options.profile:
+            from repro.mc.perf import CostProfile
+
+            kwargs["profile"] = CostProfile()
         return Explorer(target, self.clock, visited=visited, **kwargs)
 
     def _finish_run(self, explorer: Explorer, start: float,
@@ -290,8 +302,11 @@ class MCFS:
                 + explorer.stats.operations,
                 runs=self._resumed_runs + 1,
             )
-        return self._result(explorer.stats, start,
-                            table_stats=getattr(explorer.visited, "stats", None))
+        result = self._result(explorer.stats, start,
+                              table_stats=getattr(explorer.visited, "stats",
+                                                  None))
+        result.cost_profile = explorer.profile
+        return result
 
     # ----------------------------------------------------------------- runs --
     def run_dfs(self, max_depth: int = 3, max_operations: Optional[int] = None,
@@ -331,7 +346,8 @@ class MCFS:
                    state_file: Optional[str] = None,
                    visited=None,
                    workers: int = 1,
-                   units: Optional[int] = None) -> MCFSResult:
+                   units: Optional[int] = None,
+                   profile=None) -> MCFSResult:
         """Seeded randomized walk (long-horizon experiments).
 
         ``visited`` plugs in a custom visited table (any
@@ -359,6 +375,7 @@ class MCFS:
             seed=seed, sample_every=sample_every, sample_hook=sample_hook,
             sim_time_budget=sim_time_budget,
             state_check_every=self.options.state_check_every,
+            profile=profile,
         )
         start = self.clock.now
         explorer.run_random(backtrack_probability=backtrack_probability)
@@ -417,6 +434,10 @@ class MCFS:
             ),
             trail_path=dist.trail_paths[0] if dist.trail_paths else None,
         )
+        if dist.cost_profile is not None:
+            from repro.mc.perf import CostProfile
+
+            result.cost_profile = CostProfile.from_dict(dist.cost_profile)
         result.dist = dist  # full fleet detail for callers that want it
         return result
 

@@ -75,14 +75,24 @@ class ParameterPool:
         )
 
 
+#: two revolutions of the 0..255 ramp, so any rotation is one slice
+_PATTERN_WHEEL = bytes(index & 0xFF for index in range(512))
+
+
 def fill_pattern(fill: int, size: int, offset: int) -> bytes:
     """Deterministic, position-dependent data so content bugs are visible.
 
     A constant fill would mask bugs like stale-data exposure whenever the
     stale bytes happen to match; weaving the offset into the pattern makes
-    every write distinguishable.
+    every write distinguishable.  The pattern is the cyclic ramp
+    ``(fill + offset + index) & 0xFF``, materialised by rotating a
+    precomputed wheel instead of generating one byte at a time.
     """
-    return bytes((fill + offset + index) & 0xFF for index in range(size))
+    if size <= 0:
+        return b""
+    base = (fill + offset) & 0xFF
+    ring = _PATTERN_WHEEL[base:base + 256]
+    return (ring * (size // 256 + 1))[:size]
 
 
 class OperationCatalog:

@@ -257,11 +257,18 @@ class RunSummary:
     #: operation count of the minimized reproducer (``repro minimize`` /
     #: ``--minimize``); None when no minimization ran
     minimized_operations: Optional[int] = None
+    #: per-state cost breakdown (``--profile``;
+    #: :meth:`repro.mc.perf.CostProfile.to_dict` form); None when the
+    #: run did not profile
+    cost_profile: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_result(cls, result, show_fsck: bool = False) -> "RunSummary":
         """Build from an :class:`~repro.core.mcfs.MCFSResult` (duck-typed)."""
         table_stats = getattr(result, "table_stats", None)
+        cost_profile = getattr(result, "cost_profile", None)
+        if cost_profile is not None and not isinstance(cost_profile, dict):
+            cost_profile = cost_profile.to_dict()
         return cls(
             operations=result.operations,
             unique_states=result.unique_states,
@@ -285,6 +292,7 @@ class RunSummary:
             store_bits_per_state=(table_stats.bits_per_state
                                   if table_stats is not None else 0.0),
             trail_path=getattr(result, "trail_path", None),
+            cost_profile=cost_profile,
         )
 
     # ------------------------------------------------------- serialisation --
@@ -308,6 +316,7 @@ class RunSummary:
             "store_bits_per_state": self.store_bits_per_state,
             "trail_path": self.trail_path,
             "minimized_operations": self.minimized_operations,
+            "cost_profile": self.cost_profile,
         }
 
     @classmethod
@@ -331,6 +340,7 @@ class RunSummary:
             store_bits_per_state=document.get("store_bits_per_state", 0.0),
             trail_path=document.get("trail_path"),
             minimized_operations=document.get("minimized_operations"),
+            cost_profile=document.get("cost_profile"),
         )
 
     def render(self) -> str:
@@ -355,6 +365,11 @@ class RunSummary:
                 f"{self.bytes_restored} B restored "
                 f"(dedup {self.snapshot_dedup_ratio:.1f}x)"
             )
+        if self.cost_profile:
+            from repro.mc.perf import CostProfile
+
+            lines.append("cost/state : "
+                         + CostProfile.from_dict(self.cost_profile).describe())
         if self.show_fsck:
             lines.append(f"fsck sweeps: {self.fsck_checks}")
         if self.trail_path:

@@ -38,6 +38,7 @@ from repro.dist.protocol import (
     Heartbeat,
     Hello,
     NoMoreWork,
+    PackedVisitedBatch,
     Shutdown,
     UnitDone,
     UnitResult,
@@ -51,7 +52,12 @@ from repro.dist.service import VisitedStateService
 from repro.dist.spec import CheckSpec, WorkUnit
 from repro.dist.worker import WorkerConfig, ResultSink, run_unit, worker_main
 from repro.mc.hashtable import AbstractVisitedTable, VisitedStateTable
-from repro.mc.statestore import merge_into
+from repro.mc.shardmem import (
+    ShardLayout,
+    ShardSegment,
+    shared_memory_available,
+)
+from repro.mc.statestore import merge_into, parse_store_spec
 
 
 @dataclass
@@ -130,6 +136,12 @@ class DistResult:
     stolen_units: int = 0
     inline_units: int = 0
     cross_worker_duplicates: int = 0
+    #: which data plane carried visited-state traffic ("shm" or "rpc")
+    data_plane: str = "rpc"
+    #: campaign-wide per-state cost breakdown (unit profiles merged;
+    #: :meth:`repro.mc.perf.CostProfile.to_dict` form) when the spec
+    #: profiled; None otherwise
+    cost_profile: Optional[Dict[str, Any]] = None
     #: trail files written from unit violations (``trail_dir`` set),
     #: ordered by unit index like :attr:`discrepancies`
     trail_paths: List[str] = field(default_factory=list)
@@ -247,6 +259,8 @@ class DistResult:
             "stolen_units": self.stolen_units,
             "inline_units": self.inline_units,
             "cross_worker_duplicates": self.cross_worker_duplicates,
+            "data_plane": self.data_plane,
+            "cost_profile": self.cost_profile,
             "trail_paths": list(self.trail_paths),
             "unit_results": [unit.to_dict() for unit in self.unit_results],
             "worker_summaries": [summary.to_dict()
@@ -266,6 +280,8 @@ class DistResult:
             inline_units=int(document.get("inline_units", 0)),
             cross_worker_duplicates=int(
                 document.get("cross_worker_duplicates", 0)),
+            data_plane=str(document.get("data_plane", "rpc")),
+            cost_profile=document.get("cost_profile"),
             trail_paths=list(document.get("trail_paths", [])),
             unit_results=[UnitResult.from_dict(entry)
                           for entry in document.get("unit_results", [])],
@@ -341,6 +357,94 @@ class DistributedChecker:
                 "fork" if "fork" in methods else None)
         self.mp_context = mp_context
         self.chaos_kill_after = dict(chaos_kill_after or {})
+        #: resolved shm-plane state for the current run (set by run())
+        self._shm_layout: Optional[ShardLayout] = None
+        self._shm_segments: List[ShardSegment] = []
+
+    # ------------------------------------------------------------ data plane --
+    def _resolve_data_plane(self) -> str:
+        """Pick the visited-state plane for this run.
+
+        ``auto`` takes shared memory whenever it can actually work:
+        the OS offers ``multiprocessing.shared_memory``, the fleet
+        forks (spawned children re-track segments and the layout's
+        determinism guarantees have only been validated fork-side), and
+        the store is not tiered (its hot tier keys on live hex strings,
+        which do not fit fixed-width slots).  Forcing ``shm`` where it
+        cannot work is an error, not a silent fallback.
+        """
+        requested = getattr(self.spec, "data_plane", "auto")
+        if requested == "rpc":
+            return "rpc"
+        kind = parse_store_spec(self.spec.state_store).kind
+        supported = (
+            shared_memory_available()
+            and self.mp_context.get_start_method() == "fork"
+            and kind != "tiered"
+        )
+        if requested == "shm" and not supported:
+            raise ValueError(
+                "data_plane='shm' is not available here: needs the fork "
+                "start method, multiprocessing.shared_memory, and a "
+                "non-tiered state store"
+            )
+        return "shm" if supported else "rpc"
+
+    def _shard_layout(self, units: List[WorkUnit]) -> ShardLayout:
+        """Segment geometry sized so overflow is an anomaly, not a plan.
+
+        Worst case one worker (via stealing) discovers every state the
+        whole campaign can produce: one state per operation plus the
+        initial state of each unit.  Slots are provisioned at 2x that
+        bound (open addressing wants load factor <= 0.5), so the RPC
+        overflow path exists for safety, not throughput.
+        """
+        worst_case = sum(unit.max_operations + 2 for unit in units)
+        shards = max(1, getattr(self.spec, "shards", 4))
+        slots = 1 << 10
+        while slots * shards < 2 * worst_case:
+            slots *= 2
+        return ShardLayout.for_store(
+            self.spec.state_store, shards=shards, slots_per_shard=slots,
+            seed=self.spec.base_seed)
+
+    def _merge_segments(self, service: VisitedStateService,
+                        result: DistResult) -> None:
+        """Fold every worker segment into the authoritative table.
+
+        The union is replayed **sorted by key** with shallowest depth
+        winning -- a canonical order, so the merged table is identical
+        for any worker count, shard count, interleaving, or crash
+        schedule (and byte-identical to what the RPC plane's arrival-
+        order inserts converge to: same keys, same shallowest depths).
+        Duplicated territory (the same key published by several
+        workers) surfaces as ``cross_worker_duplicates``, exactly like
+        the RPC plane's not-new insert replies.
+        """
+        layout = self._shm_layout
+        if layout is None:
+            return
+        union: Dict[int, int] = {}
+        published = 0
+        for segment in self._shm_segments:
+            for key, depth in segment.entries():
+                published += 1
+                existing = union.get(key)
+                if existing is None or depth < existing:
+                    union[key] = depth
+        for key in sorted(union):
+            service.table.visit(layout.state_of(key), union[key])
+        service.hashes_received += published
+        service.cross_worker_duplicates += published - len(union)
+
+    def _release_segments(self) -> None:
+        for segment in self._shm_segments:
+            try:
+                segment.unlink()
+            except Exception:
+                pass  # never let cleanup mask the run's real outcome
+        self._shm_segments = []
+        self._shm_layout = None
 
     # ------------------------------------------------------------------ run --
     def run(self) -> DistResult:
@@ -363,7 +467,19 @@ class DistributedChecker:
                 resumed_operations = snapshot.operations_completed
                 resumed_runs = snapshot.runs
 
-        result = DistResult(workers=self.workers)
+        plane = self._resolve_data_plane()
+        if plane == "shm":
+            layout = self._shard_layout(units)
+            try:
+                self._shm_layout = layout
+                self._shm_segments = [ShardSegment(layout, create=True)
+                                      for _ in range(self.workers)]
+            except Exception:
+                # no /dev/shm room (or similar): degrade to the RPC plane
+                self._release_segments()
+                plane = "rpc"
+
+        result = DistResult(workers=self.workers, data_plane=plane)
         # seed-partitioned initial split: unit i -> partition i mod W
         partitions: List[Deque[WorkUnit]] = [deque() for _ in range(self.workers)]
         for unit in units:
@@ -376,10 +492,27 @@ class DistributedChecker:
             self._supervise(records, partitions, units, service, result)
         finally:
             self._shutdown_fleet(records)
+            try:
+                # merge before the timer stops: the shm plane's deferred
+                # union is part of its honest wall cost.  Runs on error
+                # exits too (a paused/aborted campaign keeps the fleet's
+                # published knowledge, like RPC checkpoints used to).
+                self._merge_segments(service, result)
+            finally:
+                self._release_segments()
         result.wall_time = realtime.now() - wall_start
 
         result.unit_results.sort(key=lambda unit: unit.index)
         result.table = service.table
+        profiles = [unit.cost_profile for unit in result.unit_results
+                    if unit.cost_profile is not None]
+        if profiles:
+            from repro.mc.perf import CostProfile
+
+            merged = CostProfile()
+            for document in profiles:
+                merged.merge(CostProfile.from_dict(document))
+            result.cost_profile = merged.to_dict()
         if self.trail_dir is not None:
             self._capture_trails(result)
         result.cross_worker_duplicates = service.cross_worker_duplicates
@@ -427,14 +560,22 @@ class DistributedChecker:
             ))
 
     def _spawn_fleet(self) -> List[WorkerRecord]:
+        from dataclasses import replace
+
         records: List[WorkerRecord] = []
+        segment_names = tuple(segment.name for segment in self._shm_segments)
         for slot in range(self.workers):
             worker_id = f"w{slot}"
             parent_conn, child_conn = self.mp_context.Pipe(duplex=True)
             config = self.config
+            if segment_names:
+                config = replace(
+                    config,
+                    shm_layout=self._shm_layout,
+                    shm_segments=segment_names,
+                    shm_slot=slot,
+                )
             if worker_id in self.chaos_kill_after:
-                from dataclasses import replace
-
                 config = replace(
                     config,
                     chaos_kill_after_operations=self.chaos_kill_after[worker_id],
@@ -504,6 +645,14 @@ class DistributedChecker:
             if isinstance(message, Hello):
                 record.pid = message.pid
             elif isinstance(message, WorkRequest):
+                if record.worker_id in leases:
+                    # a duplicate request while a grant is outstanding:
+                    # granting again would overwrite the lease and lose
+                    # the first unit.  Wait instead -- either the worker
+                    # runs the queued grant (lease resolves normally) or
+                    # the lease expires and recover() re-queues the unit.
+                    record.conn.send(Wait())
+                    return
                 slot = records.index(record)
                 unit = next_unit(slot)
                 if unit is not None:
@@ -526,6 +675,8 @@ class DistributedChecker:
                     if self.on_progress is not None:
                         self.on_progress(message.unit_index,
                                          message.operations)
+            elif isinstance(message, PackedVisitedBatch):
+                record.conn.send(service.insert_packed(message))
             elif isinstance(message, VisitedBatch):
                 flags = service.insert_batch(message.entries)
                 record.conn.send(VisitedReply(message.sequence, tuple(flags)))
@@ -535,7 +686,9 @@ class DistributedChecker:
                     lease.checkpoint = message.document
             elif isinstance(message, UnitDone):
                 unit_result = message.result
-                leases.pop(record.worker_id, None)
+                lease = leases.get(record.worker_id)
+                if lease is not None and lease.unit.index == unit_result.index:
+                    leases.pop(record.worker_id)
                 record.units_completed += 1
                 record.operations += unit_result.operations
                 record.sim_time += unit_result.sim_time

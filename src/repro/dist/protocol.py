@@ -5,10 +5,17 @@ Messages are small frozen dataclasses pickled over
 The conversation is strictly client-driven except for shutdown:
 
 * worker -> coordinator: :class:`Hello`, :class:`WorkRequest`,
-  :class:`Heartbeat`, :class:`VisitedBatch`, :class:`Checkpoint`,
-  :class:`UnitDone`
+  :class:`Heartbeat`, :class:`VisitedBatch` /
+  :class:`PackedVisitedBatch`, :class:`Checkpoint`, :class:`UnitDone`
 * coordinator -> worker: :class:`WorkGrant`, :class:`Wait`,
-  :class:`NoMoreWork`, :class:`VisitedReply`, :class:`Shutdown`
+  :class:`NoMoreWork`, :class:`VisitedReply` /
+  :class:`PackedVisitedReply`, :class:`Shutdown`
+
+These messages are the **control plane** plus the RPC **data plane**.
+On platforms that support it the data plane moves to sharded
+shared-memory segments (:mod:`repro.mc.shardmem`): visited-state
+traffic then bypasses the pipe entirely, and only control messages
+(grants, heartbeats, results) remain here.
 
 See ``docs/distributed.md`` for the full protocol walk-through and the
 fault-tolerance semantics built on heartbeats and lease deadlines.
@@ -17,9 +24,77 @@ fault-tolerance semantics built on heartbeats and lease deadlines.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dist.spec import WorkUnit
+
+#: packed-batch key widths/forms by store kind: exact and tiered ship
+#: full digests that decode back to 32-char hex strings; bitstate ships
+#: the digest as a 128-bit integer; hc ships its compacted fingerprint
+PACKED_KEY_FORMS: Dict[str, Tuple[int, str]] = {
+    "exact": (16, "hex"),
+    "tiered": (16, "hex"),
+    "bitstate": (16, "int"),
+    "hc": (8, "int"),
+}
+
+#: depth field width in a packed entry (u32, saturating)
+_PACKED_DEPTH_BYTES = 4
+_PACKED_DEPTH_MAX = 0xFFFFFFFF
+
+
+def packing_for_store(store: str) -> Tuple[int, str]:
+    """``(key_bytes, key_form)`` for a ``--state-store`` spec string."""
+    from repro.mc.statestore import parse_store_spec
+
+    return PACKED_KEY_FORMS[parse_store_spec(store).kind]
+
+
+def pack_entries(entries, key_bytes: int, key_form: str) -> bytes:
+    """Serialise ``(wire key, depth)`` pairs into one flat byte array.
+
+    One ``bytes`` object pickles as a single opaque blob -- no per-entry
+    object headers, no per-entry memo lookups -- which is the point:
+    the fleet's hottest message becomes O(1) pickle work.  Raises
+    ``ValueError`` for keys that do not fit the packing (callers fall
+    back to the legacy tuple form).
+    """
+    packed = bytearray()
+    for key, depth in entries:
+        value = int(key, 16) if key_form == "hex" else int(key)
+        packed += value.to_bytes(key_bytes, "little")
+        packed += min(int(depth), _PACKED_DEPTH_MAX).to_bytes(
+            _PACKED_DEPTH_BYTES, "little")
+    return bytes(packed)
+
+
+def unpack_entries(payload: bytes, key_bytes: int,
+                   key_form: str) -> List[Tuple[Any, int]]:
+    """Invert :func:`pack_entries` (hex keys come back as hex strings)."""
+    stride = key_bytes + _PACKED_DEPTH_BYTES
+    entries: List[Tuple[Any, int]] = []
+    for offset in range(0, len(payload), stride):
+        value = int.from_bytes(payload[offset:offset + key_bytes], "little")
+        depth = int.from_bytes(
+            payload[offset + key_bytes:offset + stride], "little")
+        key: Any = (format(value, f"0{key_bytes * 2}x")
+                    if key_form == "hex" else value)
+        entries.append((key, depth))
+    return entries
+
+
+def pack_flags(flags) -> bytes:
+    """Bit-pack a sequence of booleans (LSB-first within each byte)."""
+    packed = bytearray((len(flags) + 7) // 8)
+    for index, flag in enumerate(flags):
+        if flag:
+            packed[index >> 3] |= 1 << (index & 7)
+    return bytes(packed)
+
+
+def unpack_flags(bits: bytes, count: int) -> Tuple[bool, ...]:
+    return tuple(bool(bits[index >> 3] & (1 << (index & 7)))
+                 for index in range(count))
 
 
 # ------------------------------------------------------------------ worker --
@@ -61,6 +136,27 @@ class VisitedBatch:
     worker_id: str
     sequence: int
     entries: Tuple[Tuple[Any, int], ...]
+
+
+@dataclass(frozen=True)
+class PackedVisitedBatch:
+    """:class:`VisitedBatch` as one struct-packed byte array.
+
+    The RPC data plane's hot message: ``count`` fixed-width
+    ``(key, depth)`` records in ``payload`` (see :func:`pack_entries`),
+    so pickling cost no longer scales with per-entry Python objects.
+    The coordinator answers with a :class:`PackedVisitedReply`.
+    """
+
+    worker_id: str
+    sequence: int
+    count: int
+    key_bytes: int
+    key_form: str  # "hex" | "int"
+    payload: bytes
+
+    def entries(self) -> List[Tuple[Any, int]]:
+        return unpack_entries(self.payload, self.key_bytes, self.key_form)
 
 
 @dataclass(frozen=True)
@@ -108,6 +204,9 @@ class UnitResult:
     #: final per-query probability of such an omission
     omission_possible: bool = False
     omission_probability: float = 0.0
+    #: per-state cost breakdown (:meth:`repro.mc.perf.CostProfile.to_dict`
+    #: form) when the campaign profiled; None otherwise
+    cost_profile: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------- serialisation --
     def to_dict(self) -> Dict[str, Any]:
@@ -157,6 +256,18 @@ class VisitedReply:
 
     sequence: int
     new_flags: Tuple[bool, ...]
+
+
+@dataclass(frozen=True)
+class PackedVisitedReply:
+    """Answer to a :class:`PackedVisitedBatch`: bit-packed new flags."""
+
+    sequence: int
+    count: int
+    flag_bits: bytes
+
+    def flags(self) -> Tuple[bool, ...]:
+        return unpack_flags(self.flag_bits, self.count)
 
 
 @dataclass(frozen=True)

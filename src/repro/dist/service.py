@@ -14,6 +14,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.dist.protocol import (
+    PackedVisitedBatch,
+    PackedVisitedReply,
+    pack_flags,
+)
 from repro.mc.hashtable import AbstractVisitedTable, StateKey
 from repro.mc.persistence import snapshot_from_document
 from repro.mc.statestore import make_store, merge_into
@@ -52,15 +57,22 @@ class VisitedStateService:
         merge, so the table's content is interleaving-independent even
         though its insertion order is not.
         """
-        flags: List[bool] = []
-        for state_hash, depth in entries:
-            is_new, _ = self.table.visit(state_hash, int(depth))
-            if not is_new:
-                self.cross_worker_duplicates += 1
-            flags.append(is_new)
+        flags = self.table.visit_many(entries)
+        self.cross_worker_duplicates += len(flags) - sum(flags)
         self.batches_served += 1
-        self.hashes_received += len(entries)
+        self.hashes_received += len(flags)
         return flags
+
+    def insert_packed(self, batch: PackedVisitedBatch) -> PackedVisitedReply:
+        """Struct-packed insert: decode once, bulk-visit, bit-pack flags.
+
+        The packed path is the RPC data plane's fast lane -- one opaque
+        byte payload in, one bit array out, one :meth:`visit_many` call
+        against the store.
+        """
+        flags = self.insert_batch(batch.entries())
+        return PackedVisitedReply(sequence=batch.sequence, count=len(flags),
+                                  flag_bits=pack_flags(flags))
 
     def lookup_batch(self, hashes: Sequence[StateKey]) -> List[bool]:
         """Membership-only RPC (no insert); True = globally visited."""

@@ -151,6 +151,23 @@ class CheckSpec:
     #: delayed, the counterexample trails it produces carry long
     #: operation logs, which is what the trail minimizer is for.
     state_check_every: int = 1
+    #: distributed data plane for visited-state traffic: ``auto``
+    #: resolves to sharded shared-memory segments
+    #: (:mod:`repro.mc.shardmem`) when the platform supports them
+    #: (fork start method, ``multiprocessing.shared_memory``, and a
+    #: non-tiered store) and falls back to the batched pipe RPC plane
+    #: otherwise; ``shm``/``rpc`` force a plane.  The plane never
+    #: changes *what* is found -- only how discoveries travel.
+    data_plane: str = "auto"
+    #: fingerprint-space shards per worker segment on the shm plane (a
+    #: pure function of each key, so the merged union is shard-count
+    #: invariant)
+    shards: int = 4
+    #: per-state cost profiling (:mod:`repro.mc.perf`): every unit
+    #: reports wall time in abstraction-walk / fingerprint / ship /
+    #: snapshot-restore buckets, merged campaign-wide.  Measurement
+    #: only -- never changes what the fleet finds
+    profile: bool = False
 
     def __post_init__(self):
         if len(self.filesystems) < 2:
@@ -160,6 +177,11 @@ class CheckSpec:
         for name in self.filesystems:
             if name not in FILESYSTEMS:
                 raise ValueError(f"unknown file system {name!r}")
+        if self.data_plane not in ("auto", "shm", "rpc"):
+            raise ValueError(f"unknown data plane {self.data_plane!r}; "
+                             f"expected auto | shm | rpc")
+        if self.shards < 1:
+            raise ValueError("the shm plane needs at least one shard")
         from repro.mc.statestore import parse_store_spec
 
         parse_store_spec(self.state_store)  # fail fast on a bad spec
@@ -210,6 +232,7 @@ class CheckSpec:
             fsck_max_workers=1,  # workers must not nest their own pools
             state_store=self.state_store,
             state_check_every=self.state_check_every,
+            profile=self.profile,
             # one fleet-wide store seed: every worker's fingerprints must
             # match the service's, so the spec's base seed is used (swarm
             # diversification is a *classic*-mode technique, not a

@@ -180,6 +180,7 @@ class Explorer:
         fsck_every: Optional[int] = None,
         fsck_oracle: Optional[Callable[[], Any]] = None,
         state_check_every: int = 1,
+        profile=None,
     ):
         self.target = target
         self.clock = clock
@@ -201,6 +202,10 @@ class Explorer:
         #: dominant cost of a random walk, at the price of delayed
         #: detection -- the discrepancy surfaces at the next check)
         self.state_check_every = max(1, state_check_every)
+        #: optional :class:`repro.mc.perf.CostProfile`: wall time charged
+        #: to abstraction-walk / fingerprint / snapshot-restore buckets
+        #: (measurement only -- never feeds back into decisions)
+        self.profile = profile
         #: always-on schedule log; on a violation the schedule is
         #: attached to the report so it can be captured as a trail
         self.recorder = TrailRecorder()
@@ -250,13 +255,32 @@ class Explorer:
         subtrees of frontier states).
         """
         self.recorder.check()
-        state_hash = self.target.abstract_state()
-        is_new, should_expand = self.visited.visit(state_hash, depth)
+        if self.profile is None:
+            state_hash = self.target.abstract_state()
+            is_new, should_expand = self.visited.visit(state_hash, depth)
+        else:
+            state_hash = self.profile.timed(
+                "abstraction_walk", self.target.abstract_state)
+            is_new, should_expand = self.profile.timed(
+                "fingerprint", self.visited.visit, state_hash, depth)
+            self.profile.note_state()
         if is_new:
             self.stats.unique_states += 1
         else:
             self.stats.revisited_states += 1
         return should_expand
+
+    def _take_checkpoint(self) -> Any:
+        if self.profile is not None:
+            return self.profile.timed("snapshot_restore",
+                                      self.target.checkpoint)
+        return self.target.checkpoint()
+
+    def _restore_checkpoint(self, token: Any) -> None:
+        if self.profile is not None:
+            self.profile.timed("snapshot_restore", self.target.restore, token)
+            return
+        self.target.restore(token)
 
     def _attach_schedule(self, violation: PropertyViolation) -> None:
         """Hang the recorded schedule off the violation's report (if any)
@@ -312,7 +336,7 @@ class Explorer:
                 self.stats.por_pruned += 1
                 continue
             checkpoint_id = self.recorder.checkpoint()
-            token = self.target.checkpoint()
+            token = self._take_checkpoint()
             self.stats.checkpoints += 1
             self.recorder.operation(action)
             self.target.apply(action)  # PropertyViolation propagates: halt
@@ -330,7 +354,7 @@ class Explorer:
                     )
                 self._dfs(depth + 1, child_sleep)
             self.recorder.restore(checkpoint_id)
-            self.target.restore(token)
+            self._restore_checkpoint(token)
             self.stats.restores += 1
             if candidates is not None:
                 candidates.append(action)
@@ -347,7 +371,7 @@ class Explorer:
         """
         self.stats = ExplorationStats(start_time=self.clock.now)
         checkpoints: List[Tuple[int, Any]] = [
-            (self.recorder.checkpoint(), self.target.checkpoint())
+            (self.recorder.checkpoint(), self._take_checkpoint())
         ]
         self.stats.checkpoints += 1
         try:
@@ -374,7 +398,7 @@ class Explorer:
                 )
                 if is_new and len(checkpoints) < self.max_depth:
                     checkpoints.append(
-                        (self.recorder.checkpoint(), self.target.checkpoint())
+                        (self.recorder.checkpoint(), self._take_checkpoint())
                     )
                     self.stats.checkpoints += 1
                 elif should_backtrack and checkpoints:
@@ -383,10 +407,10 @@ class Explorer:
                     # Replace the consumed checkpoint with a fresh one of
                     # the restored state so it can be revisited again.
                     self.recorder.restore(checkpoint_id)
-                    self.target.restore(token)
+                    self._restore_checkpoint(token)
                     self.stats.restores += 1
                     checkpoints[index] = (
-                        self.recorder.checkpoint(), self.target.checkpoint()
+                        self.recorder.checkpoint(), self._take_checkpoint()
                     )
                     self.stats.checkpoints += 1
         except PropertyViolation as violation:

@@ -130,6 +130,18 @@ class AbstractVisitedTable(ABC):
         is_new, _ = self.visit(state_hash, depth=0)
         return is_new
 
+    def visit_many(self, entries) -> list:
+        """Bulk :meth:`visit`: one ``is_new`` flag per ``(key, depth)``.
+
+        The distributed data plane moves fingerprints in batches; this
+        is the store-side bulk entry point, so a whole
+        :class:`~repro.dist.protocol.VisitedBatch` costs one call, not
+        one per entry.  Semantically identical to looping ``visit``
+        (stores with a cheaper bulk form override it).
+        """
+        visit = self.visit
+        return [visit(key, int(depth))[0] for key, depth in entries]
+
     def wire_key(self, state_hash: str) -> StateKey:
         """The key this store matches on, as shipped over the wire.
 
@@ -143,6 +155,20 @@ class AbstractVisitedTable(ABC):
     def duplicate_hit_ratio(self) -> float:
         """Fraction of visits answered from the store (effectiveness)."""
         return self.stats.duplicate_hit_ratio
+
+    def visited_fingerprint(self) -> str:
+        """A canonical digest of the visited set's *content*.
+
+        Two stores of the same kind holding the same set report the same
+        fingerprint regardless of insertion order, worker count, shard
+        count, or data plane -- the equality the distributed determinism
+        tests assert.  Fingerprints are only comparable between stores
+        of the same kind (an exact set and its bitstate projection are
+        different objects).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a canonical "
+            f"visited-set fingerprint")
 
 
 class VisitedStateTable(AbstractVisitedTable):
@@ -194,6 +220,15 @@ class VisitedStateTable(AbstractVisitedTable):
             self._seen[state_hash] = depth
             return False, True
         return False, False
+
+    def visited_fingerprint(self) -> str:
+        """MD5 over the sorted ``hash:depth`` entries (order-free)."""
+        import hashlib
+
+        ctx = hashlib.md5()
+        for state_hash in sorted(self._seen):
+            ctx.update(f"{state_hash}:{self._seen[state_hash]}\n".encode())
+        return ctx.hexdigest()
 
     # ------------------------------------------------------------ accessors --
     def export_seen(self) -> Dict[str, int]:

@@ -1,0 +1,131 @@
+"""Deterministic per-state cost profiling for checking runs.
+
+"States per second" is only actionable when it decomposes: a slow fleet
+might be paying for the abstraction walk (the per-operation tree
+traversal that produces the matching hash), the fingerprint insert (the
+visited-table probe), shipping (moving discoveries to the global union
+-- RPC pickling or shared-memory stores), or snapshot/restore (the
+``c_track`` concrete-state captures backtracking needs).  The profiler
+charges wall time to exactly those four buckets so ``repro check
+--profile`` and the distributed benchmarks can headline a real
+throughput number *with its cost breakdown* instead of a bare rate.
+
+Profiling is measurement only: buckets never feed back into exploration
+decisions, so enabling it cannot change what a run finds -- the same
+contract as :mod:`repro.dist.realtime`, the other sanctioned wall-clock
+read.  The profile itself is wall-clock data and therefore **not**
+deterministic; everything derived from it (reports, benchmarks) must
+treat it as a measurement, never as an input to the merge.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+#: the cost buckets, in presentation order
+BUCKETS: Tuple[str, ...] = (
+    "abstraction_walk",   # per-state tree walks producing matching hashes
+    "fingerprint",        # visited-table probes/inserts (local store)
+    "ship",               # moving discoveries to the global union
+    "snapshot_restore",   # concrete-state checkpoint captures + rollbacks
+)
+
+#: compact labels for one-line rendering
+_LABELS: Dict[str, str] = {
+    "abstraction_walk": "walk",
+    "fingerprint": "fp",
+    "ship": "ship",
+    "snapshot_restore": "snap",
+}
+
+
+def _now() -> float:
+    """A high-resolution timestamp for cost attribution."""
+    return time.perf_counter()  # det-lint: allow[wall-clock] profiling measures real cost; buckets never feed back into exploration decisions
+
+
+def _empty_seconds() -> Dict[str, float]:
+    return {bucket: 0.0 for bucket in BUCKETS}
+
+
+def _empty_calls() -> Dict[str, int]:
+    return {bucket: 0 for bucket in BUCKETS}
+
+
+@dataclass
+class CostProfile:
+    """Accumulated wall seconds and call counts per cost bucket.
+
+    ``states`` counts the state checks the run performed (one per
+    explorer ``_record_state``), the natural denominator for per-state
+    averages.  Profiles merge additively, so a fleet's unit profiles
+    fold into one campaign-wide breakdown.
+    """
+
+    seconds: Dict[str, float] = field(default_factory=_empty_seconds)
+    calls: Dict[str, int] = field(default_factory=_empty_calls)
+    states: int = 0
+
+    # ------------------------------------------------------------ recording --
+    def add(self, bucket: str, elapsed: float, count: int = 1) -> None:
+        self.seconds[bucket] += elapsed
+        self.calls[bucket] += count
+
+    def timed(self, bucket: str, func: Callable, *args) -> Any:
+        """Run ``func(*args)``, charging its wall time to ``bucket``."""
+        start = _now()
+        try:
+            return func(*args)
+        finally:
+            self.add(bucket, _now() - start)
+
+    def note_state(self) -> None:
+        self.states += 1
+
+    def merge(self, other: "CostProfile") -> None:
+        for bucket in BUCKETS:
+            self.seconds[bucket] += other.seconds.get(bucket, 0.0)
+            self.calls[bucket] += other.calls.get(bucket, 0)
+        self.states += other.states
+
+    # -------------------------------------------------------------- derived --
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds[bucket] for bucket in BUCKETS)
+
+    def per_state_microseconds(self) -> Dict[str, float]:
+        """Average microseconds per recorded state, per bucket."""
+        states = max(1, self.states)
+        return {bucket: self.seconds[bucket] / states * 1e6
+                for bucket in BUCKETS}
+
+    def describe(self) -> str:
+        """One-line per-state breakdown (``RunSummary`` renders this)."""
+        per_state = self.per_state_microseconds()
+        total = self.total_seconds
+        parts = []
+        for bucket in BUCKETS:
+            share = self.seconds[bucket] / total if total > 0 else 0.0
+            parts.append(
+                f"{_LABELS[bucket]} {per_state[bucket]:.0f}us ({share:.0%})")
+        return " | ".join(parts)
+
+    # ------------------------------------------------------- serialisation --
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "states": self.states,
+            "seconds": {bucket: self.seconds[bucket] for bucket in BUCKETS},
+            "calls": {bucket: self.calls[bucket] for bucket in BUCKETS},
+        }
+
+    @classmethod
+    def from_dict(cls, document: Dict[str, Any]) -> "CostProfile":
+        profile = cls(states=int(document.get("states", 0)))
+        for bucket in BUCKETS:
+            profile.seconds[bucket] = float(
+                document.get("seconds", {}).get(bucket, 0.0))
+            profile.calls[bucket] = int(
+                document.get("calls", {}).get(bucket, 0))
+        return profile

@@ -237,6 +237,17 @@ class BitstateTable(AbstractVisitedTable):
         self.stats.omission_probability = self.false_hit_probability
         return max(0, set_bits - before)
 
+    def visited_fingerprint(self) -> str:
+        """MD5 over the bit array and depth slots.
+
+        Bitstate's *content* is its arrays: two tables whose arrays match
+        behave identically forever after, even though the state *count*
+        may differ with merge history (counts are additive estimates, not
+        recoverable from bits) -- so the count is deliberately excluded.
+        """
+        return hashlib.md5(bytes(self._array)
+                           + bytes(self._depths)).hexdigest()
+
     def store_document(self) -> Dict:
         return {
             "kind": "bitstate",
@@ -356,6 +367,13 @@ class HashCompactionTable(AbstractVisitedTable):
             self.stats.resize_time += cost
         for hook in self.resize_hooks:
             hook(self.buckets)
+
+    def visited_fingerprint(self) -> str:
+        """MD5 over the sorted ``fingerprint:depth`` entries."""
+        ctx = hashlib.md5()
+        for fingerprint in sorted(self._seen):
+            ctx.update(f"{fingerprint}:{self._seen[fingerprint]}\n".encode())
+        return ctx.hexdigest()
 
     # ------------------------------------------------------- merge/persist --
     def export_fingerprints(self) -> Dict[int, int]:
@@ -540,6 +558,28 @@ class TieredTable(AbstractVisitedTable):
         """Collisions only happen against cold fingerprints."""
         return len(self._cold) / float(1 << (8 * self.fp_bytes))
 
+    def visited_fingerprint(self) -> str:
+        """MD5 over the sorted compacted view of both tiers.
+
+        Hot entries contribute their *fingerprint* (not the hex hash) so
+        the digest is invariant under the hot/cold split -- the split
+        depends on LRU history, which is scheduling, not content.
+        """
+        compacted: Dict[int, int] = {}
+        for state_hash, depth in self._hot.items():
+            fingerprint = self.fingerprint(state_hash)
+            existing = compacted.get(fingerprint)
+            if existing is None or depth < existing:
+                compacted[fingerprint] = depth
+        for fingerprint, depth in self._cold.items():
+            existing = compacted.get(fingerprint)
+            if existing is None or depth < existing:
+                compacted[fingerprint] = depth
+        ctx = hashlib.md5()
+        for fingerprint in sorted(compacted):
+            ctx.update(f"{fingerprint}:{compacted[fingerprint]}\n".encode())
+        return ctx.hexdigest()
+
     # ------------------------------------------------------- merge/persist --
     def import_seen(self, seen: Mapping[str, int]) -> int:
         added = 0
@@ -707,12 +747,26 @@ def merge_into(dst: AbstractVisitedTable, src: AbstractVisitedTable) -> int:
 
     Exact sources merge into anything (their full hashes re-compact);
     lossy sources only merge into a same-kind, same-parameter store --
-    fingerprints cannot be widened back into hashes.
+    fingerprints cannot be widened back into hashes.  A sharded
+    shared-memory store (:mod:`repro.mc.shardmem`) replays its sorted
+    entries into the classic store of its kind.
     """
     if isinstance(src, VisitedStateTable):
         return dst.import_seen(src.export_seen())
     if type(src) is type(dst):
         return dst.merge_from(src)
+    layout = getattr(src, "layout", None)
+    if layout is not None and hasattr(src, "replay_into"):
+        compatible = (
+            (layout.kind == "exact" and isinstance(dst, VisitedStateTable))
+            or (layout.kind == "hc" and isinstance(dst, HashCompactionTable)
+                and dst.fp_bytes == layout.fp_bytes
+                and dst.seed == layout.seed)
+            or (layout.kind == "bitstate" and isinstance(dst, BitstateTable)
+                and dst.seed == layout.seed)
+        )
+        if compatible:
+            return src.replay_into(dst)
     raise ValueError(
         f"cannot merge a {type(src).__name__} snapshot into a "
         f"{type(dst).__name__} store; store specs must match"
@@ -730,4 +784,9 @@ def store_from_document(document: Mapping,
         return BitstateTable.from_document(document, memory=memory)
     if kind == "tiered":
         return TieredTable.from_document(document, memory=memory)
+    if kind == "sharded":
+        # local import: shardmem builds on this module's specs
+        from repro.mc.shardmem import ShardedStore
+
+        return ShardedStore.from_document(document, memory=memory)
     raise ValueError(f"unknown persisted store kind {kind!r}")

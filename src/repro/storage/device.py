@@ -120,19 +120,26 @@ class ChunkedStore:
     def _store_range(self, offset: int, data: bytes) -> None:
         """Copy-on-write store: only chunks whose content changes are
         replaced (and marked dirty); identical rewrites keep the shared
-        chunk object so snapshot chains stay deduplicated."""
+        chunk object so snapshot chains stay deduplicated.
+
+        ``data`` may be any buffer (bytes, bytearray, memoryview); it is
+        sliced through a ``memoryview`` so the only copies taken are the
+        per-chunk pieces that actually land in the table.
+        """
         cs = self.chunk_size
-        end = offset + len(data)
+        view = memoryview(data)
+        total = len(view)
         consumed = 0
         position = offset
-        while consumed < len(data):
+        while consumed < total:
             index = position // cs
             within = position - index * cs
             old = self._chunks[index]
-            take = min(len(old) - within, len(data) - consumed)
-            piece = data[consumed : consumed + take]
+            take = min(len(old) - within, total - consumed)
+            piece = view[consumed : consumed + take]
             if old[within : within + take] != piece:
-                self._chunks[index] = old[:within] + piece + old[within + take :]
+                self._chunks[index] = (old[:within] + bytes(piece)
+                                       + old[within + take :])
                 self._dirty.add(index)
             position += take
             consumed += take
@@ -259,7 +266,7 @@ class BlockDevice(ChunkedStore):
         self._charge(len(data))
         self.stats.write_requests += 1
         self.stats.bytes_written += len(data)
-        self._store_range(offset, bytes(data))
+        self._store_range(offset, data)
 
     def read_block(self, block_index: int, block_size: int) -> bytes:
         return self.read(block_index * block_size, block_size)

@@ -14,17 +14,25 @@ from typing import Iterable, Union
 Chunk = Union[bytes, bytearray, memoryview, str]
 
 
-def _as_bytes(chunk: Chunk) -> bytes:
+def _as_buffer(chunk: Chunk) -> Union[bytes, bytearray, memoryview]:
+    """Coerce only what hashlib cannot consume directly.
+
+    ``hashlib`` accepts any object with the buffer protocol, so
+    ``bytearray`` and ``memoryview`` chunks are passed through untouched
+    -- copying them to ``bytes`` first (the old behaviour) doubled the
+    traffic on every content-hash of a chunk-store payload.  Strings
+    still encode (that allocation is unavoidable).
+    """
     if isinstance(chunk, str):
         return chunk.encode("utf-8")
-    return bytes(chunk)
+    return chunk
 
 
 def md5_hex(*chunks: Chunk) -> str:
     """MD5 hex digest over the concatenation of ``chunks``."""
     ctx = hashlib.md5()
     for chunk in chunks:
-        ctx.update(_as_bytes(chunk))
+        ctx.update(_as_buffer(chunk))
     return ctx.hexdigest()
 
 
@@ -32,7 +40,7 @@ def md5_of_iter(chunks: Iterable[Chunk]) -> str:
     """MD5 hex digest over an iterable of chunks (streaming)."""
     ctx = hashlib.md5()
     for chunk in chunks:
-        ctx.update(_as_bytes(chunk))
+        ctx.update(_as_buffer(chunk))
     return ctx.hexdigest()
 
 
@@ -42,5 +50,5 @@ def stable_hash64(data: Chunk) -> int:
     Used by the XFS-like directory B+tree for name hashing and by the
     visited-state table for bucket selection.
     """
-    digest = hashlib.md5(_as_bytes(data)).digest()
+    digest = hashlib.md5(_as_buffer(data)).digest()
     return int.from_bytes(digest[:8], "little")

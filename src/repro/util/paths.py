@@ -8,6 +8,7 @@ same errno the kernel would use.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
 
 from repro.errors import EINVAL, ENAMETOOLONG, FsError
@@ -16,6 +17,7 @@ NAME_MAX = 255
 PATH_MAX = 4096
 
 
+@lru_cache(maxsize=8192)
 def normalize_path(path: str) -> str:
     """Normalise ``path`` to a canonical absolute form.
 

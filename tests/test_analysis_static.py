@@ -389,6 +389,50 @@ def test_server_protocol_dataclasses_are_in_scope(tmp_path):
     assert all(f.invariant == "unpicklable-field" for f in findings)
 
 
+def test_shm_handle_fields_are_flagged(tmp_path):
+    """Raw shared-memory handles must never ride the wire: workers
+    attach by segment *name* (ShardSegment.attach), so a live handle in
+    a dist dataclass is a design error even where it would pickle."""
+    findings = run_wire_pass(model_of(tmp_path, {"pkg/dist/config.py": """
+        from dataclasses import dataclass
+        from multiprocessing.shared_memory import SharedMemory
+        from typing import Optional, Tuple
+
+
+        @dataclass
+        class Config:
+            segment: SharedMemory
+            view: Optional[memoryview]
+            own: "ShardSegment" = None
+            names: Tuple[str, ...] = ()
+    """}))
+    symbols = sorted(f.detail["symbol"] for f in findings)
+    assert symbols == ["Config.own", "Config.segment", "Config.view"]
+    assert all(f.invariant == "shm-handle-field" for f in findings)
+    assert all("segment *name*" in f.message for f in findings)
+
+
+def test_shm_rule_registered():
+    from repro.analysis.static.registry import RULES_BY_ID, STATIC_RULE_IDS
+
+    assert "shm-handle-field" in STATIC_RULE_IDS
+    assert RULES_BY_ID["shm-handle-field"].checker == "analyze.wire"
+    assert RULES_BY_ID["shm-handle-field"].severity == "error"
+
+
+def test_real_dist_tree_is_shm_handle_clean():
+    """Mutation guard for the live tree: the shipped dist dataclasses
+    (WorkerConfig and friends) must keep shipping segment names and
+    picklable ShardLayout geometry, never live segments."""
+    from repro.analysis.lint.runner import iter_python_files
+
+    root = os.path.dirname(os.path.abspath(repro.__file__))
+    model = build_model(iter_python_files([root]))
+    findings = [f for f in run_wire_pass(model)
+                if f.invariant == "shm-handle-field"]
+    assert findings == []
+
+
 def test_real_server_protocol_is_wire_clean():
     """Mutation guard for the live tree: the shipped repro.server
     dataclasses must stay serialisable (the pass scans them for real)."""

@@ -1,0 +1,249 @@
+"""The sharded shared-memory data plane: determinism matrix + crash safety.
+
+The shm plane reroutes visited-state traffic from coordinator RPC into
+single-writer shared-memory shard segments.  That must never change
+*what a campaign finds* -- so the load-bearing properties are:
+
+* **plane equivalence** -- byte-identical visited-set fingerprints and
+  merged results between the shm and RPC planes, for every worker
+  count, shard count, and store kind;
+* **crash safety** -- a SIGKILLed worker's segment survives in the
+  coordinator's address space, recovery reproduces the baseline result,
+  and no ``/dev/shm`` segment outlives the run;
+* **wire hygiene** -- raw segment handles never cross the pipe (workers
+  reattach by name), and a stray data-plane reply in the work-grant
+  handshake must not desynchronise the lease protocol.
+"""
+
+import dataclasses
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.dist import CheckSpec, DistributedChecker, WorkerConfig
+from repro.dist.protocol import (
+    Hello,
+    NoMoreWork,
+    PackedVisitedReply,
+    UnitDone,
+    WorkGrant,
+    WorkRequest,
+)
+from repro.dist.worker import worker_main
+from repro.mc.hashtable import VisitedStateTable
+from repro.mc.shardmem import (
+    ShardFull,
+    ShardLayout,
+    ShardSegment,
+    ShardedStore,
+    shared_memory_available,
+)
+
+SHM_SUPPORTED = (shared_memory_available()
+                 and "fork" in multiprocessing.get_all_start_methods())
+
+needs_shm = pytest.mark.skipif(
+    not SHM_SUPPORTED,
+    reason="needs multiprocessing.shared_memory and the fork start method")
+
+SPEC = CheckSpec(
+    filesystems=("verifs1", "verifs2"),
+    units=4,
+    base_seed=7,
+    unit_operations=60,
+    max_depth=6,
+)
+
+STORES = ("exact", "hc", "bitstate")
+
+#: chaos ticks must fire well inside a 60-op unit
+CHAOS_CONFIG = WorkerConfig(heartbeat_operations=20, batch_size=8)
+
+
+def run_fleet(plane, workers, shards=4, store="exact", **kwargs):
+    spec = dataclasses.replace(SPEC, data_plane=plane, shards=shards,
+                               state_store=store)
+    return DistributedChecker(spec, workers=workers, **kwargs).run()
+
+
+def outcome(dist):
+    """Everything that must be invariant across planes and fleets."""
+    return (
+        dist.visited_states,
+        dist.total_operations,
+        dist.discrepancy_signature(),
+        dist.table.visited_fingerprint(),
+        sorted((unit.index, unit.operations, unit.unique_states)
+               for unit in dist.unit_results),
+    )
+
+
+@pytest.fixture(scope="module")
+def rpc_baselines():
+    """The workers=1 RPC reference run, one per store kind."""
+    return {store: run_fleet("rpc", workers=1, store=store)
+            for store in STORES}
+
+
+# ------------------------------------------------------ determinism matrix --
+@needs_shm
+class TestPlaneEquivalence:
+    @pytest.mark.parametrize("store", STORES)
+    @pytest.mark.parametrize("workers", (1, 2, 4))
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    def test_shm_matches_rpc_baseline(self, rpc_baselines, store, workers,
+                                      shards):
+        fleet = run_fleet("shm", workers=workers, shards=shards, store=store)
+        assert fleet.data_plane == "shm"
+        assert outcome(fleet) == outcome(rpc_baselines[store])
+
+    def test_auto_resolves_to_shm_here(self):
+        fleet = run_fleet("auto", workers=2)
+        assert fleet.data_plane == "shm"
+
+
+class TestPlaneGating:
+    def test_tiered_store_cannot_force_shm(self):
+        # the tiered store demotes entries between tiers; its table is
+        # not representable as fixed-slot shard segments
+        with pytest.raises(ValueError):
+            run_fleet("shm", workers=2, store="tiered")
+
+    def test_tiered_store_degrades_auto_to_rpc(self, rpc_baselines):
+        fleet = run_fleet("auto", workers=2, store="tiered")
+        assert fleet.data_plane == "rpc"
+
+    def test_rpc_can_always_be_forced(self, rpc_baselines):
+        fleet = run_fleet("rpc", workers=2)
+        assert fleet.data_plane == "rpc"
+        assert outcome(fleet) == outcome(rpc_baselines["exact"])
+
+
+# ----------------------------------------------------------- crash safety --
+@needs_shm
+class TestCrashSafety:
+    def _shm_entries(self):
+        try:
+            return set(os.listdir("/dev/shm"))
+        except OSError:
+            return set()
+
+    def test_sigkill_recovery_matches_baseline_and_leaks_nothing(
+            self, rpc_baselines):
+        before = self._shm_entries()
+        fleet = run_fleet(
+            "shm", workers=2, config=CHAOS_CONFIG,
+            chaos_kill_after={"w1": 50},  # SIGKILL mid-unit
+            lease_timeout=3.0,
+        )
+        assert outcome(fleet) == outcome(rpc_baselines["exact"])
+        assert fleet.recovered_units >= 1
+        leaked = self._shm_entries() - before
+        assert not leaked, f"segments outlived the run: {sorted(leaked)}"
+
+    def test_clean_run_leaks_nothing(self):
+        before = self._shm_entries()
+        run_fleet("shm", workers=2)
+        leaked = self._shm_entries() - before
+        assert not leaked, f"segments outlived the run: {sorted(leaked)}"
+
+
+# ------------------------------------------------------ handshake protocol --
+class TestGrantHandshake:
+    def test_stray_packed_reply_does_not_duplicate_work_request(self):
+        """Regression: a data-plane reply arriving between WorkRequest
+        and WorkGrant must be consumed in place.  Falling through the
+        skip loop re-sent WorkRequest, the coordinator granted a second
+        unit over the first one's lease, and the orphaned unit livelocked
+        the campaign (never queued, leased, or resulted again)."""
+        parent, child = multiprocessing.Pipe(duplex=True)
+        unit = SPEC.work_units()[0]
+        worker = threading.Thread(
+            target=worker_main, args=(child, SPEC, "w0", WorkerConfig()),
+            daemon=True)
+        worker.start()
+        try:
+            assert isinstance(parent.recv(), Hello)
+            assert isinstance(parent.recv(), WorkRequest)
+            # a reply to an (imaginary) earlier batch lands first ...
+            parent.send(PackedVisitedReply(sequence=99, count=0,
+                                           flag_bits=b""))
+            # ... and only then the grant the worker is waiting for
+            parent.send(WorkGrant(unit))
+            requests = 0
+            while True:
+                message = parent.recv()
+                if isinstance(message, WorkRequest):
+                    requests += 1
+                elif isinstance(message, UnitDone):
+                    assert message.result.index == unit.index
+                    break
+            assert requests == 0, "stray reply triggered duplicate requests"
+            assert isinstance(parent.recv(), WorkRequest)
+            parent.send(NoMoreWork())
+            worker.join(timeout=30)
+            assert not worker.is_alive()
+        finally:
+            parent.close()
+
+
+# ------------------------------------------------- shard primitives (no shm) --
+class TestShardSegment:
+    def layout(self, **kwargs):
+        defaults = dict(kind="exact", shards=4, slots_per_shard=8)
+        defaults.update(kwargs)
+        return ShardLayout(**defaults)
+
+    def segment(self, layout):
+        return ShardSegment(layout, buffer=bytearray(layout.segment_bytes))
+
+    def test_insert_then_contains(self):
+        layout = self.layout()
+        segment = self.segment(layout)
+        is_new, expand = segment.insert(layout.key_of("af" * 16), depth=2)
+        assert (is_new, expand) == (True, True)
+        assert segment.contains(layout.key_of("af" * 16))
+        assert not segment.contains(layout.key_of("be" * 16))
+
+    def test_shallower_revisit_reexpands(self):
+        layout = self.layout()
+        segment = self.segment(layout)
+        key = layout.key_of("af" * 16)
+        segment.insert(key, depth=5)
+        is_new, expand = segment.insert(key, depth=2)
+        assert (is_new, expand) == (False, True)
+        assert segment.depth_of(key) == 2
+
+    def test_full_shard_raises(self):
+        layout = self.layout(shards=1, slots_per_shard=8)
+        segment = self.segment(layout)
+        with pytest.raises(ShardFull):
+            for value in range(64):
+                segment.insert(layout.key_of(f"{value:032x}"), depth=0)
+
+    def test_entries_survive_reattach_via_buffer(self):
+        layout = self.layout()
+        backing = bytearray(layout.segment_bytes)
+        writer = ShardSegment(layout, buffer=backing)
+        keys = [layout.key_of(f"{value:032x}") for value in range(1, 6)]
+        for depth, key in enumerate(keys):
+            writer.insert(key, depth)
+        reader = ShardSegment(layout, buffer=backing)
+        assert sorted(key for key, _ in reader.entries()) == sorted(keys)
+
+
+class TestShardedStore:
+    def test_visit_semantics_match_exact_table(self):
+        import random
+
+        rng = random.Random(11)
+        hashes = [f"{rng.getrandbits(128):032x}" for _ in range(96)]
+        sharded = ShardedStore(store="exact", shards=4)
+        exact = VisitedStateTable()
+        for index, state_hash in enumerate(hashes * 2):
+            depth = index % 5
+            assert (sharded.visit(state_hash, depth)
+                    == exact.visit(state_hash, depth))
+        assert len(sharded) == len(exact)
