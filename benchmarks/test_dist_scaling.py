@@ -58,19 +58,30 @@ PLANES = ("rpc", "shm") if SHM_SUPPORTED else ("rpc",)
 
 
 def test_dist_scaling(benchmark):
-    def best_of(plane, workers, rounds=5):
+    def run_once(plane, workers):
+        return DistributedChecker(replace(SPEC, data_plane=plane),
+                                  workers=workers).run()
+
+    def measure(rounds=5):
         # best-of-N is the standard defence against scheduler noise on a
         # shared box: the fastest round is the closest estimate of the
-        # true cost (every run does identical deterministic work)
-        runs = [DistributedChecker(replace(SPEC, data_plane=plane),
-                                   workers=workers).run()
-                for _ in range(rounds)]
-        return max(runs, key=lambda dist: dist.wall_states_per_second)
-
-    def measure():
-        return {(plane, workers): best_of(plane, workers)
-                for plane in PLANES
-                for workers in FLEETS}
+        # true cost (every run does identical deterministic work).
+        # Fleet-size-major, plane-interleaved order: on burstable boxes
+        # the earliest rounds are the fastest, so the headline
+        # single-lane rows run first and the planes alternate within
+        # each round -- each plane gets an equally warm best round
+        # instead of one plane paying for the other's warm-up drain.
+        results = {}
+        for workers in FLEETS:
+            runs = {plane: [] for plane in PLANES}
+            for _ in range(rounds):
+                for plane in PLANES:
+                    runs[plane].append(run_once(plane, workers))
+            for plane in PLANES:
+                results[(plane, workers)] = max(
+                    runs[plane],
+                    key=lambda dist: dist.wall_states_per_second)
+        return results
 
     results = benchmark.pedantic(measure, rounds=1, iterations=1)
     solo = results[(PLANES[-1], 1)]

@@ -31,6 +31,14 @@ These rules flag the source-level hazards that silently break that:
   fingerprints -- see :mod:`repro.mc.statestore`), and a raw read
   bypasses the stats/memory accounting.  (Warn severity: enforced by
   ``repro lint --strict``.)
+* ``raw-entry-cache`` -- direct access to the incremental abstraction
+  cache's internals (``._merkle`` copy-on-write store, ``._enc_memo``
+  per-record encodings).  Outside :mod:`repro.core.abstraction` callers
+  must use ``refresh``/``digests``/``snapshot``/``restore``/
+  ``invalidate``: a raw poke can desynchronise the sorted key array,
+  the digest lanes, and the Merkle prefix checkpoints, silently
+  corrupting every later state hash.  (Warn severity: enforced by
+  ``repro lint --strict``.)
 * ``unsorted-fs-listing`` -- bare ``os.listdir``/``os.scandir``/
   ``glob.glob``/``glob.iglob``/``Path.iterdir`` results used without
   ``sorted(...)``.  The OS returns directory entries in on-disk order,
@@ -64,8 +72,8 @@ CHECKER = "lint.determinism"
 #: for other rules as belonging to the whole-program passes)
 DETERMINISM_RULE_IDS = frozenset({
     "unseeded-random", "wall-clock", "builtin-hash", "unordered-iteration",
-    "raw-device-data", "raw-visited-state", "unsorted-fs-listing",
-    "set-pop", "syntax-error",
+    "raw-device-data", "raw-visited-state", "raw-entry-cache",
+    "unsorted-fs-listing", "set-pop", "syntax-error",
 })
 
 #: module-global functions of :mod:`random` that use the shared unseeded RNG
@@ -96,6 +104,11 @@ RAW_DEVICE_ATTRS = {"_data", "_chunks"}
 #: the visited-state tables' private hash maps; callers outside
 #: ``repro.mc`` must use the export/import/visit boundary instead
 RAW_VISITED_ATTRS = {"_seen"}
+
+#: the incremental abstraction cache's internals (the copy-on-write
+#: Merkle store and the per-record encoding memo); callers outside
+#: ``repro.core.abstraction`` must use the cache's public surface
+RAW_ENTRY_CACHE_ATTRS = {"_merkle", "_enc_memo"}
 
 #: dotted call suffixes returning OS-ordered directory listings
 FS_LISTING_SUFFIXES = ("os.listdir", "os.scandir", "glob.glob", "glob.iglob")
@@ -273,6 +286,14 @@ class DeterminismVisitor(ast.NodeVisitor):
                           f".{node.attr} reaches into a visited table's "
                           f"hash map; use export_seen/import_seen/visit -- "
                           f"memory-bounded stores have no such map at all",
+                          severity="warn")
+        if node.attr in RAW_ENTRY_CACHE_ATTRS:
+            self._finding("raw-entry-cache", node.lineno,
+                          f".{node.attr} reaches into the abstraction "
+                          f"cache's Merkle store; use refresh/digests/"
+                          f"snapshot/restore/invalidate so the key array, "
+                          f"digest lanes, and prefix checkpoints stay "
+                          f"coherent",
                           severity="warn")
         self.generic_visit(node)
 

@@ -43,11 +43,14 @@ def run_lint(paths: Optional[Iterable[str]] = None) -> List[Finding]:
     is the boundary the ``wall-clock`` rule polices -- so that rule is
     skipped there.  Likewise the storage layer owns the devices' chunk
     tables, so ``raw-device-data`` is skipped under ``repro/storage``,
-    and the state stores own their hash maps, so ``raw-visited-state``
-    is skipped under ``repro/mc``.
+    the state stores own their hash maps, so ``raw-visited-state`` is
+    skipped under ``repro/mc``, and the abstraction module owns the
+    incremental cache's Merkle store, so ``raw-entry-cache`` is skipped
+    in ``repro/core/abstraction.py``.
     """
     storage_dir = os.path.join("repro", "storage")
     mc_dir = os.path.join("repro", "mc")
+    abstraction_file = os.path.join("repro", "core", "abstraction.py")
     findings: List[Finding] = []
     for path in iter_python_files(paths or default_paths()):
         try:
@@ -69,5 +72,8 @@ def run_lint(paths: Optional[Iterable[str]] = None) -> List[Finding]:
         if mc_dir in os.path.normpath(os.path.abspath(path)):
             file_findings = [f for f in file_findings
                              if f.invariant != "raw-visited-state"]
+        if os.path.normpath(os.path.abspath(path)).endswith(abstraction_file):
+            file_findings = [f for f in file_findings
+                             if f.invariant != "raw-entry-cache"]
         findings.extend(file_findings)
     return findings

@@ -68,6 +68,8 @@ RULES: Tuple[Rule, ...] = (
          "reaches into a device's private backing store"),
     Rule("raw-visited-state", "lint.determinism", "warn",
          "reaches into a visited table's private hash map"),
+    Rule("raw-entry-cache", "lint.determinism", "warn",
+         "reaches into the abstraction cache's Merkle store"),
     Rule("syntax-error", "lint.determinism", "error",
          "file does not parse"),
     Rule("unreadable-file", "lint.determinism", "error",

@@ -31,7 +31,10 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot charge negative time: {seconds}")
         self.now += seconds
-        self.by_category[category] = self.by_category.get(category, 0.0) + seconds
+        try:  # hot path: the category almost always exists already
+            self.by_category[category] += seconds
+        except KeyError:
+            self.by_category[category] = seconds
 
     def elapsed_since(self, start: float) -> float:
         return self.now - start

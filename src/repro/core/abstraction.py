@@ -26,8 +26,9 @@ behaviour POSIX leaves unspecified.
 from __future__ import annotations
 
 import hashlib
+from bisect import bisect_left, insort
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import FsError
 from repro.kernel.stat import DT_DIR, DT_LNK, S_IFMT
@@ -66,6 +67,26 @@ class AbstractionOptions:
             exception_list=frozenset(),
         )
 
+    def __hash__(self):
+        # options are immutable and used as memo keys on every record
+        # encode; memoize the field-tuple hash instead of recomputing it
+        cached = self.__dict__.get("_hash_memo")
+        if cached is None:
+            cached = hash((  # det-lint: allow[builtin-hash] in-process memo key only; excluded from pickles, never serialised or compared across processes
+                self.ignore_dir_sizes, self.sort_entries,
+                self.exception_list, self.include_owner,
+                self.include_symlink_targets, self.include_xattrs,
+                self.track_timestamps,
+            ))
+            object.__setattr__(self, "_hash_memo", cached)
+        return cached
+
+    def __getstate__(self):
+        # the memoized hash mixes string hashes, which vary per process
+        # under hash randomization: never ship it across pickles
+        return {key: value for key, value in self.__dict__.items()
+                if key != "_hash_memo"}
+
 
 @dataclass(frozen=True)
 class EntryRecord:
@@ -95,6 +116,42 @@ class EntryRecord:
             attrs.extend([self.atime, self.mtime])
         return tuple(attrs)
 
+    def __getstate__(self):
+        # the per-variant encoding memo (see encode_entry) is a derived
+        # cache: rebuild it rather than shipping it across pickles/copies
+        return {key: value for key, value in self.__dict__.items()
+                if key != "_enc_memo"}
+
+
+def encode_entry(record: EntryRecord, options: AbstractionOptions) -> bytes:
+    """The exact bytes :func:`hash_entries` feeds MD5 for one record.
+
+    Memoized on the record per :class:`AbstractionOptions` variant
+    (records are frozen, so the encoding can never go stale): the
+    state-matching and the integrity abstraction share one encoding pass
+    per record, and re-hashing an unchanged record costs one dict lookup
+    instead of per-attribute ``str().encode()`` work.
+    """
+    memo = record.__dict__.get("_enc_memo")
+    if memo is None:
+        memo = {}
+        object.__setattr__(record, "_enc_memo", memo)
+    cached = memo.get(options)
+    if cached is None:
+        # one join + one encode: every piece before the path is ASCII
+        # (hex digests, decimal attributes), so a single utf-8 encode of
+        # the concatenation is byte-identical to encoding piecewise
+        parts = [record.content_md5]
+        if options.include_xattrs:
+            parts.append(record.xattr_md5)
+        for attr in record.important_attributes(options):
+            parts.append(f"{attr}\x00")
+        parts.append(record.path)
+        parts.append("\x00")
+        cached = "".join(parts).encode("utf-8")
+        memo[options] = cached
+    return cached
+
 
 def _build_record(
     kernel, mountpoint: str, rel_path: str, attrs, options: AbstractionOptions
@@ -118,7 +175,7 @@ def _build_record(
         content = _hash_file_content(kernel, abs_path, attrs.st_size)
     xattr_digest = ""
     if options.include_xattrs and not attrs.is_symlink:
-        xattr_digest = _hash_xattrs(kernel, abs_path)
+        xattr_digest = _hash_xattrs(kernel, mountpoint, abs_path)
     return EntryRecord(
         path=rel_path,
         mode=attrs.st_mode,
@@ -146,16 +203,18 @@ def collect_entries(
     corruption.
     """
     records: List[EntryRecord] = []
-    # iterative DFS over directories; entries are relative paths
+    # iterative DFS over directories; entries are relative paths.  The
+    # readdirplus surface returns each entry with its lstat data in one
+    # syscall, so the walk costs one round trip per *directory* instead
+    # of one per entry.
     stack: List[str] = ["/"]
     while stack:
         rel_dir = stack.pop()
         abs_dir = mountpoint if rel_dir == "/" else mountpoint + rel_dir
-        for dirent in kernel.getdents(abs_dir):
+        for dirent, attrs in kernel.getdents_attrs(abs_dir):
             if dirent.name in options.exception_list:
                 continue
             rel_path = (rel_dir if rel_dir != "/" else "") + "/" + dirent.name
-            attrs = kernel.lstat(mountpoint + rel_path)
             if attrs.is_dir:
                 stack.append(rel_path)
             records.append(
@@ -189,11 +248,10 @@ def collect_subtree(
     stack: List[str] = [rel_root]
     while stack:
         rel_dir = stack.pop()
-        for dirent in kernel.getdents(mountpoint + rel_dir):
+        for dirent, child_attrs in kernel.getdents_attrs(mountpoint + rel_dir):
             if dirent.name in options.exception_list:
                 continue
             rel_path = rel_dir + "/" + dirent.name
-            child_attrs = kernel.lstat(mountpoint + rel_path)
             if child_attrs.is_dir:
                 stack.append(rel_path)
             records.append(
@@ -202,17 +260,27 @@ def collect_subtree(
     return records
 
 
-def _hash_xattrs(kernel, path: str) -> str:
+def _hash_xattrs(kernel, mountpoint: str, path: str) -> str:
     """Digest of an entry's xattrs; empty when there are none or the fs
     has no xattr support (ENOTSUP/ENOSYS are feature absences, not bugs
     in themselves -- a capability mismatch already shows up as an outcome
-    discrepancy on the setxattr operation itself)."""
+    discrepancy on the setxattr operation itself).  The first feature
+    absence is remembered on the mount, so later record builds skip the
+    listxattr call instead of re-learning the same errno per entry."""
     from repro.errors import ENOSYS, ENOTSUP
 
+    try:
+        mount = kernel.mount_at(mountpoint)
+    except FsError:
+        mount = None  # walk rooted below the mountpoint: no memo, still correct
+    if mount is not None and mount.xattrs_unsupported:
+        return ""
     try:
         keys = kernel.listxattr(path)
     except FsError as error:
         if error.code in (ENOTSUP, ENOSYS):
+            if mount is not None:
+                mount.xattrs_unsupported = True
             return ""
         raise
     if not keys:
@@ -226,8 +294,14 @@ def _hash_xattrs(kernel, path: str) -> str:
     return ctx.hexdigest()
 
 
+_EMPTY_MD5 = hashlib.md5().hexdigest()
+
+
 def _hash_file_content(kernel, path: str, size: int) -> str:
     """MD5 of a file's full content, read through the syscall surface."""
+    if size == 0:
+        # lstat already vouched for the size; an open would read nothing
+        return _EMPTY_MD5
     ctx = hashlib.md5()
     fd = kernel.open(path)
     try:
@@ -253,14 +327,7 @@ def hash_entries(records, options: AbstractionOptions) -> str:
     """
     ctx = hashlib.md5()
     for record in records:
-        ctx.update(record.content_md5.encode("ascii"))
-        if options.include_xattrs:
-            ctx.update(record.xattr_md5.encode("ascii"))
-        for attr in record.important_attributes(options):
-            ctx.update(str(attr).encode("ascii"))
-            ctx.update(b"\x00")
-        ctx.update(record.path.encode("utf-8"))
-        ctx.update(b"\x00")
+        ctx.update(encode_entry(record, options))
     return ctx.hexdigest()
 
 
@@ -290,17 +357,90 @@ def cacheable_options(options: AbstractionOptions) -> bool:
     return options.sort_entries and not options.track_timestamps
 
 
+#: records per MD5 prefix checkpoint in a digest lane.  Hashing resumes
+#: from the last checkpoint before the first dirty sorted position, so a
+#: change near the end of the tree re-hashes one block, not the tree.
+HASH_BLOCK = 64
+
+#: ``"0"`` is the successor of ``"/"`` in byte order and no byte sorts
+#: between them, so ``[path + "/", path + "0")`` is exactly the key range
+#: of ``path``'s descendants in a sorted key array.
+_AFTER_SLASH = "0"
+
+
+class _Lane:
+    """One abstraction variant's digest pipeline over a record store.
+
+    ``enc`` holds each record's hash-input bytes (:func:`encode_entry`)
+    parallel to the store's sorted key array.  ``ctxs[j]`` is a *copy* of
+    the MD5 context after feeding blocks ``0..j`` -- the Merkle-style
+    prefix checkpoints that make re-hashing O(suffix-from-first-change)
+    instead of O(tree).  ``digest`` memoizes the finished hexdigest.
+    """
+
+    __slots__ = ("enc", "ctxs", "digest")
+
+    def __init__(self, enc: List[bytes], ctxs: List, digest: Optional[str]):
+        self.enc = enc
+        self.ctxs = ctxs
+        self.digest = digest
+
+    def clone(self) -> "_Lane":
+        # MD5 contexts are never mutated once stored (only .copy()ed), so
+        # a shallow list copy shares them safely
+        return _Lane(list(self.enc), list(self.ctxs), self.digest)
+
+
+class _MerkleStore:
+    """One copy-on-write generation of the entry cache.
+
+    Content (``keys``/``records``/lane encodings) is never mutated while
+    ``shared`` -- :meth:`EntryCache._writable` clones first, so every
+    :class:`AbstractionToken` holding this store stays a faithful O(1)
+    checkpoint.  Derived memos (``view``, lane contexts and digests, new
+    lanes) *are* filled in place even when shared: they are pure
+    functions of the immutable content, so every holder sees the same
+    values either way.
+    """
+
+    __slots__ = ("keys", "records", "lanes", "view", "shared")
+
+    def __init__(self, keys: List[str], records: Dict[str, EntryRecord],
+                 lanes: Dict[AbstractionOptions, _Lane]):
+        self.keys = keys
+        self.records = records
+        self.lanes = lanes
+        self.view: Optional[Tuple[EntryRecord, ...]] = None
+        self.shared = False
+
+    def clone(self) -> "_MerkleStore":
+        lanes = {options: lane.clone() for options, lane in self.lanes.items()}
+        store = _MerkleStore(list(self.keys), dict(self.records), lanes)
+        store.view = self.view
+        return store
+
+    def descendants(self, path: str) -> Tuple[int, int]:
+        """Key-array range ``[lo, hi)`` of ``path``'s strict descendants."""
+        prefix = path + "/"
+        lo = bisect_left(self.keys, prefix)
+        hi = bisect_left(self.keys, path + _AFTER_SLASH, lo)
+        return lo, hi
+
+
 @dataclass(frozen=True)
 class AbstractionToken:
     """Checkpoint of an :class:`EntryCache` plus the mount's dirty state.
 
     Captured alongside a checkpoint strategy's token and reinstated on
     restore, so an exact rollback also rolls the incremental cache back
-    instead of degrading to a full re-walk.
+    instead of degrading to a full re-walk.  The token shares the cache's
+    copy-on-write :class:`_MerkleStore` (including the sorted key array
+    and every digest lane), so capture and restore are O(1) and a stack
+    of checkpoints shares structure.
     """
 
     options: AbstractionOptions
-    records: Optional[Dict[str, EntryRecord]]
+    store: Optional[_MerkleStore]
     generation: Optional[int]
     fully_dirty: bool
     dirty_paths: FrozenSet[str]
@@ -313,48 +453,235 @@ class AbstractionToken:
 class EntryCache:
     """Per-path :class:`EntryRecord` cache combined Merkle-style.
 
-    The cache holds the records of the last walk keyed by path.  On
-    refresh it consumes the mount's dirty sets at three granularities --
-    entry-dirty subtree re-walks, parent-dirty membership reconciles,
-    record-dirty re-stats -- and produces the same sorted record list a
-    full :func:`collect_entries` walk would, feeding the same
-    :func:`hash_entries`, so the final hash is bit-identical.
+    The cache holds the records of the last walk in a copy-on-write
+    :class:`_MerkleStore`: a bisect-maintained sorted key array, the
+    record map, and per-variant digest lanes with MD5 prefix
+    checkpoints.  On refresh it consumes the mount's dirty sets at three
+    granularities -- entry-dirty subtree re-walks, parent-dirty
+    membership reconciles, record-dirty re-stats -- as O(log n + k)
+    range splices on the sorted array, and produces the same sorted
+    record sequence a full :func:`collect_entries` walk would, feeding
+    the same per-record bytes to MD5, so every digest is bit-identical
+    to ``hash_entries(collect_entries(...))``.
+
+    ``counters`` is observability for tests and benchmarks: it tallies
+    the work classes (full walks, COW clones, encoded records, hashed
+    blocks, digest memo hits) so "restore does no per-record work" and
+    "cost tracks the dirty set" are assertable, not vibes.
     """
 
     def __init__(self, options: AbstractionOptions):
         self.options = options
-        self.records: Optional[Dict[str, EntryRecord]] = None
+        self._merkle: Optional[_MerkleStore] = None
         self.generation: Optional[int] = None
-        self._sorted: List[EntryRecord] = []
+        self.counters: Dict[str, int] = {
+            "full_walks": 0,
+            "cow_clones": 0,
+            "records_encoded": 0,
+            "blocks_hashed": 0,
+            "digest_hits": 0,
+            "restores": 0,
+        }
+
+    # -- copy-on-write store plumbing ---------------------------------------
+    def _writable(self) -> _MerkleStore:
+        """The current store, cloned first if a checkpoint shares it."""
+        store = self._merkle
+        if store.shared:
+            store = store.clone()
+            self._merkle = store
+            self.counters["cow_clones"] += 1
+        return store
+
+    def _lane(self, store: _MerkleStore,
+              options: AbstractionOptions) -> _Lane:
+        """The digest lane for ``options``, encoding the store lazily.
+
+        Filling a missing lane mutates ``store.lanes`` even when the
+        store is shared with checkpoints: the lane is a pure function of
+        the store's records, so every holder computes the same bytes.
+        """
+        lane = store.lanes.get(options)
+        if lane is None:
+            enc = [encode_entry(store.records[key], options)
+                   for key in store.keys]
+            lane = _Lane(enc, [], None)
+            store.lanes[options] = lane
+            self.counters["records_encoded"] += len(enc)
+        return lane
+
+    def _invalidate_from(self, store: _MerkleStore, index: int) -> None:
+        """Drop derived state at and after sorted position ``index``."""
+        store.view = None
+        block = index // HASH_BLOCK
+        for lane in store.lanes.values():
+            del lane.ctxs[block:]
+            lane.digest = None
+
+    def _upsert(self, store: _MerkleStore, record: EntryRecord) -> None:
+        """Insert or replace one record, keeping keys and lanes aligned."""
+        keys = store.keys
+        path = record.path
+        index = bisect_left(keys, path)
+        if index < len(keys) and keys[index] == path:
+            store.records[path] = record
+            for options, lane in store.lanes.items():
+                lane.enc[index] = encode_entry(record, options)
+                self.counters["records_encoded"] += 1
+        else:
+            keys.insert(index, path)
+            store.records[path] = record
+            for options, lane in store.lanes.items():
+                lane.enc.insert(index, encode_entry(record, options))
+                self.counters["records_encoded"] += 1
+        self._invalidate_from(store, index)
+
+    def _evict(self, store: _MerkleStore, path: str) -> None:
+        """Drop ``path`` and its whole subtree: one range splice."""
+        keys = store.keys
+        lo, hi = store.descendants(path)
+        exact = bisect_left(keys, path, 0, lo)
+        has_exact = exact < len(keys) and keys[exact] == path
+        if not has_exact and lo == hi:
+            return
+        if hi > lo:
+            for key in keys[lo:hi]:
+                del store.records[key]
+            del keys[lo:hi]
+            for lane in store.lanes.values():
+                del lane.enc[lo:hi]
+        if has_exact:
+            # keys like "path!" sort between ``path`` and ``path + "/"``,
+            # so the exact entry is spliced separately from its children;
+            # its index is below the range just deleted, hence unmoved
+            del store.records[path]
+            del keys[exact]
+            for lane in store.lanes.values():
+                del lane.enc[exact]
+        self._invalidate_from(store, exact if has_exact else lo)
+
+    def _adopt_subtree(self, store: _MerkleStore, kernel, mountpoint: str,
+                       path: str) -> None:
+        """Evict ``path``'s subtree and splice in a fresh collection."""
+        self._evict(store, path)
+        collected = collect_subtree(kernel, mountpoint, path, self.options)
+        if not collected:
+            return  # the subtree is gone; the evict already said so
+        self._upsert(store, collected[0])
+        children = sorted(collected[1:], key=lambda record: record.path)
+        if children:
+            # the evict emptied the descendant range, so the sorted batch
+            # splices in as one contiguous run at the range's lower bound
+            lo = bisect_left(store.keys, path + "/")
+            store.keys[lo:lo] = [record.path for record in children]
+            for record in children:
+                store.records[record.path] = record
+            for options, lane in store.lanes.items():
+                lane.enc[lo:lo] = [encode_entry(record, options)
+                                   for record in children]
+                self.counters["records_encoded"] += len(children)
+            self._invalidate_from(store, lo)
 
     # -- the walk -----------------------------------------------------------
-    def refresh(self, kernel, mountpoint: str, mount) -> List[EntryRecord]:
-        """Return up-to-date records, re-walking only dirty regions."""
+    def _sync(self, kernel, mountpoint: str, mount,
+              profile=None) -> _MerkleStore:
+        """Bring the store up to date, re-walking only dirty regions."""
         if (
-            self.records is not None
+            self._merkle is not None
             and not mount.fully_dirty
             and self.generation == mount.change_generation
         ):
-            return list(self._sorted)  # nothing changed: zero syscalls
-        if self.records is None or mount.fully_dirty:
-            self.records = {
-                record.path: record
-                for record in collect_entries(kernel, mountpoint, self.options)
-            }
+            return self._merkle  # nothing changed: zero syscalls
+        if self._merkle is None or mount.fully_dirty:
+            work = lambda: self._rebuild(kernel, mountpoint)
         else:
-            self._apply_dirty(kernel, mountpoint, mount)
+            work = lambda: self._apply_dirty(kernel, mountpoint, mount)
+        if profile is not None:
+            profile.timed("abstraction_syscall", work)
+        else:
+            work()
         mount.fully_dirty = False
         mount.dirty_paths.clear()
         mount.dirty_records.clear()
         mount.dirty_parents.clear()
         self.generation = mount.change_generation
-        self._sorted = sorted(self.records.values(), key=lambda r: r.path)
-        return list(self._sorted)
+        return self._merkle
+
+    def _rebuild(self, kernel, mountpoint: str) -> None:
+        records = collect_entries(kernel, mountpoint, self.options)
+        store = _MerkleStore(
+            [record.path for record in records],  # already path-sorted
+            {record.path: record for record in records},
+            {},
+        )
+        store.view = tuple(records)
+        self._merkle = store
+        self.counters["full_walks"] += 1
+
+    def refresh(self, kernel, mountpoint: str, mount,
+                profile=None) -> Tuple[EntryRecord, ...]:
+        """Up-to-date records sorted by path, as an immutable tuple.
+
+        The tuple is memoized on the store and safe to hold across later
+        refreshes: mutations clone or rebuild, they never edit a
+        previously returned view.
+        """
+        store = self._sync(kernel, mountpoint, mount, profile)
+        view = store.view
+        if view is None:
+            view = tuple(store.records[key] for key in store.keys)
+            store.view = view  # derived memo: safe on shared stores
+        return view
+
+    def digests(self, kernel, mountpoint: str, mount,
+                variants: Sequence[AbstractionOptions],
+                profile=None) -> Tuple[str, ...]:
+        """Hexdigests for each options variant over one synced walk.
+
+        The hot path: never materializes the record view, resumes each
+        lane's MD5 from its last prefix checkpoint before the first
+        change, and serves repeat hashes of an unchanged tree from the
+        digest memo.
+        """
+        store = self._sync(kernel, mountpoint, mount, profile)
+        if profile is not None:
+            return profile.timed("abstraction_hash", self._digest_all,
+                                 store, variants)
+        return self._digest_all(store, variants)
+
+    def _digest_all(self, store: _MerkleStore,
+                    variants: Sequence[AbstractionOptions]) -> Tuple[str, ...]:
+        return tuple([self._digest(store, options) for options in variants])
+
+    def _digest(self, store: _MerkleStore,
+                options: AbstractionOptions) -> str:
+        lane = self._lane(store, options)
+        if lane.digest is not None:
+            self.counters["digest_hits"] += 1
+            return lane.digest
+        enc = lane.enc
+        ctxs = lane.ctxs
+        blocks = len(enc) // HASH_BLOCK
+        start = min(len(ctxs), blocks)
+        ctx = ctxs[start - 1].copy() if start else hashlib.md5()
+        for block in range(start, blocks):
+            lo = block * HASH_BLOCK
+            ctx.update(b"".join(enc[lo:lo + HASH_BLOCK]))
+            # checkpoints are filled in place even on shared stores: they
+            # are pure functions of the content, stored as private copies
+            ctxs.append(ctx.copy())
+            self.counters["blocks_hashed"] += 1
+        tail = enc[blocks * HASH_BLOCK:]
+        if tail:
+            ctx.update(b"".join(tail))
+            self.counters["blocks_hashed"] += 1
+        lane.digest = ctx.hexdigest()
+        return lane.digest
 
     def _apply_dirty(self, kernel, mountpoint: str, mount) -> None:
         from repro.errors import ENOENT, ENOTDIR
 
-        records = self.records
+        store = self._writable()
         options = self.options
         rewalked: List[str] = []  # subtree roots re-collected this refresh
 
@@ -362,12 +689,6 @@ class EntryCache:
             return any(
                 path == root or path.startswith(root + "/") for root in rewalked
             )
-
-        def evict(path: str) -> None:
-            for key in [
-                k for k in records if k == path or k.startswith(path + "/")
-            ]:
-                del records[key]
 
         def excepted(path: str) -> bool:
             return any(
@@ -377,9 +698,7 @@ class EntryCache:
             )
 
         def rewalk(path: str) -> None:
-            evict(path)
-            for record in collect_subtree(kernel, mountpoint, path, options):
-                records[record.path] = record
+            self._adopt_subtree(store, kernel, mountpoint, path)
             rewalked.append(path)
 
         # 1. entry-dirty: content (and possibly the whole subtree) changed.
@@ -400,13 +719,13 @@ class EntryCache:
                 attrs = kernel.lstat(abs_dir)
             except FsError as error:
                 if error.code in (ENOENT, ENOTDIR):
-                    evict(rel_dir)  # the directory itself is gone
+                    self._evict(store, rel_dir)  # the directory is gone
                     continue
                 raise
             if not attrs.is_dir:
                 rewalk(rel_dir)  # replaced by a non-directory
                 continue
-            if rel_dir != "/" and rel_dir not in records:
+            if rel_dir != "/" and rel_dir not in store.records:
                 rewalk(rel_dir)  # never cached: collect it whole
                 continue
             prefix = "" if rel_dir == "/" else rel_dir
@@ -415,67 +734,84 @@ class EntryCache:
                 for dirent in kernel.getdents(abs_dir)
                 if dirent.name not in options.exception_list
             }
+            # depth-1 children are a contiguous key range: scan it rather
+            # than the whole map, keeping only immediate names
+            lo, hi = store.descendants(prefix) if prefix else (
+                0, len(store.keys))
             cached_names = {
-                key[len(prefix) + 1 :]
-                for key in records
-                if key.startswith(prefix + "/")
-                and "/" not in key[len(prefix) + 1 :]
+                key[len(prefix) + 1:]
+                for key in store.keys[lo:hi]
+                if "/" not in key[len(prefix) + 1:]
             }
             for name in sorted(live_names - cached_names):
                 rewalk(prefix + "/" + name)
             for name in sorted(cached_names - live_names):
-                evict(prefix + "/" + name)
+                self._evict(store, prefix + "/" + name)
             if rel_dir != "/":
                 # membership changes alter the dir's own nlink/size/times
-                # but never its content or xattrs
-                cached = records[rel_dir]
-                records[rel_dir] = replace(
-                    cached,
+                # but never its content or xattrs.  Direct construction,
+                # not dataclasses.replace: this runs per dirty parent per
+                # state and replace() re-derives the field list each call
+                cached = store.records[rel_dir]
+                self._upsert(store, EntryRecord(
+                    path=cached.path,
                     mode=attrs.st_mode,
                     size=attrs.st_size,
                     nlink=attrs.st_nlink,
                     uid=attrs.st_uid,
                     gid=attrs.st_gid,
+                    content_md5=cached.content_md5,
+                    xattr_md5=cached.xattr_md5,
                     atime=attrs.st_atime,
                     mtime=attrs.st_mtime,
-                )
+                ))
 
         # 3. record-dirty: only the entry's own attributes (and possibly
         #    xattrs) changed; content and children stay cached.
         for path in sorted(mount.dirty_records):
             if excepted(path) or covered(path):
                 continue
-            cached = records.get(path)
+            cached = store.records.get(path)
             if cached is None:
                 continue  # evicted above; if it still exists it was re-walked
             try:
                 attrs = kernel.lstat(mountpoint + path)
             except FsError as error:
                 if error.code in (ENOENT, ENOTDIR):
-                    evict(path)
+                    self._evict(store, path)
                     continue
                 raise
             xattr_digest = ""
             if options.include_xattrs and not attrs.is_symlink:
-                xattr_digest = _hash_xattrs(kernel, mountpoint + path)
-            records[path] = replace(
-                cached,
+                xattr_digest = _hash_xattrs(kernel, mountpoint, mountpoint + path)
+            # direct construction for the same reason as the parent-dirty
+            # pass above; content stays cached by definition of this set
+            self._upsert(store, EntryRecord(
+                path=cached.path,
                 mode=attrs.st_mode,
                 size=attrs.st_size,
                 nlink=attrs.st_nlink,
                 uid=attrs.st_uid,
                 gid=attrs.st_gid,
+                content_md5=cached.content_md5,
                 xattr_md5=xattr_digest,
                 atime=attrs.st_atime,
                 mtime=attrs.st_mtime,
-            )
+            ))
 
     # -- checkpoint plumbing -------------------------------------------------
     def snapshot(self, mount) -> AbstractionToken:
-        """Capture the cache plus the mount's pending dirty state."""
+        """Capture the cache plus the mount's pending dirty state.
+
+        O(1): the token shares the store; marking it ``shared`` makes the
+        next content mutation clone first, so the token stays frozen.
+        """
+        store = self._merkle
+        if store is not None:
+            store.shared = True
         return AbstractionToken(
             options=self.options,
-            records=None if self.records is None else dict(self.records),
+            store=store,
             generation=self.generation,
             fully_dirty=mount.fully_dirty,
             dirty_paths=frozenset(mount.dirty_paths),
@@ -486,17 +822,27 @@ class EntryCache:
         )
 
     def restore(self, token: AbstractionToken, mount) -> None:
-        """Reinstate a captured cache + dirty state after an exact rollback."""
-        self.records = None if token.records is None else dict(token.records)
+        """Reinstate a captured cache + dirty state after an exact rollback.
+
+        O(1): rebinds the shared store (no per-record copying or
+        re-sorting) and re-marks it shared so the token survives further
+        restores.  Non-LIFO restore orders are fine -- every token owns
+        an immutable view of its store.
+        """
+        store = token.store
+        if store is not None:
+            store.shared = True
+        self._merkle = store
         self.generation = token.generation
-        self._sorted = (
-            sorted(self.records.values(), key=lambda r: r.path)
-            if self.records is not None
-            else []
-        )
+        self.counters["restores"] += 1
         mount.fully_dirty = token.fully_dirty
         mount.dirty_paths = set(token.dirty_paths)
         mount.dirty_records = set(token.dirty_records)
         mount.dirty_parents = set(token.dirty_parents)
         mount.multilink_inos = set(token.multilink_inos)
         mount.change_generation = token.change_generation
+
+    def invalidate(self) -> None:
+        """Forget everything: the next refresh is a full walk."""
+        self._merkle = None
+        self.generation = None

@@ -62,6 +62,9 @@ class SyscallEngine:
         self.operation_log: List[LoggedOperation] = []
         self.operations_executed = 0
         self.starting_state = ""
+        #: optional CostProfile; set by MCFS when profiling is on so the
+        #: walk/hash split is charged where the work happens
+        self.profile = None
 
     def strategy_for(self, fut):
         return self.strategies[fut.label]
@@ -121,15 +124,18 @@ class SyscallEngine:
         This *is* the per-operation state integrity check: the walk that
         produces the visited-state hash is the same walk that compares
         the file systems, so each costs one traversal per fs, like MCFS.
+        On the incremental route the records never leave the cache --
+        both variant hashes resume from their Merkle prefix checkpoints.
         """
-        from repro.core.abstraction import hash_entries
-
         matching = self.matching_options or self.options
         hashes: List[str] = []
         match_hashes: List[str] = []
+        held: List[Optional[Sequence]] = []
         for fut in self.futs:
             try:
-                records = fut.collect_entries(self.options)
+                records, state_hash, match_hash = fut.entries_digests(
+                    self.options, matching, profile=self.profile
+                )
             except FsError as error:
                 raise DiscrepancyError(
                     self._report(
@@ -137,19 +143,26 @@ class SyscallEngine:
                         f"{fut.label} unreadable while hashing state: {error}",
                     )
                 )
-            hashes.append(hash_entries(records, self.options))
-            match_hashes.append(
-                hash_entries(records, matching)
-                if matching is not self.options
-                else hashes[-1]
-            )
+            held.append(records)
+            hashes.append(state_hash)
+            match_hashes.append(match_hash)
+
         reference = hashes[0]
-        for fut, state_hash in zip(self.futs[1:], hashes[1:]):
+        for index, (fut, state_hash) in enumerate(
+            zip(self.futs[1:], hashes[1:]), start=1
+        ):
             if state_hash != reference:
+                def held_records(index: int):
+                    # full-walk route: reuse the records collected above;
+                    # cache route: the cache is synced, so this costs
+                    # zero syscalls
+                    records = held[index]
+                    if records is None:
+                        records = self.futs[index].collect_entries(
+                            self.options)
+                    return records
                 diff = diff_entries(
-                    self.futs[0].collect_entries(self.options),
-                    fut.collect_entries(self.options),
-                    self.options,
+                    held_records(0), held_records(index), self.options
                 )
                 summary = f"abstract states differ: {self.futs[0].label} vs {fut.label}"
                 suspects: List[str] = []
@@ -204,6 +217,15 @@ class MCFSTarget(ExplorationTarget):
     def __init__(self, engine: SyscallEngine):
         self.engine = engine
         self._initialized = False
+        #: hot-loop lanes, resolved once: the FUT set, each FUT's
+        #: strategy, and whether its restore is exact are all fixed at
+        #: setup time (bug injection happens at build, not mid-run), so
+        #: checkpoint/restore need not re-derive them every state
+        self._lanes = [
+            (fut, engine.strategy_for(fut),
+             engine.strategy_for(fut).restores_exactly(fut))
+            for fut in engine.futs
+        ]
 
     def actions(self) -> Sequence[Operation]:
         return self.engine.catalog.operations()
@@ -213,16 +235,13 @@ class MCFSTarget(ExplorationTarget):
 
     def checkpoint(self) -> Tuple[Dict[str, Any], int]:
         tokens: Dict[str, Any] = {}
-        for fut in self.engine.futs:
-            strategy = self.engine.strategy_for(fut)
+        for fut, strategy, exact in self._lanes:
             state_token = strategy.checkpoint(fut)
             # capture the incremental abstraction cache alongside the
             # state -- but only when the strategy's restore is exact;
             # otherwise the rollback must distrust the cache and re-walk
             abstraction_token = (
-                fut.snapshot_abstraction()
-                if strategy.restores_exactly(fut)
-                else None
+                fut.snapshot_abstraction() if exact else None
             )
             tokens[fut.label] = (state_token, abstraction_token)
         if self.engine.memory_model is not None:
@@ -231,9 +250,9 @@ class MCFSTarget(ExplorationTarget):
 
     def restore(self, token: Tuple[Dict[str, Any], int]) -> None:
         tokens, log_length = token
-        for fut in self.engine.futs:
+        for fut, strategy, _exact in self._lanes:
             state_token, abstraction_token = tokens[fut.label]
-            self.engine.strategy_for(fut).restore(fut, state_token)
+            strategy.restore(fut, state_token)
             # strategy restores mark the mount fully dirty; reinstating
             # the cache must come after (None forces a full re-walk)
             fut.restore_abstraction(abstraction_token)
@@ -249,9 +268,8 @@ class MCFSTarget(ExplorationTarget):
         this token -- including prefix caches -- stays valid.
         """
         tokens, log_length = token
-        for fut in self.engine.futs:
+        for fut, strategy, _exact in self._lanes:
             state_token, abstraction_token = tokens[fut.label]
-            strategy = self.engine.strategy_for(fut)
             refreshed = strategy.restore_reusable(fut, state_token)
             fut.restore_abstraction(abstraction_token)
             tokens[fut.label] = (refreshed, abstraction_token)

@@ -61,6 +61,11 @@ class FilesystemUnderTest:
         #: disk snapshots taken; with the device size this gives the
         #: *logical* snapshot volume a full-copy checkpointer would pay
         self.snapshot_count = 0
+        #: cached mountpoint fd for the state ioctls -- the checker keeps
+        #: it open across checkpoints, as the real MCFS does, instead of
+        #: paying an open/ioctl/close triple per call.  Must be released
+        #: before anything unmounts (the kernel refuses EBUSY otherwise).
+        self._ioctl_fd: Optional[int] = None
 
     # ------------------------------------------------------------- basics --
     @property
@@ -82,6 +87,22 @@ class FilesystemUnderTest:
     ) -> str:
         return hash_entries(self.collect_entries(options, incremental), options)
 
+    def _use_cache(
+        self, options: AbstractionOptions, incremental: Optional[bool]
+    ) -> bool:
+        use_cache = (
+            self.incremental_abstraction if incremental is None else incremental
+        )
+        return use_cache and cacheable_options(options)
+
+    def _live_cache(self, options: AbstractionOptions) -> EntryCache:
+        cache = self._entry_cache
+        if cache is not None and cache.options is options:
+            return cache  # identity fast path: the engine reuses one options object
+        if cache is None or cache.options != options:
+            self._entry_cache = EntryCache(options)  # det-lint: allow[restore-blind] paired surface: the engine checkpoints/restores this cache via snapshot_abstraction/restore_abstraction
+        return self._entry_cache
+
     def collect_entries(
         self, options: AbstractionOptions, incremental: Optional[bool] = None
     ):
@@ -89,17 +110,52 @@ class FilesystemUnderTest:
 
         ``incremental=None`` follows the FUT's configured default;
         ``True``/``False`` force the mode (the equivalence property test
-        uses this to compare both paths on the same state).
+        uses this to compare both paths on the same state).  The
+        incremental path returns an immutable tuple (safe to hold across
+        later refreshes); the full walk returns a fresh list.
         """
-        use_cache = (
-            self.incremental_abstraction if incremental is None else incremental
-        )
-        if use_cache and cacheable_options(options):
-            if self._entry_cache is None or self._entry_cache.options != options:
-                self._entry_cache = EntryCache(options)  # det-lint: allow[restore-blind] paired surface: the engine checkpoints/restores this cache via snapshot_abstraction/restore_abstraction
+        if self._use_cache(options, incremental):
+            cache = self._live_cache(options)
             mount = self.kernel.mount_at(self.mountpoint)
-            return self._entry_cache.refresh(self.kernel, self.mountpoint, mount)
+            return cache.refresh(self.kernel, self.mountpoint, mount)
         return collect_entries(self.kernel, self.mountpoint, options)
+
+    def entries_digests(
+        self,
+        options: AbstractionOptions,
+        matching: AbstractionOptions,
+        incremental: Optional[bool] = None,
+        profile=None,
+    ):
+        """``(records, hash(options), hash(matching))`` in one walk.
+
+        The engine's hot path: on the incremental route the records stay
+        inside the cache (``records`` comes back ``None``) and both
+        variant hashes resume from their Merkle prefix checkpoints --
+        call :meth:`collect_entries` afterwards for the records, it costs
+        no further syscalls.  The full-walk route collects once, hashes
+        twice, and returns the records it held anyway.
+        """
+        variants = ((options,) if matching is options or matching == options
+                    else (options, matching))
+        if self._use_cache(options, incremental) and all(
+            cacheable_options(variant) for variant in variants
+        ):
+            cache = self._live_cache(options)
+            mount = self.kernel.mount_at(self.mountpoint)
+            digests = cache.digests(
+                self.kernel, self.mountpoint, mount, variants, profile)
+            return (None, digests[0], digests[-1])
+        walk = lambda: collect_entries(self.kernel, self.mountpoint, options)
+        if profile is not None:
+            records = profile.timed("abstraction_syscall", walk)
+            hashes = profile.timed("abstraction_hash", lambda: tuple(
+                hash_entries(records, variant) for variant in variants))
+        else:
+            records = walk()
+            hashes = tuple(hash_entries(records, variant)
+                           for variant in variants)
+        return (records, hashes[0], hashes[-1])
 
     # ------------------------------------------------- abstraction cache --
     def snapshot_abstraction(self) -> Optional[AbstractionToken]:
@@ -124,7 +180,7 @@ class FilesystemUnderTest:
         ):
             mount.mark_fully_dirty()
             if self._entry_cache is not None:
-                self._entry_cache.records = None  # det-lint: allow[restore-blind] this IS the cache's restore path; the engine calls it after every rollback
+                self._entry_cache.invalidate()  # the next refresh re-walks
             return
         self._entry_cache.restore(token, mount)
 
@@ -134,6 +190,7 @@ class FilesystemUnderTest:
     # ------------------------------------------------------ remount / disk --
     def remount(self) -> None:
         """Unmount + mount: the only full cache-coherency guarantee."""
+        self.release_ioctl_fd()
         self.kernel.remount(self.mountpoint)
         self.remount_count += 1
 
@@ -191,6 +248,7 @@ class FilesystemUnderTest:
             # the mount is still live (as the pre-COW implementation did)
             self._charge_state_tracking()
         if remount:
+            self.release_ioctl_fd()
             self.kernel.umount(self.mountpoint)
             self._apply_disk_token(token)
             self.kernel.mount(self.fstype, self.device, self.mountpoint)
@@ -216,11 +274,18 @@ class FilesystemUnderTest:
 
     # ------------------------------------------------------------- ioctls --
     def _root_ioctl(self, request: int, arg) -> None:
-        fd = self.kernel.open(self.mountpoint)
-        try:
-            self.kernel.ioctl(fd, request, arg)
-        finally:
-            self.kernel.close(fd)
+        if self._ioctl_fd is None:
+            self._ioctl_fd = self.kernel.open(self.mountpoint)
+        self.kernel.ioctl(self._ioctl_fd, request, arg)
+
+    def release_ioctl_fd(self) -> None:
+        """Close the cached ioctl fd so the mountpoint can be unmounted."""
+        if self._ioctl_fd is not None:
+            fd, self._ioctl_fd = self._ioctl_fd, None
+            try:
+                self.kernel.close(fd)
+            except FsError:
+                pass  # fd table already torn down (e.g. VM rollback)
 
     def ioctl_checkpoint(self, key: int) -> None:
         self._root_ioctl(IOCTL_CHECKPOINT, key)
@@ -284,6 +349,9 @@ class FilesystemUnderTest:
 
         The shared clock is pinned so copies do not fork time.
         """
+        # close the cached ioctl fd first so the copied kernel's fd table
+        # holds no descriptor this FUT object does not track
+        self.release_ioctl_fd()
         memo = {id(self.clock): self.clock}
         # one deepcopy call so objects shared between the kernel, device
         # and server (e.g. the FUSE connection) stay shared in the copy
@@ -293,6 +361,7 @@ class FilesystemUnderTest:
         )
 
     def vm_restore(self, image: Dict[str, Any]) -> None:
+        self.release_ioctl_fd()  # belongs to the kernel being replaced
         memo = {id(self.clock): self.clock}
         restored = copy.deepcopy(image, memo)
         self.kernel = restored["kernel"]

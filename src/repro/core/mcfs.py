@@ -88,9 +88,9 @@ class MCFSOptions:
     #: disables capture
     trail_dir: Optional[str] = None
     #: attach a per-state cost profiler (:mod:`repro.mc.perf`): wall time
-    #: charged to abstraction-walk / fingerprint / ship /
-    #: snapshot-restore buckets.  Measurement only -- cannot change what
-    #: a run finds
+    #: charged to abstraction-syscall / abstraction-hash / fingerprint /
+    #: ship / snapshot-restore buckets.  Measurement only -- cannot
+    #: change what a run finds
     profile: bool = False
 
 
@@ -288,6 +288,11 @@ class MCFS:
             from repro.mc.perf import CostProfile
 
             kwargs["profile"] = CostProfile()
+        # the engine splits the state-check span into syscall-walk vs
+        # hash-encode sub-buckets; hand it the same profile
+        engine = getattr(target, "engine", None)
+        if engine is not None:
+            engine.profile = kwargs.get("profile")
         return Explorer(target, self.clock, visited=visited, **kwargs)
 
     def _finish_run(self, explorer: Explorer, start: float,

@@ -12,10 +12,23 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.errors import ENOSYS, FsError
 from repro.fuse.connection import FuseConnection
 from repro.fuse.protocol import FuseOp
 from repro.kernel.stat import Dirent, StatResult, StatVFS
 from repro.kernel.vfs import FileSystemType, MountedFileSystem
+
+#: operations whose first ENOSYS reply marks the whole capability absent,
+#: mirroring the real driver's ``fuse_conn->no_listxattr``-style flags: a
+#: server cannot grow a callback mid-mount, so later calls short-circuit
+#: in the kernel instead of paying a round trip to learn ENOSYS again.
+_CAPABILITY_OPS = frozenset({
+    FuseOp.SETXATTR,
+    FuseOp.GETXATTR,
+    FuseOp.LISTXATTR,
+    FuseOp.REMOVEXATTR,
+    FuseOp.READDIRPLUS,
+})
 
 
 class FuseKernelFileSystemType(FileSystemType):
@@ -43,6 +56,9 @@ class FuseKernelFS(MountedFileSystem):
         self.conn = connection
         self._kernel = kernel
         self._pending_attach = kernel is not None
+        #: ops the server answered ENOSYS to once -- permanently absent
+        #: callbacks (the fuse_conn ``no_*`` negotiation flags)
+        self._absent_ops = set()
         if self.conn.server is not None:
             self.ROOT_INO = self.conn.server.filesystem.ROOT_INO
 
@@ -58,7 +74,15 @@ class FuseKernelFS(MountedFileSystem):
 
     def _send(self, op: FuseOp, **args):
         self._ensure_attached()
-        return self.conn.send(op, **args)
+        if op in self._absent_ops:
+            # learned on an earlier call: the server has no such callback
+            raise FsError(ENOSYS, f"server does not implement {op.value}")
+        try:
+            return self.conn.send_dict(op, args)
+        except FsError as error:
+            if error.code == ENOSYS and op in _CAPABILITY_OPS:
+                self._absent_ops.add(op)
+            raise
 
     # -- lifecycle ------------------------------------------------------------
     def sync(self) -> None:
@@ -77,6 +101,18 @@ class FuseKernelFS(MountedFileSystem):
 
     def getdents(self, dir_ino: int) -> List[Dirent]:
         return self._send(FuseOp.READDIR, dir_ino=dir_ino)
+
+    def getdents_attrs(self, dir_ino: int):
+        """One READDIRPLUS round trip; falls back to READDIR + per-entry
+        GETATTR against servers without the callback (the reply is
+        defined to be byte-identical either way)."""
+        try:
+            return self._send(FuseOp.READDIRPLUS, dir_ino=dir_ino)
+        except FsError as error:
+            if error.code != ENOSYS:
+                raise
+        return [(dirent, self.getattr(dirent.ino))
+                for dirent in self.getdents(dir_ino)]
 
     def create(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
         return self._send(FuseOp.CREATE, dir_ino=dir_ino, name=name,

@@ -10,10 +10,15 @@ from typing import Any, Dict
 class FuseOp(enum.Enum):
     """Request opcodes (the subset of the FUSE protocol MCFS exercises)."""
 
+    # members are singletons, so identity hashing is correct -- and much
+    # cheaper than Enum's name-based hash on the per-message dispatch path
+    __hash__ = object.__hash__
+
     LOOKUP = "lookup"
     GETATTR = "getattr"
     SETATTR = "setattr"
     READDIR = "readdir"
+    READDIRPLUS = "readdirplus"
     CREATE = "create"
     MKDIR = "mkdir"
     UNLINK = "unlink"
@@ -35,7 +40,7 @@ class FuseOp(enum.Enum):
     DESTROY = "destroy"
 
 
-@dataclass
+@dataclass(slots=True)
 class FuseRequest:
     """One kernel -> userspace request."""
 

@@ -54,13 +54,20 @@ class FuseServerProcess:
         #: CRIU refuse to checkpoint FUSE servers (section 5).
         self.open_devices: List[str] = [connection.device_path]
         self.requests_handled = 0
+        #: memoized op -> bound method dispatch (None marks a confirmed
+        #: missing callback, which keeps failing with ENOSYS per request)
+        self._dispatch: Dict[FuseOp, Any] = {}
         connection.server = self
         filesystem.connection = connection
 
     def handle(self, request: FuseRequest) -> Any:
         """Dispatch one request to the filesystem implementation."""
         self.requests_handled += 1
-        method = getattr(self.filesystem, request.op.value, None)
+        try:
+            method = self._dispatch[request.op]
+        except KeyError:
+            method = getattr(self.filesystem, request.op.value, None)
+            self._dispatch[request.op] = method
         if method is None:
             raise FsError(ENOSYS, f"{type(self.filesystem).__name__} does not "
                                   f"implement {request.op.value}")

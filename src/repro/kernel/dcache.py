@@ -1,7 +1,12 @@
 """The kernel's dentry cache (positive and negative entries).
 
-The dcache memoises ``(mount, parent inode, name) -> child inode`` so that
-repeated path walks avoid calling into the file system.  Negative entries
+The dcache memoises ``(mount, parent inode, name) -> (child inode,
+d_type)`` so that repeated path walks avoid calling into the file system.
+The file-type byte rides along exactly as ``d_type`` does in a real
+dentry: an inode's type is immutable for its lifetime, so a positive
+entry can answer the walker's is-directory / is-symlink questions without
+a ``getattr`` round trip, and it goes stale under precisely the same
+rules as the name-to-inode mapping it is attached to.  Negative entries
 memoise confirmed-absent names.  This is exactly the cache that goes stale
 in the paper's section 3.2: when the model checker restores an older disk
 state without unmounting, the dcache may still hold a "recently created"
@@ -44,23 +49,35 @@ class _Negative:
 
 NEGATIVE = _Negative()
 
-Key = Tuple[int, int, str]  # (mount_id, parent_ino, name)
+#: d_type placeholder for a dentry whose inode type is not yet known
+#: (mirrors <dirent.h> DT_UNKNOWN; the walker fills it in lazily).
+DT_UNKNOWN = 0
+
+Key = Tuple[int, str]  # (parent_ino, name), within one mount's shard
 
 
 class DentryCache:
-    """Positive + negative dentry cache with explicit invalidation."""
+    """Positive + negative dentry cache with explicit invalidation.
+
+    Entries are sharded by mount, mirroring how real dentries hang off
+    their superblock: whole-mount invalidation (unmount, and the VeriFS
+    restore notify path that runs once per explored state) drops the
+    shard in O(1) instead of scanning every cached name in the system,
+    and per-inode invalidation scans only the owning mount's entries.
+    """
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
-        self._entries: Dict[Key, object] = {}
+        self._shards: Dict[int, Dict[Key, object]] = {}
         self.stats = DentryStats()
 
     # -- lookups --------------------------------------------------------------
     def get(self, mount_id: int, parent_ino: int, name: str):
-        """Return the cached child ino, ``NEGATIVE``, or ``None`` (miss)."""
+        """Return ``(child_ino, d_type)``, ``NEGATIVE``, or ``None`` (miss)."""
         if not self.enabled:
             return None
-        entry = self._entries.get((mount_id, parent_ino, name))
+        shard = self._shards.get(mount_id)
+        entry = shard.get((parent_ino, name)) if shard is not None else None
         if entry is None:
             self.stats.misses += 1
             return None
@@ -70,39 +87,49 @@ class DentryCache:
             self.stats.hits += 1
         return entry
 
-    def insert(self, mount_id: int, parent_ino: int, name: str, ino: int) -> None:
+    def insert(self, mount_id: int, parent_ino: int, name: str, ino: int,
+               dtype: int = DT_UNKNOWN) -> None:
         if self.enabled:
-            self._entries[(mount_id, parent_ino, name)] = ino
+            shard = self._shards.get(mount_id)
+            if shard is None:
+                shard = self._shards[mount_id] = {}
+            shard[(parent_ino, name)] = (ino, dtype)
 
     def insert_negative(self, mount_id: int, parent_ino: int, name: str) -> None:
         if self.enabled:
-            self._entries[(mount_id, parent_ino, name)] = NEGATIVE
+            shard = self._shards.get(mount_id)
+            if shard is None:
+                shard = self._shards[mount_id] = {}
+            shard[(parent_ino, name)] = NEGATIVE
 
     # -- invalidation -----------------------------------------------------------
     def invalidate_entry(self, mount_id: int, parent_ino: int, name: str) -> None:
         """Drop one entry (the fuse_lowlevel_notify_inval_entry analogue)."""
-        if self._entries.pop((mount_id, parent_ino, name), None) is not None:
+        shard = self._shards.get(mount_id)
+        if shard is not None and shard.pop((parent_ino, name), None) is not None:
             self.stats.invalidations += 1
 
     def invalidate_inode(self, mount_id: int, ino: int) -> None:
         """Drop every entry that resolves to ``ino`` on ``mount_id``."""
+        shard = self._shards.get(mount_id)
+        if shard is None:
+            return
         stale = [
             key
-            for key, entry in self._entries.items()
-            if key[0] == mount_id and entry is not NEGATIVE and entry == ino
+            for key, entry in shard.items()
+            if entry is not NEGATIVE and entry[0] == ino
         ]
         for key in stale:
-            del self._entries[key]
+            del shard[key]
             self.stats.invalidations += 1
 
     def invalidate_mount(self, mount_id: int) -> None:
         """Drop all entries of a mount (unmount purges its dentries)."""
-        stale = [key for key in self._entries if key[0] == mount_id]
-        for key in stale:
-            del self._entries[key]
-            self.stats.invalidations += 1
+        shard = self._shards.pop(mount_id, None)
+        if shard:
+            self.stats.invalidations += len(shard)
 
     def entry_count(self, mount_id: Optional[int] = None) -> int:
         if mount_id is None:
-            return len(self._entries)
-        return sum(1 for key in self._entries if key[0] == mount_id)
+            return sum(len(shard) for shard in self._shards.values())
+        return len(self._shards.get(mount_id, ()))

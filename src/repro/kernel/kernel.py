@@ -51,7 +51,19 @@ from repro.kernel.fdtable import (
     O_WRONLY,
     OpenFile,
 )
-from repro.kernel.stat import Dirent, S_IFDIR, S_IFLNK, S_IFMT, StatResult, StatVFS
+from repro.kernel.stat import (
+    DT_DIR,
+    DT_LNK,
+    DT_REG,
+    DT_UNKNOWN,
+    Dirent,
+    S_IFDIR,
+    S_IFLNK,
+    S_IFMT,
+    StatResult,
+    StatVFS,
+    mode_to_dtype,
+)
 from repro.kernel.vfs import FileSystemType, Mount, MountedFileSystem
 from repro.util.paths import is_subpath, normalize_path, split_path
 
@@ -76,6 +88,10 @@ class Kernel:
         self._mounts: Dict[str, Mount] = {}
         self._next_mount_id = 1
         self.syscall_count = 0
+        #: memo for _find_mount: path -> (mount, relative).  Pure
+        #: mountpoint arithmetic, so entries stay valid until the mount
+        #: table itself changes; mount()/umount() clear it.
+        self._mount_cache: Dict[str, Tuple[Mount, str]] = {}
 
     # ------------------------------------------------------------------ mounts --
     def mount(self, fstype: FileSystemType, device, mountpoint: str) -> Mount:
@@ -100,6 +116,7 @@ class Kernel:
         )
         self._next_mount_id += 1
         self._mounts[mountpoint] = mount
+        self._mount_cache.clear()
         return mount
 
     def umount(self, mountpoint: str) -> None:
@@ -114,6 +131,7 @@ class Kernel:
         mount.fs.unmount()
         self.dcache.invalidate_mount(mount.mount_id)
         del self._mounts[mountpoint]
+        self._mount_cache.clear()
 
     def remount(self, mountpoint: str) -> Mount:
         """Unmount and immediately re-mount: the paper's coherency hammer.
@@ -140,9 +158,13 @@ class Kernel:
         return list(self._mounts.values())
 
     def mount_at(self, mountpoint: str) -> Mount:
-        mount = self._mounts.get(normalize_path(mountpoint))
+        # mountpoints are stored normalised; callers almost always pass
+        # the canonical string, so try the direct hit before normalising
+        mount = self._mounts.get(mountpoint)
         if mount is None:
-            raise FsError(EINVAL, f"{mountpoint} is not mounted")
+            mount = self._mounts.get(normalize_path(mountpoint))
+            if mount is None:
+                raise FsError(EINVAL, f"{mountpoint} is not mounted")
         return mount
 
     # ---------------------------------------------------------- cache control --
@@ -170,19 +192,35 @@ class Kernel:
     # ------------------------------------------------------------ path walking --
     def _find_mount(self, path: str) -> Tuple[Mount, str]:
         """Return the mount covering ``path`` and the fs-relative remainder."""
+        cached = self._mount_cache.get(path)
+        if cached is not None:
+            return cached
+        raw = path
         path = normalize_path(path)
         best: Optional[str] = None
+        # mountpoints are stored normalised (mount() canonicalises them),
+        # so the subpath test inlines to plain string comparisons
         for mountpoint in self._mounts:
-            if is_subpath(path, mountpoint):
+            if (mountpoint == "/" or path == mountpoint
+                    or path.startswith(mountpoint + "/")):
                 if best is None or len(mountpoint) > len(best):
                     best = mountpoint
         if best is None:
             raise FsError(ENOENT, f"no file system mounted covering {path}")
         relative = path[len(best) :] if best != "/" else path
-        return self._mounts[best], relative or "/"
+        result = (self._mounts[best], relative or "/")
+        self._mount_cache[raw] = result
+        return result
 
-    def _lookup_child(self, mount: Mount, dir_ino: int, name: str) -> int:
-        """One path-walk step, through the dentry cache."""
+    def _lookup_child_typed(self, mount: Mount, dir_ino: int,
+                            name: str) -> Tuple[int, int]:
+        """One path-walk step, through the dentry cache.
+
+        Returns ``(child_ino, d_type)``; ``d_type`` is ``DT_UNKNOWN``
+        until some walk has fetched the child's attributes (the dcache
+        then remembers the type for the dentry's lifetime, since an
+        inode's file type never changes).
+        """
         cached = self.dcache.get(mount.mount_id, dir_ino, name)
         if cached is NEGATIVE:
             raise FsError(ENOENT, name)
@@ -195,13 +233,24 @@ class Kernel:
                 self.dcache.insert_negative(mount.mount_id, dir_ino, name)
             raise
         self.dcache.insert(mount.mount_id, dir_ino, name, ino)
-        return ino
+        return ino, DT_UNKNOWN
+
+    def _lookup_child(self, mount: Mount, dir_ino: int, name: str) -> int:
+        return self._lookup_child_typed(mount, dir_ino, name)[0]
+
+    def _child_dtype(self, mount: Mount, dir_ino: int, name: str,
+                     child: int) -> int:
+        """Fetch a dentry's missing d_type and remember it."""
+        dtype = mode_to_dtype(mount.fs.getattr(child).st_mode)
+        self.dcache.insert(mount.mount_id, dir_ino, name, child, dtype)
+        return dtype
 
     def _walk(
         self, path: str, follow_last_symlink: bool = True, _depth: int = 0
     ) -> Tuple[Mount, int]:
         """Resolve ``path`` to ``(mount, inode)``, following symlinks."""
-        mount, ino, _rel = self._resolve(path, follow_last_symlink, _depth)
+        mount, ino, _rel, _dtype = self._resolve_entry(
+            path, follow_last_symlink, _depth)
         return mount, ino
 
     def _resolve(
@@ -212,23 +261,38 @@ class Kernel:
         The returned relative path has every symlink expanded, so it is
         the canonical name the dirty-path tracking indexes by.
         """
+        mount, ino, rel, _dtype = self._resolve_entry(
+            path, follow_last_symlink, _depth)
+        return mount, ino, rel
+
+    def _resolve_entry(
+        self, path: str, follow_last_symlink: bool = True, _depth: int = 0
+    ) -> Tuple[Mount, int, str, int]:
+        """Resolve ``path`` to ``(mount, inode, fs-relative path, d_type)``.
+
+        A warm walk is pure dcache: each step's is-directory check and
+        the symlink test read the cached d_type instead of issuing a
+        ``getattr`` per component (twice, as the pre-d_type walker did).
+        Only a cold dentry pays one ``getattr`` to learn its type.
+        """
         if _depth > MAX_SYMLINK_DEPTH:
             raise FsError(ELOOP, path)
         mount, relative = self._find_mount(path)
         ino = mount.fs.ROOT_INO
         if relative == "/":
-            return mount, ino, "/"
+            return mount, ino, "/", DT_DIR
         components = relative[1:].split("/")
         walked = mount.mountpoint if mount.mountpoint != "/" else ""
         rel = ""
+        dtype = DT_DIR  # a mount root is a directory by construction
+        last = len(components) - 1
         for index, name in enumerate(components):
-            attrs = mount.fs.getattr(ino)
-            if not attrs.is_dir:
+            if dtype != DT_DIR:
                 raise FsError(ENOTDIR, walked or "/")
-            child = self._lookup_child(mount, ino, name)
-            child_attrs = mount.fs.getattr(child)
-            is_last = index == len(components) - 1
-            if child_attrs.is_symlink and (not is_last or follow_last_symlink):
+            child, child_type = self._lookup_child_typed(mount, ino, name)
+            if child_type == DT_UNKNOWN:
+                child_type = self._child_dtype(mount, ino, name, child)
+            if child_type == DT_LNK and (index != last or follow_last_symlink):
                 target = mount.fs.readlink(child)
                 if target.startswith("/"):
                     base = target
@@ -236,11 +300,12 @@ class Kernel:
                     base = (walked or "") + "/" + target
                 rest = "/".join(components[index + 1 :])
                 full = base + ("/" + rest if rest else "")
-                return self._resolve(full, follow_last_symlink, _depth + 1)
+                return self._resolve_entry(full, follow_last_symlink, _depth + 1)
             walked += "/" + name
             rel += "/" + name
             ino = child
-        return mount, ino, rel
+            dtype = child_type
+        return mount, ino, rel, dtype
 
     def _walk_parent(self, path: str) -> Tuple[Mount, int, str, str]:
         """Resolve the parent directory of ``path``.
@@ -250,9 +315,8 @@ class Kernel:
         parent, name = split_path(path)
         if not name:
             raise FsError(EINVAL, f"cannot take parent of {path!r}")
-        mount, dir_ino, rel_dir = self._resolve(parent)
-        attrs = mount.fs.getattr(dir_ino)
-        if not attrs.is_dir:
+        mount, dir_ino, rel_dir, dtype = self._resolve_entry(parent)
+        if dtype != DT_DIR:
             raise FsError(ENOTDIR, parent)
         return mount, dir_ino, name, rel_dir
 
@@ -276,8 +340,15 @@ class Kernel:
             mount.mark_dirty_record(rel)
 
     def _sys(self) -> None:
+        # hand-inlined clock.charge: this runs once per syscall, and the
+        # constant is non-negative by construction
         self.syscall_count += 1
-        self.clock.charge(Cost.SYSCALL, "syscall")
+        clock = self.clock
+        clock.now += Cost.SYSCALL
+        try:
+            clock.by_category["syscall"] += Cost.SYSCALL
+        except KeyError:
+            clock.by_category["syscall"] = Cost.SYSCALL
 
     # ---------------------------------------------------------------- syscalls --
     # Each syscall mirrors its POSIX namesake; failures raise FsError with
@@ -291,7 +362,7 @@ class Kernel:
             rel = self._child_rel(rel_dir, name)
             existing: Optional[int]
             try:
-                existing = self._lookup_child(mount, dir_ino, name)
+                existing, dtype = self._lookup_child_typed(mount, dir_ino, name)
             except FsError as exc:
                 if exc.code != ENOENT:
                     raise
@@ -300,18 +371,18 @@ class Kernel:
                 if flags & O_EXCL:
                     raise FsError(EEXIST, path)
                 ino = existing
-                attrs = mount.fs.getattr(ino)
-                if attrs.is_dir:
+                if dtype == DT_UNKNOWN:
+                    dtype = self._child_dtype(mount, dir_ino, name, ino)
+                if dtype == DT_DIR:
                     raise FsError(EISDIR, path)
             else:
                 ino = mount.fs.create(dir_ino, name, mode, self.uid, self.gid)
                 self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
-                self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+                self.dcache.insert(mount.mount_id, dir_ino, name, ino, DT_REG)
                 mount.mark_dirty_parent(rel_dir)
         else:
-            mount, ino, rel = self._resolve(path)
-            attrs = mount.fs.getattr(ino)
-            if attrs.is_dir:
+            mount, ino, rel, dtype = self._resolve_entry(path)
+            if dtype == DT_DIR:
                 if (flags & O_ACCMODE) != O_RDONLY:
                     raise FsError(EISDIR, path)
             elif flags & O_DIRECTORY:
@@ -409,7 +480,7 @@ class Kernel:
             raise FsError(EEXIST, path)
         ino = mount.fs.mkdir(dir_ino, name, mode, self.uid, self.gid)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
-        self.dcache.insert(mount.mount_id, dir_ino, name, ino)
+        self.dcache.insert(mount.mount_id, dir_ino, name, ino, DT_DIR)
         mount.mark_dirty_parent(rel_dir)
 
     def rmdir(self, path: str) -> None:
@@ -496,8 +567,9 @@ class Kernel:
     def symlink(self, target: str, link_path: str) -> None:
         self._sys()
         mount, dir_ino, name, rel_dir = self._walk_parent(link_path)
-        mount.fs.symlink(dir_ino, name, target, self.uid, self.gid)
+        ino = mount.fs.symlink(dir_ino, name, target, self.uid, self.gid)
         self.dcache.invalidate_entry(mount.mount_id, dir_ino, name)
+        self.dcache.insert(mount.mount_id, dir_ino, name, ino, DT_LNK)
         mount.mark_dirty_parent(rel_dir)
 
     def readlink(self, path: str) -> str:
@@ -509,9 +581,8 @@ class Kernel:
         self._sys()
         if size < 0:
             raise FsError(EINVAL, f"negative truncate size {size}")
-        mount, ino, rel = self._resolve(path)
-        attrs = mount.fs.getattr(ino)
-        if attrs.is_dir:
+        mount, ino, rel, dtype = self._resolve_entry(path)
+        if dtype == DT_DIR:
             raise FsError(EISDIR, path)
         mount.fs.truncate(ino, size)
         self._mark_inode_entry(mount, rel, ino)
@@ -544,11 +615,32 @@ class Kernel:
 
     def getdents(self, path: str) -> List[Dirent]:
         self._sys()
-        mount, ino = self._walk(path)
-        attrs = mount.fs.getattr(ino)
-        if not attrs.is_dir:
+        mount, ino, _rel, dtype = self._resolve_entry(path)
+        if dtype != DT_DIR:
             raise FsError(ENOTDIR, path)
         return mount.fs.getdents(ino)
+
+    def getdents_attrs(self, path: str) -> List[Tuple[Dirent, StatResult]]:
+        """``getdents`` plus each entry's ``lstat`` in one syscall.
+
+        The readdirplus surface: results are byte-identical to a
+        ``getdents`` loop calling ``lstat`` per entry, without a path
+        resolution (and, for FUSE mounts, a message round trip) per
+        entry.  Like real readdirplus, the reply instantiates dentries:
+        every entry is inserted into the dcache with its d_type, warming
+        later walks.
+        """
+        self._sys()
+        mount, ino, _rel, dtype = self._resolve_entry(path)
+        if dtype != DT_DIR:
+            raise FsError(ENOTDIR, path)
+        entries = mount.fs.getdents_attrs(ino)
+        mount_id = mount.mount_id
+        insert = self.dcache.insert
+        for dirent, attrs in entries:
+            insert(mount_id, ino, dirent.name, dirent.ino,
+                   mode_to_dtype(attrs.st_mode))
+        return entries
 
     def chmod(self, path: str, mode: int) -> None:
         self._sys()

@@ -85,6 +85,9 @@ class Mount:
     dirty_parents: Set[str] = field(default_factory=set)
     multilink_inos: Set[int] = field(default_factory=set)
     change_generation: int = 0
+    #: set after the fs answers ENOTSUP/ENOSYS to listxattr once: xattr
+    #: support cannot appear mid-mount, so readers skip the round trip
+    xattrs_unsupported: bool = False
 
     # -- dirty-path marking (called by the kernel's mutating syscalls) -----
     def mark_dirty_entry(self, rel_path: str) -> None:
@@ -167,6 +170,17 @@ class MountedFileSystem(ABC):
         Entry order is implementation-defined (this matters: MCFS must
         sort before comparing, section 3.4).
         """
+
+    def getdents_attrs(self, dir_ino: int) -> List[Tuple[Dirent, StatResult]]:
+        """List entries with their stat data in one call.
+
+        The readdirplus composition: byte-identical to ``getdents``
+        followed by per-entry ``getattr``, but a driver can satisfy it
+        without a round trip per entry.  This default composes the two
+        primitives, so every file system supports it.
+        """
+        return [(dirent, self.getattr(dirent.ino))
+                for dirent in self.getdents(dir_ino)]
 
     @abstractmethod
     def create(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:

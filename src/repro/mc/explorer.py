@@ -259,8 +259,11 @@ class Explorer:
             state_hash = self.target.abstract_state()
             is_new, should_expand = self.visited.visit(state_hash, depth)
         else:
+            # the engine charges the syscall-walk and hash-encode
+            # sub-phases itself; timed() nests exclusively, so this outer
+            # span keeps only the residual combine/compare glue
             state_hash = self.profile.timed(
-                "abstraction_walk", self.target.abstract_state)
+                "abstraction_hash", self.target.abstract_state)
             is_new, should_expand = self.profile.timed(
                 "fingerprint", self.visited.visit, state_hash, depth)
             self.profile.note_state()

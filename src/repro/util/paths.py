@@ -32,6 +32,12 @@ def normalize_path(path: str) -> str:
         raise FsError(ENAMETOOLONG, path[:32] + "...")
     if not path.startswith("/"):
         raise FsError(EINVAL, f"path must be absolute: {path!r}")
+    # fast path: already canonical (no empty/dot components, no trailing
+    # slash).  The length bound makes NAME_MAX violations impossible, so
+    # the per-component check below can be skipped safely.
+    if (len(path) <= NAME_MAX and path[-1] != "/"
+            and "//" not in path and "/." not in path):
+        return path
     parts: List[str] = []
     for component in path.split("/"):
         if component in ("", "."):

@@ -54,10 +54,13 @@ class V1Inode:
     """One slot of the fixed-length inode array."""
 
     __slots__ = ("ino", "mode", "uid", "gid", "nlink", "size",
-                 "atime", "mtime", "ctime", "buffer", "entries", "parent")
+                 "atime", "mtime", "ctime", "buffer", "entries", "parent",
+                 "shared")
 
     def __init__(self, ino: int):
         self.ino = ino
+        #: sealed into at least one ioctl snapshot; never mutate in place
+        self.shared = False
         self.mode = 0
         self.uid = 0
         self.gid = 0
@@ -78,12 +81,11 @@ class V1Inode:
         return (self.mode & S_IFMT) == S_IFDIR
 
     def clone(self) -> "V1Inode":
-        """Independent copy for the snapshot pool.
+        """Writable copy of a sealed inode (the copy-on-write step).
 
         Equivalent to ``copy.deepcopy`` -- the buffer and the entry map
         are this inode's only mutable containers -- but without the
-        generic-deepcopy machinery that dominated the checkpoint ioctl's
-        cost.
+        generic-deepcopy machinery.  The clone starts unsealed.
         """
         other = V1Inode(self.ino)
         other.mode = self.mode
@@ -113,17 +115,24 @@ class VeriFS1(VeriFSBase):
         root.parent = self.ROOT_INO
         root.atime = root.mtime = root.ctime = self._now()
         self.inodes[self.ROOT_INO] = root
+        self._fresh.append(root)
 
     # ------------------------------------------------------- state capture --
     def _capture_state(self) -> Dict[str, Any]:
         return {"inodes": self.inodes}
 
     def _restore_state(self, state: Dict[str, Any]) -> None:
+        # Every inode in a stored snapshot is sealed, so the table can be
+        # adopted as-is; the first write to any inode clones it first.
         self.inodes = state["inodes"]
+        self._fresh.clear()
 
     def _clone_state(self, state: Dict[str, Any]) -> Dict[str, Any]:
-        return {"inodes": [inode.clone() if inode is not None else None
-                           for inode in state["inodes"]]}
+        # Copy-on-write checkpoint: seal the inodes touched since the
+        # last checkpoint and share the rest structurally.  Only the
+        # slot table itself is copied.
+        self._seal_fresh()
+        return {"inodes": list(state["inodes"])}
 
     # --------------------------------------------------------------- helpers --
     def _get(self, ino: int) -> V1Inode:
@@ -145,8 +154,18 @@ class VeriFS1(VeriFSBase):
             if self.inodes[ino] is None:
                 inode = V1Inode(ino)
                 self.inodes[ino] = inode
+                self._fresh.append(inode)
                 return inode
         raise FsError(ENOSPC, "inode table full")
+
+    def _writable(self, ino: int) -> V1Inode:
+        """The inode, cloned first if a snapshot holds the current object."""
+        inode = self._get(ino)
+        if inode.shared:
+            inode = inode.clone()
+            self.inodes[ino] = inode
+            self._fresh.append(inode)
+        return inode
 
     # ---------------------------------------------------------- FUSE methods --
     def lookup(self, dir_ino: int, name: str) -> int:
@@ -186,6 +205,7 @@ class VeriFS1(VeriFSBase):
         inode.nlink = 1
         inode.parent = dir_ino
         inode.atime = inode.mtime = inode.ctime = self._now()
+        directory = self._writable(dir_ino)
         directory.entries[name] = inode.ino
         directory.mtime = directory.ctime = self._now()
         return inode.ino
@@ -201,6 +221,7 @@ class VeriFS1(VeriFSBase):
         inode.nlink = 2
         inode.parent = dir_ino
         inode.atime = inode.mtime = inode.ctime = self._now()
+        directory = self._writable(dir_ino)
         directory.entries[name] = inode.ino
         directory.nlink += 1
         directory.mtime = directory.ctime = self._now()
@@ -214,11 +235,16 @@ class VeriFS1(VeriFSBase):
         child = self._get(child_ino)
         if child.is_dir:
             raise FsError(EISDIR, name)
+        directory = self._writable(dir_ino)
         del directory.entries[name]
         directory.mtime = directory.ctime = self._now()
-        child.nlink -= 1
-        if child.nlink <= 0:
+        if child.nlink <= 1:
+            # last (VeriFS1: only) link -- drop the slot; the snapshot
+            # pool's references to the old object are untouched
             self.inodes[child_ino] = None
+        else:
+            child = self._writable(child_ino)
+            child.nlink -= 1
 
     def rmdir(self, dir_ino: int, name: str) -> None:
         directory = self._get_dir(dir_ino)
@@ -230,6 +256,7 @@ class VeriFS1(VeriFSBase):
             raise FsError(ENOTDIR, name)
         if child.entries:
             raise FsError(ENOTEMPTY, name)
+        directory = self._writable(dir_ino)
         del directory.entries[name]
         directory.nlink -= 1
         directory.mtime = directory.ctime = self._now()
@@ -239,6 +266,7 @@ class VeriFS1(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         inode.atime = self._now()
         if offset >= inode.size:
             return b""
@@ -252,6 +280,7 @@ class VeriFS1(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         end = offset + len(data)
         if len(inode.buffer) < end:
             inode.buffer.extend(b"\x00" * (end - len(inode.buffer)))
@@ -268,6 +297,7 @@ class VeriFS1(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         old_size = inode.size
         if size > len(inode.buffer):
             inode.buffer.extend(b"\x00" * (size - len(inode.buffer)))
@@ -280,7 +310,8 @@ class VeriFS1(VeriFSBase):
         inode.mtime = inode.ctime = self._now()
 
     def setattr(self, ino, mode=None, uid=None, gid=None, atime=None, mtime=None):
-        inode = self._get(ino)
+        self._get(ino)
+        inode = self._writable(ino)
         if mode is not None:
             inode.mode = (inode.mode & S_IFMT) | (mode & 0o7777)
         if uid is not None:

@@ -55,10 +55,12 @@ class V2Inode:
 
     __slots__ = ("ino", "mode", "uid", "gid", "nlink", "size",
                  "atime", "mtime", "ctime", "chunks", "entries",
-                 "parent", "symlink_target", "xattrs")
+                 "parent", "symlink_target", "xattrs", "shared")
 
     def __init__(self, ino: int):
         self.ino = ino
+        #: sealed into at least one ioctl snapshot; never mutate in place
+        self.shared = False
         self.mode = 0
         self.uid = 0
         self.gid = 0
@@ -99,12 +101,12 @@ class V2Inode:
         return len(self.chunks) * CHUNK_SIZE
 
     def clone(self) -> "V2Inode":
-        """Independent copy for the snapshot pool.
+        """Writable copy of a sealed inode (the copy-on-write step).
 
         Chunk payloads and xattr values are immutable ``bytes``, so the
         chunk/xattr *maps* are copied while their payloads stay shared
         -- exactly the structural sharing ``copy.deepcopy`` produced,
-        minus its per-object dispatch cost on the checkpoint hot path.
+        minus its per-object dispatch cost.  The clone starts unsealed.
         """
         other = V2Inode(self.ino)
         other.mode = self.mode
@@ -137,18 +139,25 @@ class VeriFS2(VeriFSBase):
         root.parent = self.ROOT_INO
         root.atime = root.mtime = root.ctime = self._now()
         self.inodes[self.ROOT_INO] = root
+        self._fresh.append(root)
 
     # ------------------------------------------------------- state capture --
     def _capture_state(self) -> Dict[str, Any]:
         return {"inodes": self.inodes, "next_ino": self.next_ino}
 
     def _restore_state(self, state: Dict[str, Any]) -> None:
+        # Every inode in a stored snapshot is sealed, so the table can be
+        # adopted as-is; the first write to any inode clones it first.
         self.inodes = state["inodes"]
         self.next_ino = state["next_ino"]
+        self._fresh.clear()
 
     def _clone_state(self, state: Dict[str, Any]) -> Dict[str, Any]:
-        return {"inodes": {ino: inode.clone()
-                           for ino, inode in state["inodes"].items()},
+        # Copy-on-write checkpoint: seal the inodes touched since the
+        # last checkpoint and share the rest structurally.  Only the
+        # inode map itself is copied.
+        self._seal_fresh()
+        return {"inodes": dict(state["inodes"]),
                 "next_ino": state["next_ino"]}
 
     # --------------------------------------------------------------- helpers --
@@ -168,6 +177,16 @@ class VeriFS2(VeriFSBase):
         inode = V2Inode(self.next_ino)
         self.next_ino += 1
         self.inodes[inode.ino] = inode
+        self._fresh.append(inode)
+        return inode
+
+    def _writable(self, ino: int) -> V2Inode:
+        """The inode, cloned first if a snapshot holds the current object."""
+        inode = self._get(ino)
+        if inode.shared:
+            inode = inode.clone()
+            self.inodes[ino] = inode
+            self._fresh.append(inode)
         return inode
 
     def _total_used(self) -> int:
@@ -277,6 +296,7 @@ class VeriFS2(VeriFSBase):
         inode.uid, inode.gid = uid, gid
         inode.parent = dir_ino
         inode.atime = inode.mtime = inode.ctime = self._now()
+        directory = self._writable(dir_ino)
         directory.entries[name] = inode.ino
         directory.mtime = directory.ctime = self._now()
         return inode
@@ -289,7 +309,7 @@ class VeriFS2(VeriFSBase):
     def mkdir(self, dir_ino: int, name: str, mode: int, uid: int, gid: int) -> int:
         inode = self._new_child(dir_ino, name, S_IFDIR | (mode & 0o7777), uid, gid)
         inode.nlink = 2
-        self._get(dir_ino).nlink += 1
+        self._writable(dir_ino).nlink += 1
         return inode.ino
 
     def symlink(self, dir_ino: int, name: str, target: str, uid: int, gid: int) -> int:
@@ -313,8 +333,10 @@ class VeriFS2(VeriFSBase):
         directory = self._get_dir(dir_ino)
         if name in directory.entries:
             raise FsError(EEXIST, name)
+        directory = self._writable(dir_ino)
         directory.entries[name] = ino
         directory.mtime = directory.ctime = self._now()
+        inode = self._writable(ino)
         inode.nlink += 1
         inode.ctime = self._now()
 
@@ -326,12 +348,16 @@ class VeriFS2(VeriFSBase):
         child = self._get(child_ino)
         if child.is_dir:
             raise FsError(EISDIR, name)
+        directory = self._writable(dir_ino)
         del directory.entries[name]
         directory.mtime = directory.ctime = self._now()
-        child.nlink -= 1
-        child.ctime = self._now()
-        if child.nlink <= 0:
+        if child.nlink <= 1:
+            # last link -- drop the inode; snapshot references are untouched
             del self.inodes[child_ino]
+        else:
+            child = self._writable(child_ino)
+            child.nlink -= 1
+            child.ctime = self._now()
 
     def rmdir(self, dir_ino: int, name: str) -> None:
         directory = self._get_dir(dir_ino)
@@ -343,6 +369,7 @@ class VeriFS2(VeriFSBase):
             raise FsError(ENOTDIR, name)
         if child.entries:
             raise FsError(ENOTEMPTY, name)
+        directory = self._writable(dir_ino)
         del directory.entries[name]
         directory.nlink -= 1
         directory.mtime = directory.ctime = self._now()
@@ -385,6 +412,11 @@ class VeriFS2(VeriFSBase):
                 if moving.is_dir:
                     raise FsError(ENOTDIR, new_name)
                 self.unlink(new_dir, new_name)
+        # re-fetch writable objects: removing the victim may have cloned
+        # the target directory, and the checks above must not clone
+        source = self._writable(old_dir)
+        target = self._writable(new_dir)
+        moving = self._writable(child_ino)
         del source.entries[old_name]
         target.entries[new_name] = child_ino
         now = self._now()
@@ -400,6 +432,7 @@ class VeriFS2(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         inode.atime = self._now()
         return self._read_bytes(inode, offset, length)
 
@@ -407,6 +440,7 @@ class VeriFS2(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         end = offset + len(data)
         old_capacity = inode.capacity
         if offset > inode.size and not self.has_bug(VeriFSBug.WRITE_HOLE_STALE):
@@ -432,6 +466,7 @@ class VeriFS2(VeriFSBase):
         inode = self._get(ino)
         if inode.is_dir:
             raise FsError(EISDIR, f"inode {ino}")
+        inode = self._writable(ino)
         old_size = inode.size
         if size > old_size:
             needed = (size + CHUNK_SIZE - 1) // CHUNK_SIZE
@@ -451,7 +486,8 @@ class VeriFS2(VeriFSBase):
         inode.mtime = inode.ctime = self._now()
 
     def setattr(self, ino, mode=None, uid=None, gid=None, atime=None, mtime=None):
-        inode = self._get(ino)
+        self._get(ino)
+        inode = self._writable(ino)
         if mode is not None:
             inode.mode = (inode.mode & S_IFMT) | (mode & 0o7777)
         if uid is not None:
@@ -472,6 +508,7 @@ class VeriFS2(VeriFSBase):
             raise FsError(EEXIST, key)
         if flags == XATTR_REPLACE and key not in inode.xattrs:
             raise FsError(ENODATA, key)
+        inode = self._writable(ino)
         inode.xattrs[key] = bytes(value)
         inode.ctime = self._now()
 
@@ -488,6 +525,7 @@ class VeriFS2(VeriFSBase):
         inode = self._get(ino)
         if key not in inode.xattrs:
             raise FsError(ENODATA, key)
+        inode = self._writable(ino)
         del inode.xattrs[key]
         inode.ctime = self._now()
 

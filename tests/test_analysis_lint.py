@@ -130,6 +130,23 @@ def test_visited_table_public_api_is_fine():
     assert invariants("seen = table.export_seen()") == []
 
 
+def test_raw_entry_cache_access():
+    assert invariants("store = cache._merkle") == ["raw-entry-cache"]
+    assert invariants("memo = record._enc_memo") == ["raw-entry-cache"]
+
+
+def test_raw_entry_cache_allowed_inside_abstraction_module():
+    path = os.path.join(os.path.dirname(repro.__file__),
+                        "core", "abstraction.py")
+    findings = run_lint([path])
+    assert not [f for f in findings if f.invariant == "raw-entry-cache"]
+
+
+def test_entry_cache_public_api_is_fine():
+    assert invariants("records = cache.refresh(kernel, '/mnt', mount)") == []
+    assert invariants("cache.invalidate()") == []
+
+
 def test_syntax_error_is_reported_not_raised():
     assert invariants("def broken(:\n") == ["syntax-error"]
 

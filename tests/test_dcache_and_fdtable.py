@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import EBADF, EMFILE, FsError
 from repro.kernel.dcache import DentryCache, NEGATIVE
+from repro.kernel.stat import DT_DIR, DT_UNKNOWN
 from repro.kernel.fdtable import (
     FDTable,
     O_APPEND,
@@ -25,8 +26,13 @@ class TestDentryCache:
     def test_positive_hit(self):
         cache = DentryCache()
         cache.insert(1, 2, "name", 99)
-        assert cache.get(1, 2, "name") == 99
+        assert cache.get(1, 2, "name") == (99, DT_UNKNOWN)
         assert cache.stats.hits == 1
+
+    def test_positive_hit_remembers_dtype(self):
+        cache = DentryCache()
+        cache.insert(1, 2, "name", 99, DT_DIR)
+        assert cache.get(1, 2, "name") == (99, DT_DIR)
 
     def test_negative_hit(self):
         cache = DentryCache()
@@ -54,7 +60,7 @@ class TestDentryCache:
         cache.invalidate_inode(1, 99)
         assert cache.get(1, 2, "a") is None
         assert cache.get(1, 3, "b") is None
-        assert cache.get(1, 2, "other") == 50
+        assert cache.get(1, 2, "other") == (50, DT_UNKNOWN)
 
     def test_invalidate_inode_spares_negative_entries(self):
         cache = DentryCache()
