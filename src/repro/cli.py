@@ -37,13 +37,21 @@ from repro.dist.spec import (
     CheckSpec,
 )
 from repro.verifs import VeriFSBug
-from repro.workload import PRESETS
+from repro.workload import PRESETS, PROFILE_NAMES
 
+#: bug id -> (reference fs, buggy fs, DFS depth, input profile).  The
+#: extent-boundary bug is the input-exploration poster child: the
+#: default pool's largest write ends at byte 4000, inside the first
+#: 4 KiB extent, so only the boundary profile can reach it.
 BUG_PAIRS = {
-    VeriFSBug.TRUNCATE_STALE_DATA.value: ("ext4", "verifs1", 4),
-    VeriFSBug.MISSING_CACHE_INVALIDATION.value: ("ext4", "verifs1", 3),
-    VeriFSBug.WRITE_HOLE_STALE.value: ("verifs1", "verifs2", 3),
-    VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY.value: ("verifs1", "verifs2", 3),
+    VeriFSBug.TRUNCATE_STALE_DATA.value: ("ext4", "verifs1", 4, "uniform"),
+    VeriFSBug.MISSING_CACHE_INVALIDATION.value: ("ext4", "verifs1", 3,
+                                                 "uniform"),
+    VeriFSBug.WRITE_HOLE_STALE.value: ("verifs1", "verifs2", 3, "uniform"),
+    VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY.value: ("verifs1", "verifs2", 3,
+                                                   "uniform"),
+    VeriFSBug.EXTENT_BOUNDARY_STALE.value: ("verifs1", "verifs2", 2,
+                                            "boundary"),
 }
 
 
@@ -58,6 +66,10 @@ def cmd_list(_args) -> int:
     print("workload presets:")
     for name in sorted(PRESETS):
         print(f"  {name}")
+    print("input profiles (--input-profile; flags: +boundary, +steer):")
+    for name in PROFILE_NAMES:
+        print(f"  {name}")
+    print("  custom:op=weight,...")
     print("injectable VeriFS bugs (for bugdemo):")
     for bug in VeriFSBug:
         print(f"  {bug.value}")
@@ -79,12 +91,26 @@ def _validate_fs_and_bugs(args) -> None:
             VeriFSBug(bug)
         except ValueError:
             raise SystemExit(f"unknown bug {bug!r}; see 'repro list'")
+    from repro.workload.profile import parse_profile
+
+    for profile_spec in getattr(args, "input_profile", None) or ():
+        try:
+            parse_profile(profile_spec)
+        except ValueError as error:
+            # match the --state-store convention: bad spec exits 2
+            print(f"error: {error}", file=sys.stderr)
+            raise SystemExit(2)
 
 
 def _spec_from_args(args) -> CheckSpec:
     """Build the picklable run description a worker fleet needs."""
     total_operations = args.max_ops or 1000
+    profiles = tuple(getattr(args, "input_profile", None) or ())
     return CheckSpec(
+        # one --input-profile applies fleet-wide; several rotate across
+        # units (profile diversification on top of seed diversification)
+        input_profile=profiles[0] if profiles else "uniform",
+        profile_rotation=profiles if len(profiles) > 1 else (),
         filesystems=tuple(args.fs),
         pool=args.pool,
         strategy=args.strategy,
@@ -353,13 +379,15 @@ def cmd_bugdemo(args) -> int:
     if args.bug not in BUG_PAIRS:
         print(f"unknown bug {args.bug!r}; see 'repro list'", file=sys.stderr)
         return 2
-    reference, buggy, depth = BUG_PAIRS[args.bug]
+    reference, buggy, depth, profile = BUG_PAIRS[args.bug]
     spec = CheckSpec(filesystems=(reference, buggy),
                      include_extended=False,
-                     verifs_bugs=(args.bug,))
+                     verifs_bugs=(args.bug,),
+                     input_profile=profile)
     mcfs = spec.build_mcfs()
     mcfs.options.trail_dir = args.trail_dir
-    print(f"hunting {args.bug} in {buggy} (reference: {reference}) ...")
+    print(f"hunting {args.bug} in {buggy} (reference: {reference}, "
+          f"profile: {profile}) ...")
     result = mcfs.run_dfs(max_depth=depth, max_operations=400_000)
     if result.found_discrepancy:
         print(f"found after {result.operations} operations\n")
@@ -651,6 +679,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sleep-set partial-order reduction (DFS only)")
     check.add_argument("--pool", choices=sorted(PRESETS), default="default",
                        help="workload preset (see repro.workload)")
+    check.add_argument("--input-profile", action="append", default=[],
+                       metavar="SPEC",
+                       help="input-exploration profile: uniform | "
+                            "write-heavy | meta-churn | boundary | "
+                            "custom:op=weight,... with optional +boundary "
+                            "/ +steer flags; repeat to rotate profiles "
+                            "across work units (see docs/workloads.md)")
     check.add_argument("--fsck-oracle", action="store_true",
                        help="run the offline fsck oracle over every "
                             "device image during exploration")
@@ -718,6 +753,11 @@ def build_parser() -> argparse.ArgumentParser:
     swarm.add_argument("--seed", type=int, default=1, help="base seed")
     swarm.add_argument("--pool", choices=sorted(PRESETS), default="default",
                        help="workload preset (see repro.workload)")
+    swarm.add_argument("--input-profile", action="append", default=[],
+                       metavar="SPEC",
+                       help="input-exploration profile (repeatable: "
+                            "members rotate through the list, diversifying "
+                            "by profile as well as seed)")
     swarm.add_argument("--unit-depth", dest="dist_depth", type=int,
                        default=12, help="per-unit depth bound (default 12)")
     swarm.add_argument("--strategy", choices=tuple(STRATEGIES), default=None,
@@ -869,6 +909,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=1, help="base seed")
     submit.add_argument("--pool", choices=sorted(PRESETS), default="default",
                         help="workload preset (see repro.workload)")
+    submit.add_argument("--input-profile", action="append", default=[],
+                        metavar="SPEC",
+                        help="input-exploration profile (repeatable: "
+                             "units rotate through the list)")
     submit.add_argument("--unit-depth", dest="dist_depth", type=int,
                         default=12, help="per-unit depth bound (default 12)")
     submit.add_argument("--strategy", choices=tuple(STRATEGIES), default=None,

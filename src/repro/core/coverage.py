@@ -41,6 +41,10 @@ class CoverageReport:
     operations_covered: int
     outcome_pairs: Dict[OutcomeKey, int]
     per_fs_pairs: Dict[str, Set[OutcomeKey]]
+    #: operations executed but absent from the supplied catalog -- a
+    #: profile- or pool-mismatched tracker must surface these, not
+    #: silently drop them from both numerator and denominator
+    out_of_catalog: int = 0
 
     @property
     def operation_coverage(self) -> float:
@@ -72,6 +76,9 @@ class CoverageReport:
             f"outcome pairs seen : {len(self.outcome_pairs)} "
             f"({self.error_paths_seen} error paths)",
         ]
+        if self.out_of_catalog:
+            lines.insert(1, f"out of catalog     : {self.out_of_catalog} "
+                            f"operation(s) executed but not in the catalog")
         by_operation: Dict[str, List[str]] = defaultdict(list)
         for (op_name, result), count in sorted(self.outcome_pairs.items()):
             by_operation[op_name].append(f"{result}x{count}")
@@ -96,25 +103,46 @@ class CoverageTracker:
         self._operations_run: Set[Operation] = set()
         self._outcome_counts: Dict[OutcomeKey, int] = defaultdict(int)
         self._per_fs: Dict[str, Set[OutcomeKey]] = defaultdict(set)
+        self._class_executions: Dict[str, int] = defaultdict(int)
 
     def record(self, operation: Operation, outcomes: Dict[str, Outcome]) -> None:
         """Called by the engine after every executed operation."""
         self._operations_run.add(operation)
+        self._class_executions[operation.name] += 1
         for label, outcome in outcomes.items():
             key = _outcome_key(operation, outcome)
             self._outcome_counts[key] += 1
             self._per_fs[label].add(key)
 
+    def has_run(self, operation: Operation) -> bool:
+        """Whether this exact operation (name + args) has been recorded."""
+        return operation in self._operations_run
+
+    def per_class_counts(self) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """(executions, distinct outcome pairs) per operation class.
+
+        Read by coverage steering; purely observational.
+        """
+        pairs: Dict[str, int] = defaultdict(int)
+        for op_name, _result in self._outcome_counts:
+            pairs[op_name] += 1
+        return dict(self._class_executions), dict(pairs)
+
     def report(self) -> CoverageReport:
-        total = len(self._catalog_operations) or len(self._operations_run)
-        covered = (
-            len(self._operations_run & self._catalog_operations)
-            if self._catalog_operations
-            else len(self._operations_run)
-        )
+        if self._catalog_operations:
+            total = len(self._catalog_operations)
+            covered = len(self._operations_run & self._catalog_operations)
+            out_of_catalog = len(
+                self._operations_run - self._catalog_operations
+            )
+        else:
+            total = len(self._operations_run)
+            covered = len(self._operations_run)
+            out_of_catalog = 0
         return CoverageReport(
             operations_total=total,
             operations_covered=covered,
             outcome_pairs=dict(self._outcome_counts),
             per_fs_pairs={label: set(pairs) for label, pairs in self._per_fs.items()},
+            out_of_catalog=out_of_catalog,
         )

@@ -212,10 +212,18 @@ class SyscallEngine:
 
 
 class MCFSTarget(ExplorationTarget):
-    """Adapts the engine + strategies to the explorer's target interface."""
+    """Adapts the engine + strategies to the explorer's target interface.
 
-    def __init__(self, engine: SyscallEngine):
+    ``chooser``/``steering`` (built by MCFS from the active input
+    profile) redirect the explorer's random-mode draw through the
+    weighted chooser; without them the target keeps the legacy
+    instance-uniform draw, byte-identical to the pre-profile engine.
+    """
+
+    def __init__(self, engine: SyscallEngine, chooser=None, steering=None):
         self.engine = engine
+        self.chooser = chooser
+        self.steering = steering
         self._initialized = False
         #: hot-loop lanes, resolved once: the FUT set, each FUT's
         #: strategy, and whether its restore is exact are all fixed at
@@ -232,6 +240,17 @@ class MCFSTarget(ExplorationTarget):
 
     def apply(self, action: Operation) -> None:
         self.engine.run_operation(action)
+        if self.steering is not None:
+            self.steering.note_operation()
+
+    def choose_action(self, rng, actions: Sequence[Operation]) -> Operation:
+        if self.chooser is not None:
+            return self.chooser.choose(rng)
+        return rng.choice(actions)
+
+    def note_state_visit(self, is_new: bool) -> None:
+        if self.steering is not None:
+            self.steering.note_state_visit(is_new)
 
     def checkpoint(self) -> Tuple[Dict[str, Any], int]:
         tokens: Dict[str, Any] = {}

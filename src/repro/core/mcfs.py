@@ -57,6 +57,11 @@ class MCFSOptions:
     majority_voting: bool = False
     #: record behavioural coverage (operation/outcome pairs, §7)
     track_coverage: bool = False
+    #: input-exploration profile spec (:mod:`repro.workload.profile`):
+    #: ``uniform`` keeps the legacy instance-uniform draw; weighted bases
+    #: plus ``+boundary`` / ``+steer`` flags diversify generation.  A
+    #: boundary profile augments ``pool`` before the catalog is built.
+    input_profile: str = "uniform"
     #: run the offline fsck oracle (repro.analysis) every N explored
     #: operations; None disables.  Unlike ``consistency_check_every``
     #: (the drivers' in-memory self-checks), this parses the raw device
@@ -214,15 +219,28 @@ class MCFS:
             fut.legacy_snapshots = self.options.legacy_snapshots
             fut.incremental_abstraction = incremental
 
+    def _input_profile(self):
+        from repro.workload.profile import parse_profile
+
+        return parse_profile(self.options.input_profile)
+
     def engine(self) -> SyscallEngine:
         if self._engine is None:
             self._configure_futs()
+            profile = self._input_profile()
+            pool = self.options.pool
+            if profile.boundary:
+                from repro.workload.profile import boundary_parameters
+
+                pool = boundary_parameters(pool)
             catalog = OperationCatalog(
-                pool=self.options.pool,
+                pool=pool,
                 include_extended=self.options.include_extended_operations,
             )
             coverage = None
-            if self.options.track_coverage:
+            if self.options.track_coverage or profile.steer:
+                # steering consumes the tracker's counts, so a steered
+                # run always carries one even with reporting off
                 from repro.core.coverage import CoverageTracker
 
                 coverage = CoverageTracker(catalog)
@@ -253,7 +271,17 @@ class MCFS:
             raise ValueError("register at least two file systems before running")
         if self.options.equalize_free_space:
             equalize_free_space(self.futs)
-        return MCFSTarget(self.engine())
+        engine = self.engine()
+        profile = self._input_profile()
+        chooser = steering = None
+        if not profile.is_instance_uniform:
+            from repro.workload.profile import CoverageSteering, WeightedChooser
+
+            if profile.steer:
+                steering = CoverageSteering(engine.coverage)
+            chooser = WeightedChooser(profile, engine.catalog.operations(),
+                                      steering=steering)
+        return MCFSTarget(engine, chooser=chooser, steering=steering)
 
     def _make_explorer(self, target: MCFSTarget,
                        state_file: Optional[str] = None,

@@ -60,6 +60,12 @@ class ParameterPool:
     fill_bytes: Tuple[int, ...] = (0x41,)
     symlink_targets: Tuple[str, ...] = ("/f0",)
     xattr_pairs: Tuple[Tuple[str, bytes], ...] = (("user.mcfs", b"x"),)
+    #: extra (source, dest) rename pairs beyond the pairwise first-two
+    #: enumeration -- boundary profiles add rename cycles here
+    rename_extra: Tuple[Tuple[str, str], ...] = ()
+    #: raw open(2) flag combinations; each becomes an ``open_flags``
+    #: open+close meta-op exercising flag-dependent error paths
+    open_flag_sets: Tuple[int, ...] = ()
 
     def tiny(self) -> "ParameterPool":
         """A minimal pool for exhaustive-DFS unit tests."""
@@ -136,11 +142,19 @@ class OperationCatalog:
             ops.append(Operation("rmdir", (path,)))
         for path in pool.file_paths:
             ops.append(Operation("unlink", (path,)))
+        if self.include_meta:
+            for flags in pool.open_flag_sets:
+                for path in pool.file_paths[:2] + pool.dir_paths[:1]:
+                    ops.append(Operation("open_flags", (path, flags)))
         if self.include_extended:
             for source in pool.file_paths[:2]:
                 for dest in pool.file_paths[:2]:
                     if source != dest:
                         ops.append(Operation("rename", (source, dest)))
+            for source, dest in pool.rename_extra:
+                candidate = Operation("rename", (source, dest))
+                if source != dest and candidate not in ops:
+                    ops.append(candidate)
             for target in pool.symlink_targets:
                 ops.append(Operation("symlink", (target, "/sym0")))
             for source in pool.file_paths[:1]:
@@ -156,12 +170,17 @@ class OperationCatalog:
         """Mount-relative paths an operation reads or mutates."""
         name, args = operation.name, operation.args
         if name in ("create_file", "write_file", "truncate", "mkdir",
-                    "rmdir", "unlink"):
+                    "rmdir", "unlink", "open_flags"):
             return (args[0],)
         if name == "rename":
             return (args[0], args[1])
         if name == "symlink":
-            return (args[0], args[1])
+            # symlink creation stores the target as an uninterpreted
+            # string -- it never dereferences or even requires it to
+            # exist, so only the link path is touched.  (Reporting the
+            # target too wrongly serialised symlink against every
+            # operation on the target, shrinking sleep-set reductions.)
+            return (args[1],)
         if name == "link":
             return (args[0], args[1])
         if name == "setxattr":
@@ -219,6 +238,14 @@ class OperationCatalog:
             return fut.kernel.pwrite(fd, fill_pattern(fill, size, offset), offset)
         finally:
             fut.kernel.close(fd)
+
+    def _op_open_flags(self, fut, path: str, flags: int):
+        # open+close with an arbitrary flag combination: O_EXCL EEXIST,
+        # O_TRUNC-on-open, O_DIRECTORY ENOTDIR, append-mode opens.  The
+        # bundle closes immediately so no fd outlives a remount.
+        fd = fut.kernel.open(fut.mountpoint + path, flags, 0o644)
+        fut.kernel.close(fd)
+        return 0
 
     # Plain operations.
     def _op_truncate(self, fut, path: str, size: int):

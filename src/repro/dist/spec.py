@@ -116,6 +116,9 @@ class WorkUnit:
     max_depth: int
     max_operations: int
     backtrack_probability: float = 0.25
+    #: input profile this unit explores with (fleet members diversify by
+    #: profile as well as seed; fixed by the spec, not the fleet)
+    input_profile: str = "uniform"
 
 
 @dataclass(frozen=True)
@@ -168,6 +171,14 @@ class CheckSpec:
     #: snapshot-restore buckets, merged campaign-wide.  Measurement
     #: only -- never changes what the fleet finds
     profile: bool = False
+    #: input-exploration profile for every unit
+    #: (:mod:`repro.workload.profile` grammar)
+    input_profile: str = "uniform"
+    #: when non-empty, unit ``i`` explores with ``profile_rotation[i %
+    #: len]`` instead of ``input_profile`` -- fleet members diversify by
+    #: input profile as well as seed.  A function of the unit index only,
+    #: so merged fingerprints stay independent of fleet size.
+    profile_rotation: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if len(self.filesystems) < 2:
@@ -185,6 +196,11 @@ class CheckSpec:
         from repro.mc.statestore import parse_store_spec
 
         parse_store_spec(self.state_store)  # fail fast on a bad spec
+        from repro.workload.profile import parse_profile
+
+        parse_profile(self.input_profile)
+        for spec in self.profile_rotation:
+            parse_profile(spec)
 
     # ------------------------------------------------------- serialisation --
     def to_dict(self) -> Dict[str, Any]:
@@ -208,7 +224,7 @@ class CheckSpec:
         known = {spec_field.name for spec_field in fields(cls)}
         kwargs = {key: value for key, value in document.items()
                   if key in known}
-        for name in ("filesystems", "verifs_bugs"):
+        for name in ("filesystems", "verifs_bugs", "profile_rotation"):
             if name in kwargs and kwargs[name] is not None:
                 kwargs[name] = tuple(kwargs[name])
         return cls(**kwargs)
@@ -226,6 +242,7 @@ class CheckSpec:
         options = MCFSOptions(
             include_extended_operations=extended,
             pool=preset(self.pool),
+            input_profile=self.input_profile,
             equalize_free_space=self.equalize,
             majority_voting=self.voting,
             fsck_every=self.fsck_every,
@@ -254,6 +271,12 @@ class CheckSpec:
         return mcfs
 
     # ------------------------------------------------------------ partition --
+    def unit_profile(self, index: int) -> str:
+        """The input profile unit ``index`` explores with."""
+        if self.profile_rotation:
+            return self.profile_rotation[index % len(self.profile_rotation)]
+        return self.input_profile
+
     def work_units(self) -> List[WorkUnit]:
         """The deterministic unit list (seeds and depth bounds like swarm)."""
         return [
@@ -263,6 +286,7 @@ class CheckSpec:
                 max_depth=self.max_depth + (index % 3),
                 max_operations=self.unit_operations,
                 backtrack_probability=self.backtrack_probability,
+                input_profile=self.unit_profile(index),
             )
             for index in range(self.units)
         ]

@@ -222,6 +222,10 @@ def run_unit(spec: CheckSpec, unit: WorkUnit, worker_id: str,
     earlier units (chaos fault injection triggers on the session total).
     """
     mcfs = spec.build_mcfs()
+    # per-unit input diversification: the unit's profile (a function of
+    # the unit index only, via CheckSpec.unit_profile) overrides the
+    # spec-wide default before the engine/catalog is built
+    mcfs.options.input_profile = unit.input_profile
     profile = None
     ship = sink.ship_batch
     if getattr(mcfs.options, "profile", False):

@@ -68,6 +68,24 @@ class ExplorationTarget(ABC):
         """
         return False
 
+    def choose_action(self, rng: random.Random, actions: Sequence[Any]) -> Any:
+        """Pick the next action for a *random* walk.
+
+        Default: instance-uniform, the classic draw.  MCFS overrides
+        this with the weighted/coverage-steered chooser when an input
+        profile is active.  All randomness must come from ``rng`` so a
+        fixed seed still yields a fixed sequence.  DFS mode never calls
+        this -- it visits every action.
+        """
+        return rng.choice(actions)
+
+    def note_state_visit(self, is_new: bool) -> None:
+        """Observe one visited-table probe (True = first visit).
+
+        Default: ignore.  MCFS forwards this to coverage steering so
+        generation can react to exploration stalling.
+        """
+
 
 @dataclass
 class ExplorationStats:
@@ -271,6 +289,7 @@ class Explorer:
             self.stats.unique_states += 1
         else:
             self.stats.revisited_states += 1
+        self.target.note_state_visit(is_new)
         return should_expand
 
     def _take_checkpoint(self) -> Any:
@@ -388,7 +407,7 @@ class Explorer:
                 if not actions:
                     self.stats.stopped_reason = "no enabled actions"
                     break
-                action = self.rng.choice(actions)
+                action = self.target.choose_action(self.rng, actions)
                 self.recorder.operation(action)
                 self.target.apply(action)
                 self._note_operation()

@@ -35,6 +35,16 @@ class VeriFSBug(enum.Enum):
     #: the last chunk were invisible.
     SIZE_UPDATE_ON_CAPACITY_ONLY = "size-update-on-capacity-only"
 
+    #: Seeded for the input-exploration benchmarks (not historical): a
+    #: write that straddles a 4 KiB extent (chunk) boundary drops the
+    #: spill into the second extent but still advances the size to the
+    #: full write end, so the tail reads back stale/zero.  The default
+    #: parameter pool cannot reach it -- its largest write ends at byte
+    #: 4000, inside the first extent -- so only boundary-value argument
+    #: generation (write sizes/offsets straddling 4095/4096/4097) can
+    #: expose it.
+    EXTENT_BOUNDARY_STALE = "extent-boundary-stale"
+
 
 #: Bugs that shipped in VeriFS1 during the paper's first phase.
 VERIFS1_HISTORICAL_BUGS = (

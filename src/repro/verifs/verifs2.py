@@ -449,7 +449,18 @@ class VeriFS2(VeriFSBase):
             # allocated chunks (e.g. after a shrinking truncate) leak into
             # the hole.
             self._zero_range(inode, inode.size, offset)
-        self._write_bytes(inode, offset, data)
+        if self.has_bug(VeriFSBug.EXTENT_BOUNDARY_STALE):
+            # seeded for the input-exploration benchmarks: a write that
+            # straddles an extent (chunk) boundary drops the spill into
+            # the second extent, yet the size still advances to the full
+            # write end below -- the tail reads back stale/zero.
+            boundary = (offset // CHUNK_SIZE + 1) * CHUNK_SIZE
+            if offset < boundary < end:
+                self._write_bytes(inode, offset, data[:boundary - offset])
+            else:
+                self._write_bytes(inode, offset, data)
+        else:
+            self._write_bytes(inode, offset, data)
         if self.has_bug(VeriFSBug.SIZE_UPDATE_ON_CAPACITY_ONLY):
             # VeriFS2 bug 2: the size is updated only when the file grows
             # beyond the chunk capacity it had *before* the write, so an

@@ -17,6 +17,15 @@ from repro.workload.presets import (
     preset,
 )
 from repro.workload.generator import SequenceGenerator
+from repro.workload.profile import (
+    OP_CLASSES,
+    PROFILE_NAMES,
+    CoverageSteering,
+    OpProfile,
+    WeightedChooser,
+    boundary_parameters,
+    parse_profile,
+)
 
 __all__ = [
     "DEFAULT",
@@ -27,4 +36,11 @@ __all__ = [
     "PRESETS",
     "preset",
     "SequenceGenerator",
+    "OP_CLASSES",
+    "PROFILE_NAMES",
+    "CoverageSteering",
+    "OpProfile",
+    "WeightedChooser",
+    "boundary_parameters",
+    "parse_profile",
 ]

@@ -2,43 +2,93 @@
 
 The explorer picks operations itself; some uses want a plain *sequence*
 instead — endurance runs, crash workloads, regression traces.  The
-generator samples a catalog uniformly under a seed, so sequences are
-reproducible and shareable (a seed + pool is a complete workload spec).
+generator samples a catalog under a seed — uniformly by default, or
+through a weighted :class:`~repro.workload.profile.OpProfile` — so
+sequences are reproducible and shareable (a seed + pool + profile is a
+complete workload spec).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Union
 
 from repro.core.ops import Operation, OperationCatalog, ParameterPool
+from repro.workload.profile import (
+    OpProfile,
+    WeightedChooser,
+    boundary_parameters,
+    parse_profile,
+)
 
 
 class SequenceGenerator:
-    """Seeded stream of operations drawn from a catalog."""
+    """Seeded stream of operations drawn from a catalog.
+
+    ``profile`` may be a spec string (``uniform``, ``write-heavy``,
+    ``meta-churn+boundary``, ``custom:write_file=4``, ...) or a parsed
+    :class:`OpProfile`.  A boundary profile augments the pool before the
+    catalog is built.
+    """
 
     def __init__(self, pool: Optional[ParameterPool] = None,
-                 include_extended: bool = True, seed: int = 0):
+                 include_extended: bool = True, seed: int = 0,
+                 profile: Union[str, OpProfile] = "uniform"):
+        if isinstance(profile, str):
+            profile = parse_profile(profile)
+        self.profile = profile
+        base_pool = pool if pool is not None else ParameterPool()
+        if profile.boundary:
+            base_pool = boundary_parameters(base_pool)
         self.catalog = OperationCatalog(
-            pool=pool if pool is not None else ParameterPool(),
+            pool=base_pool,
             include_extended=include_extended,
         )
         self.seed = seed
         self._rng = random.Random(seed)
+        # instance-uniform keeps the legacy plain-choice draw so existing
+        # (seed -> sequence) mappings stay byte-identical
+        self._chooser = (
+            None if profile.is_instance_uniform
+            else WeightedChooser(profile, self.catalog.operations())
+        )
+
+    def _draw(self, rng: random.Random, operations: List[Operation]) -> Operation:
+        if self._chooser is not None:
+            return self._chooser.choose(rng)
+        return rng.choice(operations)
 
     def take(self, count: int) -> List[Operation]:
         """The next ``count`` operations of the stream."""
         operations = self.catalog.operations()
-        return [self._rng.choice(operations) for _ in range(count)]
+        return [self._draw(self._rng, operations) for _ in range(count)]
 
     def stream(self) -> Iterator[Operation]:
-        """An endless operation iterator."""
+        """An endless operation iterator.
+
+        The iterator *forks* the generator's RNG at creation: it owns an
+        independent stream from this point on, so a later ``reset()`` (or
+        interleaved ``take()`` calls) cannot silently perturb a
+        half-consumed iterator.  (Previously the iterator kept reading
+        ``self._rng`` through the attribute, so rebinding it in
+        ``reset()`` made an "old" stream continue from the *new* RNG.)
+        """
+        rng = random.Random(0)
+        rng.setstate(self._rng.getstate())
         operations = self.catalog.operations()
-        while True:
-            yield self._rng.choice(operations)
+
+        def _endless() -> Iterator[Operation]:
+            while True:
+                yield self._draw(rng, operations)
+
+        return _endless()
 
     def reset(self) -> None:
-        """Rewind to the beginning of the (seeded) stream."""
+        """Rewind to the beginning of the (seeded) stream.
+
+        Live ``stream()`` iterators are unaffected: each owns a forked
+        RNG bound at iterator creation.
+        """
         self._rng = random.Random(self.seed)
 
     def apply_to(self, fut, operations) -> List:

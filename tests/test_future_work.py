@@ -261,6 +261,39 @@ class TestCoverage:
         assert (op.name, "ENOENT") in report.outcome_pairs
         assert report.error_paths_seen == 1
 
+    def test_out_of_catalog_operations_are_counted(self):
+        """Ops executed but absent from the catalog must be surfaced,
+        not silently dropped from both sides of the percentage."""
+        catalog = OperationCatalog(include_extended=False)
+        tracker = CoverageTracker(catalog)
+        known = catalog.operations()[0]
+        foreign = Operation("write_file", ("/not-in-pool", 0, 4097, 65))
+        assert foreign not in set(catalog.operations())
+        tracker.record(known, {"a": Outcome.success(0)})
+        tracker.record(foreign, {"a": Outcome.success(4097)})
+        report = tracker.report()
+        assert report.operations_covered == 1
+        assert report.operations_total == len(catalog.operations())
+        assert report.out_of_catalog == 1
+        assert "out of catalog" in report.render()
+
+    def test_out_of_catalog_silent_when_none(self):
+        catalog = OperationCatalog(include_extended=False)
+        tracker = CoverageTracker(catalog)
+        tracker.record(catalog.operations()[0], {"a": Outcome.success(0)})
+        report = tracker.report()
+        assert report.out_of_catalog == 0
+        assert "out of catalog" not in report.render()
+
+    def test_per_class_counts(self):
+        tracker = CoverageTracker()
+        op = Operation("mkdir", ("/d", 0o755))
+        tracker.record(op, {"a": Outcome.success(0)})
+        tracker.record(op, {"a": Outcome.failure(ENOSPC)})
+        executions, pairs = tracker.per_class_counts()
+        assert executions["mkdir"] == 2
+        assert pairs["mkdir"] == 2  # ok + ENOSPC
+
     def test_divergent_pairs_detected(self):
         tracker = CoverageTracker()
         op = Operation("mkdir", ("/d", 0o755))

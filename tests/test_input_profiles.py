@@ -1,0 +1,363 @@
+"""repro.workload.profile: versatile input exploration (Metis-style).
+
+The load-bearing properties under test:
+
+* **grammar** -- the profile spec strings parse (and reject) exactly as
+  documented, parallel to the visited-store grammar;
+* **determinism** -- identical (seed, profile) yields an identical
+  operation sequence, across chooser instances and (via hypothesis)
+  arbitrary seeds;
+* **boundary superset** -- boundary augmentation only ever *adds*
+  parameter values, keeps the default catalog untouched, and is
+  idempotent;
+* **separation** -- the seeded extent-boundary bug is unreachable under
+  the uniform profile's default pool (provably: no default write crosses
+  a 4 KiB extent edge) but is found, trailed, replayed CONFIRMED, and
+  minimized to <= 4 operations under the boundary profile;
+* **fleet determinism** -- with a profile rotation fixed by the spec,
+  merged dist fingerprints stay identical across worker counts.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ops import Operation, OperationCatalog, ParameterPool
+from repro.dist import CheckSpec, DistributedChecker
+from repro.workload import SequenceGenerator
+from repro.workload.profile import (
+    BLOCK_EDGE,
+    OP_CLASSES,
+    CoverageSteering,
+    WeightedChooser,
+    boundary_parameters,
+    parse_profile,
+)
+
+PROFILE_SPECS = st.sampled_from([
+    "uniform", "write-heavy", "meta-churn", "boundary",
+    "uniform+boundary", "write-heavy+steer", "meta-churn+boundary+steer",
+    "custom:write_file=4,truncate=2", "custom:mkdir=0,write_file=1",
+])
+
+
+# ---------------------------------------------------------------- grammar --
+class TestGrammar:
+    def test_named_bases(self):
+        assert parse_profile("uniform").name == "uniform"
+        assert parse_profile("write-heavy").weight_of("write_file") == 8.0
+        assert parse_profile("meta-churn").weight_of("mkdir") == 5.0
+
+    def test_boundary_base_is_uniform_plus_boundary(self):
+        profile = parse_profile("boundary")
+        assert profile.name == "uniform"
+        assert profile.boundary
+        assert not profile.steer
+
+    def test_flags(self):
+        profile = parse_profile("write-heavy+boundary+steer")
+        assert profile.boundary and profile.steer
+        assert not profile.is_instance_uniform
+
+    def test_uniform_is_instance_uniform(self):
+        assert parse_profile("uniform").is_instance_uniform
+        assert parse_profile("boundary").is_instance_uniform
+        assert not parse_profile("uniform+steer").is_instance_uniform
+
+    def test_custom_weights(self):
+        profile = parse_profile("custom:write_file=4,mkdir=0")
+        assert profile.name == "custom"
+        assert profile.weight_of("write_file") == 4.0
+        assert profile.weight_of("mkdir") == 0.0
+        assert profile.weight_of("unlink") == 1.0  # unlisted default
+
+    def test_errors_list_options(self):
+        for bad in ("", "bogus", "custom:", "custom:nope=1",
+                    "custom:write_file", "custom:write_file=x",
+                    "custom:write_file=-1", "uniform+wat",
+                    "custom:" + ",".join(f"{op}=0" for op in OP_CLASSES)):
+            with pytest.raises(ValueError):
+                parse_profile(bad)
+
+    def test_op_classes_cover_the_catalog(self):
+        pool = boundary_parameters(ParameterPool())
+        catalog = OperationCatalog(pool=pool, include_extended=True)
+        assert {op.name for op in catalog.operations()} <= set(OP_CLASSES)
+
+
+# ------------------------------------------------------------ determinism --
+class TestChooserDeterminism:
+    def test_same_seed_same_sequence(self):
+        catalog = OperationCatalog()
+        profile = parse_profile("write-heavy")
+        a = WeightedChooser(profile, catalog.operations())
+        b = WeightedChooser(profile, catalog.operations())
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        assert [a.choose(rng_a) for _ in range(50)] == [
+            b.choose(rng_b) for _ in range(50)
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1),
+           spec=PROFILE_SPECS)
+    def test_seed_profile_pair_fixes_the_sequence(self, seed, spec):
+        a = SequenceGenerator(seed=seed, profile=spec).take(20)
+        b = SequenceGenerator(seed=seed, profile=spec).take(20)
+        assert a == b
+
+    def test_weights_shift_the_distribution(self):
+        names = [op.name
+                 for op in SequenceGenerator(seed=2,
+                                             profile="write-heavy").take(400)]
+        writes = sum(1 for n in names if n in ("write_file", "truncate"))
+        assert writes > 150  # ~12/21 of class mass vs ~2/10 uniform
+
+    def test_zero_weight_excludes_class(self):
+        operations = SequenceGenerator(
+            seed=4, profile="custom:write_file=0,truncate=0").take(300)
+        assert all(op.name not in ("write_file", "truncate")
+                   for op in operations)
+
+
+# --------------------------------------------------------------- boundary --
+class TestBoundaryParameters:
+    def test_superset_of_the_base_pool(self):
+        base = ParameterPool()
+        augmented = boundary_parameters(base)
+        assert set(base.write_sizes) <= set(augmented.write_sizes)
+        assert set(base.write_offsets) <= set(augmented.write_offsets)
+        assert set(base.file_paths) <= set(augmented.file_paths)
+        assert set(base.dir_paths) <= set(augmented.dir_paths)
+
+    def test_block_edge_family_present(self):
+        augmented = boundary_parameters(ParameterPool())
+        for value in (BLOCK_EDGE - 1, BLOCK_EDGE, BLOCK_EDGE + 1):
+            assert value in augmented.write_sizes
+            assert value in augmented.write_offsets
+            assert value in augmented.truncate_sizes
+
+    def test_deep_ladder_and_odd_flags(self):
+        augmented = boundary_parameters(ParameterPool())
+        assert "/deep/a/b/c" in augmented.dir_paths
+        assert "/deep/a/b/c/f9" in augmented.file_paths
+        assert augmented.open_flag_sets
+        assert augmented.rename_extra
+
+    def test_idempotent(self):
+        once = boundary_parameters(ParameterPool())
+        assert boundary_parameters(once) == once
+
+    def test_default_pool_cannot_cross_the_extent_edge(self):
+        """The separation argument: every default-pool write ends at or
+        before byte 4000, strictly inside the first 4 KiB extent, so the
+        uniform profile can never trigger the extent-boundary bug."""
+        pool = ParameterPool()
+        worst = max(pool.write_offsets) + max(pool.write_sizes)
+        assert worst < BLOCK_EDGE
+        for offset in pool.write_offsets:
+            for size in pool.write_sizes:
+                start_extent = offset // BLOCK_EDGE
+                last_extent = (offset + size - 1) // BLOCK_EDGE
+                assert start_extent == last_extent
+
+    def test_default_catalog_unchanged_by_new_pool_fields(self):
+        """The new pool fields default empty, so the legacy catalog
+        enumeration (and thus every existing seed->sequence mapping) is
+        untouched."""
+        catalog = OperationCatalog()
+        names = {op.name for op in catalog.operations()}
+        assert "open_flags" not in names
+
+    def test_boundary_catalog_executes_cleanly(self):
+        """A clean fs pair under the boundary profile must not produce
+        false discrepancies (huge sparse offsets, odd open flags, deep
+        paths and all)."""
+        spec = CheckSpec(filesystems=("verifs1", "verifs2"),
+                         include_extended=False, input_profile="boundary")
+        result = spec.build_mcfs().run_random(max_operations=400, seed=3)
+        assert not result.found_discrepancy, str(result.report)[:300]
+
+
+# --------------------------------------------------------------- steering --
+class _StubTracker:
+    def __init__(self, executions, pairs):
+        self.executions, self.pairs = executions, pairs
+
+    def per_class_counts(self):
+        return self.executions, self.pairs
+
+
+class TestCoverageSteering:
+    def test_exhausted_classes_decay(self):
+        tracker = _StubTracker(
+            executions={"write_file": 100, "mkdir": 2},
+            pairs={"write_file": 2, "mkdir": 2},
+        )
+        steering = CoverageSteering(tracker)
+        write_mult, mkdir_mult = steering.multipliers(["write_file", "mkdir"])
+        assert write_mult < mkdir_mult
+
+    def test_pressure_rises_with_revisits(self):
+        steering = CoverageSteering(_StubTracker({}, {}))
+        assert steering.pressure == 1.0
+        steering.note_state_visit(True)
+        steering.note_state_visit(False)
+        assert steering.pressure == 1.5
+
+    def test_cache_refreshes_on_period(self):
+        tracker = _StubTracker({"write_file": 1}, {"write_file": 1})
+        steering = CoverageSteering(tracker, period=2)
+        before = steering.multipliers(["write_file"])
+        tracker.executions = {"write_file": 1000}
+        # cache still warm: same answer
+        assert steering.multipliers(["write_file"]) == before
+        steering.note_operation()
+        steering.note_operation()  # period boundary -> invalidate
+        assert steering.multipliers(["write_file"]) != before
+
+    def test_steered_run_is_deterministic(self):
+        spec = CheckSpec(filesystems=("verifs1", "verifs2"),
+                         include_extended=False,
+                         input_profile="uniform+steer")
+        a = spec.build_mcfs().run_random(max_operations=250, seed=9)
+        b = spec.build_mcfs().run_random(max_operations=250, seed=9)
+        assert a.operations == b.operations
+        assert a.unique_states == b.unique_states
+
+    def test_steered_reaches_strictly_more_outcome_pairs(self):
+        """Controlled comparison on the boundary catalog (same
+        operations, steering the only variable): steering must reach
+        strictly more distinct (operation, outcome) pairs at an equal
+        operation budget.  The unrun-operation preference does most of
+        the work -- a never-executed argument variant cannot have
+        contributed a pair yet."""
+        def pairs(profile_spec):
+            spec = CheckSpec(filesystems=("verifs1", "verifs2"),
+                             include_extended=False,
+                             input_profile=profile_spec)
+            mcfs = spec.build_mcfs()
+            mcfs.options.track_coverage = True
+            result = mcfs.run_random(max_operations=300, seed=11)
+            assert not result.found_discrepancy
+            return len(mcfs.coverage_report().outcome_pairs)
+
+        assert pairs("boundary+steer") > pairs("boundary")
+
+
+# ------------------------------------------------------------- separation --
+BUGGY = CheckSpec(filesystems=("verifs1", "verifs2"),
+                  include_extended=False,
+                  verifs_bugs=("extent-boundary-stale",))
+
+
+class TestSeparation:
+    def test_uniform_profile_misses_the_bug(self):
+        result = BUGGY.build_mcfs().run_random(max_operations=2_000, seed=5)
+        assert not result.found_discrepancy
+
+    def test_boundary_profile_finds_trails_and_minimizes(self, tmp_path):
+        import dataclasses
+
+        from repro.trail import Trail, minimize_trail, replay_trail
+
+        spec = dataclasses.replace(BUGGY, input_profile="boundary")
+        mcfs = spec.build_mcfs()
+        mcfs.options.trail_dir = str(tmp_path)
+        result = mcfs.run_random(max_operations=2_000, seed=5)
+        assert result.found_discrepancy
+        assert result.trail_path is not None
+        trail = Trail.load(result.trail_path)
+        assert replay_trail(trail).confirmed
+        minimized = minimize_trail(trail)
+        assert minimized.minimized_operations <= 4
+
+    def test_bug_requires_a_straddling_write(self):
+        """Direct witness: the injected bug drops exactly the spill past
+        the extent edge."""
+        from repro.verifs import VeriFS2, VeriFSBug
+
+        fs = VeriFS2(bugs=[VeriFSBug.EXTENT_BOUNDARY_STALE])
+        ino = fs.create(fs.ROOT_INO, "f", 0o644, 0, 0)
+        fs.write(ino, 0, b"x" * (BLOCK_EDGE + 1))
+        data = fs.read(ino, 0, BLOCK_EDGE + 1)
+        assert len(data) == BLOCK_EDGE + 1  # size advanced to the end
+        assert data[:BLOCK_EDGE] == b"x" * BLOCK_EDGE
+        assert data[BLOCK_EDGE:] == b"\x00"  # the dropped spill
+
+    def test_clean_fs_unaffected_by_straddling_writes(self):
+        from repro.verifs import VeriFS2
+
+        fs = VeriFS2()
+        ino = fs.create(fs.ROOT_INO, "f", 0o644, 0, 0)
+        fs.write(ino, 0, b"x" * (BLOCK_EDGE + 1))
+        assert fs.read(ino, 0, BLOCK_EDGE + 1) == b"x" * (BLOCK_EDGE + 1)
+
+
+# ------------------------------------------------------ fleet determinism --
+ROTATION_SPEC = CheckSpec(
+    filesystems=("verifs1", "verifs2"),
+    include_extended=False,
+    units=4,
+    base_seed=1,
+    unit_operations=80,
+    max_depth=8,
+    profile_rotation=("uniform", "boundary", "write-heavy", "meta-churn"),
+)
+
+
+def _fingerprint(dist):
+    return (
+        dist.visited_states,
+        dist.total_operations,
+        dist.discrepancy_signature(),
+        sorted((unit.index, unit.operations, unit.unique_states)
+               for unit in dist.unit_results),
+    )
+
+
+class TestFleetDeterminism:
+    def test_rotation_assigns_profiles_by_unit_index(self):
+        units = ROTATION_SPEC.work_units()
+        assert [u.input_profile for u in units] == [
+            "uniform", "boundary", "write-heavy", "meta-churn"]
+        assert ROTATION_SPEC.unit_profile(5) == "boundary"
+
+    def test_fingerprint_invariant_across_worker_counts(self):
+        single = DistributedChecker(ROTATION_SPEC, workers=1).run()
+        fleet = DistributedChecker(ROTATION_SPEC, workers=2).run()
+        assert _fingerprint(single) == _fingerprint(fleet)
+
+    def test_rotation_explores_more_than_any_single_profile(self):
+        """Diversified members cover states a single-profile fleet of
+        the same size does not (the swarm argument, now for inputs)."""
+        rotated = DistributedChecker(ROTATION_SPEC, workers=1).run()
+        import dataclasses
+
+        uniform_only = dataclasses.replace(ROTATION_SPEC,
+                                           profile_rotation=())
+        plain = DistributedChecker(uniform_only, workers=1).run()
+        assert rotated.visited_states != plain.visited_states
+
+    def test_spec_roundtrips_profiles(self):
+        document = ROTATION_SPEC.to_dict()
+        assert document["profile_rotation"] == [
+            "uniform", "boundary", "write-heavy", "meta-churn"]
+        rebuilt = CheckSpec.from_dict(document)
+        assert rebuilt == ROTATION_SPEC
+
+    def test_from_dict_ignores_missing_profile_fields(self):
+        document = ROTATION_SPEC.to_dict()
+        del document["profile_rotation"], document["input_profile"]
+        rebuilt = CheckSpec.from_dict(document)
+        assert rebuilt.input_profile == "uniform"
+        assert rebuilt.profile_rotation == ()
+
+    def test_bad_profile_rejected_at_spec_construction(self):
+        with pytest.raises(ValueError):
+            CheckSpec(filesystems=("verifs1", "verifs2"),
+                      input_profile="bogus")
+        with pytest.raises(ValueError):
+            CheckSpec(filesystems=("verifs1", "verifs2"),
+                      profile_rotation=("uniform", "bogus"))

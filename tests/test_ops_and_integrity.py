@@ -63,6 +63,36 @@ class TestFillPattern:
         tail = fill_pattern(65, 10, 10)
         assert whole[10:] == tail
 
+    def test_size_not_a_multiple_of_wheel(self):
+        """sizes straddling the 256-byte ramp still follow the ramp"""
+        for size in (1, 255, 257, 300, 511, 513):
+            data = fill_pattern(65, size, 0)
+            assert len(data) == size
+            assert data == bytes((65 + i) & 0xFF for i in range(size))
+
+    def test_fill_plus_offset_wraps_past_0xff(self):
+        """the ramp base is (fill + offset) & 0xFF, not fill + offset"""
+        assert fill_pattern(0xF0, 4, 0x20) == bytes(
+            (0xF0 + 0x20 + i) & 0xFF for i in range(4)
+        )
+        # a wrap inside the pattern body too
+        data = fill_pattern(0xFF, 3, 0)
+        assert data == bytes([0xFF, 0x00, 0x01])
+
+    def test_size_zero_and_negative(self):
+        assert fill_pattern(65, 0, 0) == b""
+        assert fill_pattern(65, -5, 0) == b""
+
+    def test_size_one(self):
+        assert fill_pattern(65, 1, 7) == bytes([(65 + 7) & 0xFF])
+
+    def test_huge_offset_wraps(self):
+        """offsets past 0xFF (e.g. extent edges) reduce mod 256"""
+        assert fill_pattern(65, 8, 4096) == fill_pattern(65, 8, 4096 % 256)
+        assert fill_pattern(65, 8, 1 << 20) == fill_pattern(
+            65, 8, (1 << 20) % 256
+        )
+
 
 class TestCatalog:
     def test_enumeration_is_stable(self):

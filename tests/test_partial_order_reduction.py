@@ -43,6 +43,81 @@ class TestIndependenceRelation:
         b = Operation("unlink", ("/f01",))
         assert self.cat.independent(a, b)
 
+    def test_symlink_touches_only_the_link_path(self):
+        """Regression: symlink creation stores the target as an
+        uninterpreted string -- it must not be reported as touched, or
+        symlink("/f0", "/sym0") wrongly serialises against every /f0
+        operation and sleep-set reductions shrink."""
+        link = Operation("symlink", ("/f0", "/sym0"))
+        assert self.cat.paths_touched(link) == ("/sym0",)
+        # commutes with operations on the *target* path ...
+        assert self.cat.independent(link, Operation("unlink", ("/f0",)))
+        assert self.cat.independent(
+            link, Operation("write_file", ("/f0", 0, 512, 65)))
+        # ... but still conflicts with operations on the link path
+        assert not self.cat.independent(link, Operation("unlink", ("/sym0",)))
+
+    def test_open_flags_touches_its_path(self):
+        op = Operation("open_flags", ("/f0", 0o100 | 0o200))
+        assert self.cat.paths_touched(op) == ("/f0",)
+        assert not self.cat.independent(op, Operation("unlink", ("/f0",)))
+        assert self.cat.independent(op, Operation("mkdir", ("/d1", 0o755)))
+
+
+class TestCommutationSoundness:
+    """Operations declared independent must actually commute: executing
+    both orders from the same state must land in the same abstract state
+    (the soundness condition sleep-set POR relies on)."""
+
+    @staticmethod
+    def _fresh_fut():
+        from repro.core.futs import make_verifs_fut
+
+        clock = SimClock()
+        return make_verifs_fut("v", VeriFS2(), clock)
+
+    @staticmethod
+    def _state_after(catalog, first, second):
+        from repro.core.abstraction import AbstractionOptions
+
+        fut = TestCommutationSoundness._fresh_fut()
+        # a populated starting state so most operations act on real files
+        for op in (Operation("create_file", ("/f0", 0o644)),
+                   Operation("write_file", ("/f0", 0, 512, 65)),
+                   Operation("create_file", ("/f1", 0o644)),
+                   Operation("mkdir", ("/d0", 0o755)),
+                   Operation("create_file", ("/d0/f2", 0o644))):
+            catalog.execute(fut, op)
+        catalog.execute(fut, first)
+        catalog.execute(fut, second)
+        return fut.abstract_state(AbstractionOptions())
+
+    def test_independent_pairs_commute(self):
+        catalog = OperationCatalog(include_extended=True)
+        operations = catalog.operations()
+        checked = 0
+        for i, a in enumerate(operations):
+            for b in operations[i + 1:]:
+                if not catalog.independent(a, b):
+                    continue
+                checked += 1
+                forward = self._state_after(catalog, a, b)
+                backward = self._state_after(catalog, b, a)
+                assert forward == backward, (a.describe(), b.describe())
+        assert checked > 50  # the relation must not be vacuously empty
+
+    def test_symlink_target_pairs_commute(self):
+        """The pairs the symlink paths_touched fix newly declares
+        independent really do commute."""
+        catalog = OperationCatalog(include_extended=True)
+        link = Operation("symlink", ("/f0", "/sym0"))
+        for other in (Operation("unlink", ("/f0",)),
+                      Operation("truncate", ("/f0", 100)),
+                      Operation("write_file", ("/f0", 0, 512, 65))):
+            assert catalog.independent(link, other)
+            assert (self._state_after(catalog, link, other)
+                    == self._state_after(catalog, other, link))
+
 
 def _run(por: bool, bug=None, depth: int = 3):
     clock = SimClock()

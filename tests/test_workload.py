@@ -95,3 +95,45 @@ class TestSequenceGenerator:
         outcomes = generator.apply_to(fut, generator.take(30))
         assert len(outcomes) == 30
         assert any(outcome.ok for outcome in outcomes)
+
+    def test_reset_does_not_perturb_live_stream(self):
+        """Regression: a half-consumed stream() iterator used to keep
+        reading self._rng through the attribute, so reset() silently
+        rewound the live iterator too."""
+        generator = SequenceGenerator(seed=11)
+        reference = list(SequenceGenerator(seed=11).take(40))
+        stream = generator.stream()
+        first_half = [next(stream) for _ in range(20)]
+        generator.reset()  # must not touch the live iterator
+        second_half = [next(stream) for _ in range(20)]
+        assert first_half + second_half == reference
+
+    def test_stream_starts_at_current_position(self):
+        """A stream forks the RNG where the generator stands, so take()
+        followed by stream() continues the same sequence."""
+        a = SequenceGenerator(seed=13)
+        b = SequenceGenerator(seed=13)
+        prefix = a.take(15)
+        assert prefix == b.take(15)
+        stream = a.stream()
+        assert [next(stream) for _ in range(10)] == b.take(10)
+
+    def test_two_streams_are_independent(self):
+        generator = SequenceGenerator(seed=17)
+        first = generator.stream()
+        second = generator.stream()
+        assert [next(first) for _ in range(25)] == [
+            next(second) for _ in range(25)
+        ]
+
+    def test_profiled_generator_is_deterministic(self):
+        a = SequenceGenerator(seed=19, profile="write-heavy").take(30)
+        b = SequenceGenerator(seed=19, profile="write-heavy").take(30)
+        assert a == b
+        names = {op.name for op in a}
+        assert "write_file" in names
+
+    def test_boundary_profile_augments_pool(self):
+        generator = SequenceGenerator(seed=1, profile="boundary")
+        assert 4097 in generator.catalog.pool.write_sizes
+        assert 4096 in generator.catalog.pool.write_offsets
